@@ -1,0 +1,41 @@
+//! Reproduces paper Fig. 10: wordcount map-task completion on servers
+//! throttled to 40% CPU vs full-speed servers, for Galloper codes with
+//! homogeneous vs performance-derived (heterogeneous) weights.
+//!
+//! Usage: `cargo run -p galloper-bench --release --bin fig10`
+//! Env:   `GALLOPER_BLOCK_MB` (default 450, as in the paper)
+
+use galloper_bench::table::{pct, secs, Table};
+use galloper_bench::{env_f64, fig10};
+
+fn main() {
+    let block_mb = env_f64("GALLOPER_BLOCK_MB", 450.0);
+    println!("# Fig. 10 — Galloper with homogeneous vs heterogeneous weights");
+    println!(
+        "servers {:?} throttled to 40% CPU, {block_mb} MB per coded block\n",
+        fig10::THROTTLED_SERVERS
+    );
+
+    let result = fig10::run(block_mb);
+    let mut t = Table::new(&[
+        "weighting",
+        "avg map on 40% servers (s)",
+        "avg map on 100% servers (s)",
+        "map phase (s)",
+        "job (s)",
+    ]);
+    for r in [&result.homogeneous, &result.heterogeneous] {
+        t.row(&[
+            r.weighting.clone(),
+            secs(r.slow_avg_map_secs),
+            secs(r.fast_avg_map_secs),
+            secs(r.map_secs),
+            secs(r.job_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "overall completion saving: {} (paper: 32.6%)",
+        pct(result.job_saving())
+    );
+}

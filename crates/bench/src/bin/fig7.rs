@@ -1,0 +1,41 @@
+//! Reproduces paper Fig. 7: encoding (a) and decoding (b) completion time
+//! for (k,2) Reed–Solomon, (k,2,1) Pyramid, and (k,2,1) Galloper codes,
+//! k ∈ {4, 6, 8, 10, 12}.
+//!
+//! Usage: `cargo run -p galloper-bench --release --bin fig7`
+//! Env:   `GALLOPER_BLOCK_MB` (default 4.5; the paper uses 45)
+//!        `GALLOPER_REPS`     (default 20, as in the paper)
+
+use galloper_bench::table::{secs, Table};
+use galloper_bench::{env_f64, env_usize, fig7};
+
+fn main() {
+    let block_mb = env_f64("GALLOPER_BLOCK_MB", 4.5);
+    let reps = env_usize("GALLOPER_REPS", 20);
+    println!("# Fig. 7 — encoding/decoding time vs k");
+    println!("block size: {block_mb} MB (paper: 45 MB), {reps} repetitions\n");
+
+    println!("## Fig. 7a — encoding");
+    let mut t = Table::new(&["k", "(k,2) RS (s)", "(k,2,1) Pyramid (s)", "(k,2,1) Galloper (s)"]);
+    for row in fig7::encode_times(block_mb, reps) {
+        t.row(&[
+            row.k.to_string(),
+            secs(row.rs_secs),
+            secs(row.pyramid_secs),
+            secs(row.galloper_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    println!("## Fig. 7b — decoding (one data block removed, decode from k blocks)");
+    let mut t = Table::new(&["k", "(k,2) RS (s)", "(k,2,1) Pyramid (s)", "(k,2,1) Galloper (s)"]);
+    for row in fig7::decode_times(block_mb, reps) {
+        t.row(&[
+            row.k.to_string(),
+            secs(row.rs_secs),
+            secs(row.pyramid_secs),
+            secs(row.galloper_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+}

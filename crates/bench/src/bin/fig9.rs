@@ -1,0 +1,47 @@
+//! Reproduces paper Fig. 9: terasort and wordcount completion times over
+//! Pyramid- vs Galloper-coded data, k=4, l=2, g=1, 30 servers, 450 MB
+//! blocks.
+//!
+//! Usage: `cargo run -p galloper-bench --release --bin fig9`
+//! Env:   `GALLOPER_BLOCK_MB` (default 450, as in the paper)
+
+use galloper_bench::table::{pct, secs, Table};
+use galloper_bench::{env_f64, fig9};
+
+fn main() {
+    let block_mb = env_f64("GALLOPER_BLOCK_MB", 450.0);
+    println!("# Fig. 9 — Hadoop jobs on Pyramid vs Galloper (k=4, l=2, g=1)");
+    println!("30 simulated servers, {block_mb} MB per coded block\n");
+
+    let result = fig9::run(block_mb);
+    let mut t = Table::new(&[
+        "workload",
+        "code",
+        "map tasks",
+        "map (s)",
+        "reduce (s)",
+        "job (s)",
+    ]);
+    for r in &result.rows {
+        t.row(&[
+            r.workload.clone(),
+            r.code.clone(),
+            r.map_tasks.to_string(),
+            secs(r.map_secs),
+            secs(r.reduce_secs),
+            secs(r.job_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    println!("## Savings of Galloper over Pyramid (paper: map 31.5%/40.1%, job 30.4%/36.4%, bound 42.9%)");
+    let mut t = Table::new(&["workload", "map saving", "job saving"]);
+    for w in ["terasort", "wordcount"] {
+        t.row(&[
+            w.to_string(),
+            pct(result.saving(w, |r| r.map_secs)),
+            pct(result.saving(w, |r| r.job_secs)),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+}

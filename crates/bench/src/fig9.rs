@@ -1,0 +1,158 @@
+//! Fig. 9: completion times of Hadoop terasort and wordcount over data
+//! encoded with a `(4, 2, 1)` Pyramid code vs a `(4, 2, 1)` Galloper code
+//! on 30 homogeneous servers (450 MB per block).
+
+use galloper::Galloper;
+use galloper_erasure::ErasureCode;
+use galloper_pyramid::Pyramid;
+use galloper_simmr::{layout_splits, simulate_job, JobConfig, JobReport, Workload};
+use galloper_simstore::{Cluster, Placement, ServerSpec};
+
+/// The cluster profile used for the Hadoop experiments: 30 modest servers
+/// in the spirit of EC2 `r3.large` (2 cores), with map processing far
+/// slower than disk (analytics are CPU-bound on these instances).
+pub fn hadoop_cluster(n: usize) -> Cluster {
+    Cluster::homogeneous(
+        n,
+        ServerSpec {
+            disk_read_mbps: 150.0,
+            disk_write_mbps: 120.0,
+            net_mbps: 120.0,
+            cpu_mbps: 60.0,
+            cpu_factor: 1.0,
+            slots: 2,
+        },
+    )
+}
+
+/// Measurements of one (workload, code) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Workload name.
+    pub workload: String,
+    /// Code name ("Pyramid" / "Galloper").
+    pub code: String,
+    /// Number of map tasks launched (= blocks holding original data).
+    pub map_tasks: usize,
+    /// Map phase completion, seconds.
+    pub map_secs: f64,
+    /// Shuffle + reduce duration, seconds.
+    pub reduce_secs: f64,
+    /// End-to-end job completion, seconds.
+    pub job_secs: f64,
+}
+
+/// The Fig. 9 result set plus derived savings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Result {
+    /// Four rows: terasort/wordcount × Pyramid/Galloper.
+    pub rows: Vec<Fig9Row>,
+}
+
+impl Fig9Result {
+    /// Relative saving of Galloper over Pyramid for `workload`, on the
+    /// given metric extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is missing from the rows.
+    pub fn saving(&self, workload: &str, metric: impl Fn(&Fig9Row) -> f64) -> f64 {
+        let get = |code: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.workload == workload && r.code == code)
+                .unwrap_or_else(|| panic!("missing row {workload}/{code}"))
+        };
+        let p = metric(get("Pyramid"));
+        let g = metric(get("Galloper"));
+        (p - g) / p
+    }
+}
+
+fn run_one(
+    cluster: &Cluster,
+    layout: &galloper_erasure::DataLayout,
+    placement: &Placement,
+    block_mb: f64,
+    workload: Workload,
+    reducers: &[usize],
+) -> (usize, JobReport) {
+    let splits = layout_splits(layout, placement, block_mb, block_mb + 1.0);
+    let report = simulate_job(
+        cluster,
+        &splits,
+        &JobConfig {
+            workload,
+            reducers: reducers.to_vec(),
+        },
+    );
+    (splits.len(), report)
+}
+
+/// Runs the Fig. 9 experiment.
+///
+/// `block_mb` defaults to the paper's 450 MB in the binary.
+pub fn run(block_mb: f64) -> Fig9Result {
+    let cluster = hadoop_cluster(30);
+    let placement = Placement::identity(7);
+    // Reducers on servers that do not hold blocks.
+    let reducers: Vec<usize> = (7..15).collect();
+
+    let pyramid = Pyramid::new(4, 2, 1, 1).expect("valid pyramid");
+    let galloper = Galloper::uniform(4, 2, 1, 1).expect("valid galloper");
+
+    let mut rows = Vec::new();
+    for workload in [Workload::terasort(), Workload::wordcount()] {
+        for (name, layout) in [("Pyramid", pyramid.layout()), ("Galloper", galloper.layout())] {
+            let (tasks, report) = run_one(
+                &cluster,
+                &layout,
+                &placement,
+                block_mb,
+                workload.clone(),
+                &reducers,
+            );
+            rows.push(Fig9Row {
+                workload: workload.name.clone(),
+                code: name.to_string(),
+                map_tasks: tasks,
+                map_secs: report.map_secs,
+                reduce_secs: report.reduce_secs,
+                job_secs: report.job_secs,
+            });
+        }
+    }
+    Fig9Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_match_paper_shape() {
+        let result = run(450.0);
+        assert_eq!(result.rows.len(), 4);
+
+        // Galloper launches 7 map tasks, Pyramid only 4.
+        for r in &result.rows {
+            let expect = if r.code == "Galloper" { 7 } else { 4 };
+            assert_eq!(r.map_tasks, expect, "{}/{}", r.workload, r.code);
+        }
+
+        // Paper: map savings 31.5% (terasort) and 40.1% (wordcount),
+        // bounded by 42.9%; job savings 30.4% / 36.4%.
+        let ts_map = result.saving("terasort", |r| r.map_secs);
+        let wc_map = result.saving("wordcount", |r| r.map_secs);
+        assert!((0.25..0.429).contains(&ts_map), "terasort map saving {ts_map}");
+        assert!((0.34..0.429).contains(&wc_map), "wordcount map saving {wc_map}");
+        assert!(wc_map > ts_map, "wordcount saves more (smaller fixed cost)");
+
+        let ts_job = result.saving("terasort", |r| r.job_secs);
+        let wc_job = result.saving("wordcount", |r| r.job_secs);
+        assert!((0.2..0.429).contains(&ts_job), "terasort job saving {ts_job}");
+        assert!((0.3..0.429).contains(&wc_job), "wordcount job saving {wc_job}");
+        // Job savings are diluted by the (unchanged) reduce phase.
+        assert!(ts_job < ts_map);
+    }
+}

@@ -1,0 +1,75 @@
+//! Benchmark and figure-reproduction harness for the Galloper paper.
+//!
+//! Every table and figure of the paper's evaluation (§VII) has a
+//! regeneration function here and a binary wrapping it:
+//!
+//! | Paper figure | Function | Binary |
+//! |---|---|---|
+//! | Fig. 7a (encoding time vs k) | [`fig7::encode_times`] | `fig7` |
+//! | Fig. 7b (decoding time vs k) | [`fig7::decode_times`] | `fig7` |
+//! | Fig. 8a (reconstruction time per block) | [`fig8::reconstruction`] | `fig8` |
+//! | Fig. 8b (reconstruction disk I/O per block) | [`fig8::reconstruction`] | `fig8` |
+//! | Fig. 9 (Hadoop jobs, Pyramid vs Galloper) | [`fig9::run`] | `fig9` |
+//! | Fig. 10 (heterogeneous servers) | [`fig10::run`] | `fig10` |
+//!
+//! The functions return structured rows so the binaries can print tables
+//! and the integration tests can assert the paper's *shapes* (who wins,
+//! by roughly what factor) without string parsing.
+//!
+//! Scaling note: the paper uses 45 MB blocks for coding experiments and
+//! 450 MB for Hadoop experiments. Coding cost is linear in block size, so
+//! the binaries default to 4.5 MB for quick runs; set
+//! `GALLOPER_BLOCK_MB=45` (or any size) to reproduce at full scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig10;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table;
+
+/// Reads a positive float from the environment, falling back to `default`.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(default)
+}
+
+/// Reads a positive integer from the environment, falling back to
+/// `default`.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Deterministic pseudo-random payload for coding benchmarks.
+pub fn payload(len: usize, seed: u64) -> Vec<u8> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_helpers_fall_back() {
+        assert_eq!(env_f64("GALLOPER_BENCH_DOES_NOT_EXIST", 4.5), 4.5);
+        assert_eq!(env_usize("GALLOPER_BENCH_DOES_NOT_EXIST", 20), 20);
+    }
+
+    #[test]
+    fn payload_is_deterministic() {
+        assert_eq!(payload(64, 7), payload(64, 7));
+        assert_ne!(payload(64, 7), payload(64, 8));
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal markdown table printing for the figure binaries.
+
+/// A simple markdown table builder.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_bench::table::Table;
+///
+/// let mut t = Table::new(&["k", "RS (s)", "Galloper (s)"]);
+/// t.row(&["4".into(), "0.93".into(), "1.21".into()]);
+/// let s = t.to_markdown();
+/// assert!(s.contains("| k | RS (s) | Galloper (s) |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Formats seconds with millisecond precision.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a megabyte count.
+pub fn mb(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["3".into(), "4".into()]);
+        let s = t.to_markdown();
+        assert_eq!(s, "| a | b |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_ragged_rows() {
+        Table::new(&["a"]).row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(mb(90.04), "90.0");
+        assert_eq!(pct(0.315), "31.5%");
+    }
+}

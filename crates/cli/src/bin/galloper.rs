@@ -1,0 +1,210 @@
+//! The `galloper` command-line tool.
+//!
+//! ```text
+//! galloper encode  <input> <dir> [--family galloper|rs|pyramid|carousel]
+//!                  [-k 4] [-l 2] [-g 1] [--stripe-size 65536]
+//!                  [--perfs 1.0,1.0,0.4,...] [--resolution N]
+//! galloper decode  <dir> <output>
+//! galloper repair  <dir> <block-index>
+//! galloper inspect <dir>
+//! galloper weights -k 4 -l 2 -g 1 --perfs 1.0,1.0,1.0,0.4,0.4,0.4,1.0
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use galloper::{solve_weights, GalloperParams, StripeAllocation};
+use galloper_cli::{check, decode_file, encode_file, inspect, repair_block, CodeSpec};
+use galloper_erasure::ErasureCode as _;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  galloper encode  <input> <dir> [--family F] [-k K] [-l L] [-g G]
+                   [--stripe-size BYTES] [--perfs P1,P2,...] [--resolution N]
+  galloper decode  <dir> <output>
+  galloper repair  <dir> <block-index>
+  galloper inspect <dir>
+  galloper check   <dir>
+  galloper weights -k K -l L -g G --perfs P1,P2,...";
+
+struct Options {
+    positional: Vec<String>,
+    family: String,
+    k: usize,
+    l: usize,
+    g: usize,
+    stripe_size: usize,
+    resolution: Option<usize>,
+    perfs: Option<Vec<f64>>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        positional: Vec::new(),
+        family: "galloper".into(),
+        k: 4,
+        l: 2,
+        g: 1,
+        stripe_size: 65536,
+        resolution: None,
+        perfs: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--family" => o.family = value("--family")?.clone(),
+            "-k" => o.k = value("-k")?.parse().map_err(|_| "-k must be a number")?,
+            "-l" => o.l = value("-l")?.parse().map_err(|_| "-l must be a number")?,
+            "-g" => o.g = value("-g")?.parse().map_err(|_| "-g must be a number")?,
+            "--stripe-size" => {
+                o.stripe_size = value("--stripe-size")?
+                    .parse()
+                    .map_err(|_| "--stripe-size must be a number")?
+            }
+            "--resolution" => {
+                o.resolution = Some(
+                    value("--resolution")?
+                        .parse()
+                        .map_err(|_| "--resolution must be a number")?,
+                )
+            }
+            "--perfs" => {
+                let raw = value("--perfs")?;
+                let parsed: Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
+                o.perfs = Some(parsed.map_err(|_| "--perfs must be comma-separated numbers")?);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let o = parse(rest)?;
+    match command.as_str() {
+        "encode" => {
+            let [input, dir] = o.positional.as_slice() else {
+                return Err("encode needs <input> <dir>".into());
+            };
+            let spec = make_spec(&o)?;
+            let num_blocks = galloper_cli::build_code(&spec)
+                .map_err(|e| e.to_string())?
+                .num_blocks();
+            let manifest =
+                encode_file(Path::new(input), Path::new(dir), &spec).map_err(|e| e.to_string())?;
+            println!(
+                "encoded {} bytes into {} groups of {num_blocks} blocks under {dir}",
+                manifest.object_len, manifest.num_groups,
+            );
+            Ok(())
+        }
+        "decode" => {
+            let [dir, output] = o.positional.as_slice() else {
+                return Err("decode needs <dir> <output>".into());
+            };
+            decode_file(Path::new(dir), Path::new(output)).map_err(|e| e.to_string())?;
+            println!("decoded object written to {output}");
+            Ok(())
+        }
+        "repair" => {
+            let [dir, block] = o.positional.as_slice() else {
+                return Err("repair needs <dir> <block-index>".into());
+            };
+            let block: usize = block.parse().map_err(|_| "block index must be a number")?;
+            let fan_in = repair_block(Path::new(dir), block).map_err(|e| e.to_string())?;
+            println!("block {block} rebuilt from {fan_in} source blocks");
+            Ok(())
+        }
+        "check" => {
+            let [dir] = o.positional.as_slice() else {
+                return Err("check needs <dir>".into());
+            };
+            let (report, ok) = check(Path::new(dir)).map_err(|e| e.to_string())?;
+            print!("{report}");
+            if !ok {
+                return Err("object is unrecoverable".into());
+            }
+            Ok(())
+        }
+        "inspect" => {
+            let [dir] = o.positional.as_slice() else {
+                return Err("inspect needs <dir>".into());
+            };
+            print!("{}", inspect(Path::new(dir)).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "weights" => {
+            let perfs = o.perfs.ok_or("weights needs --perfs")?;
+            let params = GalloperParams::new(o.k, o.l, o.g).map_err(|e| e.to_string())?;
+            let weights = solve_weights(params, &perfs).map_err(|e| e.to_string())?;
+            println!("target weights (sum = k = {}):", o.k);
+            for (i, w) in weights.iter().enumerate() {
+                println!("  block {i}: {w:.4}");
+            }
+            let resolution = o.resolution.unwrap_or(24);
+            let alloc = StripeAllocation::from_weights(params, &weights, resolution)
+                .map_err(|e| e.to_string())?;
+            println!("stripe counts at N = {resolution}: {:?}", alloc.counts());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn make_spec(o: &Options) -> Result<CodeSpec, String> {
+    let (resolution, counts) = match o.family.as_str() {
+        "rs" | "pyramid" => (1, Vec::new()),
+        "galloper-asl" => (o.resolution.unwrap_or(0).max(1), Vec::new()),
+        "carousel" => (o.k + o.g, Vec::new()),
+        "galloper" => {
+            let params = GalloperParams::new(o.k, o.l, o.g).map_err(|e| e.to_string())?;
+            match (&o.perfs, o.resolution) {
+                (Some(perfs), resolution) => {
+                    let resolution = resolution.unwrap_or(24);
+                    let alloc = StripeAllocation::from_performances(params, perfs, resolution)
+                        .map_err(|e| e.to_string())?;
+                    (resolution, alloc.counts().to_vec())
+                }
+                (None, Some(resolution)) => {
+                    let alloc =
+                        StripeAllocation::from_weights(params, &vec![1.0; params.num_blocks()], resolution)
+                            .map_err(|e| e.to_string())?;
+                    (resolution, alloc.counts().to_vec())
+                }
+                (None, None) => {
+                    let alloc = StripeAllocation::uniform(params);
+                    (alloc.resolution(), alloc.counts().to_vec())
+                }
+            }
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    Ok(CodeSpec {
+        family: o.family.clone(),
+        k: o.k,
+        l: o.l,
+        g: o.g,
+        resolution,
+        stripe_size: o.stripe_size,
+        counts,
+    })
+}

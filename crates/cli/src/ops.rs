@@ -1,0 +1,477 @@
+//! The CLI operations: encode/decode/repair/inspect over files on disk.
+//!
+//! Layout on disk: encoding `FILE` into `DIR` produces
+//! `DIR/FILE.manifest` plus one `DIR/block_<i>.bin` per block, each
+//! holding that block's bytes for every coding group, concatenated in
+//! group order (so a block file is what one storage server would hold).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use galloper_erasure::{ErasureCode, ObjectCodec, ObjectManifest};
+
+use crate::{build_code, CodeSpec, Manifest, ManifestError};
+
+use core::fmt;
+
+/// Errors surfaced by the CLI operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Invalid code parameters.
+    BadSpec(String),
+    /// Manifest parse failure.
+    Manifest(ManifestError),
+    /// Coding failure (undecodable, wrong sizes, …).
+    Code(galloper_erasure::CodeError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A block file has the wrong size for the manifest.
+    CorruptBlock {
+        /// Block index.
+        block: usize,
+        /// Bytes found on disk.
+        got: usize,
+        /// Bytes expected.
+        expected: usize,
+    },
+    /// The requested repair needs source blocks that are missing on disk.
+    MissingSources(Vec<usize>),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::BadSpec(s) => write!(f, "invalid code spec: {s}"),
+            CliError::Manifest(e) => write!(f, "manifest error: {e}"),
+            CliError::Code(e) => write!(f, "coding error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::CorruptBlock { block, got, expected } => {
+                write!(f, "block {block} has {got} bytes, expected {expected}")
+            }
+            CliError::MissingSources(s) => write!(f, "repair sources missing on disk: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ManifestError> for CliError {
+    fn from(e: ManifestError) -> Self {
+        CliError::Manifest(e)
+    }
+}
+
+impl From<galloper_erasure::CodeError> for CliError {
+    fn from(e: galloper_erasure::CodeError) -> Self {
+        CliError::Code(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn block_path(dir: &Path, block: usize) -> PathBuf {
+    dir.join(format!("block_{block}.bin"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("object.manifest")
+}
+
+/// Encodes `input` into `out_dir` with the given code, writing one block
+/// file per block and a manifest. Returns the manifest.
+///
+/// # Errors
+///
+/// [`CliError`] on invalid spec, I/O failure, or coding failure.
+pub fn encode_file(input: &Path, out_dir: &Path, spec: &CodeSpec) -> Result<Manifest, CliError> {
+    let code = build_code(spec)?;
+    let data = fs::read(input)?;
+    let codec = ObjectCodec::new(code);
+    let encoded = codec.encode_object(&data)?;
+
+    fs::create_dir_all(out_dir)?;
+    let n = codec.code().num_blocks();
+    for b in 0..n {
+        let mut file = Vec::with_capacity(encoded.manifest.num_groups * codec.code().block_len());
+        for group in &encoded.groups {
+            file.extend_from_slice(&group[b]);
+        }
+        fs::write(block_path(out_dir, b), file)?;
+    }
+    let manifest = Manifest {
+        spec: spec.clone(),
+        object_len: encoded.manifest.object_len,
+        num_groups: encoded.manifest.num_groups,
+    };
+    fs::write(manifest_path(out_dir), manifest.to_text())?;
+    Ok(manifest)
+}
+
+/// Reads the block files that exist in `dir`, returning `None` for
+/// missing or wrong-sized ones (wrong-sized files are an error).
+fn read_blocks(
+    dir: &Path,
+    n: usize,
+    expected_len: usize,
+) -> Result<Vec<Option<Vec<u8>>>, CliError> {
+    let mut blocks = Vec::with_capacity(n);
+    for b in 0..n {
+        match fs::read(block_path(dir, b)) {
+            Ok(bytes) => {
+                if bytes.len() != expected_len {
+                    return Err(CliError::CorruptBlock {
+                        block: b,
+                        got: bytes.len(),
+                        expected: expected_len,
+                    });
+                }
+                blocks.push(Some(bytes));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => blocks.push(None),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(blocks)
+}
+
+/// Decodes the object from the block files in `dir` (missing files are
+/// treated as erasures) and writes it to `output`.
+///
+/// # Errors
+///
+/// [`CliError`] if the surviving blocks cannot be decoded or on I/O
+/// failure.
+pub fn decode_file(dir: &Path, output: &Path) -> Result<(), CliError> {
+    let manifest = Manifest::from_text(&fs::read_to_string(manifest_path(dir))?)?;
+    let code = build_code(&manifest.spec)?;
+    let n = code.num_blocks();
+    let group_len = code.block_len();
+    let blocks = read_blocks(dir, n, group_len * manifest.num_groups)?;
+
+    let codec = ObjectCodec::new(code);
+    let availability: Vec<Vec<Option<&[u8]>>> = (0..manifest.num_groups)
+        .map(|g| {
+            blocks
+                .iter()
+                .map(|b| {
+                    b.as_deref()
+                        .map(|bytes| &bytes[g * group_len..(g + 1) * group_len])
+                })
+                .collect()
+        })
+        .collect();
+    let data = codec.decode_object(
+        &availability,
+        ObjectManifest {
+            object_len: manifest.object_len,
+            num_groups: manifest.num_groups,
+        },
+    )?;
+    fs::write(output, data)?;
+    Ok(())
+}
+
+/// Rebuilds block `target`'s file in `dir` from its repair plan's source
+/// files, group by group. Returns the number of source blocks read.
+///
+/// # Errors
+///
+/// [`CliError::MissingSources`] if a required source file is absent;
+/// other variants on I/O or coding failure.
+pub fn repair_block(dir: &Path, target: usize) -> Result<usize, CliError> {
+    let manifest = Manifest::from_text(&fs::read_to_string(manifest_path(dir))?)?;
+    let code = build_code(&manifest.spec)?;
+    let n = code.num_blocks();
+    let group_len = code.block_len();
+    let blocks = read_blocks(dir, n, group_len * manifest.num_groups)?;
+
+    let plan = code.repair_plan(target)?;
+    let missing: Vec<usize> = plan
+        .sources()
+        .iter()
+        .copied()
+        .filter(|&s| blocks[s].is_none())
+        .collect();
+    if !missing.is_empty() {
+        return Err(CliError::MissingSources(missing));
+    }
+
+    let mut rebuilt = Vec::with_capacity(group_len * manifest.num_groups);
+    for g in 0..manifest.num_groups {
+        let sources: Vec<(usize, &[u8])> = plan
+            .sources()
+            .iter()
+            .map(|&s| {
+                let bytes = blocks[s].as_deref().expect("checked above");
+                (s, &bytes[g * group_len..(g + 1) * group_len])
+            })
+            .collect();
+        rebuilt.extend_from_slice(&code.reconstruct(target, &sources)?);
+    }
+    fs::write(block_path(dir, target), rebuilt)?;
+    Ok(plan.fan_in())
+}
+
+/// Checks an encoded directory's health: which block files are present,
+/// whether the object is still decodable, and what a repair would read.
+///
+/// Returns `(report, decodable)`.
+///
+/// # Errors
+///
+/// [`CliError`] on manifest problems or unreadable block files.
+pub fn check(dir: &Path) -> Result<(String, bool), CliError> {
+    let manifest = Manifest::from_text(&fs::read_to_string(manifest_path(dir))?)?;
+    let code = build_code(&manifest.spec)?;
+    let n = code.num_blocks();
+    let expected = code.block_len() * manifest.num_groups;
+    let mut present = vec![false; n];
+    let mut report = String::new();
+    for b in 0..n {
+        match fs::metadata(block_path(dir, b)) {
+            Ok(meta) => {
+                if meta.len() as usize == expected {
+                    present[b] = true;
+                } else {
+                    report.push_str(&format!(
+                        "  block {b}: WRONG SIZE ({} bytes, expected {expected})\n",
+                        meta.len()
+                    ));
+                }
+            }
+            Err(_) => report.push_str(&format!("  block {b}: MISSING\n")),
+        }
+    }
+    let lost = present.iter().filter(|&&p| !p).count();
+    let decodable = code.can_decode(&present);
+    report.insert_str(
+        0,
+        &format!(
+            "{} of {n} blocks present; object is {}\n",
+            n - lost,
+            if lost == 0 {
+                "fully healthy"
+            } else if decodable {
+                "DEGRADED but decodable"
+            } else {
+                "UNRECOVERABLE"
+            }
+        ),
+    );
+    if lost > 0 && decodable {
+        let repairable: Vec<usize> = (0..n)
+            .filter(|&b| {
+                !present[b]
+                    && code
+                        .repair_plan(b)
+                        .map(|p| p.sources().iter().all(|&s| present[s]))
+                        .unwrap_or(false)
+            })
+            .collect();
+        report.push_str(&format!(
+            "locally repairable now: {repairable:?} (run `galloper repair <dir> <block>`)\n"
+        ));
+    }
+    Ok((report, decodable))
+}
+
+/// Renders a human-readable description of an encoded directory: the
+/// code, the per-block roles, data fractions, and repair fan-ins.
+///
+/// # Errors
+///
+/// [`CliError`] on manifest or spec problems.
+pub fn inspect(dir: &Path) -> Result<String, CliError> {
+    let manifest = Manifest::from_text(&fs::read_to_string(manifest_path(dir))?)?;
+    let code = build_code(&manifest.spec)?;
+    let layout = code.layout();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} code: k={} l={} g={} | {} blocks x {} bytes | {} groups | object {} bytes | overhead {:.2}x\n",
+        manifest.spec.family,
+        manifest.spec.k,
+        manifest.spec.l,
+        manifest.spec.g,
+        code.num_blocks(),
+        code.block_len() * manifest.num_groups,
+        manifest.num_groups,
+        manifest.object_len,
+        code.storage_overhead(),
+    ));
+    for b in 0..code.num_blocks() {
+        let plan = code.repair_plan(b)?;
+        out.push_str(&format!(
+            "  block {b}: {:?}, {:.1}% original data, repairs from {} blocks {:?}\n",
+            code.block_role(b),
+            layout.data_fraction(b) * 100.0,
+            plan.fan_in(),
+            plan.sources(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn galloper_spec() -> CodeSpec {
+        CodeSpec {
+            family: "galloper".into(),
+            k: 4,
+            l: 2,
+            g: 1,
+            resolution: 7,
+            stripe_size: 1024,
+            counts: vec![],
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("galloper-cli-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_disk() {
+        let dir = tempdir("roundtrip");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        fs::write(&input, &data).unwrap();
+
+        let out = dir.join("encoded");
+        let manifest = encode_file(&input, &out, &galloper_spec()).unwrap();
+        assert_eq!(manifest.object_len, data.len());
+
+        // Destroy two block files (g + 1 = 2 tolerance).
+        fs::remove_file(out.join("block_0.bin")).unwrap();
+        fs::remove_file(out.join("block_6.bin")).unwrap();
+
+        let restored = dir.join("restored.bin");
+        decode_file(&out, &restored).unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), data);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_rewrites_identical_block() {
+        let dir = tempdir("repair");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..50_000).map(|i| (i % 241) as u8).collect();
+        fs::write(&input, &data).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+
+        let original = fs::read(out.join("block_1.bin")).unwrap();
+        fs::remove_file(out.join("block_1.bin")).unwrap();
+        let fan_in = repair_block(&out, 1).unwrap();
+        assert_eq!(fan_in, 2, "local repair reads the group");
+        assert_eq!(fs::read(out.join("block_1.bin")).unwrap(), original);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_reports_missing_sources() {
+        let dir = tempdir("missing");
+        let input = dir.join("input.bin");
+        fs::write(&input, vec![7u8; 10_000]).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+        fs::remove_file(out.join("block_1.bin")).unwrap();
+        fs::remove_file(out.join("block_2.bin")).unwrap();
+        match repair_block(&out, 1) {
+            Err(CliError::MissingSources(m)) => assert_eq!(m, vec![2]),
+            other => panic!("expected MissingSources, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_block_is_detected() {
+        let dir = tempdir("corrupt");
+        let input = dir.join("input.bin");
+        fs::write(&input, vec![1u8; 20_000]).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+        fs::write(out.join("block_3.bin"), b"short").unwrap();
+        match decode_file(&out, &dir.join("out.bin")) {
+            Err(CliError::CorruptBlock { block: 3, .. }) => {}
+            other => panic!("expected CorruptBlock, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_mentions_every_block() {
+        let dir = tempdir("inspect");
+        let input = dir.join("input.bin");
+        fs::write(&input, vec![9u8; 1000]).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+        let text = inspect(&out).unwrap();
+        for b in 0..7 {
+            assert!(text.contains(&format!("block {b}:")), "{text}");
+        }
+        assert!(text.contains("galloper code"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_reports_health_transitions() {
+        let dir = tempdir("check");
+        let input = dir.join("input.bin");
+        fs::write(&input, vec![5u8; 30_000]).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+
+        let (report, ok) = check(&out).unwrap();
+        assert!(ok);
+        assert!(report.contains("fully healthy"), "{report}");
+
+        fs::remove_file(out.join("block_1.bin")).unwrap();
+        let (report, ok) = check(&out).unwrap();
+        assert!(ok);
+        assert!(report.contains("DEGRADED"), "{report}");
+        assert!(report.contains("MISSING"), "{report}");
+        assert!(report.contains("[1]"), "block 1 must be listed repairable: {report}");
+
+        fs::remove_file(out.join("block_0.bin")).unwrap();
+        fs::remove_file(out.join("block_6.bin")).unwrap();
+        let (report, ok) = check(&out).unwrap();
+        assert!(!ok);
+        assert!(report.contains("UNRECOVERABLE"), "{report}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rs_roundtrip_via_cli_ops() {
+        let dir = tempdir("rs");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 199) as u8).collect();
+        fs::write(&input, &data).unwrap();
+        let spec = CodeSpec {
+            family: "rs".into(),
+            k: 4,
+            l: 0,
+            g: 2,
+            resolution: 1,
+            stripe_size: 2048,
+            counts: vec![],
+        };
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &spec).unwrap();
+        fs::remove_file(out.join("block_2.bin")).unwrap();
+        fs::remove_file(out.join("block_5.bin")).unwrap();
+        let restored = dir.join("restored.bin");
+        decode_file(&out, &restored).unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), data);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,75 @@
+//! Galloper codes: parallelism-aware locally repairable codes.
+//!
+//! This crate is a from-scratch implementation of *Parallelism-Aware
+//! Locally Repairable Code for Distributed Storage Systems* (Jun Li &
+//! Baochun Li, ICDCS 2018). A `(k, l, g)` Galloper code keeps the two
+//! properties storage systems care about from Pyramid codes:
+//!
+//! * **Low repair I/O** — a data or local-parity block is rebuilt from the
+//!   `k/l` other blocks of its local group; only global parities need `k`
+//!   reads.
+//! * **Failure tolerance** — any `g + 1` block failures are recoverable.
+//!
+//! …and adds the property analytics systems care about:
+//!
+//! * **Full data parallelism** — via symbol remapping, original data is
+//!   embedded in *every* block (not just the k data blocks), in amounts
+//!   proportional to a per-server weight, so map tasks can run on all
+//!   `k + l + g` servers and heterogeneous servers get proportional work.
+//!
+//! # Quick start
+//!
+//! ```
+//! use galloper::Galloper;
+//! use galloper_erasure::ErasureCode;
+//!
+//! // Homogeneous cluster, the paper's running example.
+//! let code = Galloper::uniform(4, 2, 1, 256)?;
+//! let data: Vec<u8> = (0..code.message_len()).map(|i| i as u8).collect();
+//! let blocks = code.encode(&data)?;
+//!
+//! // Any two failures are tolerated (g + 1 = 2):
+//! let mut available: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
+//! available[0] = None;
+//! available[6] = None;
+//! assert_eq!(code.decode(&available)?, data);
+//!
+//! // The original data can be read straight out of the blocks, 4/7 of a
+//! // block from each of the 7 servers:
+//! let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+//! assert_eq!(code.layout().extract_data(&refs), data);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Heterogeneous servers
+//!
+//! [`Galloper::from_performances`] runs the paper's linear program
+//! (§IV-C / §V-B) to throttle over-fast servers minimally, then rounds
+//! the resulting weights onto the stripe grid:
+//!
+//! ```
+//! use galloper::Galloper;
+//! use galloper_erasure::ErasureCode;
+//!
+//! // Group 2's servers run at 40% speed (the paper's Fig. 10 setup).
+//! let perfs = [1.0, 1.0, 1.0, 0.4, 0.4, 0.4, 1.0];
+//! let code = Galloper::from_performances(4, 2, 1, &perfs, 20, 64)?;
+//! let layout = code.layout();
+//! // Faster servers hold more original data than throttled ones.
+//! assert!(layout.data_fraction(0) > layout.data_fraction(3));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asl;
+mod code;
+mod construct;
+mod params;
+mod weights;
+
+pub use asl::GalloperAsl;
+pub use code::{Galloper, GalloperError};
+pub use params::{GalloperParams, ParamsError};
+pub use weights::{solve_weights, water_filling, StripeAllocation, WeightError};

@@ -1,0 +1,279 @@
+//! Code parameters and block ordering conventions.
+
+use core::fmt;
+
+use galloper_erasure::BlockRole;
+
+/// The `(k, l, g)` parameters of a Galloper code.
+///
+/// * `k` — number of data-role blocks (and the number of blocks' worth of
+///   original data).
+/// * `l` — number of local parity blocks; `l` must divide `k` when
+///   non-zero. With `l == 0` the code degenerates to the special case of
+///   paper §IV (equivalent repair structure to a `(k, g)` Reed–Solomon
+///   code).
+/// * `g` — number of global parity blocks; at least 1.
+///
+/// Blocks are ordered in *grouped* form, matching §V-B's weight LP:
+/// each local group's `k/l` data blocks are followed by its local parity,
+/// and the `g` global parities come last:
+/// `[d d … L | d d … L | … | G … G]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GalloperParams {
+    k: usize,
+    l: usize,
+    g: usize,
+}
+
+/// Errors for invalid `(k, l, g)` combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// `g` must be at least 1 (a code with no global parity cannot
+    /// tolerate arbitrary single failures of local parity groups).
+    ZeroG,
+    /// When `l > 0`, `l` must divide `k`.
+    LocalityMismatch {
+        /// The supplied k.
+        k: usize,
+        /// The supplied l.
+        l: usize,
+    },
+    /// The field bounds the total: `k + g + 1 <= 255`.
+    TooManyBlocks,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::ZeroK => f.write_str("k must be at least 1"),
+            ParamsError::ZeroG => f.write_str("g must be at least 1"),
+            ParamsError::LocalityMismatch { k, l } => {
+                write!(f, "l = {l} must divide k = {k}")
+            }
+            ParamsError::TooManyBlocks => f.write_str("k + g + 1 must not exceed 255"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl GalloperParams {
+    /// Validates and creates a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParamsError`] for each rejected combination.
+    pub fn new(k: usize, l: usize, g: usize) -> Result<Self, ParamsError> {
+        if k == 0 {
+            return Err(ParamsError::ZeroK);
+        }
+        if g == 0 {
+            return Err(ParamsError::ZeroG);
+        }
+        if l > 0 && k % l != 0 {
+            return Err(ParamsError::LocalityMismatch { k, l });
+        }
+        if k + g + 1 > 255 {
+            return Err(ParamsError::TooManyBlocks);
+        }
+        Ok(GalloperParams { k, l, g })
+    }
+
+    /// Number of data-role blocks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of local parity blocks (groups).
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of global parity blocks.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Total number of blocks `k + l + g`.
+    pub fn num_blocks(&self) -> usize {
+        self.k + self.l + self.g
+    }
+
+    /// Data blocks per local group (`k / l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`.
+    pub fn group_size(&self) -> usize {
+        assert!(self.l > 0, "no local groups when l = 0");
+        self.k / self.l
+    }
+
+    /// Like [`GalloperParams::group_size`], but returns 1 when `l == 0`
+    /// (useful for scale bounds in rational arithmetic).
+    pub fn group_size_or_one(&self) -> usize {
+        if self.l == 0 {
+            1
+        } else {
+            self.k / self.l
+        }
+    }
+
+    /// Blocks per local group including the local parity (`k/l + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`.
+    pub fn group_span(&self) -> usize {
+        self.group_size() + 1
+    }
+
+    /// The role of the block at grouped-order position `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= num_blocks()`.
+    pub fn role(&self, block: usize) -> BlockRole {
+        assert!(block < self.num_blocks(), "block index out of range");
+        if self.l == 0 {
+            return if block < self.k {
+                BlockRole::Data
+            } else {
+                BlockRole::GlobalParity
+            };
+        }
+        let span = self.group_span();
+        if block < self.l * span {
+            if block % span == span - 1 {
+                BlockRole::LocalParity
+            } else {
+                BlockRole::Data
+            }
+        } else {
+            BlockRole::GlobalParity
+        }
+    }
+
+    /// Grouped-order position of the `c`-th data block (`c` is the data /
+    /// column index `0..k`).
+    pub fn data_block_position(&self, c: usize) -> usize {
+        assert!(c < self.k, "data index out of range");
+        if self.l == 0 {
+            c
+        } else {
+            let q = self.group_size();
+            (c / q) * self.group_span() + (c % q)
+        }
+    }
+
+    /// Grouped-order position of local parity `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` or `j >= l`.
+    pub fn local_parity_position(&self, j: usize) -> usize {
+        assert!(self.l > 0 && j < self.l, "local parity index out of range");
+        j * self.group_span() + self.group_size()
+    }
+
+    /// Grouped-order position of global parity `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= g`.
+    pub fn global_parity_position(&self, t: usize) -> usize {
+        assert!(t < self.g, "global parity index out of range");
+        self.k + self.l + t
+    }
+
+    /// The local group containing `block`, or `None` for global parities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= num_blocks()`.
+    pub fn group_of(&self, block: usize) -> Option<usize> {
+        assert!(block < self.num_blocks(), "block index out of range");
+        if self.l == 0 {
+            return None;
+        }
+        let span = self.group_span();
+        (block < self.l * span).then(|| block / span)
+    }
+
+    /// Grouped-order block indices of local group `j`, including its local
+    /// parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` or `j >= l`.
+    pub fn group_blocks(&self, j: usize) -> std::ops::Range<usize> {
+        assert!(self.l > 0 && j < self.l, "group index out of range");
+        let span = self.group_span();
+        j * span..(j + 1) * span
+    }
+}
+
+impl fmt::Display for GalloperParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.k, self.l, self.g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_running_example() {
+        let p = GalloperParams::new(4, 2, 1).unwrap();
+        assert_eq!(p.num_blocks(), 7);
+        assert_eq!(p.group_size(), 2);
+        assert_eq!(p.group_span(), 3);
+        // Order: [d0 d1 L0 | d2 d3 L1 | G0]
+        assert_eq!(p.role(0), BlockRole::Data);
+        assert_eq!(p.role(2), BlockRole::LocalParity);
+        assert_eq!(p.role(3), BlockRole::Data);
+        assert_eq!(p.role(5), BlockRole::LocalParity);
+        assert_eq!(p.role(6), BlockRole::GlobalParity);
+        assert_eq!(p.data_block_position(0), 0);
+        assert_eq!(p.data_block_position(1), 1);
+        assert_eq!(p.data_block_position(2), 3);
+        assert_eq!(p.data_block_position(3), 4);
+        assert_eq!(p.local_parity_position(0), 2);
+        assert_eq!(p.local_parity_position(1), 5);
+        assert_eq!(p.global_parity_position(0), 6);
+        assert_eq!(p.group_of(4), Some(1));
+        assert_eq!(p.group_of(6), None);
+        assert_eq!(p.group_blocks(1), 3..6);
+    }
+
+    #[test]
+    fn special_case_l_zero() {
+        let p = GalloperParams::new(4, 0, 2).unwrap();
+        assert_eq!(p.num_blocks(), 6);
+        assert_eq!(p.role(3), BlockRole::Data);
+        assert_eq!(p.role(4), BlockRole::GlobalParity);
+        assert_eq!(p.data_block_position(3), 3);
+        assert_eq!(p.group_of(0), None);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert_eq!(GalloperParams::new(0, 0, 1), Err(ParamsError::ZeroK));
+        assert_eq!(GalloperParams::new(4, 2, 0), Err(ParamsError::ZeroG));
+        assert_eq!(
+            GalloperParams::new(4, 3, 1),
+            Err(ParamsError::LocalityMismatch { k: 4, l: 3 })
+        );
+        assert_eq!(GalloperParams::new(250, 0, 6), Err(ParamsError::TooManyBlocks));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = GalloperParams::new(6, 2, 1).unwrap();
+        assert_eq!(p.to_string(), "(6, 2, 1)");
+    }
+}

@@ -1,0 +1,1006 @@
+//! Weight assignment: from server performance measurements to per-block
+//! stripe counts.
+//!
+//! The pipeline has three stages, matching the paper:
+//!
+//! 1. **Throttling LP** (§IV-C for `l = 0`, §V-B for `l > 0`):
+//!    [`solve_weights`] finds the minimal performance reduction `d_i` for
+//!    each server such that the induced weights
+//!    `w_i = k(p_i − d_i) / Σ(p_j − d_j)` satisfy every capacity
+//!    constraint (`w_i ≤ 1`, plus the group-level constraints that make
+//!    the two-step construction possible).
+//! 2. **Water-filling cross-check**: [`water_filling`] computes the same
+//!    answer for `l = 0` in closed form; tests verify the LP against it.
+//! 3. **Rationalization** (§IV-C "round up"): [`StripeAllocation`] rounds
+//!    the real-valued weights onto a stripe grid of resolution `N`,
+//!    preserving the construction's divisibility invariants.
+
+use galloper_lp::{LinearProgram, LpError, Relation};
+
+use crate::GalloperParams;
+
+use core::fmt;
+
+/// Errors from weight assignment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WeightError {
+    /// Performance vector length differs from the block count.
+    WrongLength {
+        /// Entries supplied.
+        got: usize,
+        /// Blocks in the code.
+        expected: usize,
+    },
+    /// Performances must be positive and finite.
+    InvalidPerformance,
+    /// The stripe resolution must be at least 1.
+    ZeroResolution,
+    /// The underlying LP failed (should not happen for valid inputs; kept
+    /// for diagnosis).
+    Lp(LpError),
+    /// Rationalization could not satisfy the divisibility constraints at
+    /// this resolution.
+    Unroundable,
+}
+
+impl fmt::Display for WeightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightError::WrongLength { got, expected } => {
+                write!(f, "got {got} performance entries, code has {expected} blocks")
+            }
+            WeightError::InvalidPerformance => {
+                f.write_str("server performances must be positive and finite")
+            }
+            WeightError::ZeroResolution => f.write_str("stripe resolution must be at least 1"),
+            WeightError::Lp(e) => write!(f, "weight LP failed: {e}"),
+            WeightError::Unroundable => {
+                f.write_str("weights cannot be rounded onto this stripe grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+impl From<LpError> for WeightError {
+    fn from(e: LpError) -> Self {
+        WeightError::Lp(e)
+    }
+}
+
+/// Solves the paper's throttling LP and returns the target weights
+/// `w_i ∈ [0, 1]` (grouped block order, summing to `k`).
+///
+/// For `l = 0` this is the program of §IV-C; for `l > 0` the program of
+/// §V-B with its per-group constraints. `performances[i]` is the
+/// measurement `p_i` of the server hosting block `i` (any positive unit:
+/// MB/s of sequential read, task throughput, …).
+///
+/// # Errors
+///
+/// [`WeightError`] on shape/positivity violations; `Lp` if the solver
+/// fails (the program is always feasible for valid inputs: `d = p` is a
+/// feasible point of every constraint, so this indicates a bug).
+pub fn solve_weights(
+    params: GalloperParams,
+    performances: &[f64],
+) -> Result<Vec<f64>, WeightError> {
+    let n = params.num_blocks();
+    if performances.len() != n {
+        return Err(WeightError::WrongLength {
+            got: performances.len(),
+            expected: n,
+        });
+    }
+    if !performances.iter().all(|&p| p.is_finite() && p > 0.0) {
+        return Err(WeightError::InvalidPerformance);
+    }
+    let k = params.k() as f64;
+    let p_total: f64 = performances.iter().sum();
+
+    // Adds the paper's capacity constraints over the first n variables of
+    // an LP with `vars` total variables (extra variables get coefficient
+    // zero, enabling the two-phase formulation below).
+    let add_capacity_constraints = |lp: &mut LinearProgram, vars: usize| {
+        // w_i <= 1:  k(p_i - d_i) <= Σ(p - d)
+        //   ⟺  Σ_j d_j - k·d_i <= Σp - k·p_i.
+        for i in 0..n {
+            let mut coeffs = vec![0.0; vars];
+            coeffs[..n].fill(1.0);
+            coeffs[i] -= k;
+            lp.constraint(&coeffs, Relation::Le, p_total - k * performances[i]);
+        }
+        if params.l() > 0 {
+            let q = params.group_size() as f64;
+            let l = params.l() as f64;
+            for j in 0..params.l() {
+                let group = params.group_blocks(j);
+                let group_p: f64 = group.clone().map(|i| performances[i]).sum();
+
+                // Step-1 weight w_ig <= 1, aggregated per group (§V-B):
+                // l·Σ_group(p - d) <= Σ_all(p - d).
+                let mut coeffs = vec![0.0; vars];
+                coeffs[..n].fill(1.0);
+                for i in group.clone() {
+                    coeffs[i] -= l;
+                }
+                lp.constraint(&coeffs, Relation::Le, p_total - l * group_p);
+
+                // Step-2 weight w_il <= 1 for each member:
+                // (k/l)(p_i - d_i) <= Σ_group(p - d).
+                for i in group.clone() {
+                    let mut coeffs = vec![0.0; vars];
+                    for m in group.clone() {
+                        coeffs[m] = 1.0;
+                    }
+                    coeffs[i] -= q;
+                    lp.constraint(&coeffs, Relation::Le, group_p - q * performances[i]);
+                }
+            }
+        }
+        // 0 <= d_i <= p_i.
+        for (i, &p) in performances.iter().enumerate() {
+            lp.bound(i, p);
+        }
+    };
+
+    // Phase A (the paper's program): minimize total throttling Σ d_i,
+    // i.e. maximize the usable aggregate S* = Σ(p_i − d_i).
+    let mut lp = LinearProgram::minimize(&vec![1.0; n]);
+    add_capacity_constraints(&mut lp, n);
+    let phase_a = lp.solve()?;
+    let s_star = p_total - phase_a.objective;
+
+    // Phase B: the LP's optimal *value* S* is unique, but its vertex
+    // solutions are not — the simplex may throttle one group member fully
+    // instead of spreading. Distribute S* over blocks proportionally to
+    // performance, subject to the same caps (nested water-filling): this
+    // is deterministic and monotone in performance within every group.
+    let effective = distribute_effective(params, performances, s_star);
+    let total: f64 = effective.iter().sum();
+    Ok(effective
+        .iter()
+        .map(|&e| (k * e / total).clamp(0.0, 1.0))
+        .collect())
+}
+
+/// Splits the optimal usable aggregate `s` over blocks proportionally to
+/// performance under the paper's caps: per-block `e_i ≤ min(p_i, s/k)`,
+/// per-group totals `≤ min(s/l, C_j)` where `C_j` is the group's own
+/// water-filling capacity, and within-group member caps `e_i ≤ B_j·l/k`.
+fn distribute_effective(params: GalloperParams, perfs: &[f64], s: f64) -> Vec<f64> {
+    let k = params.k() as f64;
+    let n = params.num_blocks();
+    if params.l() == 0 {
+        return proportional_capped(perfs, &vec![s / k; n], s);
+    }
+    let l = params.l() as f64;
+    let q = params.group_size();
+
+    // Top level: budgets for groups (capacity min(s/l, C_j)) and globals
+    // (capacity min(p, s/k)).
+    let group_perfs: Vec<Vec<f64>> = (0..params.l())
+        .map(|j| params.group_blocks(j).map(|i| perfs[i]).collect())
+        .collect();
+    let mut item_perfs: Vec<f64> = group_perfs.iter().map(|g| g.iter().sum()).collect();
+    let mut item_caps: Vec<f64> = group_perfs
+        .iter()
+        .map(|g| (s / l).min(water_level(q, g)))
+        .collect();
+    for t in 0..params.g() {
+        let p = perfs[params.global_parity_position(t)];
+        item_perfs.push(p);
+        item_caps.push(p.min(s / k));
+    }
+    let budgets = proportional_capped(&item_perfs, &item_caps, s);
+
+    // Within each group: proportional with caps min(p_i, B_j/q).
+    let mut e = vec![0.0; n];
+    for j in 0..params.l() {
+        let b_j = budgets[j];
+        let caps: Vec<f64> = group_perfs[j]
+            .iter()
+            .map(|&p| p.min(b_j / q as f64))
+            .collect();
+        let member_e = proportional_capped(&group_perfs[j], &caps, b_j);
+        for (i, block) in params.group_blocks(j).enumerate() {
+            e[block] = member_e[i];
+        }
+    }
+    for t in 0..params.g() {
+        e[params.global_parity_position(t)] = budgets[params.l() + t];
+    }
+    e
+}
+
+/// Solves `Σ min(λ·perfs[i], caps[i]) = total` for λ by bisection and
+/// returns the resulting allocation. Assumes `Σ caps >= total` (up to
+/// floating slack); allocations are clamped to the caps.
+fn proportional_capped(perfs: &[f64], caps: &[f64], total: f64) -> Vec<f64> {
+    debug_assert_eq!(perfs.len(), caps.len());
+    let cap_sum: f64 = caps.iter().sum();
+    if cap_sum <= total * (1.0 + 1e-9) {
+        // Everything is capped (or numerically indistinguishable).
+        return caps.to_vec();
+    }
+    let eval = |lambda: f64| -> f64 {
+        perfs
+            .iter()
+            .zip(caps)
+            .map(|(&p, &c)| (lambda * p).min(c))
+            .sum()
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while eval(hi) < total {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid) < total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    perfs
+        .iter()
+        .zip(caps)
+        .map(|(&p, &c)| (hi * p).min(c))
+        .collect()
+}
+
+/// The maximal fixed point `S` of `S = Σ min(p_i, S/k)` — the water-filling
+/// level computation shared with [`water_filling`].
+fn water_level(k: usize, perfs: &[f64]) -> f64 {
+    let n = perfs.len();
+    if k >= n {
+        // Every member capped: S = n · min? The binding case is S/k >= all
+        // p_i impossible for k >= n unless equal; use the conservative sum.
+        return perfs.iter().sum();
+    }
+    let mut sorted: Vec<f64> = perfs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut rest: f64 = sorted.iter().sum();
+    for t in 0..k {
+        let c = rest / (k - t) as f64;
+        let upper_ok = t == 0 || sorted[t - 1] >= c - 1e-12;
+        let lower_ok = sorted.get(t).map_or(true, |&p| p <= c + 1e-12);
+        if upper_ok && lower_ok {
+            return perfs.iter().map(|&p| p.min(c)).sum();
+        }
+        rest -= sorted[t];
+    }
+    perfs.iter().sum()
+}
+
+/// Closed-form weight assignment for the special case `l = 0`
+/// (water-filling): maximizes `S = Σ(p_i − d_i)` subject to
+/// `p_i − d_i ≤ S/k` by iteratively capping the fastest servers.
+///
+/// Returns weights in the same form as [`solve_weights`]. Used as an
+/// independent cross-check of the LP in tests, and as a fast path.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `performances` is empty, or any performance is
+/// non-positive.
+pub fn water_filling(k: usize, performances: &[f64]) -> Vec<f64> {
+    let n = performances.len();
+    assert!(k > 0 && k <= n, "need 0 < k <= number of blocks");
+    assert!(
+        performances.iter().all(|&p| p > 0.0),
+        "performances must be positive"
+    );
+    if k == n {
+        // Every block must hold exactly one block's worth: w_i = 1.
+        return vec![1.0; n];
+    }
+    // Solve S = Σ min(p_i, S/k) exactly. Suppose the t fastest servers are
+    // capped at c = S/k; then S = t·c + R_t with R_t the sum of the rest,
+    // so c = R_t / (k − t). The correct t is the one consistent with the
+    // sorted order: p falls on either side of c.
+    let mut sorted: Vec<f64> = performances.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let total: f64 = sorted.iter().sum();
+    let mut cap = f64::INFINITY;
+    let mut rest = total;
+    for t in 0..k.min(n) {
+        let c = rest / (k - t) as f64;
+        let upper_ok = t == 0 || sorted[t - 1] >= c - 1e-12;
+        let lower_ok = t == n || sorted.get(t).map_or(true, |&p| p <= c + 1e-12);
+        if upper_ok && lower_ok {
+            cap = c;
+            break;
+        }
+        rest -= sorted[t];
+    }
+    assert!(cap.is_finite(), "water filling must find a consistent level");
+    let s: f64 = performances.iter().map(|&p| p.min(cap)).sum();
+    performances
+        .iter()
+        .map(|&p| (k as f64 * p.min(cap) / s).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// An integral stripe allocation: the realized weights after rounding
+/// onto a grid of `resolution` stripes per block.
+///
+/// Invariants (all verified at construction):
+///
+/// * `counts[i] ≤ resolution` and `Σ counts = k · resolution`;
+/// * with `l > 0`, each group's total is `(k/l) · a_j` for an integral
+///   step-1 count `a_j ≤ resolution` ([`StripeAllocation::group_data_count`]),
+///   and every member satisfies `counts[i] ≤ a_j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeAllocation {
+    params: GalloperParams,
+    resolution: usize,
+    counts: Vec<usize>,
+    /// Step-1 data-stripe count a_j per group (empty when l = 0).
+    group_data_counts: Vec<usize>,
+}
+
+impl StripeAllocation {
+    /// Rounds real-valued target weights onto a grid of `resolution`
+    /// stripes per block.
+    ///
+    /// `weights` is in grouped block order and is normalized internally to
+    /// sum to `k`, so the output of [`solve_weights`] (or any positive
+    /// vector) is accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightError`] if shapes are wrong, the resolution is zero, or the
+    /// weights cannot be represented on the grid.
+    pub fn from_weights(
+        params: GalloperParams,
+        weights: &[f64],
+        resolution: usize,
+    ) -> Result<Self, WeightError> {
+        let n = params.num_blocks();
+        if weights.len() != n {
+            return Err(WeightError::WrongLength {
+                got: weights.len(),
+                expected: n,
+            });
+        }
+        if resolution == 0 {
+            return Err(WeightError::ZeroResolution);
+        }
+        if !weights.iter().all(|&w| w.is_finite() && w >= 0.0) {
+            return Err(WeightError::InvalidPerformance);
+        }
+        let wsum: f64 = weights.iter().sum();
+        if wsum <= 0.0 {
+            return Err(WeightError::InvalidPerformance);
+        }
+        let k = params.k();
+        let big_n = resolution;
+        let total = k * big_n;
+        let scale = k as f64 / wsum;
+        let targets: Vec<f64> = weights.iter().map(|&w| w * scale * big_n as f64).collect();
+
+        let (counts, group_data_counts) = if params.l() == 0 {
+            let caps = vec![big_n; n];
+            let counts = round_with_caps(&targets, &caps, total).ok_or(WeightError::Unroundable)?;
+            (counts, Vec::new())
+        } else {
+            rationalize_grouped(params, &targets, big_n)?
+        };
+
+        let alloc = StripeAllocation {
+            params,
+            resolution,
+            counts,
+            group_data_counts,
+        };
+        alloc.verify().map_err(|_| WeightError::Unroundable)?;
+        Ok(alloc)
+    }
+
+    /// The allocation for homogeneous servers at the smallest resolution
+    /// that represents the uniform weight `k / (k+l+g)` exactly.
+    ///
+    /// For the paper's `(4, 2, 1)` example this yields `N = 7` with 4 data
+    /// stripes in every block (Fig. 5).
+    pub fn uniform(params: GalloperParams) -> Self {
+        let n = params.num_blocks();
+        let k = params.k();
+        // Find the smallest N with k·N divisible by n and, for l > 0, the
+        // per-group total divisible by the group size.
+        for big_n in 1..=(n * n) {
+            if (k * big_n) % n != 0 {
+                continue;
+            }
+            let m = k * big_n / n;
+            if m > big_n {
+                continue; // cannot happen (k < n), defensive
+            }
+            if params.l() > 0 {
+                let span = params.group_span();
+                let group_total = span * m;
+                let q = params.group_size();
+                if group_total % q != 0 || group_total / q > big_n {
+                    continue;
+                }
+            }
+            let weights = vec![1.0; n];
+            if let Ok(a) = StripeAllocation::from_weights(params, &weights, big_n) {
+                return a;
+            }
+        }
+        unreachable!("a uniform allocation always exists for valid params")
+    }
+
+    /// Builds an allocation from *exact* rational weights `num/den`,
+    /// choosing the resolution as the paper does in §IV-C: "one way to
+    /// choose N is the lowest common multiple of fractions of all
+    /// weights" — scaled up by the smallest factor that satisfies the
+    /// group-divisibility constraints when `l > 0`.
+    ///
+    /// Weights are normalized exactly (in integer arithmetic) to sum to
+    /// `k`. Each normalized weight must be ≤ 1.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightError::InvalidPerformance`] for zero denominators or an
+    /// all-zero weight vector; [`WeightError::Unroundable`] when a
+    /// normalized weight exceeds 1 or the structural constraints cannot
+    /// be met at any scale.
+    pub fn from_fractions(
+        params: GalloperParams,
+        fractions: &[(u64, u64)],
+    ) -> Result<Self, WeightError> {
+        let n = params.num_blocks();
+        if fractions.len() != n {
+            return Err(WeightError::WrongLength {
+                got: fractions.len(),
+                expected: n,
+            });
+        }
+        if fractions.iter().any(|&(_, d)| d == 0) {
+            return Err(WeightError::InvalidPerformance);
+        }
+        let k = params.k() as u128;
+
+        // Put everything over a common denominator D.
+        let d_common = fractions
+            .iter()
+            .fold(1u128, |acc, &(_, d)| lcm(acc, d as u128));
+        let numerators: Vec<u128> = fractions
+            .iter()
+            .map(|&(num, d)| num as u128 * (d_common / d as u128))
+            .collect();
+        let total: u128 = numerators.iter().sum();
+        if total == 0 {
+            return Err(WeightError::InvalidPerformance);
+        }
+        // Normalized weight i = k·numerators[i] / total. Reduce each and
+        // take the lcm of the reduced denominators as the base N.
+        let mut base_n = 1u128;
+        for &num in &numerators {
+            let g = gcd(k * num, total);
+            let den = total / g;
+            if k * num > total {
+                return Err(WeightError::Unroundable); // weight > 1
+            }
+            base_n = lcm(base_n, den);
+            if base_n > 1 << 20 {
+                return Err(WeightError::Unroundable);
+            }
+        }
+
+        // Scale by the smallest factor meeting the structural invariants.
+        let max_scale = (params.group_size_or_one() * params.l().max(1)) as u128;
+        for t in 1..=max_scale {
+            let big_n = base_n * t;
+            if big_n > 1 << 20 {
+                break;
+            }
+            let counts: Vec<usize> = numerators
+                .iter()
+                .map(|&num| ((k * num * big_n) / total) as usize)
+                .collect();
+            // Exactness: every count must divide out perfectly.
+            if numerators
+                .iter()
+                .any(|&num| (k * num * big_n) % total != 0)
+            {
+                continue;
+            }
+            let q = if params.l() > 0 { params.group_size() } else { 1 };
+            let group_data_counts: Vec<usize> = (0..params.l())
+                .map(|j| params.group_blocks(j).map(|i| counts[i]).sum::<usize>() / q)
+                .collect();
+            let alloc = StripeAllocation {
+                params,
+                resolution: big_n as usize,
+                counts,
+                group_data_counts,
+            };
+            if alloc.verify().is_ok() {
+                return Ok(alloc);
+            }
+        }
+        Err(WeightError::Unroundable)
+    }
+
+    /// End-to-end helper: measure → LP → rationalize.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WeightError`] from either stage.
+    pub fn from_performances(
+        params: GalloperParams,
+        performances: &[f64],
+        resolution: usize,
+    ) -> Result<Self, WeightError> {
+        let weights = solve_weights(params, performances)?;
+        StripeAllocation::from_weights(params, &weights, resolution)
+    }
+
+    /// The code parameters this allocation is for.
+    pub fn params(&self) -> GalloperParams {
+        self.params
+    }
+
+    /// Stripes per block (the paper's N).
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Data-stripe count per block, grouped order.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The step-1 data-stripe count `a_j = w_ig · N` of group `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` or `j` is out of range.
+    pub fn group_data_count(&self, j: usize) -> usize {
+        assert!(self.params.l() > 0, "no groups when l = 0");
+        self.group_data_counts[j]
+    }
+
+    /// The realized weight `counts[i] / N` of each block.
+    pub fn realized_weights(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&m| m as f64 / self.resolution as f64)
+            .collect()
+    }
+
+    /// Checks every invariant; returns a description of the first
+    /// violation.
+    pub fn verify(&self) -> Result<(), String> {
+        let p = self.params;
+        let n = p.num_blocks();
+        let big_n = self.resolution;
+        if self.counts.len() != n {
+            return Err(format!("counts has length {} != {n}", self.counts.len()));
+        }
+        if let Some((i, &m)) = self.counts.iter().enumerate().find(|&(_, &m)| m > big_n) {
+            return Err(format!("block {i} holds {m} > N = {big_n} data stripes"));
+        }
+        let total: usize = self.counts.iter().sum();
+        if total != p.k() * big_n {
+            return Err(format!("total {total} != k·N = {}", p.k() * big_n));
+        }
+        if p.l() > 0 {
+            if self.group_data_counts.len() != p.l() {
+                return Err("group_data_counts length mismatch".into());
+            }
+            let q = p.group_size();
+            for j in 0..p.l() {
+                let a = self.group_data_counts[j];
+                if a > big_n {
+                    return Err(format!("group {j} step-1 count {a} > N"));
+                }
+                let group_total: usize = p.group_blocks(j).map(|i| self.counts[i]).sum();
+                if group_total != q * a {
+                    return Err(format!(
+                        "group {j} total {group_total} != (k/l)·a = {}",
+                        q * a
+                    ));
+                }
+                for i in p.group_blocks(j) {
+                    if self.counts[i] > a {
+                        return Err(format!(
+                            "block {i} holds {} > group step-1 count {a}",
+                            self.counts[i]
+                        ));
+                    }
+                }
+            }
+        } else if !self.group_data_counts.is_empty() {
+            return Err("group_data_counts must be empty when l = 0".into());
+        }
+        Ok(())
+    }
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u128, b: u128) -> u128 {
+    a / gcd(a, b) * b
+}
+
+/// Largest-remainder rounding of `targets` to non-negative integers
+/// summing to `total`, honoring per-item caps. Returns `None` when the
+/// caps make the total unreachable.
+fn round_with_caps(targets: &[f64], caps: &[usize], total: usize) -> Option<Vec<usize>> {
+    debug_assert_eq!(targets.len(), caps.len());
+    let cap_sum: usize = caps.iter().sum();
+    if cap_sum < total {
+        return None;
+    }
+    let mut counts: Vec<usize> = targets
+        .iter()
+        .zip(caps)
+        .map(|(&t, &c)| (t.max(0.0) as usize).min(c))
+        .collect();
+    // Fix up to the exact total, preferring items with the largest
+    // remaining fractional demand (or smallest excess when shrinking).
+    loop {
+        let sum: usize = counts.iter().sum();
+        match sum.cmp(&total) {
+            std::cmp::Ordering::Equal => return Some(counts),
+            std::cmp::Ordering::Less => {
+                let candidate = (0..counts.len())
+                    .filter(|&i| counts[i] < caps[i])
+                    .max_by(|&a, &b| {
+                        let da = targets[a] - counts[a] as f64;
+                        let db = targets[b] - counts[b] as f64;
+                        da.partial_cmp(&db).unwrap()
+                    })?;
+                counts[candidate] += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let candidate = (0..counts.len())
+                    .filter(|&i| counts[i] > 0)
+                    .min_by(|&a, &b| {
+                        let da = targets[a] - counts[a] as f64;
+                        let db = targets[b] - counts[b] as f64;
+                        da.partial_cmp(&db).unwrap()
+                    })?;
+                counts[candidate] -= 1;
+            }
+        }
+    }
+}
+
+/// Two-level rationalization for `l > 0`: first fix each group's step-1
+/// count `a_j` and the global counts, then distribute within groups.
+fn rationalize_grouped(
+    params: GalloperParams,
+    targets: &[f64],
+    big_n: usize,
+) -> Result<(Vec<usize>, Vec<usize>), WeightError> {
+    let (l, g, q) = (params.l(), params.g(), params.group_size());
+    let total = params.k() * big_n;
+
+    // Level 1: group totals are q·a_j; globals are t_i. Work in units.
+    let group_targets: Vec<f64> = (0..l)
+        .map(|j| params.group_blocks(j).map(|i| targets[i]).sum::<f64>() / q as f64)
+        .collect();
+    let global_targets: Vec<f64> = (0..g)
+        .map(|t| targets[params.global_parity_position(t)])
+        .collect();
+
+    let mut a: Vec<usize> = group_targets
+        .iter()
+        .map(|&t| (t.round().max(0.0) as usize).min(big_n))
+        .collect();
+    let mut t: Vec<usize> = global_targets
+        .iter()
+        .map(|&v| (v.round().max(0.0) as usize).min(big_n))
+        .collect();
+
+    let current = |a: &[usize], t: &[usize]| -> usize {
+        q * a.iter().sum::<usize>() + t.iter().sum::<usize>()
+    };
+
+    let mut guard = 0usize;
+    while current(&a, &t) != total {
+        guard += 1;
+        if guard > 100 * (l + g + 1) * (big_n + 1) {
+            return Err(WeightError::Unroundable);
+        }
+        let sum = current(&a, &t);
+        if sum < total {
+            let deficit = total - sum;
+            // Prefer the unit that fits; among candidates pick the largest
+            // per-unit shortfall.
+            let group_cand = (deficit >= q)
+                .then(|| {
+                    (0..l)
+                        .filter(|&j| a[j] < big_n)
+                        .max_by(|&x, &y| {
+                            let dx = group_targets[x] - a[x] as f64;
+                            let dy = group_targets[y] - a[y] as f64;
+                            dx.partial_cmp(&dy).unwrap()
+                        })
+                })
+                .flatten();
+            let global_cand = (0..g).filter(|&i| t[i] < big_n).max_by(|&x, &y| {
+                let dx = global_targets[x] - t[x] as f64;
+                let dy = global_targets[y] - t[y] as f64;
+                dx.partial_cmp(&dy).unwrap()
+            });
+            match (group_cand, global_cand) {
+                (Some(j), Some(i)) => {
+                    let dj = group_targets[j] - a[j] as f64;
+                    let di = global_targets[i] - t[i] as f64;
+                    if dj >= di {
+                        a[j] += 1;
+                    } else {
+                        t[i] += 1;
+                    }
+                }
+                (Some(j), None) => a[j] += 1,
+                (None, Some(i)) => t[i] += 1,
+                (None, None) => {
+                    // Nothing below cap can take units of the needed size:
+                    // force a group up (may overshoot; loop shrinks later).
+                    let j = (0..l).find(|&j| a[j] < big_n).ok_or(WeightError::Unroundable)?;
+                    a[j] += 1;
+                }
+            }
+        } else {
+            // Shrink: remove from the item with the largest excess.
+            let group_cand = (0..l).filter(|&j| a[j] > 0).min_by(|&x, &y| {
+                let dx = group_targets[x] - a[x] as f64;
+                let dy = group_targets[y] - a[y] as f64;
+                dx.partial_cmp(&dy).unwrap()
+            });
+            let global_cand = (0..g).filter(|&i| t[i] > 0).min_by(|&x, &y| {
+                let dx = global_targets[x] - t[x] as f64;
+                let dy = global_targets[y] - t[y] as f64;
+                dx.partial_cmp(&dy).unwrap()
+            });
+            // Prefer unit-1 moves when the excess is below q.
+            let excess = sum - total;
+            match (group_cand, global_cand) {
+                (_, Some(i)) if excess < q => t[i] -= 1,
+                (Some(j), _) if excess >= q => a[j] -= 1,
+                (_, Some(i)) => t[i] -= 1,
+                (Some(j), None) => a[j] -= 1,
+                (None, None) => return Err(WeightError::Unroundable),
+            }
+        }
+    }
+
+    // Level 2: within each group, distribute q·a_j among the q+1 members
+    // capped at a_j.
+    let mut counts = vec![0usize; params.num_blocks()];
+    for j in 0..l {
+        let blocks: Vec<usize> = params.group_blocks(j).collect();
+        let member_targets: Vec<f64> = blocks.iter().map(|&i| targets[i]).collect();
+        let caps = vec![a[j]; blocks.len()];
+        let member_counts = round_with_caps(&member_targets, &caps, q * a[j])
+            .ok_or(WeightError::Unroundable)?;
+        for (&b, &m) in blocks.iter().zip(&member_counts) {
+            counts[b] = m;
+        }
+    }
+    for (i, &ti) in t.iter().enumerate() {
+        counts[params.global_parity_position(i)] = ti;
+    }
+    Ok((counts, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(k: usize, l: usize, g: usize) -> GalloperParams {
+        GalloperParams::new(k, l, g).unwrap()
+    }
+
+    #[test]
+    fn homogeneous_weights_need_no_throttling() {
+        let p = params(4, 2, 1);
+        let w = solve_weights(p, &[1.0; 7]).unwrap();
+        for &wi in &w {
+            assert!((wi - 4.0 / 7.0).abs() < 1e-9, "weight {wi}");
+        }
+    }
+
+    #[test]
+    fn l0_lp_matches_water_filling() {
+        let perfs = [10.0, 1.0, 1.0, 1.0, 1.0];
+        let p = params(4, 0, 1);
+        let lp = solve_weights(p, &perfs).unwrap();
+        let wf = water_filling(4, &perfs);
+        for (a, b) in lp.iter().zip(&wf) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        // The fast server is capped at weight 1.
+        assert!((lp[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_filling_no_cap_needed() {
+        let w = water_filling(2, &[3.0, 3.0, 3.0]);
+        for &wi in &w {
+            assert!((wi - 2.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn water_filling_multiple_caps() {
+        // Two very fast servers, three slow: both fast ones end capped.
+        let w = water_filling(3, &[100.0, 100.0, 1.0, 1.0, 1.0]);
+        assert!((w[0] - 1.0).abs() < 1e-9);
+        assert!((w[1] - 1.0).abs() < 1e-9);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_lp_respects_group_constraints() {
+        // One group hosted on very fast servers: the group-level cap
+        // l·Σ_group(p−d) ≤ Σ(p−d) must bind.
+        let p = params(4, 2, 1);
+        let perfs = [50.0, 50.0, 50.0, 1.0, 1.0, 1.0, 1.0];
+        let w = solve_weights(p, &perfs).unwrap();
+        let group0: f64 = (0..3).map(|i| w[i]).sum();
+        // Step-1 weight of group 0 data blocks = group0·l/k ≤ 1.
+        assert!(group0 * 2.0 / 4.0 <= 1.0 + 1e-6, "group0 sum {group0}");
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_allocation_matches_paper_figure_5() {
+        let alloc = StripeAllocation::uniform(params(4, 2, 1));
+        assert_eq!(alloc.resolution(), 7);
+        assert_eq!(alloc.counts(), &[4, 4, 4, 4, 4, 4, 4]);
+        assert_eq!(alloc.group_data_count(0), 6, "w_ig = 6/7 in Fig. 5");
+        assert_eq!(alloc.group_data_count(1), 6);
+        alloc.verify().unwrap();
+    }
+
+    #[test]
+    fn uniform_l0_matches_paper_figure_3() {
+        // (4, 0, 1): five blocks, N = 5 minimal for uniform 4/5.
+        let alloc = StripeAllocation::uniform(params(4, 0, 1));
+        assert_eq!(alloc.resolution(), 5);
+        assert_eq!(alloc.counts(), &[4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn figure_3_weights_rationalize_exactly() {
+        // Fig. 3/4: weights (6/7 ×4, 4/7) at N = 7.
+        let p = params(4, 0, 1);
+        let w = [6.0 / 7.0, 6.0 / 7.0, 6.0 / 7.0, 6.0 / 7.0, 4.0 / 7.0];
+        let alloc = StripeAllocation::from_weights(p, &w, 7).unwrap();
+        assert_eq!(alloc.counts(), &[6, 6, 6, 6, 4]);
+    }
+
+    #[test]
+    fn heterogeneous_grouped_allocation_is_valid() {
+        let p = params(4, 2, 1);
+        // Group 1's servers run at 40% speed (the Fig. 10 scenario).
+        let perfs = [1.0, 1.0, 1.0, 0.4, 0.4, 0.4, 1.0];
+        let alloc = StripeAllocation::from_performances(p, &perfs, 16).unwrap();
+        alloc.verify().unwrap();
+        // Faster group holds more data.
+        let g0: usize = (0..3).map(|i| alloc.counts()[i]).sum();
+        let g1: usize = (3..6).map(|i| alloc.counts()[i]).sum();
+        assert!(g0 > g1, "{g0} vs {g1}");
+    }
+
+    #[test]
+    fn allocation_invariants_hold_for_many_shapes() {
+        for (k, l, g) in [(4, 2, 1), (6, 3, 2), (8, 2, 1), (12, 4, 2), (6, 0, 2), (9, 3, 1)] {
+            let p = params(k, l, g);
+            let perfs: Vec<f64> = (0..p.num_blocks())
+                .map(|i| 1.0 + (i % 5) as f64 * 0.7)
+                .collect();
+            for resolution in [8, 21, 64] {
+                let alloc = StripeAllocation::from_performances(p, &perfs, resolution)
+                    .unwrap_or_else(|e| panic!("({k},{l},{g}) N={resolution}: {e}"));
+                alloc.verify().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn from_fractions_matches_figure_3() {
+        // Fig. 3: weights (6/7, 6/7, 6/7, 6/7, 4/7) → N = 7 exactly.
+        let p = params(4, 0, 1);
+        let f = [(6u64, 7u64), (6, 7), (6, 7), (6, 7), (4, 7)];
+        let alloc = StripeAllocation::from_fractions(p, &f).unwrap();
+        assert_eq!(alloc.resolution(), 7);
+        assert_eq!(alloc.counts(), &[6, 6, 6, 6, 4]);
+    }
+
+    #[test]
+    fn from_fractions_matches_uniform() {
+        // Uniform (4,2,1): 4/7 per block; lcm path must agree with the
+        // uniform constructor's minimal N.
+        let p = params(4, 2, 1);
+        let f = vec![(4u64, 7u64); 7];
+        let alloc = StripeAllocation::from_fractions(p, &f).unwrap();
+        assert_eq!(alloc.resolution(), StripeAllocation::uniform(p).resolution());
+        assert_eq!(alloc.counts(), StripeAllocation::uniform(p).counts());
+    }
+
+    #[test]
+    fn from_fractions_normalizes() {
+        // Unnormalized inputs (2,2,2,2,2) sum to 10, scaled to k = 4:
+        // each weight becomes 4/5 → N = 5, counts (4,4,4,4,4).
+        let p = params(4, 0, 1);
+        let f = vec![(2u64, 1u64); 5];
+        let alloc = StripeAllocation::from_fractions(p, &f).unwrap();
+        assert_eq!(alloc.resolution(), 5);
+        assert_eq!(alloc.counts(), &[4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn from_fractions_scales_for_group_divisibility() {
+        // (4, 2, 1) with weights (1/2 ×6, 1): normalized sum = 4 exactly.
+        // Base N = 2 is too coarse for group divisibility; the
+        // constructor must scale up rather than fail.
+        let p = params(4, 2, 1);
+        let f = [(1u64, 2u64), (1, 2), (1, 2), (1, 2), (1, 2), (1, 2), (1, 1)];
+        let alloc = StripeAllocation::from_fractions(p, &f).unwrap();
+        alloc.verify().unwrap();
+        let n = alloc.resolution() as f64;
+        for (i, &(num, den)) in f.iter().enumerate() {
+            let want = num as f64 / den as f64;
+            assert!((alloc.counts()[i] as f64 / n - want).abs() < 1e-12, "block {i}");
+        }
+    }
+
+    #[test]
+    fn from_fractions_rejects_overweight() {
+        let p = params(4, 0, 1);
+        // One weight normalizes above 1 (5·(3/2)/... ): (3,1,1,1,1)·4/7:
+        // 12/7 > 1.
+        let f = [(3u64, 1u64), (1, 1), (1, 1), (1, 1), (1, 1)];
+        assert!(matches!(
+            StripeAllocation::from_fractions(p, &f),
+            Err(WeightError::Unroundable)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let p = params(4, 2, 1);
+        assert!(matches!(
+            solve_weights(p, &[1.0; 3]),
+            Err(WeightError::WrongLength { .. })
+        ));
+        assert!(matches!(
+            solve_weights(p, &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -2.0]),
+            Err(WeightError::InvalidPerformance)
+        ));
+        assert!(matches!(
+            StripeAllocation::from_weights(p, &[1.0; 7], 0),
+            Err(WeightError::ZeroResolution)
+        ));
+    }
+
+    #[test]
+    fn round_with_caps_basics() {
+        let counts = round_with_caps(&[1.5, 1.5, 1.0], &[2, 2, 2], 4).unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+        assert!(counts.iter().all(|&c| c <= 2));
+        assert_eq!(round_with_caps(&[5.0], &[2], 4), None, "cap sum below total");
+    }
+}

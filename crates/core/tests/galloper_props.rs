@@ -1,0 +1,188 @@
+//! Property-based tests: Galloper codes built from random parameters and
+//! random server performances keep every paper-claimed invariant.
+
+use galloper::{Galloper, GalloperParams, StripeAllocation};
+use galloper_erasure::ErasureCode;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Random valid (k, l, g) with k + l + g small enough for fast tests.
+fn params() -> impl Strategy<Value = GalloperParams> {
+    (1usize..=4, 0usize..=3, 1usize..=2).prop_filter_map("l divides k", |(q, l, g)| {
+        // Build k from group size so l | k holds by construction.
+        let k = if l == 0 { q + 1 } else { q * l };
+        GalloperParams::new(k, l, g).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_performances_build_valid_codes(
+        p in params(),
+        seed in any::<u64>(),
+        resolution in 4usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.gen_range(0.2..5.0f64)).collect();
+        let alloc = StripeAllocation::from_performances(p, &perfs, resolution).unwrap();
+        alloc.verify().unwrap();
+        let code = Galloper::with_allocation(alloc, 4).unwrap();
+
+        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let blocks = code.encode(&data).unwrap();
+
+        // Extraction without decoding reproduces the message.
+        let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(code.layout().extract_data(&refs), data.clone());
+
+        // Random erasures up to the tolerance decode. With l = 0 the code
+        // is (k, g)-RS-equivalent and tolerates g failures; with local
+        // parities it tolerates g + 1 (the split XOR row adds one).
+        let tolerance = if p.l() == 0 { p.g() } else { p.g() + 1 };
+        let mut order: Vec<usize> = (0..p.num_blocks()).collect();
+        order.shuffle(&mut rng);
+        let erased: Vec<usize> = order.into_iter().take(tolerance).collect();
+        let avail: Vec<Option<&[u8]>> = (0..p.num_blocks())
+            .map(|b| (!erased.contains(&b)).then(|| blocks[b].as_slice()))
+            .collect();
+        prop_assert_eq!(code.decode(&avail).unwrap(), data);
+    }
+
+    #[test]
+    fn reconstruction_is_exact_for_random_targets(
+        p in params(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = Galloper::uniform(p.k(), p.l(), p.g(), 8).unwrap();
+        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let blocks = code.encode(&data).unwrap();
+        let target = rng.gen_range(0..p.num_blocks());
+        let plan = code.repair_plan(target).unwrap();
+        let sources: Vec<(usize, &[u8])> = plan
+            .sources()
+            .iter()
+            .map(|&s| (s, blocks[s].as_slice()))
+            .collect();
+        prop_assert_eq!(code.reconstruct(target, &sources).unwrap(), blocks[target].clone());
+    }
+
+    #[test]
+    fn realized_weights_sum_to_k(
+        p in params(),
+        seed in any::<u64>(),
+        resolution in 4usize..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.gen_range(0.2..5.0f64)).collect();
+        let alloc = StripeAllocation::from_performances(p, &perfs, resolution).unwrap();
+        let total: usize = alloc.counts().iter().sum();
+        prop_assert_eq!(total, p.k() * alloc.resolution());
+        for (i, &c) in alloc.counts().iter().enumerate() {
+            prop_assert!(c <= alloc.resolution(), "block {} overfull", i);
+        }
+    }
+
+    #[test]
+    fn locality_never_exceeds_pyramid(
+        p in params(),
+    ) {
+        let code = Galloper::uniform(p.k(), p.l(), p.g(), 1).unwrap();
+        for b in 0..p.num_blocks() {
+            let plan = code.repair_plan(b).unwrap();
+            let expected = if p.l() == 0 {
+                p.k()
+            } else if p.group_of(b).is_some() {
+                p.group_size()
+            } else {
+                p.k()
+            };
+            prop_assert_eq!(plan.fan_in(), expected, "block {}", b);
+        }
+    }
+
+    #[test]
+    fn weights_are_monotone_in_performance(
+        p in params(),
+        seed in any::<u64>(),
+    ) {
+        // Within one group (same structural constraints), a faster server
+        // never receives less data than a slower one.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.gen_range(0.5..3.0f64)).collect();
+        let weights = galloper::solve_weights(p, &perfs).unwrap();
+        if p.l() > 0 {
+            for j in 0..p.l() {
+                let blocks: Vec<usize> = p.group_blocks(j).collect();
+                for &a in &blocks {
+                    for &b in &blocks {
+                        if perfs[a] > perfs[b] + 1e-9 {
+                            prop_assert!(
+                                weights[a] >= weights[b] - 1e-6,
+                                "block {} (p={}) got weight {} < block {} (p={}) weight {}",
+                                a, perfs[a], weights[a], b, perfs[b], weights[b]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For l = 0 the paper's LP and the closed-form water-filling are the
+    /// same optimization; they must agree on random inputs.
+    #[test]
+    fn lp_matches_water_filling_for_l0(
+        k in 1usize..8,
+        extra in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let params = GalloperParams::new(k, 0, extra).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perfs: Vec<f64> = (0..params.num_blocks())
+            .map(|_| rng.gen_range(0.1..20.0f64))
+            .collect();
+        let lp = galloper::solve_weights(params, &perfs).unwrap();
+        let wf = galloper::water_filling(k, &perfs);
+        for (i, (a, b)) in lp.iter().zip(&wf).enumerate() {
+            prop_assert!((a - b).abs() < 1e-5, "block {}: lp {} vs wf {}", i, a, b);
+        }
+    }
+
+    /// Rationalized counts approximate the target weights within 1/N per
+    /// block plus the group-divisibility slack.
+    #[test]
+    fn rationalization_error_is_bounded(
+        q in 1usize..4,
+        l in 1usize..4,
+        g in 1usize..3,
+        resolution in 8usize..64,
+        seed in any::<u64>(),
+    ) {
+        let params = GalloperParams::new(q * l, l, g).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perfs: Vec<f64> = (0..params.num_blocks())
+            .map(|_| rng.gen_range(0.5..4.0f64))
+            .collect();
+        let weights = galloper::solve_weights(params, &perfs).unwrap();
+        let alloc = StripeAllocation::from_weights(params, &weights, resolution).unwrap();
+        let realized = alloc.realized_weights();
+        // Group-level rounding can move up to ~(k/l)/N per member beyond
+        // the 1/N largest-remainder slack; bound generously and verify the
+        // structural invariants exactly.
+        let slack = (q as f64 + 2.0) / resolution as f64;
+        for (i, (w, r)) in weights.iter().zip(&realized).enumerate() {
+            prop_assert!((w - r).abs() <= slack,
+                "block {}: target {} realized {} (slack {})", i, w, r, slack);
+        }
+        alloc.verify().unwrap();
+    }
+}

@@ -1,0 +1,473 @@
+//! The [`Dfs`] state machine: namespace, block store, failures, repair.
+
+use std::collections::HashMap;
+
+use galloper_erasure::{AsLinearCode, CodeError, ErasureCode, ObjectCodec, ObjectManifest};
+
+use crate::{FileHealth, FsckReport, GroupHealth};
+
+use core::fmt;
+
+/// Errors from DFS operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DfsError {
+    /// No such file.
+    NotFound(String),
+    /// A file with this name already exists.
+    AlreadyExists(String),
+    /// The requested range exceeds the file.
+    OutOfRange {
+        /// Requested end offset.
+        end: usize,
+        /// File length.
+        len: usize,
+    },
+    /// Too many blocks of some group are lost.
+    DataLoss {
+        /// The file.
+        name: String,
+        /// The unrecoverable group index.
+        group: usize,
+    },
+    /// Not enough live servers to (re)place blocks on distinct servers.
+    NotEnoughServers,
+    /// An underlying coding failure.
+    Code(CodeError),
+    /// A server index is out of range.
+    NoSuchServer(usize),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(n) => write!(f, "file '{n}' not found"),
+            DfsError::AlreadyExists(n) => write!(f, "file '{n}' already exists"),
+            DfsError::OutOfRange { end, len } => {
+                write!(f, "range end {end} exceeds file length {len}")
+            }
+            DfsError::DataLoss { name, group } => {
+                write!(f, "file '{name}' group {group} is unrecoverable")
+            }
+            DfsError::NotEnoughServers => {
+                f.write_str("not enough live servers for distinct block placement")
+            }
+            DfsError::Code(e) => write!(f, "coding failure: {e}"),
+            DfsError::NoSuchServer(s) => write!(f, "no server {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+impl From<CodeError> for DfsError {
+    fn from(e: CodeError) -> Self {
+        DfsError::Code(e)
+    }
+}
+
+/// Opaque file identifier (dense, assigned at `put`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(usize);
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    id: FileId,
+    name: String,
+    manifest: ObjectManifest,
+    /// `placements[group][block] = server`.
+    placements: Vec<Vec<usize>>,
+}
+
+/// Accounting for one [`Dfs::repair`] pass — the quantities behind the
+/// paper's Fig. 8 disk-I/O comparison, measured over a whole cluster
+/// incident instead of a single block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairSummary {
+    /// Blocks rebuilt via their (cheap) local repair plan.
+    pub repaired_locally: usize,
+    /// Blocks rebuilt via full group decode (plan sources were also lost).
+    pub repaired_via_decode: usize,
+    /// Total bytes read from surviving servers.
+    pub bytes_read: usize,
+    /// Groups that could not be repaired (data loss).
+    pub unrecoverable_groups: usize,
+}
+
+/// An in-memory erasure-coded distributed file system.
+///
+/// See the [crate docs](crate) for the lifecycle overview.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_dfs::Dfs;
+/// use galloper::Galloper;
+///
+/// let code = Galloper::uniform(4, 2, 1, 1024)?;
+/// let mut dfs = Dfs::new(10, code);
+/// let data = vec![7u8; 100_000];
+/// dfs.put("warehouse/events.log", &data)?;
+///
+/// dfs.fail_server(0);
+/// dfs.fail_server(3);
+/// assert_eq!(dfs.get("warehouse/events.log")?, data); // degraded read
+///
+/// let summary = dfs.repair()?;
+/// assert!(summary.bytes_read > 0);
+/// assert!(dfs.fsck().all_healthy());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Dfs<C> {
+    codec: ObjectCodec<C>,
+    alive: Vec<bool>,
+    /// `stores[server][(file, group, block)] = bytes`.
+    stores: Vec<HashMap<(FileId, usize, usize), Vec<u8>>>,
+    files: HashMap<String, FileMeta>,
+    next_id: usize,
+}
+
+impl<C: ErasureCode> Dfs<C> {
+    /// Creates a DFS over `num_servers` empty servers using `code` for
+    /// every file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_servers` is smaller than the code's block count
+    /// (blocks of one group must land on distinct servers).
+    pub fn new(num_servers: usize, code: C) -> Self {
+        assert!(
+            num_servers >= code.num_blocks(),
+            "need at least one server per block of a group"
+        );
+        Dfs {
+            codec: ObjectCodec::new(code),
+            alive: vec![true; num_servers],
+            stores: (0..num_servers).map(|_| HashMap::new()).collect(),
+            files: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The inner code.
+    pub fn code(&self) -> &C {
+        self.codec.code()
+    }
+
+    /// Number of servers (live and failed).
+    pub fn num_servers(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of currently live servers.
+    pub fn live_servers(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Total blocks currently stored on `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn blocks_on(&self, server: usize) -> usize {
+        self.stores[server].len()
+    }
+
+    /// Stores a file.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::AlreadyExists`] for duplicate names; coding errors are
+    /// impossible here but propagated defensively.
+    pub fn put(&mut self, name: &str, data: &[u8]) -> Result<FileId, DfsError> {
+        if self.files.contains_key(name) {
+            return Err(DfsError::AlreadyExists(name.to_string()));
+        }
+        let encoded = self.codec.encode_object(data)?;
+        let n = self.codec.code().num_blocks();
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+
+        let mut placements = Vec::with_capacity(encoded.manifest.num_groups);
+        for (g, group) in encoded.groups.iter().enumerate() {
+            let servers = self.place_group(id.0 + g)?;
+            for (b, block) in group.iter().enumerate() {
+                self.stores[servers[b]].insert((id, g, b), block.clone());
+            }
+            placements.push(servers);
+        }
+        debug_assert!(placements.iter().all(|p| p.len() == n));
+        self.files.insert(
+            name.to_string(),
+            FileMeta {
+                id,
+                name: name.to_string(),
+                manifest: encoded.manifest,
+                placements,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Chooses `num_blocks` distinct live servers, rotating with `salt`
+    /// and preferring emptier servers for balance.
+    fn place_group(&self, salt: usize) -> Result<Vec<usize>, DfsError> {
+        let n = self.codec.code().num_blocks();
+        let mut live: Vec<usize> = (0..self.alive.len()).filter(|&s| self.alive[s]).collect();
+        if live.len() < n {
+            return Err(DfsError::NotEnoughServers);
+        }
+        // Emptiest-first, tie-broken by a rotating offset for spread.
+        live.sort_by_key(|&s| (self.stores[s].len(), (s + self.alive.len() - salt % self.alive.len()) % self.alive.len()));
+        live.truncate(n);
+        Ok(live)
+    }
+
+    /// Reads a whole file, tolerating lost blocks (degraded read).
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] or [`DfsError::DataLoss`].
+    pub fn get(&self, name: &str) -> Result<Vec<u8>, DfsError> {
+        let meta = self
+            .files
+            .get(name)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        let mut out = Vec::with_capacity(meta.manifest.object_len);
+        for g in 0..meta.manifest.num_groups {
+            let blocks = self.group_availability(meta, g);
+            let decoded = self
+                .codec
+                .code()
+                .decode(&blocks)
+                .map_err(|_| DfsError::DataLoss {
+                    name: name.to_string(),
+                    group: g,
+                })?;
+            out.extend_from_slice(&decoded);
+        }
+        out.truncate(meta.manifest.object_len);
+        Ok(out)
+    }
+
+    fn group_availability<'a>(&'a self, meta: &FileMeta, group: usize) -> Vec<Option<&'a [u8]>> {
+        let n = self.codec.code().num_blocks();
+        (0..n)
+            .map(|b| {
+                let server = meta.placements[group][b];
+                if self.alive[server] {
+                    self.stores[server]
+                        .get(&(meta.id, group, b))
+                        .map(Vec::as_slice)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Marks a server failed; its blocks become unavailable (and are
+    /// dropped, as on a real machine loss).
+    ///
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn fail_server(&mut self, server: usize) {
+        assert!(server < self.alive.len(), "no server {server}");
+        self.alive[server] = false;
+        self.stores[server].clear();
+    }
+
+    /// Brings a failed server back as an empty machine (its old blocks
+    /// stay lost until [`Dfs::repair`] runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn revive_server(&mut self, server: usize) {
+        assert!(server < self.alive.len(), "no server {server}");
+        self.alive[server] = true;
+    }
+
+    /// Rebuilds every lost block onto live servers: per block, the cheap
+    /// repair plan when all its sources survive, otherwise a full group
+    /// decode + re-encode. Placements are updated.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotEnoughServers`] when replacement servers run out.
+    /// Unrecoverable groups are *counted*, not errors — `fsck` reports
+    /// them.
+    pub fn repair(&mut self) -> Result<RepairSummary, DfsError> {
+        let mut summary = RepairSummary::default();
+        let names: Vec<String> = self.files.keys().cloned().collect();
+        for name in names {
+            let meta = self.files[&name].clone();
+            for g in 0..meta.manifest.num_groups {
+                self.repair_group(&meta, g, &mut summary)?;
+            }
+        }
+        Ok(summary)
+    }
+
+    fn repair_group(
+        &mut self,
+        meta: &FileMeta,
+        group: usize,
+        summary: &mut RepairSummary,
+    ) -> Result<(), DfsError> {
+        let code_blocks = self.codec.code().num_blocks();
+        let lost: Vec<usize> = (0..code_blocks)
+            .filter(|&b| {
+                let server = meta.placements[group][b];
+                !self.alive[server] || !self.stores[server].contains_key(&(meta.id, group, b))
+            })
+            .collect();
+        if lost.is_empty() {
+            return Ok(());
+        }
+
+        // Choose replacement servers: live, not already hosting a block
+        // of this group, emptiest first.
+        let hosting: Vec<usize> = (0..code_blocks)
+            .filter(|&b| !lost.contains(&b))
+            .map(|b| meta.placements[group][b])
+            .collect();
+        let mut candidates: Vec<usize> = (0..self.alive.len())
+            .filter(|&s| self.alive[s] && !hosting.contains(&s))
+            .collect();
+        candidates.sort_by_key(|&s| self.stores[s].len());
+        if candidates.len() < lost.len() {
+            return Err(DfsError::NotEnoughServers);
+        }
+
+        // Decide recovery strategy per lost block.
+        let mut decoded_group: Option<Vec<Vec<u8>>> = None;
+        for (i, &b) in lost.iter().enumerate() {
+            let replacement = candidates[i];
+            let plan = self.codec.code().repair_plan(b)?;
+            let plan_ok = plan.sources().iter().all(|&s| !lost.contains(&s));
+            let rebuilt = if plan_ok {
+                let sources: Vec<(usize, &[u8])> = plan
+                    .sources()
+                    .iter()
+                    .map(|&s| {
+                        let server = meta.placements[group][s];
+                        (s, self.stores[server][&(meta.id, group, s)].as_slice())
+                    })
+                    .collect();
+                summary.bytes_read += sources.iter().map(|(_, d)| d.len()).sum::<usize>();
+                summary.repaired_locally += 1;
+                self.codec.code().reconstruct(b, &sources)?
+            } else {
+                if decoded_group.is_none() {
+                    let avail = self.group_availability(meta, group);
+                    let readable = avail.iter().filter(|a| a.is_some()).count();
+                    match self.codec.code().decode(&avail) {
+                        Ok(message) => {
+                            summary.bytes_read +=
+                                readable.min(self.codec.code().num_data_blocks())
+                                    * self.codec.code().block_len();
+                            decoded_group = Some(self.codec.code().encode(&message)?);
+                        }
+                        Err(_) => {
+                            summary.unrecoverable_groups += 1;
+                            return Ok(());
+                        }
+                    }
+                }
+                summary.repaired_via_decode += 1;
+                decoded_group.as_ref().expect("just decoded")[b].clone()
+            };
+            self.stores[replacement].insert((meta.id, group, b), rebuilt);
+            self.files
+                .get_mut(&meta.name)
+                .expect("file exists")
+                .placements[group][b] = replacement;
+        }
+        Ok(())
+    }
+
+    /// Per-file health report.
+    pub fn fsck(&self) -> FsckReport {
+        let mut files: Vec<FileHealth> = self
+            .files
+            .values()
+            .map(|meta| {
+                let groups = (0..meta.manifest.num_groups)
+                    .map(|g| {
+                        let avail = self.group_availability(meta, g);
+                        let lost = avail.iter().filter(|a| a.is_none()).count();
+                        if lost == 0 {
+                            GroupHealth::Healthy
+                        } else {
+                            let mask: Vec<bool> = avail.iter().map(Option::is_some).collect();
+                            if self.codec.code().can_decode(&mask) {
+                                GroupHealth::Degraded { lost }
+                            } else {
+                                GroupHealth::Unrecoverable { lost }
+                            }
+                        }
+                    })
+                    .collect();
+                FileHealth {
+                    name: meta.name.clone(),
+                    groups,
+                }
+            })
+            .collect();
+        files.sort_by(|a, b| a.name.cmp(&b.name));
+        FsckReport { files }
+    }
+}
+
+impl<C> Dfs<C>
+where
+    C: ErasureCode + AsLinearCode,
+{
+    /// Degraded-aware range read of `len` bytes at `offset`, with byte
+    /// accounting (requires the code to expose its
+    /// [`LinearCode`](galloper_erasure::LinearCode)).
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`], [`DfsError::OutOfRange`], or
+    /// [`DfsError::DataLoss`].
+    pub fn read_range(&self, name: &str, offset: usize, len: usize) -> Result<Vec<u8>, DfsError> {
+        let meta = self
+            .files
+            .get(name)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        if offset + len > meta.manifest.object_len {
+            return Err(DfsError::OutOfRange {
+                end: offset + len,
+                len: meta.manifest.object_len,
+            });
+        }
+        let msg = self.codec.code().message_len();
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while out.len() < len {
+            let group = pos / msg;
+            let within = pos % msg;
+            let take = (msg - within).min(len - out.len());
+            let avail = self.group_availability(meta, group);
+            let (bytes, _) = self
+                .codec
+                .code()
+                .as_linear_code()
+                .read_range(within, take, &avail)
+                .map_err(|_| DfsError::DataLoss {
+                    name: name.to_string(),
+                    group,
+                })?;
+            out.extend_from_slice(&bytes);
+            pos += take;
+        }
+        Ok(out)
+    }
+}
+

@@ -1,0 +1,88 @@
+//! Health reporting: the `fsck` view of a DFS.
+
+/// Health of one coding group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupHealth {
+    /// Every block is on a live server.
+    Healthy,
+    /// Some blocks are lost but the group still decodes.
+    Degraded {
+        /// Number of lost blocks.
+        lost: usize,
+    },
+    /// Too many blocks are lost; the group's data is gone.
+    Unrecoverable {
+        /// Number of lost blocks.
+        lost: usize,
+    },
+}
+
+impl GroupHealth {
+    /// Whether the group's data can still be produced.
+    pub fn is_readable(&self) -> bool {
+        !matches!(self, GroupHealth::Unrecoverable { .. })
+    }
+}
+
+/// Health of one file: the health of each of its coding groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHealth {
+    /// The file's name.
+    pub name: String,
+    /// Per-group health, in group order.
+    pub groups: Vec<GroupHealth>,
+}
+
+impl FileHealth {
+    /// Whether every byte of the file can still be produced.
+    pub fn is_readable(&self) -> bool {
+        self.groups.iter().all(GroupHealth::is_readable)
+    }
+
+    /// Whether every block of every group is present.
+    pub fn is_fully_healthy(&self) -> bool {
+        self.groups.iter().all(|g| *g == GroupHealth::Healthy)
+    }
+}
+
+/// The result of [`Dfs::fsck`](crate::Dfs::fsck).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Per-file health, sorted by file name.
+    pub files: Vec<FileHealth>,
+}
+
+impl FsckReport {
+    /// Whether the whole namespace is fully replicated/encoded.
+    pub fn all_healthy(&self) -> bool {
+        self.files.iter().all(FileHealth::is_fully_healthy)
+    }
+
+    /// Files that have lost data irrecoverably.
+    pub fn data_loss(&self) -> Vec<&FileHealth> {
+        self.files.iter().filter(|f| !f.is_readable()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readability_logic() {
+        assert!(GroupHealth::Healthy.is_readable());
+        assert!(GroupHealth::Degraded { lost: 2 }.is_readable());
+        assert!(!GroupHealth::Unrecoverable { lost: 3 }.is_readable());
+
+        let f = FileHealth {
+            name: "a".into(),
+            groups: vec![GroupHealth::Healthy, GroupHealth::Degraded { lost: 1 }],
+        };
+        assert!(f.is_readable());
+        assert!(!f.is_fully_healthy());
+
+        let report = FsckReport { files: vec![f] };
+        assert!(!report.all_healthy());
+        assert!(report.data_loss().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! An in-memory erasure-coded distributed file system: the HDFS-shaped
+//! substrate the paper's prototype runs inside (§VI), reduced to its
+//! storage semantics.
+//!
+//! [`Dfs`] keeps files as coding groups of blocks spread over a set of
+//! servers, and implements the full storage lifecycle:
+//!
+//! * [`Dfs::put`] — encode and place (round-robin rotated per group so
+//!   load balances across servers);
+//! * [`Dfs::get`] / [`Dfs::read_range`] — degraded-aware reads that use
+//!   whatever blocks are on live servers;
+//! * [`Dfs::fail_server`] — failure injection (blocks on the server are
+//!   lost);
+//! * [`Dfs::repair`] — rebuild every lost block, preferring each block's
+//!   local repair plan and falling back to group decode, with exact
+//!   accounting of bytes read (the paper's disk-I/O metric);
+//! * [`Dfs::fsck`] — per-file health report.
+//!
+//! The type is generic over the code, so Reed–Solomon, Pyramid, Carousel,
+//! and Galloper files can live in DFS instances side by side and their
+//! repair bills compared — see the `tests/` of this crate and the
+//! repository's `examples/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fs;
+mod health;
+
+pub use fs::{Dfs, DfsError, FileId, RepairSummary};
+pub use galloper_erasure::AsLinearCode;
+pub use health::{FileHealth, FsckReport, GroupHealth};

@@ -1,0 +1,205 @@
+//! Lifecycle tests for the erasure-coded DFS: put/get under failures,
+//! repair accounting across code families, and fsck reporting.
+
+use galloper::Galloper;
+use galloper_dfs::{Dfs, DfsError, GroupHealth};
+use galloper_pyramid::Pyramid;
+use galloper_rs::ReedSolomon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_data(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn put_get_roundtrip_multiple_files() {
+    let mut dfs = Dfs::new(10, Galloper::uniform(4, 2, 1, 512).unwrap());
+    let files: Vec<(String, Vec<u8>)> = (0..5)
+        .map(|i| (format!("f{i}"), random_data(10_000 + i * 3_777, i as u64)))
+        .collect();
+    for (name, data) in &files {
+        dfs.put(name, data).unwrap();
+    }
+    for (name, data) in &files {
+        assert_eq!(&dfs.get(name).unwrap(), data, "{name}");
+    }
+    assert!(dfs.fsck().all_healthy());
+    // Duplicate names are rejected.
+    assert!(matches!(
+        dfs.put("f0", b"x"),
+        Err(DfsError::AlreadyExists(_))
+    ));
+    assert!(matches!(dfs.get("missing"), Err(DfsError::NotFound(_))));
+}
+
+#[test]
+fn degraded_reads_survive_g_plus_one_failures() {
+    let mut dfs = Dfs::new(12, Galloper::uniform(4, 2, 1, 256).unwrap());
+    let data = random_data(50_000, 7);
+    dfs.put("a", &data).unwrap();
+    // Fail two servers (g + 1 = 2 tolerance per group).
+    dfs.fail_server(0);
+    dfs.fail_server(5);
+    assert_eq!(dfs.get("a").unwrap(), data);
+    let report = dfs.fsck();
+    assert!(!report.all_healthy());
+    assert!(report.data_loss().is_empty());
+}
+
+#[test]
+fn repair_restores_full_health_and_accounts_io() {
+    let mut dfs = Dfs::new(12, Galloper::uniform(4, 2, 1, 256).unwrap());
+    let data = random_data(40_000, 9);
+    dfs.put("a", &data).unwrap();
+    dfs.fail_server(2);
+    let summary = dfs.repair().unwrap();
+    assert!(summary.repaired_locally > 0);
+    assert_eq!(summary.unrecoverable_groups, 0);
+    assert!(summary.bytes_read > 0);
+    assert!(dfs.fsck().all_healthy());
+    assert_eq!(dfs.get("a").unwrap(), data);
+    // A second repair is a no-op.
+    let again = dfs.repair().unwrap();
+    assert_eq!(again.bytes_read, 0);
+}
+
+#[test]
+fn repair_bills_galloper_less_than_rs() {
+    // The Fig. 8 economics at DFS scale: same data, one failed server,
+    // compare total repair bytes.
+    let data = random_data(200_000, 11);
+
+    let mut gal = Dfs::new(12, Galloper::uniform(4, 2, 1, 1024).unwrap());
+    gal.put("a", &data).unwrap();
+    let victim = {
+        // Fail a server that actually holds blocks.
+        (0..12).find(|&s| gal.blocks_on(s) > 0).unwrap()
+    };
+    gal.fail_server(victim);
+    let gal_summary = gal.repair().unwrap();
+
+    let mut rs = Dfs::new(12, ReedSolomon::new(4, 2, 7 * 1024).unwrap());
+    rs.put("a", &data).unwrap();
+    let victim = (0..12).find(|&s| rs.blocks_on(s) > 0).unwrap();
+    rs.fail_server(victim);
+    let rs_summary = rs.repair().unwrap();
+
+    assert!(
+        gal_summary.bytes_read < rs_summary.bytes_read,
+        "galloper {} bytes vs rs {}",
+        gal_summary.bytes_read,
+        rs_summary.bytes_read
+    );
+}
+
+#[test]
+fn decode_fallback_when_repair_sources_lost() {
+    // Fail two servers hosting blocks of the same group: at least one
+    // lost block's plan depends on the other lost block, forcing the
+    // decode path.
+    let mut dfs = Dfs::new(9, Pyramid::new(4, 2, 1, 512).unwrap());
+    let data = random_data(14_336, 13); // exactly one group (4 * 512 * 7)?
+    dfs.put("a", &data).unwrap();
+    // Find the two servers hosting blocks 0 and 1 (same group) of group 0.
+    // Placement is internal; brute-force: fail server pairs until the
+    // summary shows a decode-path repair, then verify integrity.
+    let mut saw_decode = false;
+    'outer: for s1 in 0..9 {
+        for s2 in (s1 + 1)..9 {
+            let mut trial = Dfs::new(9, Pyramid::new(4, 2, 1, 512).unwrap());
+            trial.put("a", &data).unwrap();
+            if trial.blocks_on(s1) == 0 || trial.blocks_on(s2) == 0 {
+                continue;
+            }
+            trial.fail_server(s1);
+            trial.fail_server(s2);
+            let summary = trial.repair().unwrap();
+            assert_eq!(summary.unrecoverable_groups, 0);
+            assert_eq!(trial.get("a").unwrap(), data);
+            assert!(trial.fsck().all_healthy());
+            if summary.repaired_via_decode > 0 {
+                saw_decode = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(saw_decode, "some double failure must hit the decode path");
+}
+
+#[test]
+fn unrecoverable_groups_are_reported_not_destroyed() {
+    let mut dfs = Dfs::new(12, ReedSolomon::new(4, 2, 512).unwrap());
+    let data = random_data(8_192, 17);
+    dfs.put("a", &data).unwrap();
+    // Fail three block-hosting servers: more than r = 2 tolerance.
+    let mut failed = 0;
+    for s in 0..12 {
+        if dfs.blocks_on(s) > 0 && failed < 3 {
+            dfs.fail_server(s);
+            failed += 1;
+        }
+    }
+    assert!(matches!(dfs.get("a"), Err(DfsError::DataLoss { .. })));
+    let summary = dfs.repair().unwrap();
+    assert!(summary.unrecoverable_groups > 0);
+    let report = dfs.fsck();
+    assert!(!report.data_loss().is_empty());
+    assert!(matches!(
+        report.files[0].groups[0],
+        GroupHealth::Unrecoverable { lost: 3 }
+    ));
+}
+
+#[test]
+fn range_reads_through_dfs() {
+    let mut dfs = Dfs::new(10, Galloper::uniform(4, 2, 1, 128).unwrap());
+    let data = random_data(30_000, 19);
+    dfs.put("a", &data).unwrap();
+    dfs.fail_server(1);
+    for (offset, len) in [(0usize, 100usize), (3_583, 4_097), (29_990, 10), (0, 30_000)] {
+        assert_eq!(
+            dfs.read_range("a", offset, len).unwrap(),
+            &data[offset..offset + len],
+            "{offset}+{len}"
+        );
+    }
+    assert!(matches!(
+        dfs.read_range("a", 29_999, 2),
+        Err(DfsError::OutOfRange { .. })
+    ));
+}
+
+#[test]
+fn placement_balances_load() {
+    let mut dfs = Dfs::new(14, Galloper::uniform(4, 2, 1, 64).unwrap());
+    for i in 0..20 {
+        dfs.put(&format!("f{i}"), &random_data(4_000, i as u64)).unwrap();
+    }
+    let counts: Vec<usize> = (0..14).map(|s| dfs.blocks_on(s)).collect();
+    let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+    assert!(
+        max - min <= 2,
+        "placement should balance: {counts:?}"
+    );
+}
+
+#[test]
+fn revive_brings_back_capacity_not_data() {
+    let mut dfs = Dfs::new(7, Galloper::uniform(4, 2, 1, 64).unwrap());
+    let data = random_data(5_000, 23);
+    dfs.put("a", &data).unwrap();
+    dfs.fail_server(3);
+    assert_eq!(dfs.live_servers(), 6);
+    // With only 6 live servers and 7 blocks per group, repair cannot
+    // re-place everything...
+    assert!(matches!(dfs.repair(), Err(DfsError::NotEnoughServers)));
+    // ...until the machine is replaced (empty).
+    dfs.revive_server(3);
+    assert_eq!(dfs.blocks_on(3), 0);
+    let summary = dfs.repair().unwrap();
+    assert!(summary.repaired_locally > 0);
+    assert!(dfs.fsck().all_healthy());
+    assert_eq!(dfs.get("a").unwrap(), data);
+}

@@ -1,0 +1,75 @@
+//! Property-based tests: a random sequence of DFS operations (puts,
+//! failures, repairs, revivals) never loses data while failures stay
+//! within the code's tolerance window.
+
+use galloper::Galloper;
+use galloper_dfs::Dfs;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { len: usize },
+    FailOne,
+    RepairAndRevive,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..5_000).prop_map(|len| Op::Put { len }),
+            Just(Op::FailOne),
+            Just(Op::RepairAndRevive),
+        ],
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_data_loss_within_tolerance(ops in ops(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // (4, 2, 1): tolerance 2; we never leave more than 2 servers
+        // failed without repairing.
+        let mut dfs = Dfs::new(12, Galloper::uniform(4, 2, 1, 64).unwrap());
+        let mut contents: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Put { len } => {
+                    let name = format!("f{i}");
+                    let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                    dfs.put(&name, &data).unwrap();
+                    contents.push((name, data));
+                }
+                Op::FailOne => {
+                    if failed.len() >= 2 {
+                        continue; // stay within tolerance
+                    }
+                    let candidates: Vec<usize> =
+                        (0..12).filter(|s| !failed.contains(s)).collect();
+                    let victim = candidates[rng.gen_range(0..candidates.len())];
+                    dfs.fail_server(victim);
+                    failed.push(victim);
+                }
+                Op::RepairAndRevive => {
+                    for &s in &failed {
+                        dfs.revive_server(s);
+                    }
+                    failed.clear();
+                    let summary = dfs.repair().unwrap();
+                    prop_assert_eq!(summary.unrecoverable_groups, 0);
+                    prop_assert!(dfs.fsck().all_healthy());
+                }
+            }
+            // Every file is readable at every step (degraded or not).
+            for (name, data) in &contents {
+                prop_assert_eq!(&dfs.get(name).unwrap(), data, "{} after op {}", name, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The shared error type for coding operations.
+
+use core::fmt;
+
+/// Errors returned by [`ErasureCode`](crate::ErasureCode) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The input length is not a multiple of the code's message
+    /// granularity (`k · N` stripes of equal size).
+    InvalidDataLength {
+        /// Length supplied by the caller.
+        got: usize,
+        /// The length must be a multiple of this.
+        multiple_of: usize,
+    },
+    /// The number of block slots passed to `decode` does not match the
+    /// code's block count.
+    WrongBlockCount {
+        /// Slots supplied.
+        got: usize,
+        /// Blocks the code produces.
+        expected: usize,
+    },
+    /// Supplied blocks do not all have the same length, or their length is
+    /// not compatible with the code's stripe structure.
+    BlockSizeMismatch,
+    /// The set of available blocks cannot be decoded (too many erasures or
+    /// an unrecoverable pattern for a non-MDS code).
+    Undecodable {
+        /// Indices of the available blocks.
+        available: Vec<usize>,
+    },
+    /// `reconstruct` was given a different set of source blocks than the
+    /// repair plan requires.
+    WrongSources {
+        /// Block indices the plan requires, in order.
+        expected: Vec<usize>,
+        /// Block indices that were supplied.
+        got: Vec<usize>,
+    },
+    /// A block index is out of range for this code.
+    BlockIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of blocks in the code.
+        num_blocks: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidDataLength { got, multiple_of } => write!(
+                f,
+                "data length {got} is not a multiple of {multiple_of} bytes"
+            ),
+            CodeError::WrongBlockCount { got, expected } => {
+                write!(f, "got {got} block slots, code has {expected} blocks")
+            }
+            CodeError::BlockSizeMismatch => {
+                f.write_str("blocks have inconsistent or incompatible sizes")
+            }
+            CodeError::Undecodable { available } => write!(
+                f,
+                "available blocks {available:?} cannot be decoded to the original data"
+            ),
+            CodeError::WrongSources { expected, got } => write!(
+                f,
+                "reconstruction requires source blocks {expected:?}, got {got:?}"
+            ),
+            CodeError::BlockIndexOutOfRange { index, num_blocks } => {
+                write!(f, "block index {index} out of range (code has {num_blocks} blocks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CodeError::InvalidDataLength {
+            got: 10,
+            multiple_of: 28,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("28"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodeError>();
+    }
+}

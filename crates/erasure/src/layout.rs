@@ -1,0 +1,221 @@
+//! Data layouts: where the original data lives inside encoded blocks.
+
+/// Describes, for an encoded object, which stripes of which blocks hold
+/// *original* (systematic) data and which original stripe each one is.
+///
+/// Conventional systematic codes put all original data in the k data
+/// blocks; Carousel and Galloper codes spread it across all blocks. A
+/// `DataLayout` captures either shape and is what a compute framework
+/// (here, `galloper-simmr`) consumes to schedule tasks with data locality:
+/// the number of original bytes in a block is the amount of work a
+/// map task co-located with that block can do without network transfer.
+///
+/// Stripes are indexed *as stored* (after any rotation); original stripes
+/// are indexed in logical file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    /// `assignments[block][pos] = original stripe index` for each stored
+    /// data-stripe position `pos` (data stripes are the leading stripes of
+    /// every block).
+    assignments: Vec<Vec<usize>>,
+    /// Stripes per block (N in the paper).
+    stripes_per_block: usize,
+}
+
+impl DataLayout {
+    /// Creates a layout from explicit per-block assignments.
+    ///
+    /// `assignments[b]` lists, in stored order, the original stripe index
+    /// held at each leading position of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block claims more stripes than `stripes_per_block`,
+    /// if the original stripe indices are not exactly `0..total` each used
+    /// once, or if `assignments` is empty.
+    pub fn new(assignments: Vec<Vec<usize>>, stripes_per_block: usize) -> Self {
+        assert!(!assignments.is_empty(), "layout needs at least one block");
+        assert!(stripes_per_block > 0, "stripes_per_block must be non-zero");
+        let mut all: Vec<usize> = assignments.iter().flatten().copied().collect();
+        for a in &assignments {
+            assert!(
+                a.len() <= stripes_per_block,
+                "a block cannot hold more data stripes than it has stripes"
+            );
+        }
+        all.sort_unstable();
+        for (i, &v) in all.iter().enumerate() {
+            assert_eq!(v, i, "original stripes must be 0..{} exactly once", all.len());
+        }
+        DataLayout {
+            assignments,
+            stripes_per_block,
+        }
+    }
+
+    /// The layout of a conventional systematic code: blocks `0..k` hold
+    /// the original data in order, the remaining blocks hold only parity.
+    pub fn systematic(k: usize, num_blocks: usize, stripes_per_block: usize) -> Self {
+        assert!(k > 0 && k <= num_blocks, "invalid k for systematic layout");
+        let mut assignments = Vec::with_capacity(num_blocks);
+        for b in 0..num_blocks {
+            if b < k {
+                assignments.push((0..stripes_per_block).map(|s| b * stripes_per_block + s).collect());
+            } else {
+                assignments.push(Vec::new());
+            }
+        }
+        DataLayout::new(assignments, stripes_per_block)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Stripes per block (the paper's N).
+    pub fn stripes_per_block(&self) -> usize {
+        self.stripes_per_block
+    }
+
+    /// Total number of original stripes (k · N).
+    pub fn total_data_stripes(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+
+    /// Number of original-data stripes stored in `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn data_stripes(&self, block: usize) -> usize {
+        self.assignments[block].len()
+    }
+
+    /// The original stripe indices stored in `block`, in stored order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block_assignment(&self, block: usize) -> &[usize] {
+        &self.assignments[block]
+    }
+
+    /// Fraction of `block` holding original data (the paper's weight
+    /// `w_i`, as realized after rationalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn data_fraction(&self, block: usize) -> f64 {
+        self.assignments[block].len() as f64 / self.stripes_per_block as f64
+    }
+
+    /// Bytes of original data in `block`, given the block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range or `block_size` is not a multiple
+    /// of the stripe count.
+    pub fn data_bytes(&self, block: usize, block_size: usize) -> usize {
+        assert_eq!(
+            block_size % self.stripes_per_block,
+            0,
+            "block size must be a whole number of stripes"
+        );
+        self.data_stripes(block) * (block_size / self.stripes_per_block)
+    }
+
+    /// Locates original stripe `index`: returns `(block, position)`.
+    ///
+    /// Linear scan; intended for tests and extraction, not hot paths.
+    pub fn locate(&self, index: usize) -> Option<(usize, usize)> {
+        for (b, a) in self.assignments.iter().enumerate() {
+            if let Some(pos) = a.iter().position(|&v| v == index) {
+                return Some((b, pos));
+            }
+        }
+        None
+    }
+
+    /// Extracts the original data directly from encoded blocks without any
+    /// decoding arithmetic — the operation a parallelism-aware reader (the
+    /// paper's modified `FileInputFormat`) performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks are missing, have unequal sizes, or sizes not
+    /// divisible by the stripe count.
+    pub fn extract_data(&self, blocks: &[&[u8]]) -> Vec<u8> {
+        assert_eq!(blocks.len(), self.num_blocks(), "need every block");
+        let block_size = blocks[0].len();
+        assert!(blocks.iter().all(|b| b.len() == block_size), "unequal blocks");
+        assert_eq!(block_size % self.stripes_per_block, 0);
+        let stripe_size = block_size / self.stripes_per_block;
+        let total = self.total_data_stripes();
+        let mut out = vec![0u8; total * stripe_size];
+        for (b, a) in self.assignments.iter().enumerate() {
+            for (pos, &orig) in a.iter().enumerate() {
+                let src = &blocks[b][pos * stripe_size..(pos + 1) * stripe_size];
+                out[orig * stripe_size..(orig + 1) * stripe_size].copy_from_slice(src);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systematic_layout_shape() {
+        let l = DataLayout::systematic(4, 6, 1);
+        assert_eq!(l.num_blocks(), 6);
+        assert_eq!(l.total_data_stripes(), 4);
+        assert_eq!(l.data_stripes(0), 1);
+        assert_eq!(l.data_stripes(4), 0);
+        assert_eq!(l.data_fraction(0), 1.0);
+        assert_eq!(l.data_fraction(5), 0.0);
+    }
+
+    #[test]
+    fn spread_layout() {
+        // The paper's Fig. 3: k=4, g=1, N=7, weights (6,6,6,6,4)/7.
+        let mut assignments = Vec::new();
+        let mut next = 0;
+        for count in [6usize, 6, 6, 6, 4] {
+            assignments.push((next..next + count).collect::<Vec<_>>());
+            next += count;
+        }
+        let l = DataLayout::new(assignments, 7);
+        assert_eq!(l.total_data_stripes(), 28);
+        assert!((l.data_fraction(4) - 4.0 / 7.0).abs() < 1e-12);
+        assert_eq!(l.data_bytes(0, 70), 60);
+        assert_eq!(l.locate(27), Some((4, 3)));
+        assert_eq!(l.locate(99), None);
+    }
+
+    #[test]
+    fn extract_data_roundtrip() {
+        // Two blocks, two stripes each, data interleaved: block 1 holds
+        // stripe 0, block 0 holds stripe 1.
+        let l = DataLayout::new(vec![vec![1], vec![0]], 2);
+        let b0 = [10u8, 11, 0, 0]; // first stripe holds original stripe 1
+        let b1 = [20u8, 21, 0, 0]; // first stripe holds original stripe 0
+        let data = l.extract_data(&[&b0, &b1]);
+        assert_eq!(data, vec![20, 21, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn duplicate_assignment_panics() {
+        let _ = DataLayout::new(vec![vec![0], vec![0]], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more data stripes")]
+    fn overfull_block_panics() {
+        let _ = DataLayout::new(vec![vec![0, 1]], 1);
+    }
+}

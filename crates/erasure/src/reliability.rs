@@ -1,0 +1,153 @@
+//! Reliability analytics: exact data-loss probability and expected repair
+//! cost under independent server failures.
+//!
+//! Locally repairable codes trade a little storage for much cheaper
+//! repair at (slightly) different loss profiles — the three-way tension
+//! the paper's related work circles around. This module computes the
+//! numbers exactly for any [`ErasureCode`] by enumerating failure
+//! patterns against [`ErasureCode::can_decode`]:
+//!
+//! * [`data_loss_probability`] — P(some data is unrecoverable) when each
+//!   block's server fails independently with probability `p`;
+//! * [`expected_repair_io`] — mean blocks read to repair one failed
+//!   block (uniform over blocks);
+//! * [`tolerance_profile`] — per failure count `f`, the fraction of
+//!   `f`-subsets that remain decodable (the paper's "can tolerate more
+//!   than g+1 failures but not all combinations", §III-B, quantified).
+
+use crate::ErasureCode;
+
+/// Largest block count accepted by the exact enumerations (2ⁿ patterns).
+pub const MAX_EXACT_BLOCKS: usize = 20;
+
+/// Exact probability that the original data is unrecoverable when each
+/// block fails independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or the code has more than
+/// [`MAX_EXACT_BLOCKS`] blocks (the enumeration is exponential).
+pub fn data_loss_probability(code: &dyn ErasureCode, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let n = code.num_blocks();
+    assert!(n <= MAX_EXACT_BLOCKS, "exact enumeration is limited to {MAX_EXACT_BLOCKS} blocks");
+    let profile = tolerance_profile(code);
+    let mut total = 0.0;
+    for (f, &(undecodable, patterns)) in profile.iter().enumerate() {
+        if undecodable == 0 {
+            continue;
+        }
+        // Each f-failure pattern has probability p^f (1-p)^(n-f); the
+        // profile tells us how many of the C(n, f) patterns lose data.
+        let _ = patterns;
+        total += undecodable as f64 * p.powi(f as i32) * (1.0 - p).powi((n - f) as i32);
+    }
+    total
+}
+
+/// For each failure count `f ∈ 0..=n`, returns
+/// `(undecodable_patterns, total_patterns)` — how many ways to lose `f`
+/// blocks destroy data.
+///
+/// # Panics
+///
+/// Panics if the code has more than [`MAX_EXACT_BLOCKS`] blocks.
+pub fn tolerance_profile(code: &dyn ErasureCode) -> Vec<(u64, u64)> {
+    let n = code.num_blocks();
+    assert!(n <= MAX_EXACT_BLOCKS, "exact enumeration is limited to {MAX_EXACT_BLOCKS} blocks");
+    let mut profile = vec![(0u64, 0u64); n + 1];
+    for mask in 0u32..(1 << n) {
+        let failed = mask.count_ones() as usize;
+        let available: Vec<bool> = (0..n).map(|b| mask & (1 << b) == 0).collect();
+        profile[failed].1 += 1;
+        if !code.can_decode(&available) {
+            profile[failed].0 += 1;
+        }
+    }
+    profile
+}
+
+/// The largest `f` such that *every* `f`-failure pattern is decodable
+/// (the code's guaranteed failure tolerance).
+///
+/// # Panics
+///
+/// Panics if the code has more than [`MAX_EXACT_BLOCKS`] blocks.
+pub fn guaranteed_tolerance(code: &dyn ErasureCode) -> usize {
+    tolerance_profile(code)
+        .iter()
+        .take_while(|&&(undecodable, _)| undecodable == 0)
+        .count()
+        .saturating_sub(1)
+}
+
+/// Mean number of blocks read to repair one failed block, uniform over
+/// which block failed — the per-incident disk-I/O burden in units of
+/// block reads.
+pub fn expected_repair_io(code: &dyn ErasureCode) -> f64 {
+    let n = code.num_blocks();
+    let total: usize = (0..n)
+        .map(|b| code.repair_plan(b).expect("valid block").fan_in())
+        .sum();
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockRole, DataLayout, LinearCode, RepairPlan};
+    use galloper_linalg::Matrix;
+
+    fn rs42ish() -> LinearCode {
+        // (2, 2) MDS mini-code: any 2 of 4 blocks decode.
+        let g = Matrix::identity(2).vstack(&Matrix::cauchy(2, 2));
+        LinearCode::new(
+            g,
+            2,
+            vec![
+                BlockRole::Data,
+                BlockRole::Data,
+                BlockRole::GlobalParity,
+                BlockRole::GlobalParity,
+            ],
+            DataLayout::systematic(2, 4, 1),
+            (0..4)
+                .map(|b| RepairPlan::new(b, (0..4).filter(|&x| x != b).take(2).collect()))
+                .collect(),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mds_loss_probability_is_binomial_tail() {
+        // For a (2, 2) MDS code, data loss ⟺ ≥ 3 of 4 blocks fail.
+        let code = rs42ish();
+        for p in [0.01f64, 0.1, 0.5] {
+            let q = 1.0 - p;
+            let expected = 4.0 * p.powi(3) * q + p.powi(4);
+            let got = data_loss_probability(&code, p);
+            assert!((got - expected).abs() < 1e-12, "p={p}: {got} vs {expected}");
+        }
+        assert_eq!(data_loss_probability(&code, 0.0), 0.0);
+        assert_eq!(data_loss_probability(&code, 1.0), 1.0);
+    }
+
+    #[test]
+    fn tolerance_profile_of_mds() {
+        let code = rs42ish();
+        let profile = tolerance_profile(&code);
+        assert_eq!(profile[0], (0, 1));
+        assert_eq!(profile[1], (0, 4));
+        assert_eq!(profile[2], (0, 6));
+        assert_eq!(profile[3], (4, 4));
+        assert_eq!(profile[4], (1, 1));
+        assert_eq!(guaranteed_tolerance(&code), 2);
+    }
+
+    #[test]
+    fn expected_repair_io_averages_fan_in() {
+        let code = rs42ish();
+        assert_eq!(expected_repair_io(&code), 2.0);
+    }
+}

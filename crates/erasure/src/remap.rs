@@ -1,0 +1,236 @@
+//! Symbol remapping: the basis-change technique (paper §III-C, §IV-B) that
+//! moves original data from the k data blocks into *all* blocks.
+//!
+//! Both Carousel codes (even spreading, the ICDCS'17 baseline) and Galloper
+//! codes (weighted spreading, this paper's contribution) are produced by
+//! the same three steps implemented here:
+//!
+//! 1. expand the block-level generator `G` into the stripe-level
+//!    `G_g = G ⊗ I_N`;
+//! 2. [`sequential_selection`] — choose `m_i` stripes per block by walking
+//!    rows top-to-bottom across blocks with wraparound, which guarantees
+//!    exactly `k` chosen stripes in every row;
+//! 3. [`remap_basis`] — change basis with `G_g · G_{g0}⁻¹` so the chosen
+//!    stripes become the original data, then rotate each block's stripes
+//!    so its data stripes sit at the top (maximizing sequential reads).
+
+use galloper_linalg::Matrix;
+
+use crate::ConstructionError;
+
+/// Sequential stripe selection with wraparound (§IV-B).
+///
+/// Walks blocks left to right, selecting `counts[i]` consecutive rows from
+/// block `i` starting where the previous block stopped, wrapping from the
+/// last row to the first. Returns, per block, the selected row indices in
+/// selection order (each block's list is cyclically contiguous).
+///
+/// When `counts` sums to `k · n_stripes`, the walk passes every row exactly
+/// `k` times, so every row has exactly `k` selected stripes — the
+/// invariant that makes the selection a basis.
+///
+/// # Panics
+///
+/// Panics if any count exceeds `n_stripes` (a block cannot hold more than
+/// one stripe per row) or if `n_stripes` is zero.
+pub fn sequential_selection(counts: &[usize], n_stripes: usize) -> Vec<Vec<usize>> {
+    assert!(n_stripes > 0, "stripe count must be non-zero");
+    let mut cursor = 0usize;
+    counts
+        .iter()
+        .map(|&m| {
+            assert!(m <= n_stripes, "cannot select {m} of {n_stripes} stripes");
+            let sel: Vec<usize> = (0..m).map(|i| (cursor + i) % n_stripes).collect();
+            cursor = (cursor + m) % n_stripes;
+            sel
+        })
+        .collect()
+}
+
+/// The result of a symbol-remapping basis change.
+#[derive(Debug, Clone)]
+pub struct RemappedCode {
+    /// Stripe-level generator in *stored* order (rotation applied): row
+    /// `b·N + p` produces the stripe stored at position `p` of block `b`.
+    pub generator: Matrix,
+    /// Per block: the original stripe indices held at its leading
+    /// positions, in stored order (feeds [`DataLayout`](crate::DataLayout)).
+    pub assignments: Vec<Vec<usize>>,
+}
+
+/// Changes the basis of the expanded generator `gg` so that the stripes
+/// named by `selections` become the original data, then rotates each
+/// block's rows so its data stripes are stored first.
+///
+/// * `gg` — stripe-level generator `(n·N) × (k·N)` (typically `G ⊗ I_N`).
+/// * `selections` — per block, the selected row indices in selection
+///   order; the `i`-th selected stripe overall (block-major) will hold
+///   original stripe `i`.
+///
+/// # Errors
+///
+/// [`ConstructionError::RankDeficient`] if the selected stripes do not
+/// form a basis (the selection-per-row invariant was violated).
+///
+/// # Panics
+///
+/// Panics if shapes disagree (selection count ≠ `k·N`, or `gg` rows not a
+/// multiple of `n_stripes`).
+pub fn remap_basis(
+    gg: &Matrix,
+    selections: &[Vec<usize>],
+    n_stripes: usize,
+) -> Result<RemappedCode, ConstructionError> {
+    let n_blocks = selections.len();
+    assert_eq!(
+        gg.rows(),
+        n_blocks * n_stripes,
+        "generator rows must equal blocks × stripes"
+    );
+    let kn = gg.cols();
+    let total_selected: usize = selections.iter().map(Vec::len).sum();
+    assert_eq!(total_selected, kn, "must select exactly k·N stripes");
+
+    // Global row indices of the selected stripes, in selection order.
+    let selected_rows: Vec<usize> = selections
+        .iter()
+        .enumerate()
+        .flat_map(|(b, sel)| sel.iter().map(move |&s| b * n_stripes + s))
+        .collect();
+
+    let gg0 = gg.select_rows(&selected_rows);
+    let gg0_inv = gg0.inverted().ok_or(ConstructionError::RankDeficient)?;
+    let remapped = gg * &gg0_inv;
+
+    // Rotate each block so its selected stripes are stored first. Selected
+    // rows are cyclically contiguous starting at the first selection.
+    let mut stored_rows = Vec::with_capacity(gg.rows());
+    let mut assignments = Vec::with_capacity(n_blocks);
+    let mut next_original = 0usize;
+    for (b, sel) in selections.iter().enumerate() {
+        let start = sel.first().copied().unwrap_or(0);
+        for p in 0..n_stripes {
+            stored_rows.push(b * n_stripes + (start + p) % n_stripes);
+        }
+        assignments.push((next_original..next_original + sel.len()).collect());
+        next_original += sel.len();
+    }
+    let generator = remapped.select_rows(&stored_rows);
+
+    Ok(RemappedCode {
+        generator,
+        assignments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_covers_each_row_k_times() {
+        // Fig. 4: k=4, g=1, N=7, counts (6,6,6,6,4).
+        let counts = [6usize, 6, 6, 6, 4];
+        let sel = sequential_selection(&counts, 7);
+        let mut per_row = [0usize; 7];
+        for s in &sel {
+            for &row in s {
+                per_row[row] += 1;
+            }
+        }
+        assert_eq!(per_row, [4; 7], "each row must be selected exactly k times");
+        // Block 0 takes rows 0..6, block 4 wraps from row 3.
+        assert_eq!(sel[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sel[1], vec![6, 0, 1, 2, 3, 4]);
+        assert_eq!(sel[4], vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn selection_handles_full_blocks() {
+        let sel = sequential_selection(&[3, 3, 3], 3);
+        assert_eq!(sel[0], vec![0, 1, 2]);
+        assert_eq!(sel[1], vec![0, 1, 2]);
+        assert_eq!(sel[2], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn selection_handles_zero_counts() {
+        let sel = sequential_selection(&[2, 0, 2], 2);
+        assert_eq!(sel[1], Vec::<usize>::new());
+        assert_eq!(sel[2], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn selection_rejects_overfull() {
+        let _ = sequential_selection(&[4], 3);
+    }
+
+    #[test]
+    fn remap_produces_identity_rows_at_data_positions() {
+        // (2,1) XOR code expanded to N = 3 stripes, counts (2,2,2).
+        let g = Matrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        let gg = g.kron_identity(3);
+        let selections = sequential_selection(&[2, 2, 2], 3);
+        let rc = remap_basis(&gg, &selections, 3).unwrap();
+        // Stored data positions must carry identity rows.
+        for (b, assign) in rc.assignments.iter().enumerate() {
+            for (p, &orig) in assign.iter().enumerate() {
+                let row = rc.generator.row(b * 3 + p);
+                for (j, &v) in row.iter().enumerate() {
+                    assert_eq!(v, u8::from(j == orig), "block {b} pos {p}");
+                }
+            }
+        }
+        // Full column rank is preserved.
+        assert_eq!(rc.generator.rank(), 6);
+    }
+
+    #[test]
+    fn remap_preserves_code_space() {
+        // The remapped generator must have the same column space as the
+        // original: every parity-check relation survives. Check the XOR
+        // relation row-wise: for each raw row, block2 stripe = block0 ⊕
+        // block1 stripe. After rotation we verify via the generator rows:
+        // G'[2N + p2] = G'[0N + p0] + G'[1N + p1] whenever the stored
+        // positions p0, p1, p2 map to the same raw row.
+        let g = Matrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        let n = 3;
+        let gg = g.kron_identity(n);
+        let selections = sequential_selection(&[2, 2, 2], n);
+        let rc = remap_basis(&gg, &selections, n).unwrap();
+        // Reconstruct the stored→raw row maps from the selections' starts.
+        let starts: Vec<usize> = selections
+            .iter()
+            .map(|s| s.first().copied().unwrap_or(0))
+            .collect();
+        for raw in 0..n {
+            let pos: Vec<usize> = starts.iter().map(|&st| (raw + n - st) % n).collect();
+            for j in 0..rc.generator.cols() {
+                let a = rc.generator.get(pos[0], j);
+                let b = rc.generator.get(n + pos[1], j);
+                let c = rc.generator.get(2 * n + pos[2], j);
+                assert_eq!(a + b, c, "raw row {raw} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn remap_detects_bad_selection() {
+        // Select both stripes of each data row from the same blocks,
+        // leaving a row with fewer than k selections → singular.
+        let g = Matrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        let gg = g.kron_identity(2);
+        // Block 0 selects row 0 twice? Not possible (distinct). Instead:
+        // choose selections violating the per-row-k invariant: block0
+        // rows {0,1}, block1 rows {0,1}, block2 none — row coverage is
+        // (2,2): still k=2 per row and this IS a basis (both data blocks).
+        // A genuinely singular choice: block0 {0}, block1 {0}, block2 {0,1}:
+        // row 0 has 3 selections, row 1 has 1 → dependent.
+        let selections = vec![vec![0], vec![0], vec![0, 1]];
+        assert!(matches!(
+            remap_basis(&gg, &selections, 2),
+            Err(ConstructionError::RankDeficient)
+        ));
+    }
+}

@@ -1,0 +1,352 @@
+//! The typed field element [`Gf256`].
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables::{EXP_TABLE, LOG_TABLE, MUL_TABLE};
+
+/// An element of GF(2⁸).
+///
+/// `Gf256` is a transparent wrapper over `u8` with field arithmetic as
+/// operator overloads. Because the field has characteristic 2, addition and
+/// subtraction are the same operation (XOR) and every element is its own
+/// additive inverse.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_gf::Gf256;
+///
+/// let a = Gf256::new(7);
+/// assert_eq!(a + a, Gf256::ZERO);          // characteristic 2
+/// assert_eq!(a - a, a + a);                // sub == add
+/// assert_eq!(a.pow(255), Gf256::ONE);      // Fermat: a^(q-1) = 1
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The canonical generator of the multiplicative group (the polynomial
+    /// `x`, value 2).
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    ///
+    /// Every byte value is a valid element, so this is total.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `α^i` where `α` is [`Gf256::GENERATOR`]; `i` is reduced mod 255.
+    #[inline]
+    pub fn exp(i: usize) -> Self {
+        Gf256(EXP_TABLE[i % 255])
+    }
+
+    /// Discrete logarithm base `α`, or `None` for zero (which has no log).
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(LOG_TABLE[self.0 as usize])
+        }
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use galloper_gf::Gf256;
+    /// assert_eq!(Gf256::ZERO.inv(), None);
+    /// let a = Gf256::new(0xB7);
+    /// assert_eq!((a * a.inv().unwrap()), Gf256::ONE);
+    /// ```
+    #[inline]
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            let log = LOG_TABLE[self.0 as usize] as usize;
+            Some(Gf256(EXP_TABLE[255 - log]))
+        }
+    }
+
+    /// Raises the element to an arbitrary power.
+    ///
+    /// `pow(0)` is `ONE` for every base, including zero (the empty-product
+    /// convention, matching `u32::pow`).
+    pub fn pow(self, mut e: u32) -> Self {
+        if e == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log = LOG_TABLE[self.0 as usize] as u64;
+        e %= 255;
+        Gf256(EXP_TABLE[((log * e as u64) % 255) as usize])
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self // characteristic 2: -a == a
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(MUL_TABLE[self.0 as usize][rhs.0 as usize])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero, mirroring integer division.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inv().expect("division by zero in GF(256)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Gf256> for Gf256 {
+    fn sum<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, Mul::mul)
+    }
+}
+
+impl<'a> Product<&'a Gf256> for Gf256 {
+    fn product<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        for v in 0..=255u8 {
+            let a = Gf256::new(v);
+            assert_eq!(a + Gf256::ZERO, a);
+            assert_eq!(a * Gf256::ONE, a);
+            assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1..=255u8 {
+            let a = Gf256::new(v);
+            let inv = a.inv().expect("non-zero must be invertible");
+            assert_eq!(a * inv, Gf256::ONE, "inv failed for {v}");
+        }
+        assert_eq!(Gf256::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn division_matches_inverse() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let (a, b) = (Gf256::new(a), Gf256::new(b));
+                assert_eq!(a / b * b, a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(7), Gf256::ZERO);
+        assert_eq!(Gf256::GENERATOR.pow(255), Gf256::ONE);
+        assert_eq!(Gf256::GENERATOR.pow(256), Gf256::GENERATOR);
+        // pow must agree with repeated multiplication.
+        for v in [1u8, 2, 3, 0x1D, 0xFF] {
+            let a = Gf256::new(v);
+            let mut acc = Gf256::ONE;
+            for e in 0..520u32 {
+                assert_eq!(a.pow(e), acc, "pow mismatch for {v}^{e}");
+                acc *= a;
+            }
+        }
+    }
+
+    #[test]
+    fn exp_is_periodic() {
+        for i in 0..255 {
+            assert_eq!(Gf256::exp(i), Gf256::exp(i + 255));
+        }
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Gf256::new(3), Gf256::new(5), Gf256::new(3)];
+        assert_eq!(xs.iter().sum::<Gf256>(), Gf256::new(5));
+        assert_eq!(
+            xs.iter().product::<Gf256>(),
+            Gf256::new(3) * Gf256::new(5) * Gf256::new(3)
+        );
+        assert_eq!(std::iter::empty::<Gf256>().sum::<Gf256>(), Gf256::ZERO);
+        assert_eq!(std::iter::empty::<Gf256>().product::<Gf256>(), Gf256::ONE);
+    }
+
+    #[test]
+    fn formatting() {
+        let a = Gf256::new(0x1D);
+        assert_eq!(format!("{a}"), "1d");
+        assert_eq!(format!("{a:?}"), "Gf256(0x1d)");
+        assert_eq!(format!("{a:x}"), "1d");
+        assert_eq!(format!("{a:X}"), "1D");
+        assert_eq!(format!("{a:b}"), "11101");
+        assert_eq!(format!("{a:o}"), "35");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Gf256 = 7u8.into();
+        let b: u8 = a.into();
+        assert_eq!(b, 7);
+    }
+}

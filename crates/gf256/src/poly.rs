@@ -1,0 +1,224 @@
+//! Polynomials over GF(2⁸): the classical lens on Reed–Solomon codes.
+//!
+//! A `(k, r)` Reed–Solomon codeword is the evaluation of a degree-`< k`
+//! polynomial at `k + r` distinct points, and decoding is Lagrange
+//! interpolation from any `k` of them. The matrix-based codes in this
+//! workspace are tested against this independent formulation.
+
+use crate::Gf256;
+
+/// A polynomial with coefficients in GF(2⁸), stored low-degree first.
+///
+/// The zero polynomial has no coefficients and degree `None`.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_gf::{Gf256, Polynomial};
+///
+/// // p(x) = 3 + x²
+/// let p = Polynomial::new(vec![Gf256::new(3), Gf256::ZERO, Gf256::ONE]);
+/// assert_eq!(p.degree(), Some(2));
+/// // In characteristic 2: p(1) = 3 + 1 = 2.
+/// assert_eq!(p.eval(Gf256::ONE), Gf256::new(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    /// Coefficients, lowest degree first, with no trailing zeros.
+    coeffs: Vec<Gf256>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients (lowest degree first);
+    /// trailing zeros are trimmed.
+    pub fn new(mut coeffs: Vec<Gf256>) -> Self {
+        while coeffs.last() == Some(&Gf256::ZERO) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf256) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The coefficients, lowest degree first (no trailing zeros).
+    pub fn coefficients(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Polynomial addition (= subtraction in characteristic 2).
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+                    + other.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+            })
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Polynomial multiplication (schoolbook).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Multiplies every coefficient by `c`.
+    pub fn scale(&self, c: Gf256) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// The unique polynomial of degree `< points.len()` passing through
+    /// the given `(x, y)` points (Lagrange interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or contains duplicate x values.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Polynomial {
+        assert!(!points.is_empty(), "interpolation needs at least one point");
+        for (i, (xi, _)) in points.iter().enumerate() {
+            for (xj, _) in &points[i + 1..] {
+                assert_ne!(xi, xj, "interpolation points must be distinct");
+            }
+        }
+        let mut acc = Polynomial::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Basis polynomial L_i = Π_{j≠i} (x - x_j) / (x_i - x_j).
+            let mut basis = Polynomial::constant(Gf256::ONE);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i != j {
+                    // (x + x_j) since -x_j == x_j.
+                    basis = basis.mul(&Polynomial::new(vec![xj, Gf256::ONE]));
+                    denom *= xi + xj;
+                }
+            }
+            let scale = yi * denom.inv().expect("distinct points give non-zero denominator");
+            acc = acc.add(&basis.scale(scale));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(vals: &[u8]) -> Polynomial {
+        Polynomial::new(vals.iter().map(|&v| Gf256::new(v)).collect())
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let p = poly(&[1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(poly(&[0, 0]).degree(), None);
+        assert!(poly(&[]).is_zero());
+    }
+
+    #[test]
+    fn horner_matches_naive_eval() {
+        let p = poly(&[7, 3, 0, 5]);
+        for x in 0..=255u8 {
+            let x = Gf256::new(x);
+            let naive = Gf256::new(7) + Gf256::new(3) * x + Gf256::new(5) * x.pow(3);
+            assert_eq!(p.eval(x), naive);
+        }
+    }
+
+    #[test]
+    fn addition_is_pointwise() {
+        let (a, b) = (poly(&[1, 2, 3]), poly(&[5, 0, 3, 9]));
+        let sum = a.add(&b);
+        for x in [0u8, 1, 7, 200] {
+            let x = Gf256::new(x);
+            assert_eq!(sum.eval(x), a.eval(x) + b.eval(x));
+        }
+        // a + a = 0 in characteristic 2.
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn multiplication_is_pointwise() {
+        let (a, b) = (poly(&[1, 2, 3]), poly(&[5, 4]));
+        let prod = a.mul(&b);
+        assert_eq!(prod.degree(), Some(3));
+        for x in [0u8, 1, 9, 133, 255] {
+            let x = Gf256::new(x);
+            assert_eq!(prod.eval(x), a.eval(x) * b.eval(x));
+        }
+        assert!(a.mul(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let p = poly(&[9, 1, 0, 4, 17]);
+        let points: Vec<(Gf256, Gf256)> = (0..5)
+            .map(|i| {
+                let x = Gf256::exp(i);
+                (x, p.eval(x))
+            })
+            .collect();
+        assert_eq!(Polynomial::interpolate(&points), p);
+    }
+
+    #[test]
+    fn interpolation_from_any_k_of_n_points() {
+        // The Reed–Solomon property stated polynomially: a degree-3
+        // message polynomial evaluated at 6 points is recoverable from
+        // any 4 of them.
+        let msg = poly(&[42, 7, 19, 3]);
+        let evals: Vec<(Gf256, Gf256)> = (0..6)
+            .map(|i| {
+                let x = Gf256::exp(i);
+                (x, msg.eval(x))
+            })
+            .collect();
+        // A few 4-subsets.
+        for subset in [[0usize, 1, 2, 3], [2, 3, 4, 5], [0, 2, 4, 5], [1, 2, 3, 5]] {
+            let pts: Vec<(Gf256, Gf256)> = subset.iter().map(|&i| evals[i]).collect();
+            assert_eq!(Polynomial::interpolate(&pts), msg, "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_points_panic() {
+        let pts = [(Gf256::ONE, Gf256::ONE), (Gf256::ONE, Gf256::new(2))];
+        let _ = Polynomial::interpolate(&pts);
+    }
+}

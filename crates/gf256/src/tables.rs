@@ -1,0 +1,126 @@
+//! Compile-time generation of the exponent, logarithm, and multiplication
+//! tables for GF(2⁸) with the primitive polynomial `0x11D`.
+//!
+//! All tables are `const`-evaluated, so the field costs nothing at startup
+//! and the tables live in read-only memory.
+
+/// The primitive polynomial defining the field: x⁸ + x⁴ + x³ + x² + 1.
+///
+/// This is the polynomial used by ISA-L, Jerasure, and the QR-code standard,
+/// which makes test vectors from those ecosystems directly comparable.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+const fn gen_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so `exp[log a + log b]` needs no modular reduction.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = gen_exp_log();
+
+/// `EXP_TABLE[i] = α^i` for the generator `α = x` (value 2), doubled in
+/// length so that `EXP_TABLE[log(a) + log(b)]` is always in range.
+pub static EXP_TABLE: [u8; 512] = TABLES.0;
+
+/// `LOG_TABLE[a] = log_α(a)` for `a != 0`; `LOG_TABLE[0]` is unused (0).
+pub static LOG_TABLE: [u8; 256] = TABLES.1;
+
+const fn gen_mul() -> [[u8; 256]; 256] {
+    let mut table = [[0u8; 256]; 256];
+    let (exp, log) = (TABLES.0, TABLES.1);
+    let mut a = 1;
+    while a < 256 {
+        let mut b = 1;
+        while b < 256 {
+            table[a][b] = exp[log[a] as usize + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// Full 64 KiB product table: `MUL_TABLE[a][b] = a · b`.
+///
+/// A row of this table is the natural unit for the bulk slice kernels: one
+/// coefficient selects a 256-byte row that then drives a pure table-lookup
+/// loop over the data.
+pub static MUL_TABLE: [[u8; 256]; 256] = gen_mul();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook carry-less multiply + reduction, used only to validate the
+    /// tables against an independent implementation.
+    fn slow_mul(a: u8, b: u8) -> u8 {
+        let (mut a, mut b, mut acc) = (a as u16, b as u16, 0u16);
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= PRIMITIVE_POLY;
+            }
+            b >>= 1;
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP_TABLE[LOG_TABLE[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn exp_table_wraps() {
+        for i in 0..255 {
+            assert_eq!(EXP_TABLE[i], EXP_TABLE[i + 255]);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α^i must hit every non-zero element exactly once in 0..255.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = EXP_TABLE[i] as usize;
+            assert!(!seen[v], "α^{i} repeats value {v}");
+            seen[v] = true;
+        }
+        assert!(!seen[0], "a power of the generator may never be zero");
+    }
+
+    #[test]
+    fn mul_table_matches_schoolbook() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    MUL_TABLE[a as usize][b as usize],
+                    slow_mul(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! GF(2¹⁶): the larger field the paper points to for wide codes.
+//!
+//! §VI: "The size of the finite field [2⁸] is sufficient for most values
+//! of k, l, g in practice, as long as k + l + g < 2⁸. For larger values
+//! …, we can also increase the size of the field." [`Gf65536`] provides
+//! that upgrade path: the same API shape as [`Gf256`](crate::Gf256) over
+//! `x¹⁶ + x¹² + x³ + x + 1`, with lazily built 384 KiB log/exp tables.
+//!
+//! The block-oriented code constructions in this workspace currently run
+//! over GF(2⁸) (ample for the paper's parameter ranges); this module is
+//! the drop-in element type for a wide-code generalization and is tested
+//! to the same axioms.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+/// The primitive polynomial for GF(2¹⁶): x¹⁶ + x¹² + x³ + x + 1.
+pub const PRIMITIVE_POLY_16: u32 = 0x1100B;
+
+struct Tables {
+    exp: Vec<u16>, // length 2·65535 for reduction-free indexing
+    log: Vec<u16>, // length 65536
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let order = 65535usize;
+        let mut exp = vec![0u16; order * 2];
+        let mut log = vec![0u16; 65536];
+        let mut x: u32 = 1;
+        for i in 0..order {
+            exp[i] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= PRIMITIVE_POLY_16;
+            }
+        }
+        debug_assert_eq!(x, 1, "the polynomial must be primitive");
+        for i in order..2 * order {
+            exp[i] = exp[i - order];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2¹⁶).
+///
+/// # Examples
+///
+/// ```
+/// use galloper_gf::Gf65536;
+///
+/// let a = Gf65536::new(0x1234);
+/// assert_eq!(a + a, Gf65536::ZERO);
+/// assert_eq!(a * a.inv().unwrap(), Gf65536::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf65536(u16);
+
+impl Gf65536 {
+    /// The additive identity.
+    pub const ZERO: Gf65536 = Gf65536(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf65536 = Gf65536(1);
+    /// The canonical generator (the polynomial `x`, value 2).
+    pub const GENERATOR: Gf65536 = Gf65536(2);
+
+    /// Wraps a value as a field element (total).
+    #[inline]
+    pub const fn new(value: u16) -> Self {
+        Gf65536(value)
+    }
+
+    /// The underlying value.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `α^i`, reduced mod 65535.
+    pub fn exp(i: usize) -> Self {
+        Gf65536(tables().exp[i % 65535])
+    }
+
+    /// Discrete log, or `None` for zero.
+    pub fn log(self) -> Option<u16> {
+        (self.0 != 0).then(|| tables().log[self.0 as usize])
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            let t = tables();
+            Some(Gf65536(t.exp[65535 - t.log[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Exponentiation (`pow(0) == ONE`, including for zero).
+    pub fn pow(self, mut e: u32) -> Self {
+        if e == 0 {
+            return Gf65536::ONE;
+        }
+        if self.0 == 0 {
+            return Gf65536::ZERO;
+        }
+        e %= 65535;
+        let t = tables();
+        let log = t.log[self.0 as usize] as u64;
+        Gf65536(t.exp[((log * e as u64) % 65535) as usize])
+    }
+}
+
+impl fmt::Debug for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf65536({:#06x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}", self.0)
+    }
+}
+
+impl From<u16> for Gf65536 {
+    fn from(value: u16) -> Self {
+        Gf65536(value)
+    }
+}
+
+impl From<Gf65536> for u16 {
+    fn from(value: Gf65536) -> Self {
+        value.0
+    }
+}
+
+impl Add for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn add(self, rhs: Gf65536) -> Gf65536 {
+        Gf65536(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf65536 {
+    fn add_assign(&mut self, rhs: Gf65536) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn sub(self, rhs: Gf65536) -> Gf65536 {
+        self + rhs
+    }
+}
+
+impl SubAssign for Gf65536 {
+    fn sub_assign(&mut self, rhs: Gf65536) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf65536 {
+    type Output = Gf65536;
+    fn neg(self) -> Gf65536 {
+        self
+    }
+}
+
+impl Mul for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn mul(self, rhs: Gf65536) -> Gf65536 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf65536::ZERO;
+        }
+        let t = tables();
+        Gf65536(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+impl MulAssign for Gf65536 {
+    fn mul_assign(&mut self, rhs: Gf65536) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf65536 {
+    type Output = Gf65536;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Gf65536) -> Gf65536 {
+        self * rhs.inv().expect("division by zero in GF(2^16)")
+    }
+}
+
+impl DivAssign for Gf65536 {
+    fn div_assign(&mut self, rhs: Gf65536) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook multiply for validation.
+    fn slow_mul(a: u16, b: u16) -> u16 {
+        let (mut a, mut b, mut acc) = (a as u32, b as u32, 0u32);
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            a <<= 1;
+            if a & 0x10000 != 0 {
+                a ^= PRIMITIVE_POLY_16;
+            }
+            b >>= 1;
+        }
+        acc as u16
+    }
+
+    #[test]
+    fn identities_and_inverses_on_samples() {
+        // Sampled sweep (the full field is 65536 elements).
+        for v in (1u32..=65535).step_by(251) {
+            let a = Gf65536::new(v as u16);
+            assert_eq!(a + Gf65536::ZERO, a);
+            assert_eq!(a * Gf65536::ONE, a);
+            assert_eq!(a * a.inv().unwrap(), Gf65536::ONE, "v = {v}");
+            assert_eq!(a + a, Gf65536::ZERO);
+        }
+        assert_eq!(Gf65536::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn table_mul_matches_schoolbook() {
+        for i in (0u32..=65535).step_by(911) {
+            for j in (0u32..=65535).step_by(877) {
+                let (a, b) = (i as u16, j as u16);
+                assert_eq!(
+                    (Gf65536::new(a) * Gf65536::new(b)).value(),
+                    slow_mul(a, b),
+                    "{a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        assert_eq!(Gf65536::GENERATOR.pow(65535), Gf65536::ONE);
+        // Order divides 65535 = 3·5·17·257; full order means no proper
+        // divisor works.
+        for d in [3u32, 5, 17, 257, 21845, 13107, 3855, 255] {
+            assert_ne!(Gf65536::GENERATOR.pow(65535 / d), Gf65536::ONE, "divisor {d}");
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(Gf65536::ZERO.pow(0), Gf65536::ONE);
+        assert_eq!(Gf65536::ZERO.pow(9), Gf65536::ZERO);
+        let a = Gf65536::new(0xABCD);
+        let mut acc = Gf65536::ONE;
+        for e in 0..40 {
+            assert_eq!(a.pow(e), acc);
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn distributivity_on_samples() {
+        for i in (1u32..=65535).step_by(4093) {
+            for j in (1u32..=65535).step_by(3571) {
+                let (a, b) = (Gf65536::new(i as u16), Gf65536::new(j as u16));
+                let c = Gf65536::new(0x9E37);
+                assert_eq!(a * (b + c), a * b + a * c);
+                assert_eq!((a / b) * b, a);
+            }
+        }
+    }
+
+    #[test]
+    fn formatting_and_conversions() {
+        let a = Gf65536::new(0x1D2E);
+        assert_eq!(format!("{a}"), "1d2e");
+        assert_eq!(format!("{a:?}"), "Gf65536(0x1d2e)");
+        let v: u16 = a.into();
+        assert_eq!(Gf65536::from(v), a);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based verification that GF(2⁸) as implemented really is a field,
+//! and that the slice kernels agree with element-wise arithmetic.
+
+use galloper_gf::{slice, Gf256};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in elem(), b in elem()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_is_associative(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in elem(), b in elem()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_is_associative(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse_is_self(a in elem()) {
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn no_zero_divisors(a in elem(), b in elem()) {
+        if (a * b).is_zero() {
+            prop_assert!(a.is_zero() || b.is_zero());
+        }
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(a in elem(), e in 0u32..600) {
+        let mut acc = Gf256::ONE;
+        for _ in 0..e {
+            acc *= a;
+        }
+        prop_assert_eq!(a.pow(e), acc);
+    }
+
+    #[test]
+    fn log_exp_agree_with_mul(a in elem(), b in elem()) {
+        if let (Some(la), Some(lb)) = (a.log(), b.log()) {
+            let expected = Gf256::exp(la as usize + lb as usize);
+            prop_assert_eq!(a * b, expected);
+        }
+    }
+
+    #[test]
+    fn mul_slice_add_matches_scalar(c in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..300), acc in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let n = data.len().min(acc.len());
+        let (data, acc) = (&data[..n], &acc[..n]);
+        let mut dst = acc.to_vec();
+        slice::mul_slice_add(c, data, &mut dst);
+        for i in 0..n {
+            let want = Gf256::new(acc[i]) + Gf256::new(c) * Gf256::new(data[i]);
+            prop_assert_eq!(dst[i], want.value());
+        }
+    }
+
+    #[test]
+    fn mul_slice_is_invertible(c in 1u8..=255, data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut fwd = vec![0u8; data.len()];
+        slice::mul_slice(c, &data, &mut fwd);
+        let cinv = Gf256::new(c).inv().unwrap().value();
+        let mut back = vec![0u8; data.len()];
+        slice::mul_slice(cinv, &fwd, &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn xor_slice_is_involution(a in proptest::collection::vec(any::<u8>(), 0..300), b in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut dst = b.to_vec();
+        slice::xor_slice(a, &mut dst);
+        slice::xor_slice(a, &mut dst);
+        prop_assert_eq!(dst.as_slice(), b);
+    }
+}

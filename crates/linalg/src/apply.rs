@@ -1,0 +1,182 @@
+//! Application of a generator matrix to real data buffers.
+//!
+//! An erasure code's encode/decode is the product of a generator (or
+//! inverse) matrix with a stack of input stripes. These helpers perform
+//! that product over `&[u8]` stripes, optionally fanning output rows across
+//! threads — the stand-in for the ISA-L SIMD kernels used by the paper's
+//! prototype (§VI).
+
+use galloper_gf::slice;
+
+use crate::Matrix;
+
+/// Computes `matrix · inputs`, returning one freshly allocated output buffer
+/// per matrix row.
+///
+/// `inputs[j]` is the stripe multiplied by column `j`; all stripes must have
+/// equal length.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != matrix.cols()` or the input stripes have
+/// unequal lengths.
+pub fn apply(matrix: &Matrix, inputs: &[&[u8]]) -> Vec<Vec<u8>> {
+    let stripe_len = check_inputs(matrix, inputs);
+    let mut outputs: Vec<Vec<u8>> = (0..matrix.rows()).map(|_| vec![0; stripe_len]).collect();
+    {
+        let mut out_refs: Vec<&mut [u8]> = outputs.iter_mut().map(Vec::as_mut_slice).collect();
+        apply_into(matrix, inputs, &mut out_refs);
+    }
+    outputs
+}
+
+/// Computes `matrix · inputs` into caller-provided output buffers.
+///
+/// # Panics
+///
+/// Panics if shapes disagree: `inputs.len() != matrix.cols()`,
+/// `outputs.len() != matrix.rows()`, or any buffer length differs from the
+/// common stripe length.
+pub fn apply_into(matrix: &Matrix, inputs: &[&[u8]], outputs: &mut [&mut [u8]]) {
+    let stripe_len = check_inputs(matrix, inputs);
+    assert_eq!(
+        outputs.len(),
+        matrix.rows(),
+        "output count must equal matrix rows"
+    );
+    for (r, out) in outputs.iter_mut().enumerate() {
+        assert_eq!(out.len(), stripe_len, "output stripe length mismatch");
+        apply_row(matrix.row(r), inputs, out);
+    }
+}
+
+/// Multi-threaded [`apply`]: output rows are distributed over `threads`
+/// OS threads via crossbeam scoped threads.
+///
+/// With `threads <= 1` this falls back to the serial path. Outputs are
+/// deterministic and identical to [`apply`].
+///
+/// # Panics
+///
+/// Same shape conditions as [`apply`].
+pub fn apply_parallel(matrix: &Matrix, inputs: &[&[u8]], threads: usize) -> Vec<Vec<u8>> {
+    if threads <= 1 || matrix.rows() == 1 {
+        return apply(matrix, inputs);
+    }
+    let stripe_len = check_inputs(matrix, inputs);
+    let mut outputs: Vec<Vec<u8>> = (0..matrix.rows()).map(|_| vec![0; stripe_len]).collect();
+    let rows_per_thread = matrix.rows().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in outputs.chunks_mut(rows_per_thread).enumerate() {
+            let base = chunk_idx * rows_per_thread;
+            scope.spawn(move |_| {
+                for (off, out) in chunk.iter_mut().enumerate() {
+                    apply_row(matrix.row(base + off), inputs, out);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    outputs
+}
+
+/// One output stripe: `out = Σ_j row[j] · inputs[j]`.
+fn apply_row(row: &[u8], inputs: &[&[u8]], out: &mut [u8]) {
+    out.fill(0);
+    for (&coeff, input) in row.iter().zip(inputs) {
+        slice::mul_slice_add(coeff, input, out);
+    }
+}
+
+fn check_inputs(matrix: &Matrix, inputs: &[&[u8]]) -> usize {
+    assert_eq!(
+        inputs.len(),
+        matrix.cols(),
+        "input count must equal matrix columns: {} vs {}",
+        inputs.len(),
+        matrix.cols()
+    );
+    let stripe_len = inputs.first().map_or(0, |s| s.len());
+    for (j, s) in inputs.iter().enumerate() {
+        assert_eq!(s.len(), stripe_len, "input stripe {j} has mismatched length");
+    }
+    stripe_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galloper_gf::Gf256;
+
+    fn sample_inputs(cols: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..cols)
+            .map(|j| (0..len).map(|i| ((i * 31 + j * 7 + 3) % 251) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn apply_matches_scalar_math() {
+        let m = Matrix::cauchy(3, 4);
+        let inputs = sample_inputs(4, 57);
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let out = apply(&m, &refs);
+        for r in 0..3 {
+            for i in 0..57 {
+                let want: Gf256 = (0..4)
+                    .map(|j| m.get(r, j) * Gf256::new(inputs[j][i]))
+                    .sum();
+                assert_eq!(out[r][i], want.value(), "row {r} byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_identity_copies() {
+        let m = Matrix::identity(3);
+        let inputs = sample_inputs(3, 10);
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let out = apply(&m, &refs);
+        assert_eq!(out, inputs);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let m = Matrix::cauchy(9, 6);
+        let inputs = sample_inputs(6, 1031); // odd size
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let serial = apply(&m, &refs);
+        for threads in [1, 2, 3, 4, 16, 100] {
+            assert_eq!(apply_parallel(&m, &refs, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn apply_into_reuses_buffers() {
+        let m = Matrix::cauchy(2, 2);
+        let inputs = sample_inputs(2, 16);
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut a = vec![0xAAu8; 16];
+        let mut b = vec![0xBBu8; 16];
+        {
+            let mut outs: Vec<&mut [u8]> = vec![&mut a, &mut b];
+            apply_into(&m, &refs, &mut outs);
+        }
+        let fresh = apply(&m, &refs);
+        assert_eq!(a, fresh[0]);
+        assert_eq!(b, fresh[1]);
+    }
+
+    #[test]
+    fn empty_stripes_are_fine() {
+        let m = Matrix::cauchy(2, 2);
+        let out = apply(&m, &[&[], &[]]);
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "input count")]
+    fn wrong_arity_panics() {
+        let m = Matrix::identity(3);
+        let _ = apply(&m, &[&[1, 2][..]]);
+    }
+}

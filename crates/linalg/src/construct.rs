@@ -1,0 +1,144 @@
+//! Structured-matrix constructors: Vandermonde and Cauchy.
+
+use galloper_gf::Gf256;
+
+use crate::Matrix;
+
+impl Matrix {
+    /// A `rows × cols` Vandermonde matrix with evaluation points
+    /// `x_i = α^i` for row `i`: element `(i, j) = x_i^j`.
+    ///
+    /// With distinct evaluation points any `cols` rows form an invertible
+    /// square Vandermonde, which is the property Reed–Solomon decoding
+    /// relies on (paper §III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > 255` (the points `α^0..α^254` would repeat) or if
+    /// either dimension is zero.
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        assert!(rows <= 255, "at most 255 distinct non-zero points exist");
+        Matrix::from_fn(rows, cols, |r, c| Gf256::exp(r).pow(c as u32))
+    }
+
+    /// A `rows × cols` Cauchy matrix with `x_i = α^i` (for rows) and
+    /// `y_j = α^(rows + j)` (for columns): element `(i, j) = 1 / (x_i + y_j)`.
+    ///
+    /// Every square submatrix of a Cauchy matrix is invertible, which makes
+    /// `[I | Cᵀ]ᵀ` an MDS generator — the foundation of the systematic
+    /// Reed–Solomon and Pyramid constructions in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows + cols > 255` (the x and y points must all be
+    /// distinct) or if either dimension is zero.
+    pub fn cauchy(rows: usize, cols: usize) -> Matrix {
+        assert!(
+            rows + cols <= 255,
+            "Cauchy construction needs {rows}+{cols} <= 255 distinct points"
+        );
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = Gf256::exp(r);
+            let y = Gf256::exp(rows + c);
+            (x + y).inv().expect("x_i != y_j by construction")
+        })
+    }
+
+    /// A Cauchy matrix rescaled column-wise so its first row is all ones.
+    ///
+    /// Column scaling by non-zero constants preserves the all-submatrices-
+    /// invertible property, so the result is still a valid MDS parity
+    /// matrix — but its first row is now the XOR parity. Splitting that row
+    /// into per-group projections yields the Pyramid local parities
+    /// (§III-B) while keeping `g + 1` global failure tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Matrix::cauchy`].
+    pub fn cauchy_with_xor_row(rows: usize, cols: usize) -> Matrix {
+        let c = Matrix::cauchy(rows, cols);
+        Matrix::from_fn(rows, cols, |r, j| {
+            let scale = c.get(0, j).inv().expect("Cauchy entries are non-zero");
+            c.get(r, j) * scale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that every square submatrix up to the full size
+    /// is invertible. Exponential, so only used with tiny matrices.
+    fn all_square_submatrices_invertible(m: &Matrix) -> bool {
+        let rows: Vec<usize> = (0..m.rows()).collect();
+        let cols: Vec<usize> = (0..m.cols()).collect();
+        for size in 1..=m.rows().min(m.cols()) {
+            for rsel in combinations(&rows, size) {
+                for csel in combinations(&cols, size) {
+                    let sub = m.select_rows(&rsel).select_cols(&csel);
+                    if sub.inverted().is_none() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn combinations(items: &[usize], size: usize) -> Vec<Vec<usize>> {
+        if size == 0 {
+            return vec![vec![]];
+        }
+        if items.len() < size {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for (i, &first) in items.iter().enumerate() {
+            for mut rest in combinations(&items[i + 1..], size - 1) {
+                rest.insert(0, first);
+                out.push(rest);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn vandermonde_any_k_rows_invertible() {
+        let k = 4;
+        let v = Matrix::vandermonde(7, k);
+        let rows: Vec<usize> = (0..7).collect();
+        for sel in combinations(&rows, k) {
+            assert!(
+                v.select_rows(&sel).inverted().is_some(),
+                "rows {sel:?} should be invertible"
+            );
+        }
+    }
+
+    #[test]
+    fn cauchy_all_submatrices_invertible() {
+        let c = Matrix::cauchy(4, 4);
+        assert!(all_square_submatrices_invertible(&c));
+    }
+
+    #[test]
+    fn cauchy_xor_row_is_all_ones() {
+        let c = Matrix::cauchy_with_xor_row(3, 6);
+        for j in 0..6 {
+            assert_eq!(c.get(0, j), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn cauchy_xor_row_keeps_submatrix_property() {
+        let c = Matrix::cauchy_with_xor_row(3, 4);
+        assert!(all_square_submatrices_invertible(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct points")]
+    fn cauchy_rejects_oversized() {
+        let _ = Matrix::cauchy(200, 100);
+    }
+}

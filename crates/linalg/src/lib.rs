@@ -1,0 +1,38 @@
+//! Dense linear algebra over GF(2⁸) for erasure-code construction.
+//!
+//! Every code in this workspace — Reed–Solomon, Pyramid, Carousel, and
+//! Galloper — is defined by a generator matrix over GF(2⁸) and manipulated
+//! through the operations in this crate:
+//!
+//! * [`Matrix`] — a dense row-major matrix of field elements with
+//!   multiplication, transposition, row/column selection, and augmentation.
+//! * Gauss–Jordan [`Matrix::inverted`] and [`Matrix::rank`] — the workhorses
+//!   of decoding and of the symbol-remapping basis change (`G_g G_{g0}⁻¹`,
+//!   paper §III-C and §IV-B).
+//! * [`Matrix::kron_identity`] — the stripe expansion `G ⊗ I_N` that turns a
+//!   block-level generator into a stripe-level one (§III-C).
+//! * [`apply`] — application of a generator matrix to real data buffers,
+//!   with a multi-threaded variant used by the benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use galloper_linalg::Matrix;
+//!
+//! // A 3×3 Cauchy matrix is invertible, as is every square submatrix of it.
+//! let c = Matrix::cauchy(3, 3);
+//! let inv = c.inverted().expect("Cauchy matrices are non-singular");
+//! assert!((&c * &inv).is_identity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod construct;
+mod matrix;
+mod ops;
+
+pub use apply::{apply, apply_into, apply_parallel};
+pub use matrix::Matrix;
+pub use ops::{RowBasis, SingularMatrixError};

@@ -1,0 +1,471 @@
+//! The dense row-major [`Matrix`] type and its basic operations.
+
+use core::fmt;
+use core::ops::Mul;
+
+use galloper_gf::{slice, Gf256};
+
+/// A dense matrix over GF(2⁸), stored row-major as raw bytes.
+///
+/// Elements are exposed both as [`Gf256`] (via [`Matrix::get`]/[`Matrix::set`])
+/// and as raw `u8` rows (via [`Matrix::row`]) for the bulk data kernels.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_linalg::Matrix;
+/// use galloper_gf::Gf256;
+///
+/// let mut m = Matrix::zeros(2, 2);
+/// m.set(0, 0, Gf256::ONE);
+/// m.set(1, 1, Gf256::ONE);
+/// assert!(m.is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Gf256) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c).value();
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from explicit rows of raw byte values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Gf256 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        Gf256::new(self.data[row * self.cols + col])
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Gf256) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value.value();
+    }
+
+    /// A row as raw bytes — the unit consumed by the data kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u8] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable access to a row as raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [u8] {
+        assert!(row < self.rows, "row index out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterator over rows as raw byte slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Whether this is exactly the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        self.is_square()
+            && self.data.iter().enumerate().all(|(i, &v)| {
+                let (r, c) = (i / self.cols, i % self.cols);
+                v == u8::from(r == c)
+            })
+    }
+
+    /// Whether every element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
+    }
+
+    /// The transpose.
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// A new matrix consisting of the given rows of `self`, in order.
+    /// Row indices may repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "must select at least one row");
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// A new matrix consisting of the given columns of `self`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "must select at least one column");
+        let mut m = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            for (j, &c) in indices.iter().enumerate() {
+                assert!(c < self.cols, "column index out of bounds");
+                m.data[r * indices.len() + j] = self.data[r * self.cols + c];
+            }
+        }
+        m
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
+        let mut m = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            m.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            m.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        m
+    }
+
+    /// The Kronecker product `self ⊗ I_n`: every element `e` becomes the
+    /// block `e · I_n`.
+    ///
+    /// This is the stripe expansion of §III-C: a block-level generator `G`
+    /// becomes the stripe-level generator `G_g` once each block is split
+    /// into `n` stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn kron_identity(&self, n: usize) -> Matrix {
+        assert!(n > 0, "Kronecker expansion factor must be non-zero");
+        let mut m = Matrix::zeros(self.rows * n, self.cols * n);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.data[r * self.cols + c];
+                if v != 0 {
+                    for i in 0..n {
+                        m.data[(r * n + i) * m.cols + (c * n + i)] = v;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}×{} times {}×{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            let out_row_start = r * rhs.cols;
+            for (inner, &coeff) in self.row(r).iter().enumerate() {
+                if coeff != 0 {
+                    let rhs_row = rhs.row(inner);
+                    slice::mul_slice_add(
+                        coeff,
+                        rhs_row,
+                        &mut out.data[out_row_start..out_row_start + rhs.cols],
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Gf256]) -> Vec<Gf256> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(v)
+                    .map(|(&c, &x)| Gf256::new(c) * x)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}×{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.data[r * self.cols + c])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        let i3 = Matrix::identity(3);
+        let i2 = Matrix::identity(2);
+        assert_eq!(&m * &i3, m);
+        assert_eq!(&i2 * &m, m);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().rows(), 3);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = Matrix::from_rows(&[vec![1, 2], vec![3, 4], vec![5, 6]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5, 6]);
+        assert_eq!(m.row(2), &[1, 2]);
+        m.swap_rows(1, 1); // self-swap must be a no-op
+        assert_eq!(m.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        let r = m.select_rows(&[2, 0, 2]);
+        assert_eq!(r.row(0), &[7, 8, 9]);
+        assert_eq!(r.row(1), &[1, 2, 3]);
+        assert_eq!(r.row(2), &[7, 8, 9]);
+        let c = m.select_cols(&[1]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.row(1), &[5]);
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::from_rows(&[vec![1, 2]]);
+        let b = Matrix::from_rows(&[vec![3, 4]]);
+        let v = a.vstack(&b);
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.row(1), &[3, 4]);
+        let h = a.hstack(&b);
+        assert_eq!(h.cols(), 4);
+        assert_eq!(h.row(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn kron_identity_structure() {
+        let m = Matrix::from_rows(&[vec![2, 0], vec![1, 3]]);
+        let k = m.kron_identity(3);
+        assert_eq!(k.rows(), 6);
+        assert_eq!(k.cols(), 6);
+        for i in 0..3 {
+            assert_eq!(k.get(i, i).value(), 2);
+            assert_eq!(k.get(3 + i, i).value(), 1);
+            assert_eq!(k.get(3 + i, 3 + i).value(), 3);
+            assert_eq!(k.get(i, 3 + i).value(), 0);
+        }
+        // Off-diagonal positions inside each block stay zero.
+        assert_eq!(k.get(0, 1).value(), 0);
+        assert_eq!(k.get(4, 3).value(), 0);
+    }
+
+    #[test]
+    fn kron_identity_distributes_over_matmul() {
+        let a = Matrix::from_rows(&[vec![2, 7], vec![1, 3]]);
+        let b = Matrix::from_rows(&[vec![5, 4], vec![9, 8]]);
+        let lhs = (&a * &b).kron_identity(4);
+        let rhs = &a.kron_identity(4) * &b.kron_identity(4);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        let v: Vec<Gf256> = [7u8, 8, 9].iter().map(|&x| Gf256::new(x)).collect();
+        let got = m.matvec(&v);
+        let col = Matrix::from_rows(&[vec![7], vec![8], vec![9]]);
+        let prod = &m * &col;
+        for r in 0..2 {
+            assert_eq!(got[r], prod.get(r, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn is_identity_detects_non_identity() {
+        assert!(Matrix::identity(4).is_identity());
+        assert!(!Matrix::zeros(4, 4).is_identity());
+        assert!(!Matrix::zeros(3, 4).is_identity());
+        let mut m = Matrix::identity(4);
+        m.set(0, 1, Gf256::ONE);
+        assert!(!m.is_identity());
+    }
+}

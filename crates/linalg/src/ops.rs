@@ -1,0 +1,452 @@
+//! Gauss–Jordan elimination: inversion, rank, and linear solving.
+
+use core::fmt;
+
+use galloper_gf::Gf256;
+
+use crate::Matrix;
+
+/// Error returned when inverting or solving with a singular matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is singular")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl Matrix {
+    /// The inverse, computed by Gauss–Jordan elimination on `[self | I]`.
+    ///
+    /// Returns `None` when the matrix is singular (or see
+    /// [`Matrix::try_inverted`] for a `Result`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverted(&self) -> Option<Matrix> {
+        self.try_inverted().ok()
+    }
+
+    /// The inverse, or [`SingularMatrixError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn try_inverted(&self) -> Result<Matrix, SingularMatrixError> {
+        assert!(self.is_square(), "only square matrices can be inverted");
+        let n = self.rows();
+        let mut aug = self.hstack(&Matrix::identity(n));
+        for col in 0..n {
+            // Find a pivot at or below the diagonal.
+            let pivot = (col..n)
+                .find(|&r| !aug.get(r, col).is_zero())
+                .ok_or(SingularMatrixError)?;
+            aug.swap_rows(col, pivot);
+            // Scale the pivot row so the pivot becomes 1.
+            let inv = aug.get(col, col).inv().expect("pivot is non-zero");
+            scale_row(&mut aug, col, inv);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r != col {
+                    let factor = aug.get(r, col);
+                    if !factor.is_zero() {
+                        axpy_rows(&mut aug, col, r, factor);
+                    }
+                }
+            }
+        }
+        let cols: Vec<usize> = (n..2 * n).collect();
+        Ok(aug.select_cols(&cols))
+    }
+
+    /// The rank of the matrix (dimension of its row space).
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut rank = 0;
+        for col in 0..cols {
+            if rank == rows {
+                break;
+            }
+            let Some(pivot) = (rank..rows).find(|&r| !m.get(r, col).is_zero()) else {
+                continue;
+            };
+            m.swap_rows(rank, pivot);
+            let inv = m.get(rank, col).inv().expect("pivot is non-zero");
+            scale_row(&mut m, rank, inv);
+            for r in 0..rows {
+                if r != rank {
+                    let factor = m.get(r, col);
+                    if !factor.is_zero() {
+                        axpy_rows(&mut m, rank, r, factor);
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Whether the rows are linearly independent (full row rank).
+    pub fn has_full_row_rank(&self) -> bool {
+        self.rank() == self.rows()
+    }
+
+    /// Solves `self · x = b` for a square, non-singular `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if `self` is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[Gf256]) -> Result<Vec<Gf256>, SingularMatrixError> {
+        assert!(self.is_square(), "solve requires a square system");
+        assert_eq!(b.len(), self.rows(), "rhs length mismatch");
+        let inv = self.try_inverted()?;
+        Ok(inv.matvec(b))
+    }
+
+    /// Determinant via Gaussian elimination (product of pivots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn determinant(&self) -> Gf256 {
+        assert!(self.is_square(), "determinant requires a square matrix");
+        let mut m = self.clone();
+        let n = m.rows();
+        let mut det = Gf256::ONE;
+        for col in 0..n {
+            let Some(pivot) = (col..n).find(|&r| !m.get(r, col).is_zero()) else {
+                return Gf256::ZERO;
+            };
+            // In GF(2^8) row swaps do not flip the determinant sign
+            // (characteristic 2: -1 == 1).
+            m.swap_rows(col, pivot);
+            let p = m.get(col, col);
+            det *= p;
+            let inv = p.inv().expect("pivot is non-zero");
+            scale_row(&mut m, col, inv);
+            for r in (col + 1)..n {
+                let factor = m.get(r, col);
+                if !factor.is_zero() {
+                    axpy_rows(&mut m, col, r, factor);
+                }
+            }
+        }
+        det
+    }
+}
+
+/// An incrementally built row basis over GF(2⁸).
+///
+/// Feed candidate rows with [`RowBasis::try_add`]; the basis accepts a row
+/// exactly when it is linearly independent of everything accepted so far.
+/// This is the primitive behind generic erasure decoding: walk the
+/// generator rows of the available blocks and keep the first `kN`
+/// independent ones.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_linalg::RowBasis;
+///
+/// let mut basis = RowBasis::new(2);
+/// assert!(basis.try_add(&[1, 2]));
+/// assert!(!basis.try_add(&[1, 2]));      // dependent: already present
+/// assert!(basis.try_add(&[0, 1]));
+/// assert_eq!(basis.rank(), 2);
+/// assert!(basis.is_complete());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowBasis {
+    cols: usize,
+    /// Rows in echelon form (each scaled so its pivot is 1).
+    rows: Vec<Vec<u8>>,
+    /// Pivot column of each stored row.
+    pivots: Vec<usize>,
+}
+
+impl RowBasis {
+    /// An empty basis for rows of width `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero.
+    pub fn new(cols: usize) -> Self {
+        assert!(cols > 0, "row width must be non-zero");
+        RowBasis {
+            cols,
+            rows: Vec::new(),
+            pivots: Vec::new(),
+        }
+    }
+
+    /// Current rank (number of accepted rows).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the basis spans the full space (`rank == cols`).
+    pub fn is_complete(&self) -> bool {
+        self.rows.len() == self.cols
+    }
+
+    /// Attempts to add `row`; returns `true` iff it was independent of the
+    /// rows accepted so far (and is now part of the basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the basis width.
+    pub fn try_add(&mut self, row: &[u8]) -> bool {
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        let mut r = row.to_vec();
+        for (b, &p) in self.rows.iter().zip(&self.pivots) {
+            let c = r[p];
+            if c != 0 {
+                galloper_gf::slice::mul_slice_add(c, b, &mut r);
+            }
+        }
+        let Some(pivot) = r.iter().position(|&v| v != 0) else {
+            return false;
+        };
+        let inv = Gf256::new(r[pivot]).inv().expect("pivot non-zero").value();
+        let tmp = r.clone();
+        galloper_gf::slice::mul_slice(inv, &tmp, &mut r);
+        self.rows.push(r);
+        self.pivots.push(pivot);
+        true
+    }
+}
+
+impl Matrix {
+    /// Finds *any* solution `x` of `self · x = b`, or `None` if the system
+    /// is inconsistent. Free variables are set to zero.
+    ///
+    /// Unlike [`Matrix::solve`], the matrix may be rectangular and
+    /// rank-deficient. This is the tool for expressing one generator row as
+    /// a combination of others (repair-coefficient derivation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve_any(&self, b: &[Gf256]) -> Option<Vec<Gf256>> {
+        assert_eq!(b.len(), self.rows(), "rhs length mismatch");
+        let (m, n) = (self.rows(), self.cols());
+        // Augmented matrix [self | b].
+        let mut aug = Matrix::zeros(m, n + 1);
+        for r in 0..m {
+            aug.row_mut(r)[..n].copy_from_slice(self.row(r));
+            aug.set(r, n, b[r]);
+        }
+        // Forward elimination with pivot tracking.
+        let mut pivot_cols = Vec::new();
+        let mut rank = 0;
+        for col in 0..n {
+            if rank == m {
+                break;
+            }
+            let Some(p) = (rank..m).find(|&r| !aug.get(r, col).is_zero()) else {
+                continue;
+            };
+            aug.swap_rows(rank, p);
+            let inv = aug.get(rank, col).inv().expect("pivot non-zero");
+            scale_row(&mut aug, rank, inv);
+            for r in 0..m {
+                if r != rank {
+                    let f = aug.get(r, col);
+                    if !f.is_zero() {
+                        axpy_rows(&mut aug, rank, r, f);
+                    }
+                }
+            }
+            pivot_cols.push(col);
+            rank += 1;
+        }
+        // Inconsistent if any zero row has a non-zero rhs.
+        for r in rank..m {
+            if !aug.get(r, n).is_zero() {
+                return None;
+            }
+        }
+        let mut x = vec![Gf256::ZERO; n];
+        for (r, &col) in pivot_cols.iter().enumerate() {
+            x[col] = aug.get(r, n);
+        }
+        Some(x)
+    }
+
+    /// Expresses the row vector `target` as a linear combination of the
+    /// rows of `self`: returns `c` with `c · self = target`, or `None` if
+    /// `target` is outside the row space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != self.cols()`.
+    pub fn express_row(&self, target: &[Gf256]) -> Option<Vec<Gf256>> {
+        assert_eq!(target.len(), self.cols(), "target width mismatch");
+        // c · self = target  ⟺  selfᵀ · cᵀ = targetᵀ.
+        self.transposed().solve_any(target)
+    }
+}
+
+/// `row *= c` in place.
+fn scale_row(m: &mut Matrix, row: usize, c: Gf256) {
+    if c == Gf256::ONE {
+        return;
+    }
+    let r = m.row_mut(row);
+    let tmp = r.to_vec();
+    galloper_gf::slice::mul_slice(c.value(), &tmp, r);
+}
+
+/// `m[dst] += c · m[src]` in place.
+fn axpy_rows(m: &mut Matrix, src: usize, dst: usize, c: Gf256) {
+    let tmp = m.row(src).to_vec();
+    galloper_gf::slice::mul_slice_add(c.value(), &tmp, m.row_mut(dst));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_inverts_to_itself() {
+        let i = Matrix::identity(5);
+        assert_eq!(i.inverted().unwrap(), i);
+    }
+
+    #[test]
+    fn inverse_roundtrip_on_cauchy() {
+        for n in 1..=8 {
+            let c = Matrix::cauchy(n, n);
+            let inv = c.inverted().expect("Cauchy is non-singular");
+            assert!((&c * &inv).is_identity(), "n={n}");
+            assert!((&inv * &c).is_identity(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        // Two equal rows.
+        let m = Matrix::from_rows(&[vec![1, 2], vec![1, 2]]);
+        assert_eq!(m.inverted(), None);
+        assert_eq!(m.try_inverted(), Err(SingularMatrixError));
+        assert_eq!(m.rank(), 1);
+        assert_eq!(m.determinant(), Gf256::ZERO);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(Matrix::zeros(3, 4).rank(), 0);
+    }
+
+    #[test]
+    fn rank_of_tall_vandermonde() {
+        // A (k+r) × k Vandermonde with distinct points has full column rank.
+        let v = Matrix::vandermonde(7, 4);
+        assert_eq!(v.rank(), 4);
+        assert!(v.transposed().has_full_row_rank());
+    }
+
+    #[test]
+    fn solve_recovers_known_vector() {
+        let a = Matrix::cauchy(4, 4);
+        let x: Vec<Gf256> = [3u8, 1, 4, 1].iter().map(|&v| Gf256::new(v)).collect();
+        let b = a.matvec(&x);
+        let got = a.solve(&b).unwrap();
+        assert_eq!(got, x);
+    }
+
+    #[test]
+    fn determinant_multiplicative() {
+        let a = Matrix::cauchy(3, 3);
+        let b = Matrix::from_rows(&[vec![1, 1, 0], vec![0, 1, 0], vec![5, 0, 2]]);
+        let ab = &a * &b;
+        assert_eq!(ab.determinant(), a.determinant() * b.determinant());
+    }
+
+    #[test]
+    fn row_basis_tracks_rank() {
+        let mut b = RowBasis::new(3);
+        assert!(b.try_add(&[1, 2, 3]));
+        assert!(b.try_add(&[0, 1, 1]));
+        // 2*(1,2,3) is dependent.
+        let two = Gf256::new(2);
+        let scaled: Vec<u8> = [1u8, 2, 3].iter().map(|&v| (two * Gf256::new(v)).value()).collect();
+        assert!(!b.try_add(&scaled));
+        // Sum of the two accepted rows is dependent.
+        assert!(!b.try_add(&[1, 3, 2])); // (1,2,3) xor (0,1,1)
+        assert!(b.try_add(&[0, 0, 7]));
+        assert!(b.is_complete());
+        assert!(!b.try_add(&[9, 9, 9])); // full basis accepts nothing more
+    }
+
+    #[test]
+    fn row_basis_rejects_zero_row() {
+        let mut b = RowBasis::new(4);
+        assert!(!b.try_add(&[0, 0, 0, 0]));
+        assert_eq!(b.rank(), 0);
+    }
+
+    #[test]
+    fn solve_any_consistent_underdetermined() {
+        // One equation, two unknowns: x + 2y = 5. Any solution acceptable.
+        let a = Matrix::from_rows(&[vec![1, 2]]);
+        let b = [Gf256::new(5)];
+        let x = a.solve_any(&b).expect("consistent");
+        let lhs = a.matvec(&x);
+        assert_eq!(lhs[0], Gf256::new(5));
+    }
+
+    #[test]
+    fn solve_any_detects_inconsistency() {
+        // x = 1 and x = 2 simultaneously.
+        let a = Matrix::from_rows(&[vec![1], vec![1]]);
+        let b = [Gf256::new(1), Gf256::new(2)];
+        assert_eq!(a.solve_any(&b), None);
+    }
+
+    #[test]
+    fn solve_any_overdetermined_consistent() {
+        let a = Matrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        let want = [Gf256::new(3), Gf256::new(4)];
+        let b = a.matvec(&want);
+        let x = a.solve_any(&b).expect("consistent");
+        assert_eq!(x, want.to_vec());
+    }
+
+    #[test]
+    fn express_row_finds_combination() {
+        let rows = Matrix::from_rows(&[vec![1, 0, 1], vec![0, 1, 1]]);
+        // target = 3*row0 + 5*row1.
+        let (c0, c1) = (Gf256::new(3), Gf256::new(5));
+        let target: Vec<Gf256> = (0..3)
+            .map(|j| c0 * rows.get(0, j) + c1 * rows.get(1, j))
+            .collect();
+        let coeffs = rows.express_row(&target).expect("in row space");
+        let recon = rows.transposed().matvec(&coeffs);
+        assert_eq!(recon, target);
+    }
+
+    #[test]
+    fn express_row_outside_rowspace() {
+        let rows = Matrix::from_rows(&[vec![1, 0, 0]]);
+        let target = vec![Gf256::ZERO, Gf256::ONE, Gf256::ZERO];
+        assert_eq!(rows.express_row(&target), None);
+    }
+
+    #[test]
+    fn determinant_of_singular_is_zero() {
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6], vec![5, 7, 5]]);
+        // Row 2 = row 0 + row 1 in GF(2^8) (XOR): 1^4=5, 2^5=7, 3^6=5.
+        assert_eq!(m.determinant(), Gf256::ZERO);
+        assert_eq!(m.rank(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests on the matrix algebra: inversion roundtrips, rank
+//! bounds, Kronecker identities, and consistency of `apply` with `matmul`.
+
+use galloper_gf::Gf256;
+use galloper_linalg::{apply, apply_parallel, Matrix, RowBasis};
+use proptest::prelude::*;
+
+/// Strategy producing a random matrix with dimensions in `[1, max_dim]`.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(any::<u8>(), r * c).prop_map(move |data| {
+            let mut m = Matrix::zeros(r, c);
+            for (i, v) in data.into_iter().enumerate() {
+                m.set(i / c, i % c, Gf256::new(v));
+            }
+            m
+        })
+    })
+}
+
+/// Strategy producing a random square matrix.
+fn square(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(square_of)
+}
+
+/// Strategy producing a random `n × n` matrix.
+fn square_of(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(any::<u8>(), n * n).prop_map(move |data| {
+        let mut m = Matrix::zeros(n, n);
+        for (i, v) in data.into_iter().enumerate() {
+            m.set(i / n, i % n, Gf256::new(v));
+        }
+        m
+    })
+}
+
+/// Strategy producing three square matrices of one shared dimension.
+fn square_triple(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
+    (1..=max_dim).prop_flat_map(|n| (square_of(n), square_of(n), square_of(n)))
+}
+
+proptest! {
+    #[test]
+    fn inverse_roundtrips(m in square(8)) {
+        if let Some(inv) = m.inverted() {
+            prop_assert!((&m * &inv).is_identity());
+            prop_assert!((&inv * &m).is_identity());
+            // determinant of invertible matrix is non-zero
+            prop_assert!(!m.determinant().is_zero());
+        } else {
+            prop_assert!(m.rank() < m.rows());
+            prop_assert!(m.determinant().is_zero());
+        }
+    }
+
+    #[test]
+    fn rank_is_bounded(m in matrix(8)) {
+        let r = m.rank();
+        prop_assert!(r <= m.rows().min(m.cols()));
+        prop_assert_eq!(m.transposed().rank(), r);
+    }
+
+    #[test]
+    fn matmul_is_associative((a, b, c) in square_triple(5)) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn transpose_of_product((a, b, _) in square_triple(5)) {
+        prop_assert_eq!((&a * &b).transposed(), &b.transposed() * &a.transposed());
+    }
+
+    #[test]
+    fn kron_identity_commutes_with_product((a, b, _) in square_triple(4), n in 1usize..4) {
+        prop_assert_eq!(
+            (&a * &b).kron_identity(n),
+            &a.kron_identity(n) * &b.kron_identity(n)
+        );
+    }
+
+    #[test]
+    fn kron_identity_preserves_invertibility(m in square(5), n in 1usize..4) {
+        let expanded = m.kron_identity(n);
+        prop_assert_eq!(expanded.rank(), m.rank() * n);
+        prop_assert_eq!(expanded.inverted().is_some(), m.inverted().is_some());
+    }
+
+    #[test]
+    fn apply_agrees_with_matmul(m in matrix(6), stripe_len in 1usize..40) {
+        // Treat each input stripe as a column-block and compare apply()
+        // against the equivalent matrix product.
+        let inputs: Vec<Vec<u8>> = (0..m.cols())
+            .map(|j| (0..stripe_len).map(|i| ((i * 17 + j * 29 + 1) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let out = apply(&m, &refs);
+
+        let data_matrix = Matrix::from_rows(&inputs);
+        let prod = &m * &data_matrix;
+        for r in 0..m.rows() {
+            prop_assert_eq!(out[r].as_slice(), prod.row(r));
+        }
+    }
+
+    #[test]
+    fn apply_parallel_is_deterministic(m in matrix(6), threads in 1usize..8) {
+        let inputs: Vec<Vec<u8>> = (0..m.cols())
+            .map(|j| (0..100).map(|i| ((i * 13 + j) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(apply_parallel(&m, &refs, threads), apply(&m, &refs));
+    }
+
+    #[test]
+    fn solve_any_finds_solutions_of_consistent_systems(
+        m in matrix(7),
+        xs in proptest::collection::vec(any::<u8>(), 7),
+    ) {
+        // Build b = A·x for a random x: always consistent, any returned
+        // solution must satisfy the system (not necessarily equal x).
+        let x: Vec<Gf256> = xs.iter().take(m.cols()).map(|&v| Gf256::new(v)).collect();
+        prop_assume!(x.len() == m.cols());
+        let b = m.matvec(&x);
+        let got = m.solve_any(&b).expect("consistent system must solve");
+        prop_assert_eq!(m.matvec(&got), b);
+    }
+
+    #[test]
+    fn express_row_is_sound_and_complete(m in matrix(6), coeffs in proptest::collection::vec(any::<u8>(), 6)) {
+        // Soundness + completeness: a row built as c·M must be expressible,
+        // and the returned combination must reproduce it exactly.
+        let c: Vec<Gf256> = coeffs.iter().take(m.rows()).map(|&v| Gf256::new(v)).collect();
+        prop_assume!(c.len() == m.rows());
+        let target: Vec<Gf256> = (0..m.cols())
+            .map(|j| {
+                (0..m.rows())
+                    .map(|i| c[i] * m.get(i, j))
+                    .sum()
+            })
+            .collect();
+        let found = m.express_row(&target).expect("target is in the row space");
+        let rebuilt: Vec<Gf256> = (0..m.cols())
+            .map(|j| {
+                (0..m.rows())
+                    .map(|i| found[i] * m.get(i, j))
+                    .sum()
+            })
+            .collect();
+        prop_assert_eq!(rebuilt, target);
+    }
+
+    #[test]
+    fn row_basis_rank_matches_matrix_rank(m in matrix(8)) {
+        let mut basis = RowBasis::new(m.cols());
+        let mut accepted = 0;
+        for r in 0..m.rows() {
+            if basis.try_add(m.row(r)) {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(accepted, m.rank());
+        prop_assert_eq!(basis.rank(), m.rank());
+    }
+
+    #[test]
+    fn solve_inverts_matvec(a in square(6), xs in proptest::collection::vec(any::<u8>(), 6)) {
+        let n = a.rows();
+        let x: Vec<Gf256> = xs.iter().take(n).map(|&v| Gf256::new(v)).collect();
+        prop_assume!(x.len() == n);
+        let b = a.matvec(&x);
+        match a.solve(&b) {
+            Ok(got) => prop_assert_eq!(got, x),
+            Err(_) => prop_assert!(a.rank() < n),
+        }
+    }
+}

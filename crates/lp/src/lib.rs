@@ -1,0 +1,33 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! Galloper codes assign each block a *weight* — the fraction of the block
+//! holding original data — by solving the linear programs of paper §IV-C
+//! (the special case) and §V-B (the general case with local parity groups).
+//! Those programs are tiny (tens of variables), so this crate implements a
+//! dense two-phase primal simplex with Bland's anti-cycling rule rather
+//! than binding to an external solver.
+//!
+//! All variables are implicitly non-negative; upper bounds and general
+//! `≤ / ≥ / =` constraints are supported.
+//!
+//! # Examples
+//!
+//! ```
+//! use galloper_lp::{LinearProgram, Relation};
+//!
+//! // minimize x + y  subject to  x + 2y >= 4,  3x + y >= 6
+//! let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+//! lp.constraint(&[1.0, 2.0], Relation::Ge, 4.0);
+//! lp.constraint(&[3.0, 1.0], Relation::Ge, 6.0);
+//! let sol = lp.solve()?;
+//! // Optimum at the intersection (1.6, 1.2).
+//! assert!((sol.objective - 2.8).abs() < 1e-9);
+//! # Ok::<(), galloper_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod simplex;
+
+pub use simplex::{LinearProgram, LpError, Relation, Solution};

@@ -1,0 +1,538 @@
+//! Two-phase dense primal simplex with Bland's rule.
+
+use core::fmt;
+
+const TOL: f64 = 1e-9;
+
+/// The sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `coeffs · x <= rhs`
+    Le,
+    /// `coeffs · x >= rhs`
+    Ge,
+    /// `coeffs · x == rhs`
+    Eq,
+}
+
+/// Errors produced by [`LinearProgram::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("linear program is infeasible"),
+            LpError::Unbounded => f.write_str("linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The optimal objective value.
+    pub objective: f64,
+    /// The optimal variable assignment (length = number of variables).
+    pub x: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// A minimization linear program over non-negative variables.
+///
+/// Build with [`LinearProgram::minimize`], add rows with
+/// [`LinearProgram::constraint`] / [`LinearProgram::bound`], then call
+/// [`LinearProgram::solve`]. The builder is non-consuming, so a program can
+/// be solved, extended with more constraints, and solved again.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    costs: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Starts a program minimizing `costs · x` over `x >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty or contains non-finite values.
+    pub fn minimize(costs: &[f64]) -> Self {
+        assert!(!costs.is_empty(), "a program needs at least one variable");
+        assert!(
+            costs.iter().all(|c| c.is_finite()),
+            "objective coefficients must be finite"
+        );
+        LinearProgram {
+            costs: costs.to_vec(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Starts a program maximizing `costs · x` (implemented by negating the
+    /// objective; [`Solution::objective`] is reported in the original,
+    /// maximized sense).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LinearProgram::minimize`].
+    pub fn maximize(costs: &[f64]) -> MaximizeProgram {
+        let negated: Vec<f64> = costs.iter().map(|c| -c).collect();
+        MaximizeProgram(LinearProgram::minimize(&negated))
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Adds the constraint `coeffs · x (rel) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the number of variables, or if
+    /// any coefficient or `rhs` is non-finite.
+    pub fn constraint(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.costs.len(),
+            "constraint arity must match variable count"
+        );
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "constraint coefficients must be finite"
+        );
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
+        self
+    }
+
+    /// Adds the upper bound `x[var] <= upper`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or `upper` is non-finite.
+    pub fn bound(&mut self, var: usize, upper: f64) -> &mut Self {
+        assert!(var < self.costs.len(), "variable index out of range");
+        let mut coeffs = vec![0.0; self.costs.len()];
+        coeffs[var] = 1.0;
+        self.constraint(&coeffs, Relation::Le, upper)
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`] if no assignment satisfies all constraints;
+    /// [`LpError::Unbounded`] if the objective can decrease without bound.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        Tableau::build(self).solve()
+    }
+}
+
+/// A maximization program produced by [`LinearProgram::maximize`].
+///
+/// Mirrors the [`LinearProgram`] builder API.
+#[derive(Debug, Clone)]
+pub struct MaximizeProgram(LinearProgram);
+
+impl MaximizeProgram {
+    /// See [`LinearProgram::constraint`].
+    pub fn constraint(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
+        self.0.constraint(coeffs, relation, rhs);
+        self
+    }
+
+    /// See [`LinearProgram::bound`].
+    pub fn bound(&mut self, var: usize, upper: f64) -> &mut Self {
+        self.0.bound(var, upper);
+        self
+    }
+
+    /// Solves the program, reporting the objective in the maximized sense.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearProgram::solve`].
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let mut sol = self.0.solve()?;
+        sol.objective = -sol.objective;
+        Ok(sol)
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: `[structural vars | slack/surplus | artificial | rhs]`.
+struct Tableau {
+    /// Constraint rows; each has `cols + 1` entries (last is the rhs).
+    rows: Vec<Vec<f64>>,
+    /// Index of the basic variable for each row.
+    basis: Vec<usize>,
+    /// Total number of variable columns (excludes rhs).
+    cols: usize,
+    num_structural: usize,
+    artificial_start: usize,
+    /// Original objective over structural variables.
+    costs: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n = lp.num_vars();
+        let m = lp.constraints.len();
+        // Count slack/surplus columns.
+        let num_slack = lp
+            .constraints
+            .iter()
+            .filter(|c| c.relation != Relation::Eq)
+            .count();
+        // Worst case every row needs an artificial; unused ones are never
+        // pivoted in, which is harmless.
+        let artificial_start = n + num_slack;
+        let cols = artificial_start + m;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let mut row = vec![0.0; cols + 1];
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for (j, &a) in c.coeffs.iter().enumerate() {
+                row[j] = sign * a;
+            }
+            row[cols] = sign * c.rhs;
+            let relation = match (c.relation, flip) {
+                (Relation::Eq, _) => Relation::Eq,
+                (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+                (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            };
+            match relation {
+                Relation::Le => {
+                    row[slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                    row[artificial_start + i] = 1.0;
+                    basis[i] = artificial_start + i;
+                }
+                Relation::Eq => {
+                    row[artificial_start + i] = 1.0;
+                    basis[i] = artificial_start + i;
+                }
+            }
+            rows.push(row);
+        }
+
+        Tableau {
+            rows,
+            basis,
+            cols,
+            num_structural: n,
+            artificial_start,
+            costs: lp.costs.clone(),
+        }
+    }
+
+    fn solve(mut self) -> Result<Solution, LpError> {
+        // Phase 1: minimize the sum of artificial variables.
+        let phase1_costs: Vec<f64> = (0..self.cols)
+            .map(|j| if j >= self.artificial_start { 1.0 } else { 0.0 })
+            .collect();
+        let phase1_value = self.run_phase(&phase1_costs, self.cols)?;
+        if phase1_value > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        self.evict_artificials();
+
+        // Phase 2: minimize the real objective over non-artificial columns.
+        let mut phase2_costs = vec![0.0; self.cols];
+        phase2_costs[..self.num_structural].copy_from_slice(&self.costs);
+        let objective = self.run_phase(&phase2_costs, self.artificial_start)?;
+
+        let mut x = vec![0.0; self.num_structural];
+        for (row, &b) in self.basis.iter().enumerate() {
+            if b < self.num_structural {
+                x[b] = self.rows[row][self.cols];
+            }
+        }
+        Ok(Solution { objective, x })
+    }
+
+    /// Runs simplex iterations minimizing `costs`, allowing only columns
+    /// `< allowed_cols` to enter the basis. Returns the objective value.
+    fn run_phase(&mut self, costs: &[f64], allowed_cols: usize) -> Result<f64, LpError> {
+        loop {
+            let reduced = self.reduced_costs(costs);
+            // Bland's rule: entering variable = smallest eligible index.
+            let entering = (0..allowed_cols).find(|&j| reduced[j] < -TOL);
+            let Some(col) = entering else {
+                return Ok(self.objective_value(costs));
+            };
+            let Some(row) = self.ratio_test(col) else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// Reduced cost vector `c_j - c_B B^{-1} A_j`, read off the tableau.
+    fn reduced_costs(&self, costs: &[f64]) -> Vec<f64> {
+        let mut reduced = costs.to_vec();
+        for (row, &b) in self.basis.iter().enumerate() {
+            let cb = costs[b];
+            if cb != 0.0 {
+                for j in 0..self.cols {
+                    reduced[j] -= cb * self.rows[row][j];
+                }
+            }
+        }
+        reduced
+    }
+
+    fn objective_value(&self, costs: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(row, &b)| costs[b] * self.rows[row][self.cols])
+            .sum()
+    }
+
+    /// Minimum-ratio test with Bland tie-breaking (smallest basis index).
+    fn ratio_test(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+        for (row, r) in self.rows.iter().enumerate() {
+            let a = r[col];
+            if a > TOL {
+                let ratio = r[self.cols] / a;
+                let key = (ratio, self.basis[row], row);
+                match best {
+                    None => best = Some(key),
+                    Some((br, bb, _)) => {
+                        if ratio < br - TOL || (ratio < br + TOL && self.basis[row] < bb) {
+                            best = Some(key);
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, row)| row)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.rows[row][col];
+        debug_assert!(p.abs() > TOL, "pivot on (near-)zero element");
+        for v in self.rows[row].iter_mut() {
+            *v /= p;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, other) in self.rows.iter_mut().enumerate() {
+            if r != row {
+                let factor = other[col];
+                if factor != 0.0 {
+                    for (o, &pv) in other.iter_mut().zip(&pivot_row) {
+                        *o -= factor * pv;
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivots out any artificial variable still basic at
+    /// zero level; if its row has no eligible non-artificial column, the
+    /// constraint is redundant and the row is dropped.
+    fn evict_artificials(&mut self) {
+        let mut row = 0;
+        while row < self.rows.len() {
+            if self.basis[row] >= self.artificial_start {
+                let col = (0..self.artificial_start)
+                    .find(|&j| self.rows[row][j].abs() > TOL);
+                match col {
+                    Some(c) => self.pivot(row, c),
+                    None => {
+                        self.rows.remove(row);
+                        self.basis.remove(row);
+                        continue;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → optimum 36 at (2, 6).
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.constraint(&[1.0, 0.0], Relation::Le, 4.0);
+        lp.constraint(&[0.0, 2.0], Relation::Le, 12.0);
+        lp.constraint(&[3.0, 2.0], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → optimum at (10, 0) = 20.
+        let mut lp = LinearProgram::minimize(&[2.0, 3.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Ge, 10.0);
+        lp.constraint(&[1.0, 0.0], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 20.0);
+        assert_close(sol.x[0], 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y == 5, x - y == 1 → unique point (3, 2), value 7.
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Eq, 5.0);
+        lp.constraint(&[1.0, -1.0], Relation::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 7.0);
+        assert_close(sol.x[0], 3.0);
+        assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_program() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.constraint(&[1.0], Relation::Ge, 5.0);
+        lp.constraint(&[1.0], Relation::Le, 3.0);
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_program() {
+        let mut lp = LinearProgram::minimize(&[-1.0]);
+        lp.constraint(&[1.0], Relation::Ge, 0.0);
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2 with x,y >= 0 → y >= x + 2; min y is 2 at x=0.
+        let mut lp = LinearProgram::minimize(&[0.0, 1.0]);
+        lp.constraint(&[1.0, -1.0], Relation::Le, -2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn upper_bounds_via_bound() {
+        // max x + y with x <= 1.5, y <= 2.5.
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.bound(0, 1.5).bound(1, 2.5);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 4.0);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic Beale cycling example; Bland's rule must terminate.
+        let mut lp = LinearProgram::minimize(&[-0.75, 150.0, -0.02, 6.0]);
+        lp.constraint(&[0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        lp.constraint(&[0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        lp.constraint(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn redundant_equalities_are_dropped() {
+        // The same equality twice: phase-1 leaves one artificial basic at
+        // zero in a redundant row.
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Eq, 4.0);
+        lp.constraint(&[2.0, 2.0], Relation::Eq, 8.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 4.0);
+    }
+
+    #[test]
+    fn zero_rhs_feasible_at_origin() {
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Le, 0.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn paper_weight_lp_special_case() {
+        // §IV-C with k = 4, g = 1 and p = [1,1,1,1,1]: homogeneous servers
+        // need no throttling (d = 0) and the induced weights are 4/5 each.
+        let n = 5;
+        let k = 4.0;
+        let p = [1.0; 5];
+        let mut lp = LinearProgram::minimize(&vec![1.0; n]);
+        for i in 0..n {
+            // k(p_i - d_i) <= sum_j (p_j - d_j)
+            // → -k d_i + sum_j d_j <= sum_j p_j - k p_i
+            let mut coeffs = vec![1.0; n];
+            coeffs[i] -= k;
+            let rhs: f64 = p.iter().sum::<f64>() - k * p[i];
+            lp.constraint(&coeffs, Relation::Le, rhs);
+        }
+        for i in 0..n {
+            lp.bound(i, p[i]);
+        }
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn paper_weight_lp_with_fast_server() {
+        // One server 10x faster: it must be throttled so that
+        // k * (p_i - d_i) <= sum (p_j - d_j)  (w_i <= 1).
+        // k=4, p = [10,1,1,1,1]. With S = sum(p-d): need 4(10-d0) <= S.
+        // Optimal: throttle only server 0: S = 14 - d0, 40 - 4 d0 <= 14 - d0
+        // → d0 >= 26/3.
+        let n = 5;
+        let k = 4.0;
+        let p = [10.0, 1.0, 1.0, 1.0, 1.0];
+        let mut lp = LinearProgram::minimize(&vec![1.0; n]);
+        for i in 0..n {
+            let mut coeffs = vec![1.0; n];
+            coeffs[i] -= k;
+            let rhs: f64 = p.iter().sum::<f64>() - k * p[i];
+            lp.constraint(&coeffs, Relation::Le, rhs);
+        }
+        for i in 0..n {
+            lp.bound(i, p[i]);
+        }
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 26.0 / 3.0);
+        assert_close(sol.x[0], 26.0 / 3.0);
+    }
+}

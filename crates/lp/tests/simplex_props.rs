@@ -1,0 +1,131 @@
+//! Property-based tests for the simplex solver: returned points must be
+//! feasible, optimal for problems with known closed forms, and stable under
+//! objective scaling.
+
+use galloper_lp::{LinearProgram, Relation};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    /// min Σ x_i subject to x_i >= b_i has the closed-form optimum Σ b_i.
+    #[test]
+    fn lower_bounds_have_closed_form(bs in proptest::collection::vec(0.0f64..100.0, 1..8)) {
+        let n = bs.len();
+        let mut lp = LinearProgram::minimize(&vec![1.0; n]);
+        for (i, &b) in bs.iter().enumerate() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            lp.constraint(&coeffs, Relation::Ge, b);
+        }
+        let sol = lp.solve().unwrap();
+        let want: f64 = bs.iter().sum();
+        prop_assert!((sol.objective - want).abs() < EPS);
+        for (i, &b) in bs.iter().enumerate() {
+            prop_assert!(sol.x[i] >= b - EPS);
+        }
+    }
+
+    /// A knapsack-style LP: max Σ c_i x_i with Σ x_i <= budget, x_i <= 1.
+    /// The optimum fills variables greedily by descending c_i.
+    #[test]
+    fn fractional_knapsack_matches_greedy(
+        cs in proptest::collection::vec(0.1f64..10.0, 1..8),
+        budget in 0.0f64..8.0,
+    ) {
+        let n = cs.len();
+        let mut lp = LinearProgram::maximize(&cs);
+        lp.constraint(&vec![1.0; n], Relation::Le, budget);
+        for i in 0..n {
+            lp.bound(i, 1.0);
+        }
+        let sol = lp.solve().unwrap();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| cs[b].partial_cmp(&cs[a]).unwrap());
+        let mut remaining = budget;
+        let mut greedy = 0.0;
+        for i in order {
+            let take = remaining.min(1.0);
+            greedy += take * cs[i];
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        prop_assert!((sol.objective - greedy).abs() < EPS,
+            "simplex {} vs greedy {}", sol.objective, greedy);
+    }
+
+    /// The returned point must satisfy every constraint of a random
+    /// feasible program (feasible by construction: rhs = A·x₀ for a random
+    /// x₀ ≥ 0, all constraints Le with a bounded objective).
+    #[test]
+    fn solutions_are_feasible(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 4), 1..6),
+        x0 in proptest::collection::vec(0.0f64..3.0, 4),
+    ) {
+        let n = 4;
+        let mut lp = LinearProgram::minimize(&vec![1.0; n]); // bounded below by 0
+        let mut rhss = Vec::new();
+        for coeffs in &rows {
+            let rhs: f64 = coeffs.iter().zip(&x0).map(|(a, x)| a * x).sum();
+            lp.constraint(coeffs, Relation::Le, rhs);
+            rhss.push(rhs);
+        }
+        let sol = lp.solve().unwrap();
+        for (coeffs, rhs) in rows.iter().zip(&rhss) {
+            let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs <= rhs + EPS, "violated: {lhs} > {rhs}");
+        }
+        for &v in &sol.x {
+            prop_assert!(v >= -EPS, "negative variable {v}");
+        }
+        // x0 itself is feasible, so the minimum can be no larger than Σ x0.
+        let upper: f64 = x0.iter().sum();
+        prop_assert!(sol.objective <= upper + EPS);
+    }
+
+    /// Scaling the objective scales the optimum; the argmin set is stable.
+    #[test]
+    fn objective_scaling(scale in 0.1f64..50.0, b in 1.0f64..20.0) {
+        let mut lp1 = LinearProgram::minimize(&[1.0, 2.0]);
+        lp1.constraint(&[1.0, 1.0], Relation::Ge, b);
+        let mut lp2 = LinearProgram::minimize(&[scale, 2.0 * scale]);
+        lp2.constraint(&[1.0, 1.0], Relation::Ge, b);
+        let (s1, s2) = (lp1.solve().unwrap(), lp2.solve().unwrap());
+        prop_assert!((s2.objective - scale * s1.objective).abs() < EPS * scale.max(1.0));
+    }
+
+    /// The §IV-C weight LP is always feasible when k <= number of servers,
+    /// and yields weights in [0, 1] summing to k.
+    #[test]
+    fn paper_weight_lp_always_valid(
+        perfs in proptest::collection::vec(0.5f64..20.0, 5..12),
+        kdelta in 1usize..4,
+    ) {
+        let n = perfs.len();
+        let k = n - kdelta; // ensure k < n
+        let mut lp = LinearProgram::minimize(&vec![1.0; n]);
+        for i in 0..n {
+            let mut coeffs = vec![1.0; n];
+            coeffs[i] -= k as f64;
+            let rhs: f64 = perfs.iter().sum::<f64>() - k as f64 * perfs[i];
+            lp.constraint(&coeffs, Relation::Le, rhs);
+        }
+        for i in 0..n {
+            lp.bound(i, perfs[i]);
+        }
+        let sol = lp.solve().unwrap();
+        let total: f64 = perfs.iter().zip(&sol.x).map(|(p, d)| p - d).sum();
+        prop_assert!(total > 0.0);
+        let mut wsum = 0.0;
+        for i in 0..n {
+            let w = (perfs[i] - sol.x[i]) * k as f64 / total;
+            prop_assert!(w >= -EPS && w <= 1.0 + EPS, "w[{i}] = {w}");
+            wsum += w;
+        }
+        prop_assert!((wsum - k as f64).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,264 @@
+//! Cluster description: server specifications and block placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{ActivityGraph, Engine, ResourceKind, RunResult};
+
+/// Performance specification of one server.
+///
+/// Rates are in MB/s. `cpu_factor` scales the processing rate only — it is
+/// how the Fig. 10 experiment throttles servers to 40 % without touching
+/// disk or network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Sequential disk read bandwidth, MB/s.
+    pub disk_read_mbps: f64,
+    /// Sequential disk write bandwidth, MB/s.
+    pub disk_write_mbps: f64,
+    /// Network bandwidth, MB/s.
+    pub net_mbps: f64,
+    /// Processing throughput for coding/map work, MB/s at `cpu_factor = 1`.
+    pub cpu_mbps: f64,
+    /// CPU throttle in `(0, 1]`; 0.4 models the paper's "40 % performance"
+    /// servers.
+    pub cpu_factor: f64,
+    /// Concurrent task slots (MapReduce map slots).
+    pub slots: usize,
+}
+
+impl Default for ServerSpec {
+    /// A modest commodity server in the spirit of EC2 `r3.large`:
+    /// 150 MB/s disk, 120 MB/s network, 2 slots.
+    fn default() -> Self {
+        ServerSpec {
+            disk_read_mbps: 150.0,
+            disk_write_mbps: 120.0,
+            net_mbps: 120.0,
+            cpu_mbps: 400.0,
+            cpu_factor: 1.0,
+            slots: 2,
+        }
+    }
+}
+
+impl ServerSpec {
+    /// A copy of this spec with the CPU throttled to `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    #[must_use]
+    pub fn throttled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        self.cpu_factor = factor;
+        self
+    }
+
+    /// Effective processing rate in MB/s.
+    pub fn effective_cpu_mbps(&self) -> f64 {
+        self.cpu_mbps * self.cpu_factor
+    }
+}
+
+/// Where each block of a coded object lives.
+///
+/// Blocks are placed on distinct servers (the standard fault-isolation
+/// rule for erasure-coded systems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    block_to_server: Vec<usize>,
+}
+
+impl Placement {
+    /// Places block `i` on server `servers[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two blocks share a server.
+    pub fn new(servers: Vec<usize>) -> Self {
+        let mut sorted = servers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), servers.len(), "blocks must be on distinct servers");
+        Placement {
+            block_to_server: servers,
+        }
+    }
+
+    /// One block per server, in order: block `i` on server `i`.
+    pub fn identity(num_blocks: usize) -> Self {
+        Placement::new((0..num_blocks).collect())
+    }
+
+    /// The server holding `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn server_of(&self, block: usize) -> usize {
+        self.block_to_server[block]
+    }
+
+    /// Number of placed blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_to_server.len()
+    }
+
+    /// The blocks hosted by `server`.
+    pub fn blocks_on(&self, server: usize) -> Vec<usize> {
+        self.block_to_server
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &s)| (s == server).then_some(b))
+            .collect()
+    }
+}
+
+/// A set of servers with performance specs.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    servers: Vec<ServerSpec>,
+}
+
+impl Cluster {
+    /// A cluster from explicit specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or any rate is non-positive.
+    pub fn new(servers: Vec<ServerSpec>) -> Self {
+        assert!(!servers.is_empty(), "cluster needs at least one server");
+        for (i, s) in servers.iter().enumerate() {
+            assert!(
+                s.disk_read_mbps > 0.0
+                    && s.disk_write_mbps > 0.0
+                    && s.net_mbps > 0.0
+                    && s.cpu_mbps > 0.0
+                    && s.cpu_factor > 0.0
+                    && s.slots > 0,
+                "server {i} has a non-positive rate or zero slots"
+            );
+        }
+        Cluster { servers }
+    }
+
+    /// `n` identical servers.
+    pub fn homogeneous(n: usize, spec: ServerSpec) -> Self {
+        Cluster::new(vec![spec; n])
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the cluster has no servers (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The spec of `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn spec(&self, server: usize) -> &ServerSpec {
+        &self.servers[server]
+    }
+
+    /// Mutable spec access (e.g. to throttle a server mid-experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn spec_mut(&mut self, server: usize) -> &mut ServerSpec {
+        &mut self.servers[server]
+    }
+
+    /// Performance measurements for weight assignment: each server's
+    /// effective processing rate (the measurement the paper feeds to the
+    /// weight LP for CPU-bound analytics).
+    pub fn cpu_performances(&self) -> Vec<f64> {
+        self.servers.iter().map(ServerSpec::effective_cpu_mbps).collect()
+    }
+
+    /// Runs an activity graph on this cluster.
+    pub fn simulate(&self, graph: &ActivityGraph) -> RunResult {
+        let rates = |server: usize, kind: ResourceKind| -> f64 {
+            let s = &self.servers[server];
+            match kind {
+                ResourceKind::DiskRead => s.disk_read_mbps,
+                ResourceKind::DiskWrite => s.disk_write_mbps,
+                ResourceKind::Net => s.net_mbps,
+                ResourceKind::Cpu => s.effective_cpu_mbps(),
+                // Slots and timers use explicit durations.
+                ResourceKind::Slot | ResourceKind::Timer => 1.0,
+            }
+        };
+        let caps = |server: usize, kind: ResourceKind| -> usize {
+            match kind {
+                ResourceKind::Slot => self.servers[server].slots,
+                // Timers never queue: one unit per pending release is
+                // plenty for any realistic arrival process.
+                ResourceKind::Timer => 4096,
+                _ => 1,
+            }
+        };
+        Engine {
+            rates: &rates,
+            capacities: &caps,
+            num_servers: self.servers.len(),
+        }
+        .run(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Work;
+
+    #[test]
+    fn throttling_scales_cpu_only() {
+        let spec = ServerSpec::default().throttled(0.4);
+        assert!((spec.effective_cpu_mbps() - 160.0).abs() < 1e-9);
+        assert_eq!(spec.disk_read_mbps, 150.0);
+    }
+
+    #[test]
+    fn cpu_activity_respects_throttle() {
+        let mut cluster = Cluster::homogeneous(2, ServerSpec::default());
+        cluster.spec_mut(1).cpu_factor = 0.5;
+        let mut g = ActivityGraph::new();
+        let fast = g.add(0, ResourceKind::Cpu, Work::Megabytes(400.0), &[]);
+        let slow = g.add(1, ResourceKind::Cpu, Work::Megabytes(400.0), &[]);
+        let r = cluster.simulate(&g);
+        assert_eq!(r.finish_secs(fast), 1.0);
+        assert_eq!(r.finish_secs(slow), 2.0);
+    }
+
+    #[test]
+    fn placement_accessors() {
+        let p = Placement::identity(4);
+        assert_eq!(p.server_of(2), 2);
+        assert_eq!(p.num_blocks(), 4);
+        let q = Placement::new(vec![3, 1]);
+        assert_eq!(q.server_of(0), 3);
+        assert_eq!(q.blocks_on(1), vec![1]);
+        assert!(q.blocks_on(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct servers")]
+    fn placement_rejects_collisions() {
+        let _ = Placement::new(vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive rate")]
+    fn cluster_rejects_bad_spec() {
+        let mut s = ServerSpec::default();
+        s.net_mbps = 0.0;
+        let _ = Cluster::new(vec![s]);
+    }
+}

@@ -1,0 +1,503 @@
+//! The deterministic discrete-event engine: activity graphs, resources,
+//! and the list scheduler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The kinds of per-server resources an activity can consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Sequential disk read bandwidth.
+    DiskRead,
+    /// Sequential disk write bandwidth.
+    DiskWrite,
+    /// Network bandwidth (modelled at the receiving side).
+    Net,
+    /// Processing bandwidth (scaled by the server's `cpu_factor`).
+    Cpu,
+    /// A concurrency-limited task slot (e.g. MapReduce map slots); work is
+    /// always expressed in seconds.
+    Slot,
+    /// A virtual timer: effectively unlimited capacity, used to release
+    /// work at an absolute simulation time (arrival processes). Work is
+    /// expressed in seconds.
+    Timer,
+}
+
+/// The amount of work an activity performs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Work {
+    /// Bytes of data, in megabytes; duration = MB / server rate.
+    Megabytes(f64),
+    /// An explicit duration, independent of server rates.
+    Seconds(f64),
+}
+
+/// Handle to an activity inside an [`ActivityGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActivityId(usize);
+
+#[derive(Debug, Clone)]
+struct Activity {
+    server: usize,
+    kind: ResourceKind,
+    work: Work,
+    deps: Vec<ActivityId>,
+}
+
+/// A DAG of resource-consuming activities.
+///
+/// Build with [`ActivityGraph::add`]; dependencies must already exist, so
+/// the graph is acyclic by construction.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityGraph {
+    activities: Vec<Activity>,
+}
+
+impl ActivityGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an activity on `server` consuming `kind`; it starts only
+    /// after every activity in `deps` has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id does not exist yet or the work amount is
+    /// negative or non-finite.
+    pub fn add(
+        &mut self,
+        server: usize,
+        kind: ResourceKind,
+        work: Work,
+        deps: &[ActivityId],
+    ) -> ActivityId {
+        let amount = match work {
+            Work::Megabytes(mb) => mb,
+            Work::Seconds(s) => s,
+        };
+        assert!(amount.is_finite() && amount >= 0.0, "work must be non-negative");
+        for d in deps {
+            assert!(d.0 < self.activities.len(), "dependency does not exist");
+        }
+        self.activities.push(Activity {
+            server,
+            kind,
+            work,
+            deps: deps.to_vec(),
+        });
+        ActivityId(self.activities.len() - 1)
+    }
+
+    /// Number of activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+}
+
+/// Time in integer microseconds: totally ordered, hashable, exact.
+pub(crate) type Micros = u64;
+
+pub(crate) fn to_micros(secs: f64) -> Micros {
+    (secs * 1e6).round() as Micros
+}
+
+pub(crate) fn to_secs(us: Micros) -> f64 {
+    us as f64 / 1e6
+}
+
+/// The outcome of simulating an [`ActivityGraph`] on a cluster.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    finish: Vec<Micros>,
+    start: Vec<Micros>,
+    /// (server, kind) of each activity, for timeline rendering.
+    meta: Vec<(usize, ResourceKind)>,
+    /// (server, kind) → busy microseconds, summed over units.
+    busy: std::collections::HashMap<(usize, ResourceKind), Micros>,
+    /// Megabytes read from each server's disk.
+    disk_read_mb: Vec<f64>,
+    /// Megabytes received over each server's NIC.
+    net_mb: Vec<f64>,
+}
+
+impl RunResult {
+    /// Makespan of the whole graph, in seconds.
+    pub fn completion_secs(&self) -> f64 {
+        to_secs(self.finish.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Finish time of one activity, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn finish_secs(&self, id: ActivityId) -> f64 {
+        to_secs(self.finish[id.0])
+    }
+
+    /// Start time of one activity, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn start_secs(&self, id: ActivityId) -> f64 {
+        to_secs(self.start[id.0])
+    }
+
+    /// Total megabytes read from `server`'s disk.
+    pub fn disk_read_megabytes(&self, server: usize) -> f64 {
+        self.disk_read_mb.get(server).copied().unwrap_or(0.0)
+    }
+
+    /// Megabytes received over `server`'s NIC.
+    pub fn net_megabytes(&self, server: usize) -> f64 {
+        self.net_mb.get(server).copied().unwrap_or(0.0)
+    }
+
+    /// Total disk megabytes read cluster-wide (the paper's repair disk-I/O
+    /// metric).
+    pub fn total_disk_read_megabytes(&self) -> f64 {
+        self.disk_read_mb.iter().sum()
+    }
+
+    /// Busy time of a (server, resource) pair in seconds, summed across
+    /// its parallel units.
+    pub fn busy_secs(&self, server: usize, kind: ResourceKind) -> f64 {
+        to_secs(self.busy.get(&(server, kind)).copied().unwrap_or(0))
+    }
+
+    /// Fraction of the makespan a (server, resource) pair was busy
+    /// (normalized per unit via `capacity`). Zero for an empty run.
+    ///
+    /// Utilization over 1.0 is impossible for single-unit resources but a
+    /// capacity-`c` resource can be busy up to `c ×` the makespan before
+    /// normalization — pass the same capacity the cluster used.
+    pub fn utilization(&self, server: usize, kind: ResourceKind, capacity: usize) -> f64 {
+        let makespan = self.completion_secs();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.busy_secs(server, kind) / (makespan * capacity.max(1) as f64)
+    }
+
+    /// The busiest (server, resource) pair and its busy seconds — the
+    /// run's bottleneck candidate.
+    pub fn bottleneck(&self) -> Option<((usize, ResourceKind), f64)> {
+        self.busy
+            .iter()
+            .max_by_key(|&(_, &us)| us)
+            .map(|(&key, &us)| (key, to_secs(us)))
+    }
+
+    /// Every activity's `(server, kind, start, finish)` in seconds, in
+    /// activity order — the raw timeline for plotting or debugging.
+    pub fn spans(&self) -> Vec<(usize, ResourceKind, f64, f64)> {
+        self.meta
+            .iter()
+            .zip(self.start.iter().zip(&self.finish))
+            .map(|(&(server, kind), (&s, &f))| (server, kind, to_secs(s), to_secs(f)))
+            .collect()
+    }
+
+    /// Renders a coarse text Gantt chart (one row per (server, resource)
+    /// pair that did work), for eyeballing schedules in logs and tests.
+    pub fn render_timeline(&self, columns: usize) -> String {
+        let makespan = self.completion_secs();
+        if makespan <= 0.0 || columns == 0 {
+            return String::from("(empty timeline)\n");
+        }
+        let mut rows: std::collections::BTreeMap<(usize, String), Vec<char>> =
+            std::collections::BTreeMap::new();
+        for (server, kind, start, finish) in self.spans() {
+            let row = rows
+                .entry((server, format!("{kind:?}")))
+                .or_insert_with(|| vec!['.'; columns]);
+            let a = ((start / makespan) * columns as f64) as usize;
+            let b = (((finish / makespan) * columns as f64).ceil() as usize).min(columns);
+            for cell in row.iter_mut().take(b).skip(a.min(columns)) {
+                *cell = '#';
+            }
+        }
+        let mut out = String::new();
+        for ((server, kind), cells) in rows {
+            out.push_str(&format!("s{server:<3}{kind:<10}|"));
+            out.extend(cells);
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+/// One FIFO multi-unit resource: a min-heap of unit free times.
+struct Resource {
+    units: BinaryHeap<Reverse<Micros>>,
+}
+
+impl Resource {
+    fn new(capacity: usize) -> Self {
+        let mut units = BinaryHeap::with_capacity(capacity);
+        for _ in 0..capacity.max(1) {
+            units.push(Reverse(0));
+        }
+        Resource { units }
+    }
+
+    /// Starts a job that becomes ready at `ready` and takes `duration`;
+    /// returns (start, finish).
+    fn schedule(&mut self, ready: Micros, duration: Micros) -> (Micros, Micros) {
+        let Reverse(free) = self.units.pop().expect("resource has at least one unit");
+        let start = free.max(ready);
+        let finish = start + duration;
+        self.units.push(Reverse(finish));
+        (start, finish)
+    }
+}
+
+pub(crate) struct Engine<'a> {
+    pub rates: &'a dyn Fn(usize, ResourceKind) -> f64,
+    pub capacities: &'a dyn Fn(usize, ResourceKind) -> usize,
+    pub num_servers: usize,
+}
+
+impl Engine<'_> {
+    /// Deterministic list scheduling: activities are dispatched to their
+    /// resource in order of readiness (ties broken by activity id).
+    pub fn run(&self, graph: &ActivityGraph) -> RunResult {
+        let n = graph.activities.len();
+        let mut finish = vec![0; n];
+        let mut start = vec![0; n];
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, a) in graph.activities.iter().enumerate() {
+            indegree[i] = a.deps.len();
+            for d in &a.deps {
+                dependents[d.0].push(i);
+            }
+        }
+
+        let mut resources: std::collections::HashMap<(usize, ResourceKind), Resource> =
+            std::collections::HashMap::new();
+        let mut busy: std::collections::HashMap<(usize, ResourceKind), Micros> =
+            std::collections::HashMap::new();
+        let mut disk_read_mb = vec![0.0; self.num_servers];
+        let mut net_mb = vec![0.0; self.num_servers];
+
+        // Ready queue ordered by (ready time, id).
+        let mut ready: BinaryHeap<Reverse<(Micros, usize)>> = BinaryHeap::new();
+        for (i, _) in graph.activities.iter().enumerate() {
+            if indegree[i] == 0 {
+                ready.push(Reverse((0, i)));
+            }
+        }
+
+        let mut done = 0usize;
+        while let Some(Reverse((t, i))) = ready.pop() {
+            let a = &graph.activities[i];
+            assert!(
+                a.server < self.num_servers,
+                "activity {i} references server {} of {}",
+                a.server,
+                self.num_servers
+            );
+            let duration = match a.work {
+                Work::Seconds(s) => to_micros(s),
+                Work::Megabytes(mb) => {
+                    let rate = (self.rates)(a.server, a.kind);
+                    assert!(rate > 0.0, "zero rate for {:?} on server {}", a.kind, a.server);
+                    to_micros(mb / rate)
+                }
+            };
+            let key = (a.server, a.kind);
+            let res = resources
+                .entry(key)
+                .or_insert_with(|| Resource::new((self.capacities)(a.server, a.kind)));
+            let (s, f) = res.schedule(t, duration);
+            start[i] = s;
+            finish[i] = f;
+            *busy.entry(key).or_insert(0) += duration;
+            if let Work::Megabytes(mb) = a.work {
+                match a.kind {
+                    ResourceKind::DiskRead => disk_read_mb[a.server] += mb,
+                    ResourceKind::Net => net_mb[a.server] += mb,
+                    _ => {}
+                }
+            }
+            done += 1;
+            for &dep in &dependents[i] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    // Ready when all dependencies have finished.
+                    let ready_at = graph.activities[dep]
+                        .deps
+                        .iter()
+                        .map(|d| finish[d.0])
+                        .max()
+                        .unwrap_or(0);
+                    ready.push(Reverse((ready_at, dep)));
+                }
+            }
+        }
+        assert_eq!(done, n, "activity graph contains a cycle");
+
+        RunResult {
+            finish,
+            start,
+            meta: graph
+                .activities
+                .iter()
+                .map(|a| (a.server, a.kind))
+                .collect(),
+            busy,
+            disk_read_mb,
+            net_mb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_engine(num_servers: usize) -> (impl Fn(usize, ResourceKind) -> f64, impl Fn(usize, ResourceKind) -> usize, usize) {
+        (
+            |_s: usize, _k: ResourceKind| 100.0, // 100 MB/s everywhere
+            |_s: usize, k: ResourceKind| if k == ResourceKind::Slot { 2 } else { 1 },
+            num_servers,
+        )
+    }
+
+    fn run(graph: &ActivityGraph, num_servers: usize) -> RunResult {
+        let (rates, caps, n) = uniform_engine(num_servers);
+        Engine {
+            rates: &rates,
+            capacities: &caps,
+            num_servers: n,
+        }
+        .run(graph)
+    }
+
+    #[test]
+    fn single_activity_duration() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(50.0), &[]);
+        let r = run(&g, 1);
+        assert_eq!(r.finish_secs(a), 0.5); // 50 MB at 100 MB/s
+        assert_eq!(r.completion_secs(), 0.5);
+        assert_eq!(r.disk_read_megabytes(0), 50.0);
+    }
+
+    #[test]
+    fn dependencies_serialize() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let b = g.add(1, ResourceKind::Net, Work::Megabytes(100.0), &[a]);
+        let c = g.add(1, ResourceKind::DiskWrite, Work::Megabytes(100.0), &[b]);
+        let r = run(&g, 2);
+        assert_eq!(r.start_secs(b), 1.0);
+        assert_eq!(r.finish_secs(c), 3.0);
+    }
+
+    #[test]
+    fn same_resource_contends() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let b = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let r = run(&g, 1);
+        // FIFO on one disk: second read waits.
+        assert_eq!(r.finish_secs(a), 1.0);
+        assert_eq!(r.finish_secs(b), 2.0);
+        assert_eq!(r.busy_secs(0, ResourceKind::DiskRead), 2.0);
+    }
+
+    #[test]
+    fn different_resources_run_in_parallel() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let b = g.add(0, ResourceKind::Cpu, Work::Megabytes(100.0), &[]);
+        let r = run(&g, 1);
+        assert_eq!(r.finish_secs(a), 1.0);
+        assert_eq!(r.finish_secs(b), 1.0);
+        assert_eq!(r.completion_secs(), 1.0);
+    }
+
+    #[test]
+    fn slots_allow_bounded_concurrency() {
+        // Slot capacity is 2: three 1-second tasks take 2 seconds.
+        let mut g = ActivityGraph::new();
+        for _ in 0..3 {
+            g.add(0, ResourceKind::Slot, Work::Seconds(1.0), &[]);
+        }
+        let r = run(&g, 1);
+        assert_eq!(r.completion_secs(), 2.0);
+    }
+
+    #[test]
+    fn fifo_is_by_ready_time_not_id() {
+        let mut g = ActivityGraph::new();
+        // b (id 1) is ready at 0; a's successor c (id 2) is ready at 1.
+        let a = g.add(0, ResourceKind::Cpu, Work::Megabytes(100.0), &[]);
+        let b = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let c = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[a]);
+        let r = run(&g, 1);
+        assert_eq!(r.finish_secs(b), 1.0, "b goes first on the disk");
+        assert_eq!(r.start_secs(c), 1.0);
+    }
+
+    #[test]
+    fn utilization_and_bottleneck() {
+        let mut g = ActivityGraph::new();
+        // Disk busy the whole run; CPU busy half of it.
+        g.add(0, ResourceKind::DiskRead, Work::Megabytes(200.0), &[]);
+        g.add(0, ResourceKind::Cpu, Work::Megabytes(100.0), &[]);
+        let r = run(&g, 1);
+        assert_eq!(r.completion_secs(), 2.0);
+        assert!((r.utilization(0, ResourceKind::DiskRead, 1) - 1.0).abs() < 1e-9);
+        assert!((r.utilization(0, ResourceKind::Cpu, 1) - 0.5).abs() < 1e-9);
+        assert_eq!(r.utilization(3, ResourceKind::Net, 1), 0.0);
+        let ((server, kind), busy) = r.bottleneck().unwrap();
+        assert_eq!((server, kind), (0, ResourceKind::DiskRead));
+        assert_eq!(busy, 2.0);
+    }
+
+    #[test]
+    fn spans_and_timeline() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let b = g.add(1, ResourceKind::Cpu, Work::Megabytes(100.0), &[a]);
+        let r = run(&g, 2);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], (0, ResourceKind::DiskRead, 0.0, 1.0));
+        assert_eq!(spans[1], (1, ResourceKind::Cpu, 1.0, 2.0));
+        let gantt = r.render_timeline(20);
+        assert!(gantt.contains("s0"), "{gantt}");
+        assert!(gantt.contains("s1"), "{gantt}");
+        // The disk row is busy in the first half, idle in the second.
+        let disk_row = gantt.lines().find(|l| l.starts_with("s0")).unwrap();
+        assert!(disk_row.contains('#') && disk_row.contains('.'), "{disk_row}");
+        let _ = b;
+    }
+
+    #[test]
+    fn zero_work_is_instant() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::Cpu, Work::Megabytes(0.0), &[]);
+        let r = run(&g, 1);
+        assert_eq!(r.finish_secs(a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency does not exist")]
+    fn forward_dependency_rejected() {
+        let mut g = ActivityGraph::new();
+        g.add(0, ResourceKind::Cpu, Work::Seconds(1.0), &[ActivityId(5)]);
+    }
+}

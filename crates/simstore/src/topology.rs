@@ -1,0 +1,195 @@
+//! Placement policies: failure domains and performance-aware placement.
+//!
+//! Two policies beyond the identity placement:
+//!
+//! * [`Placement::rack_spread`] — spread blocks round-robin across racks
+//!   so correlated (rack-level) failures erase as few blocks of one
+//!   object as possible.
+//! * [`Placement::performance_aware`] — the paper's §VII-A suggestion:
+//!   "placing the global parity blocks on servers with lower performance,
+//!   such that less original data will be placed in such blocks". Data
+//!   blocks go to the fastest servers, local parities next, global
+//!   parities to the slowest.
+
+use galloper_erasure::BlockRole;
+
+use crate::Placement;
+
+/// A rack-level view of the cluster: which servers share a failure
+/// domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    racks: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates a topology from per-rack server lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server appears in two racks, or any rack is empty.
+    pub fn new(racks: Vec<Vec<usize>>) -> Self {
+        assert!(!racks.is_empty(), "topology needs at least one rack");
+        let mut seen = std::collections::HashSet::new();
+        for rack in &racks {
+            assert!(!rack.is_empty(), "racks must not be empty");
+            for &s in rack {
+                assert!(seen.insert(s), "server {s} appears in two racks");
+            }
+        }
+        Topology { racks }
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Total number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.racks.iter().map(Vec::len).sum()
+    }
+
+    /// The rack containing `server`, if any.
+    pub fn rack_of(&self, server: usize) -> Option<usize> {
+        self.racks
+            .iter()
+            .position(|rack| rack.contains(&server))
+    }
+}
+
+impl Placement {
+    /// Places `num_blocks` blocks round-robin across racks, minimizing
+    /// the number of blocks lost when a whole rack fails (the spread is
+    /// within ±1 block per rack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than `num_blocks` servers.
+    pub fn rack_spread(num_blocks: usize, topology: &Topology) -> Placement {
+        assert!(
+            topology.num_servers() >= num_blocks,
+            "need at least one distinct server per block"
+        );
+        let mut cursors = vec![0usize; topology.num_racks()];
+        let mut servers = Vec::with_capacity(num_blocks);
+        let mut rack = 0;
+        while servers.len() < num_blocks {
+            let r = rack % topology.num_racks();
+            if cursors[r] < topology.racks[r].len() {
+                servers.push(topology.racks[r][cursors[r]]);
+                cursors[r] += 1;
+            }
+            rack += 1;
+        }
+        Placement::new(servers)
+    }
+
+    /// The paper's performance-aware placement: sorts servers by
+    /// descending performance and assigns data blocks to the fastest,
+    /// local parities next, global parities to the slowest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer servers than blocks, or lengths disagree.
+    pub fn performance_aware(roles: &[BlockRole], performances: &[f64]) -> Placement {
+        assert!(
+            performances.len() >= roles.len(),
+            "need at least one server per block"
+        );
+        let mut order: Vec<usize> = (0..performances.len()).collect();
+        order.sort_by(|&a, &b| performances[b].partial_cmp(&performances[a]).unwrap());
+
+        // Stable priority: Data < LocalParity < GlobalParity gets
+        // fastest-first assignment in that order.
+        let priority = |r: BlockRole| match r {
+            BlockRole::Data => 0,
+            BlockRole::LocalParity => 1,
+            BlockRole::GlobalParity => 2,
+        };
+        let mut block_order: Vec<usize> = (0..roles.len()).collect();
+        block_order.sort_by_key(|&b| (priority(roles[b]), b));
+
+        let mut assignment = vec![usize::MAX; roles.len()];
+        for (rank, &block) in block_order.iter().enumerate() {
+            assignment[block] = order[rank];
+        }
+        Placement::new(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_spread_balances() {
+        let topo = Topology::new(vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]]);
+        let p = Placement::rack_spread(7, &topo);
+        // Count blocks per rack: 7 blocks over 3 racks → (3, 2, 2).
+        let mut per_rack = [0usize; 3];
+        for b in 0..7 {
+            per_rack[topo.rack_of(p.server_of(b)).unwrap()] += 1;
+        }
+        per_rack.sort_unstable();
+        assert_eq!(per_rack, [2, 2, 3]);
+    }
+
+    #[test]
+    fn rack_spread_handles_uneven_racks() {
+        let topo = Topology::new(vec![vec![0], vec![1, 2, 3, 4]]);
+        let p = Placement::rack_spread(5, &topo);
+        assert_eq!(p.num_blocks(), 5);
+        // All servers distinct is enforced by Placement::new.
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one distinct server")]
+    fn rack_spread_rejects_small_topology() {
+        let topo = Topology::new(vec![vec![0, 1]]);
+        let _ = Placement::rack_spread(3, &topo);
+    }
+
+    #[test]
+    fn performance_aware_puts_globals_on_slow_servers() {
+        // (4,2,1) grouped roles: [D D L | D D L | G].
+        let roles = [
+            BlockRole::Data,
+            BlockRole::Data,
+            BlockRole::LocalParity,
+            BlockRole::Data,
+            BlockRole::Data,
+            BlockRole::LocalParity,
+            BlockRole::GlobalParity,
+        ];
+        let perfs = [5.0, 1.0, 4.0, 2.0, 3.0, 6.0, 7.0, 0.5];
+        let p = Placement::performance_aware(&roles, &perfs);
+        // The global parity sits on the slowest used server.
+        let global_server = p.server_of(6);
+        for b in 0..6 {
+            assert!(
+                perfs[p.server_of(b)] >= perfs[global_server],
+                "block {b} on a slower server than the global parity"
+            );
+        }
+        // Data blocks occupy the four fastest servers.
+        let mut data_perfs: Vec<f64> = [0, 1, 3, 4].iter().map(|&b| perfs[p.server_of(b)]).collect();
+        data_perfs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(data_perfs, vec![7.0, 6.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn topology_accessors() {
+        let topo = Topology::new(vec![vec![0, 1], vec![2]]);
+        assert_eq!(topo.num_racks(), 2);
+        assert_eq!(topo.num_servers(), 3);
+        assert_eq!(topo.rack_of(2), Some(1));
+        assert_eq!(topo.rack_of(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "two racks")]
+    fn duplicate_server_rejected() {
+        let _ = Topology::new(vec![vec![0, 1], vec![1]]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the discrete-event engine: determinism,
+//! work conservation, and makespan bounds that any correct scheduler
+//! must satisfy.
+
+use galloper_simstore::{ActivityGraph, ActivityId, Cluster, ResourceKind, ServerSpec, Work};
+use proptest::prelude::*;
+
+const KINDS: [ResourceKind; 5] = [
+    ResourceKind::DiskRead,
+    ResourceKind::DiskWrite,
+    ResourceKind::Net,
+    ResourceKind::Cpu,
+    ResourceKind::Slot,
+];
+
+#[derive(Debug, Clone)]
+struct ActivitySpec {
+    server: usize,
+    kind: usize,
+    seconds: f64,
+    /// Depend on earlier activities selected by these (mod index) values.
+    deps: Vec<usize>,
+}
+
+fn activities(max: usize) -> impl Strategy<Value = Vec<ActivitySpec>> {
+    proptest::collection::vec(
+        (
+            0usize..4,
+            0usize..KINDS.len(),
+            0.01f64..5.0,
+            proptest::collection::vec(0usize..100, 0..3),
+        )
+            .prop_map(|(server, kind, seconds, deps)| ActivitySpec {
+                server,
+                kind,
+                seconds,
+                deps,
+            }),
+        1..max,
+    )
+}
+
+fn build(specs: &[ActivitySpec]) -> (ActivityGraph, Vec<ActivityId>) {
+    let mut g = ActivityGraph::new();
+    let mut ids: Vec<ActivityId> = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        // Dependencies reference strictly earlier activities → acyclic.
+        let deps: Vec<ActivityId> = if i == 0 {
+            Vec::new()
+        } else {
+            let mut d: Vec<usize> = s.deps.iter().map(|&v| v % i).collect();
+            d.sort_unstable();
+            d.dedup();
+            d.into_iter().map(|j| ids[j]).collect()
+        };
+        ids.push(g.add(s.server, KINDS[s.kind], Work::Seconds(s.seconds), &deps));
+    }
+    (g, ids)
+}
+
+fn cluster() -> Cluster {
+    Cluster::homogeneous(4, ServerSpec::default())
+}
+
+proptest! {
+    #[test]
+    fn simulation_is_deterministic(specs in activities(40)) {
+        let (g, ids) = build(&specs);
+        let c = cluster();
+        let a = c.simulate(&g);
+        let b = c.simulate(&g);
+        prop_assert_eq!(a.completion_secs(), b.completion_secs());
+        for &id in &ids {
+            prop_assert_eq!(a.finish_secs(id), b.finish_secs(id));
+            prop_assert_eq!(a.start_secs(id), b.start_secs(id));
+        }
+    }
+
+    #[test]
+    fn starts_respect_dependencies(specs in activities(40)) {
+        let (g, ids) = build(&specs);
+        let run = cluster().simulate(&g);
+        for (i, s) in specs.iter().enumerate() {
+            if i > 0 {
+                for &d in &s.deps {
+                    let dep = ids[d % i];
+                    prop_assert!(
+                        run.start_secs(ids[i]) >= run.finish_secs(dep) - 1e-9,
+                        "activity {} started before its dependency finished", i
+                    );
+                }
+            }
+            // Duration is honored exactly (Seconds work).
+            let dur = run.finish_secs(ids[i]) - run.start_secs(ids[i]);
+            prop_assert!((dur - s.seconds).abs() < 2e-6, "duration {dur} vs {}", s.seconds);
+        }
+    }
+
+    #[test]
+    fn makespan_bounds(specs in activities(40)) {
+        let (g, ids) = build(&specs);
+        let run = cluster().simulate(&g);
+        let makespan = run.completion_secs();
+
+        // Lower bound 1: the longest single activity.
+        let longest = specs.iter().map(|s| s.seconds).fold(0.0f64, f64::max);
+        prop_assert!(makespan >= longest - 1e-6);
+
+        // Lower bound 2: per (server, resource) total work / capacity.
+        for server in 0..4 {
+            for (ki, &kind) in KINDS.iter().enumerate() {
+                let total: f64 = specs
+                    .iter()
+                    .filter(|s| s.server == server && s.kind == ki)
+                    .map(|s| s.seconds)
+                    .sum();
+                let capacity = if kind == ResourceKind::Slot { 2.0 } else { 1.0 };
+                prop_assert!(
+                    makespan >= total / capacity - specs.len() as f64 * 1e-6 - 1e-6,
+                    "resource bound violated on server {server} {kind:?}"
+                );
+                // Busy-time accounting is conservative of work (up to
+                // per-activity microsecond quantization).
+                let quantization = specs.len() as f64 * 1e-6 + 1e-6;
+                prop_assert!((run.busy_secs(server, kind) - total).abs() < quantization);
+            }
+        }
+
+        // Upper bound: serializing everything (with slack for the
+        // engine's microsecond quantization of each activity).
+        let serial: f64 = specs.iter().map(|s| s.seconds).sum();
+        let quantization = specs.len() as f64 * 1e-6;
+        prop_assert!(makespan <= serial + quantization + 1e-6);
+        let _ = ids;
+    }
+
+    #[test]
+    fn rates_scale_durations(mb in 1.0f64..1000.0, rate_scale in 0.1f64..4.0) {
+        // One activity of `mb` megabytes on two clusters whose disk rates
+        // differ by `rate_scale`: durations must differ by the inverse.
+        let base = ServerSpec::default();
+        let mut faster = base;
+        faster.disk_read_mbps *= rate_scale;
+        let c1 = Cluster::homogeneous(1, base);
+        let c2 = Cluster::homogeneous(1, faster);
+        let mut g = ActivityGraph::new();
+        let id = g.add(0, ResourceKind::DiskRead, Work::Megabytes(mb), &[]);
+        let t1 = c1.simulate(&g).finish_secs(id);
+        let t2 = c2.simulate(&g).finish_secs(id);
+        prop_assert!((t1 / t2 - rate_scale).abs() < 0.01 * rate_scale,
+            "t1={t1} t2={t2} scale={rate_scale}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Storage-operations scenario (paper Fig. 1/Fig. 8): a server dies and
+//! its block must be rebuilt. Compare the disk I/O and recovery time of
+//! Reed-Solomon, Pyramid, and Galloper codes on a simulated cluster, then
+//! verify the rebuilt bytes against a real encode.
+//!
+//! Run with: `cargo run --example failure_recovery`
+
+use galloper_suite::codes::{ErasureCode, Galloper, Pyramid, ReedSolomon};
+use galloper_suite::sim::{simulate_server_failure, Cluster, Placement, ServerSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let block_mb = 45.0;
+    let cluster = Cluster::homogeneous(9, ServerSpec::default());
+
+    // Three codes protecting the same 180 MB object with 2-failure
+    // tolerance.
+    let rs = ReedSolomon::new(4, 2, 1024)?;
+    let pyramid = Pyramid::new(4, 2, 1, 1024)?;
+    let galloper = Galloper::uniform(4, 2, 1, 1024)?;
+
+    println!("server 0 fails; its block is rebuilt on a spare server.\n");
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>10}",
+        "code", "blocks", "disk read (MB)", "recovery (s)", "overhead"
+    );
+    for (name, code) in [
+        ("Reed-Solomon", &rs as &dyn ErasureCode),
+        ("Pyramid", &pyramid as &dyn ErasureCode),
+        ("Galloper", &galloper as &dyn ErasureCode),
+    ] {
+        let n = code.num_blocks();
+        let placement = Placement::identity(n);
+        let plans: Vec<_> = (0..n)
+            .map(|b| code.repair_plan(b).expect("valid block"))
+            .collect();
+        let report =
+            simulate_server_failure(&cluster, &placement, &plans, block_mb, 0, n + 1);
+        println!(
+            "{:<14} {:>8} {:>14.0} {:>14.3} {:>9.2}x",
+            name,
+            n,
+            report.disk_read_mb,
+            report.completion_secs,
+            code.storage_overhead(),
+        );
+    }
+
+    // And prove the arithmetic is real: encode, drop a block, rebuild it,
+    // compare bit-for-bit.
+    let data: Vec<u8> = (0..galloper.message_len()).map(|i| (i % 253) as u8).collect();
+    let blocks = galloper.encode(&data)?;
+    let plan = galloper.repair_plan(3)?;
+    let sources: Vec<(usize, &[u8])> = plan
+        .sources()
+        .iter()
+        .map(|&s| (s, blocks[s].as_slice()))
+        .collect();
+    assert_eq!(galloper.reconstruct(3, &sources)?, blocks[3]);
+    println!("\nGalloper block 3 rebuilt bit-exactly from {:?}", plan.sources());
+
+    // The saving the paper leads with: a local repair reads half the data
+    // a Reed-Solomon repair does (Fig. 1), at equal failure tolerance.
+    let rs_io = rs.repair_plan(0)?.disk_io_bytes(45);
+    let gal_io = galloper.repair_plan(0)?.disk_io_bytes(45);
+    println!(
+        "repairing one data block: RS reads {rs_io} MB, Galloper reads {gal_io} MB ({}% saved)",
+        100 * (rs_io - gal_io) / rs_io
+    );
+    Ok(())
+}

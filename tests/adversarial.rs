@@ -1,0 +1,186 @@
+//! Adversarial and boundary tests across the whole stack: malformed
+//! inputs must error (never corrupt), and the structural guarantees must
+//! hold at the parameter extremes.
+
+use galloper_suite::codes::{
+    CodeError, ErasureCode, Galloper, GalloperParams, Pyramid, ReedSolomon, StripeAllocation,
+};
+
+fn sample(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i.wrapping_mul(173) % 251) as u8).collect()
+}
+
+#[test]
+fn malformed_inputs_error_cleanly() {
+    let code = Galloper::uniform(4, 2, 1, 64).unwrap();
+    let data = sample(code.message_len());
+    let blocks = code.encode(&data).unwrap();
+
+    // Wrong message length.
+    assert!(matches!(
+        code.encode(&data[1..]),
+        Err(CodeError::InvalidDataLength { .. })
+    ));
+
+    // Wrong arity to decode.
+    let short: Vec<Option<&[u8]>> = blocks.iter().take(5).map(|b| Some(b.as_slice())).collect();
+    assert!(matches!(
+        code.decode(&short),
+        Err(CodeError::WrongBlockCount { .. })
+    ));
+
+    // A block of the wrong size.
+    let mut avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
+    let truncated = &blocks[0][..blocks[0].len() - 1];
+    avail[0] = Some(truncated);
+    assert!(matches!(code.decode(&avail), Err(CodeError::BlockSizeMismatch)));
+
+    // Reconstruction with sources in the wrong order.
+    let plan = code.repair_plan(0).unwrap();
+    let mut sources: Vec<(usize, &[u8])> = plan
+        .sources()
+        .iter()
+        .map(|&s| (s, blocks[s].as_slice()))
+        .collect();
+    sources.reverse();
+    assert!(matches!(
+        code.reconstruct(0, &sources),
+        Err(CodeError::WrongSources { .. })
+    ));
+
+    // Out-of-range block index.
+    assert!(matches!(
+        code.repair_plan(7),
+        Err(CodeError::BlockIndexOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn extreme_parameters_still_work() {
+    // Smallest possible Galloper: k = 1 (one group of one block).
+    let code = Galloper::uniform(1, 1, 1, 8).unwrap();
+    let data = sample(code.message_len());
+    let blocks = code.encode(&data).unwrap();
+    let avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
+    assert_eq!(code.decode(&avail).unwrap(), data);
+
+    // Wide code: k = 20, l = 5, g = 3.
+    let code = Galloper::uniform(20, 5, 3, 4).unwrap();
+    let data = sample(code.message_len());
+    let blocks = code.encode(&data).unwrap();
+    // Erase g + 1 = 4 blocks spread over groups and globals.
+    let erased = [0usize, 7, 14, 27];
+    let avail: Vec<Option<&[u8]>> = (0..code.num_blocks())
+        .map(|b| (!erased.contains(&b)).then(|| blocks[b].as_slice()))
+        .collect();
+    assert_eq!(code.decode(&avail).unwrap(), data);
+
+    // Locality still holds at width.
+    assert_eq!(code.repair_plan(0).unwrap().fan_in(), 4);
+}
+
+#[test]
+fn single_byte_stripes() {
+    // stripe_size = 1: the smallest granularity everywhere.
+    let code = Galloper::uniform(4, 2, 1, 1).unwrap();
+    assert_eq!(code.message_len(), 28);
+    let data = sample(28);
+    let blocks = code.encode(&data).unwrap();
+    assert!(blocks.iter().all(|b| b.len() == 7));
+    let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
+    assert_eq!(code.layout().extract_data(&refs), data);
+}
+
+#[test]
+fn zero_weight_blocks_are_legal() {
+    // A server so slow the LP gives it (almost) nothing: force a zero
+    // count via explicit weights and confirm everything still works.
+    let params = GalloperParams::new(4, 0, 2).unwrap();
+    let w = [1.0, 1.0, 1.0, 0.75, 0.25, 0.0];
+    let alloc = StripeAllocation::from_weights(params, &w, 4).unwrap();
+    assert_eq!(alloc.counts().iter().sum::<usize>(), 16);
+    let code = Galloper::with_allocation(alloc, 16).unwrap();
+    let layout = code.layout();
+    assert_eq!(layout.data_stripes(5), 0, "block 5 holds no data");
+    let data = sample(code.message_len());
+    let blocks = code.encode(&data).unwrap();
+    // Still MDS: any 4 of 6 blocks decode.
+    let avail: Vec<Option<&[u8]>> = (0..6)
+        .map(|b| (b != 0 && b != 5).then(|| blocks[b].as_slice()))
+        .collect();
+    assert_eq!(code.decode(&avail).unwrap(), data);
+}
+
+#[test]
+fn decode_is_resilient_to_which_blocks_vanish_mid_repair() {
+    // Lose one block, rebuild it, lose another, rebuild, repeat across
+    // the whole code: a rolling-failure scenario.
+    let code = Pyramid::new(6, 2, 2, 32).unwrap();
+    let data = sample(code.message_len());
+    let mut blocks = code.encode(&data).unwrap();
+    for round in 0..code.num_blocks() {
+        let lost = (round * 3 + 1) % code.num_blocks();
+        let saved = blocks[lost].clone();
+        blocks[lost].clear();
+        let plan = code.repair_plan(lost).unwrap();
+        let sources: Vec<(usize, &[u8])> = plan
+            .sources()
+            .iter()
+            .map(|&s| (s, blocks[s].as_slice()))
+            .collect();
+        let rebuilt = code.reconstruct(lost, &sources).unwrap();
+        assert_eq!(rebuilt, saved, "round {round} block {lost}");
+        blocks[lost] = rebuilt;
+    }
+}
+
+#[test]
+fn cross_family_byte_compatibility_of_data_extents() {
+    // The first k blocks of RS and Pyramid hold identical bytes (both are
+    // systematic over the same message), so storage systems can migrate
+    // between them without re-writing data blocks.
+    let rs = ReedSolomon::new(4, 2, 128).unwrap();
+    let pyr = Pyramid::new(4, 2, 1, 128).unwrap();
+    let data = sample(rs.message_len());
+    let rs_blocks = rs.encode(&data).unwrap();
+    let pyr_blocks = pyr.encode(&data).unwrap();
+    // Pyramid's data blocks sit at grouped positions.
+    let pyr_data_pos = [0usize, 1, 3, 4];
+    for (c, &p) in pyr_data_pos.iter().enumerate() {
+        assert_eq!(rs_blocks[c], pyr_blocks[p], "data block {c}");
+    }
+}
+
+#[test]
+fn reliability_is_preserved_by_symbol_remapping() {
+    // Symbol remapping changes where data lives but not the code space,
+    // so the loss probability under independent server failures must be
+    // bit-identical between the remapped code and its source code.
+    use galloper_suite::codes::Carousel;
+    use galloper_erasure::reliability::{data_loss_probability, guaranteed_tolerance, tolerance_profile};
+
+    let rs = ReedSolomon::new(4, 2, 16).unwrap();
+    let carousel = Carousel::new(4, 2, 4).unwrap();
+    let pyramid = Pyramid::new(4, 2, 1, 16).unwrap();
+    let galloper = Galloper::uniform(4, 2, 1, 4).unwrap();
+
+    for p in [0.01f64, 0.05, 0.2] {
+        assert_eq!(
+            data_loss_probability(&rs, p),
+            data_loss_probability(&carousel, p),
+            "Carousel must inherit RS reliability exactly (p={p})"
+        );
+        assert_eq!(
+            data_loss_probability(&pyramid, p),
+            data_loss_probability(&galloper, p),
+            "Galloper must inherit Pyramid reliability exactly (p={p})"
+        );
+    }
+    assert_eq!(guaranteed_tolerance(&rs), 2);
+    assert_eq!(guaranteed_tolerance(&galloper), 2);
+    assert_eq!(tolerance_profile(&pyramid), tolerance_profile(&galloper));
+
+    // The extra local parities buy strictly better reliability than RS at
+    // the same tolerance guarantee.
+    assert!(data_loss_probability(&galloper, 0.05) < data_loss_probability(&rs, 0.05));
+}

@@ -1,0 +1,99 @@
+//! Cross-crate degraded-read tests: byte-range reads under failures for
+//! every code family, with I/O-amplification assertions.
+
+use galloper_suite::codes::{Carousel, ErasureCode, Galloper, Pyramid, ReedSolomon};
+
+fn sample(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i.wrapping_mul(101) % 251) as u8).collect()
+}
+
+#[test]
+fn range_reads_roundtrip_for_all_codes_under_single_failure() {
+    let rs = ReedSolomon::new(4, 2, 1024).unwrap();
+    let pyr = Pyramid::new(4, 2, 1, 1024).unwrap();
+    let car = Carousel::new(4, 2, 256).unwrap();
+    let gal = Galloper::uniform(4, 2, 1, 256).unwrap();
+    let codes: Vec<(&str, &galloper_suite::codes::LinearCode, usize)> = vec![
+        ("rs", rs.as_linear(), rs.num_blocks()),
+        ("pyramid", pyr.as_linear(), pyr.num_blocks()),
+        ("carousel", car.as_linear(), car.num_blocks()),
+        ("galloper", gal.as_linear(), gal.num_blocks()),
+    ];
+    for (name, code, n) in codes {
+        let data = sample(code.message_len());
+        let blocks = code.encode(&data).unwrap();
+        for failed in 0..n {
+            let avail: Vec<Option<&[u8]>> = blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i != failed).then(|| b.as_slice()))
+                .collect();
+            // A handful of ranges including stripe-straddling ones.
+            for (offset, len) in [
+                (0usize, code.message_len()),
+                (0, 1),
+                (code.message_len() / 2 - 3, 7),
+                (code.message_len() - 5, 5),
+                (13, 2000.min(code.message_len() - 13)),
+            ] {
+                let (bytes, stats) = code
+                    .read_range(offset, len, &avail)
+                    .unwrap_or_else(|e| panic!("{name} failed={failed} {offset}+{len}: {e}"));
+                assert_eq!(
+                    bytes,
+                    &data[offset..offset + len],
+                    "{name} failed={failed} {offset}+{len}"
+                );
+                assert!(stats.bytes_read >= len || len == 0, "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn galloper_degraded_reads_amplify_less_than_rs() {
+    // Reading one stripe of a lost block: Galloper fetches its local
+    // group's stripes (2), RS fetches k stripes' worth (4 sources).
+    let gal = Galloper::uniform(4, 2, 1, 512).unwrap();
+    let rs = ReedSolomon::new(4, 2, gal.block_len()).unwrap();
+
+    let g_data = sample(gal.message_len());
+    let g_blocks = gal.encode(&g_data).unwrap();
+    let g_avail: Vec<Option<&[u8]>> = g_blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (i != 0).then(|| b.as_slice()))
+        .collect();
+    // The first stripe of the message lives in block 0 (lost).
+    let (_, g_stats) = gal.as_linear().read_range(0, 512, &g_avail).unwrap();
+
+    let r_data = sample(rs.message_len());
+    let r_blocks = rs.encode(&r_data).unwrap();
+    let r_avail: Vec<Option<&[u8]>> = r_blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (i != 0).then(|| b.as_slice()))
+        .collect();
+    let (_, r_stats) = rs.as_linear().read_range(0, 512, &r_avail).unwrap();
+
+    assert!(g_stats.degraded && r_stats.degraded);
+    assert!(
+        g_stats.bytes_read < r_stats.bytes_read,
+        "galloper {} bytes vs rs {} bytes",
+        g_stats.bytes_read,
+        r_stats.bytes_read
+    );
+}
+
+#[test]
+fn healthy_reads_have_no_amplification() {
+    let gal = Galloper::uniform(4, 2, 1, 256).unwrap();
+    let data = sample(gal.message_len());
+    let blocks = gal.encode(&data).unwrap();
+    let avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
+    // A stripe-aligned read touches exactly len bytes.
+    let (bytes, stats) = gal.as_linear().read_range(256, 512, &avail).unwrap();
+    assert_eq!(bytes, &data[256..768]);
+    assert_eq!(stats.bytes_read, 512);
+    assert!(!stats.degraded);
+}
