@@ -1,67 +1,70 @@
-//! Criterion micro-benchmarks for the coding operations behind Fig. 7 and
+//! Micro-benchmarks for the coding operations behind Fig. 7 and
 //! Fig. 8: encode, decode-from-k, and single-block reconstruction, for
 //! every code family at the paper's parameter sweep.
 //!
-//! Block sizes are scaled down (criterion runs many iterations); the
-//! figure binaries measure at paper scale.
+//! Uses the std-only harness in `galloper_bench::micro` (the offline
+//! build has no criterion). Block sizes are scaled down (the harness
+//! runs many iterations); the figure binaries measure at paper scale.
+//! Pass `--json [DIR]` or set `GALLOPER_JSON_OUT` for machine-readable
+//! output.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use galloper_bench::fig7::{build_trio, decode_patterns, K_VALUES};
+use galloper_bench::micro::Harness;
 use galloper_bench::payload;
 use galloper_carousel::Carousel;
 use galloper_erasure::ErasureCode;
 
 const BLOCK_MB: f64 = 0.5;
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode");
-    group.sample_size(10);
+fn bench_encode(h: &mut Harness) {
     for &k in &K_VALUES {
         let trio = build_trio(k, BLOCK_MB);
         let data = payload(trio.rs.message_len(), 7);
-        group.throughput(Throughput::Bytes(data.len() as u64));
-        group.bench_with_input(BenchmarkId::new("rs", k), &k, |b, _| {
-            b.iter(|| trio.rs.encode(&data).unwrap())
+        let bytes = data.len() as u64;
+        h.case(&format!("encode/rs/k={k}"), bytes, || {
+            trio.rs.encode(&data).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("pyramid", k), &k, |b, _| {
-            b.iter(|| trio.pyramid.encode(&data).unwrap())
+        h.case(&format!("encode/pyramid/k={k}"), bytes, || {
+            trio.pyramid.encode(&data).unwrap()
         });
         let gal_data = payload(trio.galloper.message_len(), 7);
-        group.bench_with_input(BenchmarkId::new("galloper", k), &k, |b, _| {
-            b.iter(|| trio.galloper.encode(&gal_data).unwrap())
-        });
+        h.case(
+            &format!("encode/galloper/k={k}"),
+            gal_data.len() as u64,
+            || trio.galloper.encode(&gal_data).unwrap(),
+        );
         // The Carousel baseline (same block size, r = 2 to match).
         let carousel = Carousel::new(k, 2, trio.block_bytes / (k + 2)).unwrap();
         let car_data = payload(carousel.message_len(), 7);
-        group.bench_with_input(BenchmarkId::new("carousel", k), &k, |b, _| {
-            b.iter(|| carousel.encode(&car_data).unwrap())
-        });
+        h.case(
+            &format!("encode/carousel/k={k}"),
+            car_data.len() as u64,
+            || carousel.encode(&car_data).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decode_from_k");
-    group.sample_size(10);
+fn bench_decode(h: &mut Harness) {
     for &k in &K_VALUES {
         let trio = build_trio(k, BLOCK_MB);
         let (rs_keep, grouped_keep) = decode_patterns(k);
 
         let data = payload(trio.rs.message_len(), 11);
+        let bytes = data.len() as u64;
         let rs_blocks = trio.rs.encode(&data).unwrap();
         let rs_avail: Vec<Option<&[u8]>> = (0..trio.rs.num_blocks())
             .map(|b| rs_keep.contains(&b).then(|| rs_blocks[b].as_slice()))
             .collect();
-        group.bench_with_input(BenchmarkId::new("rs", k), &k, |b, _| {
-            b.iter(|| trio.rs.decode(&rs_avail).unwrap())
+        h.case(&format!("decode_from_k/rs/k={k}"), bytes, || {
+            trio.rs.decode(&rs_avail).unwrap()
         });
 
         let pyr_blocks = trio.pyramid.encode(&data).unwrap();
         let pyr_avail: Vec<Option<&[u8]>> = (0..trio.pyramid.num_blocks())
             .map(|b| grouped_keep.contains(&b).then(|| pyr_blocks[b].as_slice()))
             .collect();
-        group.bench_with_input(BenchmarkId::new("pyramid", k), &k, |b, _| {
-            b.iter(|| trio.pyramid.decode(&pyr_avail).unwrap())
+        h.case(&format!("decode_from_k/pyramid/k={k}"), bytes, || {
+            trio.pyramid.decode(&pyr_avail).unwrap()
         });
 
         let gal_data = payload(trio.galloper.message_len(), 11);
@@ -69,16 +72,15 @@ fn bench_decode(c: &mut Criterion) {
         let gal_avail: Vec<Option<&[u8]>> = (0..trio.galloper.num_blocks())
             .map(|b| grouped_keep.contains(&b).then(|| gal_blocks[b].as_slice()))
             .collect();
-        group.bench_with_input(BenchmarkId::new("galloper", k), &k, |b, _| {
-            b.iter(|| trio.galloper.decode(&gal_avail).unwrap())
-        });
+        h.case(
+            &format!("decode_from_k/galloper/k={k}"),
+            gal_data.len() as u64,
+            || trio.galloper.decode(&gal_avail).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_reconstruct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reconstruct_block");
-    group.sample_size(10);
+fn bench_reconstruct(h: &mut Harness) {
     let trio = build_trio(4, BLOCK_MB);
     let data = payload(trio.rs.message_len(), 13);
     let rs_blocks = trio.rs.encode(&data).unwrap();
@@ -99,9 +101,11 @@ fn bench_reconstruct(c: &mut Criterion) {
             .iter()
             .map(|&s| (s, blocks[s].as_slice()))
             .collect();
-        group.bench_function(BenchmarkId::new(name, "data_block"), |b| {
-            b.iter(|| code.reconstruct(0, &sources).unwrap())
-        });
+        h.case(
+            &format!("reconstruct_block/{name}/data_block"),
+            blocks[0].len() as u64,
+            || code.reconstruct(0, &sources).unwrap(),
+        );
     }
     // Lose the global parity (block 6): everyone reads k.
     for (name, code, blocks) in [
@@ -114,12 +118,18 @@ fn bench_reconstruct(c: &mut Criterion) {
             .iter()
             .map(|&s| (s, blocks[s].as_slice()))
             .collect();
-        group.bench_function(BenchmarkId::new(name, "global_parity"), |b| {
-            b.iter(|| code.reconstruct(6, &sources).unwrap())
-        });
+        h.case(
+            &format!("reconstruct_block/{name}/global_parity"),
+            blocks[6].len() as u64,
+            || code.reconstruct(6, &sources).unwrap(),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_reconstruct);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("coding");
+    bench_encode(&mut h);
+    bench_decode(&mut h);
+    bench_reconstruct(&mut h);
+    h.finish();
+}

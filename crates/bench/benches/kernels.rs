@@ -1,35 +1,36 @@
-//! Criterion micro-benchmarks for the substrate layers: GF(2⁸) slice
-//! kernels, matrix inversion, and the multi-threaded generator
-//! application — the pieces whose throughput determines every number in
-//! Fig. 7 and Fig. 8.
+//! Micro-benchmarks for the substrate layers: GF(2⁸) slice kernels,
+//! matrix inversion, and the multi-threaded generator application — the
+//! pieces whose throughput determines every number in Fig. 7 and
+//! Fig. 8.
+//!
+//! Uses the std-only harness in `galloper_bench::micro` (the offline
+//! build has no criterion). Pass `--json [DIR]` or set
+//! `GALLOPER_JSON_OUT` for machine-readable output.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use galloper_bench::micro::Harness;
 use galloper_bench::payload;
 use galloper_gf::slice;
 use galloper_linalg::{apply_parallel, Matrix};
 
-fn bench_gf_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gf_kernels");
+fn bench_gf_kernels(h: &mut Harness) {
     let src = payload(1 << 20, 3); // 1 MiB
     let mut dst = payload(1 << 20, 4);
-    group.throughput(Throughput::Bytes(src.len() as u64));
-    group.bench_function("xor_slice", |b| {
-        b.iter(|| slice::xor_slice(&src, &mut dst))
+    let bytes = src.len() as u64;
+    h.case("gf_kernels/xor_slice", bytes, || {
+        slice::xor_slice(&src, &mut dst)
     });
-    group.bench_function("mul_slice_add_c2", |b| {
-        b.iter(|| slice::mul_slice_add(2, &src, &mut dst))
+    h.case("gf_kernels/mul_slice_add_c2", bytes, || {
+        slice::mul_slice_add(2, &src, &mut dst)
     });
-    group.bench_function("mul_slice_add_c93", |b| {
-        b.iter(|| slice::mul_slice_add(93, &src, &mut dst))
+    h.case("gf_kernels/mul_slice_add_c93", bytes, || {
+        slice::mul_slice_add(93, &src, &mut dst)
     });
-    group.bench_function("mul_slice_c93", |b| {
-        b.iter(|| slice::mul_slice(93, &src, &mut dst))
+    h.case("gf_kernels/mul_slice_c93", bytes, || {
+        slice::mul_slice(93, &src, &mut dst)
     });
-    group.finish();
 }
 
-fn bench_inversion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matrix_inversion");
+fn bench_inversion(h: &mut Harness) {
     for n in [16usize, 64, 128, 256] {
         // A Cauchy matrix is always invertible, so the bench never hits
         // the singular early-exit. Cauchy needs 2n <= 255 distinct points,
@@ -40,29 +41,30 @@ fn bench_inversion(c: &mut Criterion) {
         } else {
             Matrix::cauchy(n / 4, n / 4).kron_identity(4)
         };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| m.inverted().unwrap())
+        h.case(&format!("matrix_inversion/n={n}"), 0, || {
+            m.inverted().unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_apply_threads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apply_parallel");
-    group.sample_size(10);
+fn bench_apply_threads(h: &mut Harness) {
     // A (15, 12)-shaped dense generator over 1 MiB stripes — the Fig. 7
     // k = 12 working set.
     let m = Matrix::cauchy(15, 12);
     let inputs: Vec<Vec<u8>> = (0..12).map(|i| payload(1 << 20, i as u64)).collect();
     let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
-    group.throughput(Throughput::Bytes((12 << 20) as u64));
+    let bytes = (12u64) << 20;
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| apply_parallel(&m, &refs, t))
+        h.case(&format!("apply_parallel/threads={threads}"), bytes, || {
+            apply_parallel(&m, &refs, threads)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_gf_kernels, bench_inversion, bench_apply_threads);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("kernels");
+    bench_gf_kernels(&mut h);
+    bench_inversion(&mut h);
+    bench_apply_threads(&mut h);
+    h.finish();
+}

@@ -38,9 +38,7 @@ fn main() {
     let weighted = Galloper::from_performances(4, 2, 1, &perfs, 35, 1).expect("weighted galloper");
 
     println!("# Ablation — placement (weights) vs scheduling (speculation)");
-    println!(
-        "wordcount, servers {THROTTLED_SERVERS:?} at 40% CPU, {block_mb} MB blocks\n"
-    );
+    println!("wordcount, servers {THROTTLED_SERVERS:?} at 40% CPU, {block_mb} MB blocks\n");
     let mut t = Table::new(&["weights", "speculation", "map (s)", "job (s)"]);
     for (wname, code) in [("homogeneous", &uniform), ("heterogeneous", &weighted)] {
         let splits = layout_splits(&code.layout(), &placement, block_mb, block_mb + 1.0);

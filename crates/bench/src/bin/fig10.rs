@@ -2,13 +2,16 @@
 //! throttled to 40% CPU vs full-speed servers, for Galloper codes with
 //! homogeneous vs performance-derived (heterogeneous) weights.
 //!
-//! Usage: `cargo run -p galloper-bench --release --bin fig10`
+//! Usage: `cargo run -p galloper-bench --release --bin fig10 [-- --json [DIR]]`
 //! Env:   `GALLOPER_BLOCK_MB` (default 450, as in the paper)
+//!        `GALLOPER_JSON_OUT` (directory; write BENCH_fig10.json there)
 
 use galloper_bench::table::{pct, secs, Table};
-use galloper_bench::{env_f64, fig10};
+use galloper_bench::{emit_json, env_f64, fig10};
+use galloper_obs::Json;
 
 fn main() {
+    galloper_obs::init_from_env();
     let block_mb = env_f64("GALLOPER_BLOCK_MB", 450.0);
     println!("# Fig. 10 — Galloper with homogeneous vs heterogeneous weights");
     println!(
@@ -37,5 +40,15 @@ fn main() {
     println!(
         "overall completion saving: {} (paper: 32.6%)",
         pct(result.job_saving())
+    );
+
+    emit_json(
+        "fig10",
+        &Json::object()
+            .field("fig", "fig10")
+            .field("block_mb", block_mb)
+            .field("homogeneous", result.homogeneous.to_json())
+            .field("heterogeneous", result.heterogeneous.to_json())
+            .field("job_saving", result.job_saving()),
     );
 }

@@ -2,13 +2,16 @@
 //! Pyramid- vs Galloper-coded data, k=4, l=2, g=1, 30 servers, 450 MB
 //! blocks.
 //!
-//! Usage: `cargo run -p galloper-bench --release --bin fig9`
+//! Usage: `cargo run -p galloper-bench --release --bin fig9 [-- --json [DIR]]`
 //! Env:   `GALLOPER_BLOCK_MB` (default 450, as in the paper)
+//!        `GALLOPER_JSON_OUT` (directory; write BENCH_fig9.json there)
 
 use galloper_bench::table::{pct, secs, Table};
-use galloper_bench::{env_f64, fig9};
+use galloper_bench::{emit_json, env_f64, fig9};
+use galloper_obs::Json;
 
 fn main() {
+    galloper_obs::init_from_env();
     let block_mb = env_f64("GALLOPER_BLOCK_MB", 450.0);
     println!("# Fig. 9 — Hadoop jobs on Pyramid vs Galloper (k=4, l=2, g=1)");
     println!("30 simulated servers, {block_mb} MB per coded block\n");
@@ -44,4 +47,25 @@ fn main() {
         ]);
     }
     println!("{}", t.to_markdown());
+
+    let savings: Vec<Json> = ["terasort", "wordcount"]
+        .iter()
+        .map(|w| {
+            Json::object()
+                .field("workload", *w)
+                .field("map_saving", result.saving(w, |r| r.map_secs))
+                .field("job_saving", result.saving(w, |r| r.job_secs))
+        })
+        .collect();
+    emit_json(
+        "fig9",
+        &Json::object()
+            .field("fig", "fig9")
+            .field("block_mb", block_mb)
+            .field(
+                "rows",
+                Json::Arr(result.rows.iter().map(|r| r.to_json()).collect()),
+            )
+            .field("savings", Json::Arr(savings)),
+    );
 }

@@ -31,11 +31,23 @@ fn main() {
     ]);
 
     let codes: Vec<(&str, Box<dyn ErasureCode>)> = vec![
-        ("(4,2) Reed-Solomon", Box::new(ReedSolomon::new(4, 2, 64).unwrap())),
+        (
+            "(4,2) Reed-Solomon",
+            Box::new(ReedSolomon::new(4, 2, 64).unwrap()),
+        ),
         ("(4,2) Carousel", Box::new(Carousel::new(4, 2, 16).unwrap())),
-        ("(4,2,1) Pyramid", Box::new(Pyramid::new(4, 2, 1, 64).unwrap())),
-        ("(4,2,1) Galloper", Box::new(Galloper::uniform(4, 2, 1, 16).unwrap())),
-        ("(4,2,2) Galloper-ASL", Box::new(GalloperAsl::uniform(4, 2, 2, 16).unwrap())),
+        (
+            "(4,2,1) Pyramid",
+            Box::new(Pyramid::new(4, 2, 1, 64).unwrap()),
+        ),
+        (
+            "(4,2,1) Galloper",
+            Box::new(Galloper::uniform(4, 2, 1, 16).unwrap()),
+        ),
+        (
+            "(4,2,2) Galloper-ASL",
+            Box::new(GalloperAsl::uniform(4, 2, 2, 16).unwrap()),
+        ),
     ];
     for (name, code) in &codes {
         let layout = code.layout();

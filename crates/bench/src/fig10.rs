@@ -29,6 +29,18 @@ pub struct Fig10Row {
     pub job_secs: f64,
 }
 
+impl Fig10Row {
+    /// The row as a JSON object — same fields the markdown prints.
+    pub fn to_json(&self) -> galloper_obs::Json {
+        galloper_obs::Json::object()
+            .field("weighting", self.weighting.as_str())
+            .field("slow_avg_map_secs", self.slow_avg_map_secs)
+            .field("fast_avg_map_secs", self.fast_avg_map_secs)
+            .field("map_secs", self.map_secs)
+            .field("job_secs", self.job_secs)
+    }
+}
+
 /// The Fig. 10 result pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig10Result {
@@ -97,7 +109,13 @@ pub fn run(block_mb: f64) -> Fig10Result {
         Galloper::from_performances(4, 2, 1, &perfs, 35, 1).expect("valid weighted galloper");
 
     Fig10Result {
-        homogeneous: run_weighting(&cluster, &homogeneous_code, &placement, block_mb, "homogeneous"),
+        homogeneous: run_weighting(
+            &cluster,
+            &homogeneous_code,
+            &placement,
+            block_mb,
+            "homogeneous",
+        ),
         heterogeneous: run_weighting(
             &cluster,
             &heterogeneous_code,

@@ -27,6 +27,18 @@ pub struct Fig7Row {
     pub galloper_secs: f64,
 }
 
+impl Fig7Row {
+    /// The row as a JSON object — the same fields the markdown table
+    /// prints, so the two outputs can never disagree.
+    pub fn to_json(&self) -> galloper_obs::Json {
+        galloper_obs::Json::object()
+            .field("k", self.k)
+            .field("rs_secs", self.rs_secs)
+            .field("pyramid_secs", self.pyramid_secs)
+            .field("galloper_secs", self.galloper_secs)
+    }
+}
+
 /// The three codes under test, sharing one block size.
 pub struct CodeTrio {
     /// `(k, 2)` Reed–Solomon.

@@ -37,6 +37,35 @@ pub struct Fig8Row {
     pub galloper: Fig8Cell,
 }
 
+impl Fig8Cell {
+    /// The cell as a JSON object — same fields the markdown prints.
+    pub fn to_json(&self) -> galloper_obs::Json {
+        galloper_obs::Json::object()
+            .field("compute_secs", self.compute_secs)
+            .field("simulated_secs", self.simulated_secs)
+            .field("disk_read_mb", self.disk_read_mb)
+            .field("fan_in", self.fan_in)
+    }
+}
+
+impl Fig8Row {
+    /// The row as a JSON object; the missing RS cell for block 7 is
+    /// `null`, mirroring the markdown's em-dash.
+    pub fn to_json(&self) -> galloper_obs::Json {
+        galloper_obs::Json::object()
+            .field("block", self.block)
+            .field(
+                "rs",
+                self.rs
+                    .as_ref()
+                    .map(Fig8Cell::to_json)
+                    .unwrap_or(galloper_obs::Json::Null),
+            )
+            .field("pyramid", self.pyramid.to_json())
+            .field("galloper", self.galloper.to_json())
+    }
+}
+
 fn measure(
     code: &dyn ErasureCode,
     blocks: &[Vec<u8>],
@@ -90,8 +119,7 @@ pub fn reconstruction(block_mb: f64, reps: usize) -> Vec<Fig8Row> {
     (0..7)
         .map(|block| Fig8Row {
             block,
-            rs: (block < 6)
-                .then(|| measure(&trio.rs, &rs_blocks, block, real_mb, reps, &cluster)),
+            rs: (block < 6).then(|| measure(&trio.rs, &rs_blocks, block, real_mb, reps, &cluster)),
             pyramid: measure(&trio.pyramid, &pyr_blocks, block, real_mb, reps, &cluster),
             galloper: measure(&trio.galloper, &gal_blocks, block, real_mb, reps, &cluster),
         })

@@ -42,6 +42,19 @@ pub struct Fig9Row {
     pub job_secs: f64,
 }
 
+impl Fig9Row {
+    /// The row as a JSON object — same fields the markdown prints.
+    pub fn to_json(&self) -> galloper_obs::Json {
+        galloper_obs::Json::object()
+            .field("workload", self.workload.as_str())
+            .field("code", self.code.as_str())
+            .field("map_tasks", self.map_tasks)
+            .field("map_secs", self.map_secs)
+            .field("reduce_secs", self.reduce_secs)
+            .field("job_secs", self.job_secs)
+    }
+}
+
 /// The Fig. 9 result set plus derived savings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig9Result {
@@ -103,7 +116,10 @@ pub fn run(block_mb: f64) -> Fig9Result {
 
     let mut rows = Vec::new();
     for workload in [Workload::terasort(), Workload::wordcount()] {
-        for (name, layout) in [("Pyramid", pyramid.layout()), ("Galloper", galloper.layout())] {
+        for (name, layout) in [
+            ("Pyramid", pyramid.layout()),
+            ("Galloper", galloper.layout()),
+        ] {
             let (tasks, report) = run_one(
                 &cluster,
                 &layout,
@@ -144,14 +160,26 @@ mod tests {
         // bounded by 42.9%; job savings 30.4% / 36.4%.
         let ts_map = result.saving("terasort", |r| r.map_secs);
         let wc_map = result.saving("wordcount", |r| r.map_secs);
-        assert!((0.25..0.429).contains(&ts_map), "terasort map saving {ts_map}");
-        assert!((0.34..0.429).contains(&wc_map), "wordcount map saving {wc_map}");
+        assert!(
+            (0.25..0.429).contains(&ts_map),
+            "terasort map saving {ts_map}"
+        );
+        assert!(
+            (0.34..0.429).contains(&wc_map),
+            "wordcount map saving {wc_map}"
+        );
         assert!(wc_map > ts_map, "wordcount saves more (smaller fixed cost)");
 
         let ts_job = result.saving("terasort", |r| r.job_secs);
         let wc_job = result.saving("wordcount", |r| r.job_secs);
-        assert!((0.2..0.429).contains(&ts_job), "terasort job saving {ts_job}");
-        assert!((0.3..0.429).contains(&wc_job), "wordcount job saving {wc_job}");
+        assert!(
+            (0.2..0.429).contains(&ts_job),
+            "terasort job saving {ts_job}"
+        );
+        assert!(
+            (0.3..0.429).contains(&wc_job),
+            "wordcount job saving {wc_job}"
+        );
         // Job savings are diluted by the (unchanged) reduce phase.
         assert!(ts_job < ts_map);
     }

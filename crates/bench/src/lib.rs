@@ -28,33 +28,97 @@ pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod micro;
 pub mod table;
 
+use std::path::PathBuf;
+
+use galloper_obs::Json;
+
+/// The directory where machine-readable `BENCH_*.json` files should be
+/// written, or `None` when JSON output is off.
+///
+/// JSON output turns on when either the process was invoked with
+/// `--json [DIR]` (or `--json=DIR`; no directory means `.`) or the
+/// `GALLOPER_JSON_OUT` environment variable is set to the output
+/// directory. The CLI flag wins when both are present.
+pub fn json_out_dir() -> Option<PathBuf> {
+    json_out_dir_from(std::env::args().skip(1))
+}
+
+/// [`json_out_dir`] over an explicit argument list (testable).
+pub fn json_out_dir_from(args: impl IntoIterator<Item = String>) -> Option<PathBuf> {
+    let args: Vec<String> = args.into_iter().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(dir) = arg.strip_prefix("--json=") {
+            return Some(PathBuf::from(dir));
+        }
+        if arg == "--json" {
+            // A following non-flag argument is the output directory.
+            return match args.get(i + 1) {
+                Some(next) if !next.starts_with('-') => Some(PathBuf::from(next)),
+                _ => Some(PathBuf::from(".")),
+            };
+        }
+    }
+    galloper_obs::json_out_dir_from_env()
+}
+
+/// Writes `BENCH_<name>.json` into the JSON output directory, if JSON
+/// output is enabled; otherwise does nothing. IO failures warn on
+/// stderr rather than aborting the benchmark run.
+pub fn emit_json(name: &str, doc: &Json) {
+    let Some(dir) = json_out_dir() else { return };
+    let path = dir.join(format!("BENCH_{name}.json"));
+    match galloper_obs::write_json(&path, doc) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Reads a positive float from the environment, falling back to `default`.
+///
+/// A set-but-malformed (or non-positive) value is reported on stderr
+/// before falling back, so typos in `GALLOPER_*` variables never silently
+/// change an experiment.
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0.0)
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(v) if v > 0.0 => v,
+            _ => {
+                eprintln!(
+                    "warning: {name}={raw:?} is not a positive number; using default {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 /// Reads a positive integer from the environment, falling back to
 /// `default`.
+///
+/// Like [`env_f64`], malformed values warn on stderr instead of being
+/// silently ignored.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!(
+                    "warning: {name}={raw:?} is not a positive integer; using default {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 /// Deterministic pseudo-random payload for coding benchmarks.
 pub fn payload(len: usize, seed: u64) -> Vec<u8> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen()).collect()
+    galloper_testkit::TestRng::new(seed).bytes(len)
 }
 
 #[cfg(test)]
@@ -71,5 +135,32 @@ mod tests {
     fn payload_is_deterministic() {
         assert_eq!(payload(64, 7), payload(64, 7));
         assert_ne!(payload(64, 7), payload(64, 8));
+    }
+
+    #[test]
+    fn json_flag_parsing() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            json_out_dir_from(args(&["--json", "results"])),
+            Some(PathBuf::from("results"))
+        );
+        assert_eq!(
+            json_out_dir_from(args(&["--json=out"])),
+            Some(PathBuf::from("out"))
+        );
+        assert_eq!(
+            json_out_dir_from(args(&["--json"])),
+            Some(PathBuf::from("."))
+        );
+        assert_eq!(
+            json_out_dir_from(args(&["--json", "--quick"])),
+            Some(PathBuf::from("."))
+        );
+        // No flag: falls through to the environment (not set here for
+        // the no-output case, so this stays None unless the test runner
+        // exports GALLOPER_JSON_OUT).
+        if std::env::var("GALLOPER_JSON_OUT").is_err() {
+            assert_eq!(json_out_dir_from(args(&["--quick"])), None);
+        }
     }
 }

@@ -1,0 +1,135 @@
+//! A minimal micro-benchmark harness (`Instant`-based, std-only).
+//!
+//! The offline build has no criterion, so `benches/*.rs` use this
+//! instead: each case is auto-calibrated to a wall-clock budget, timed
+//! over that many iterations, and reported as a row (min / median /
+//! mean per-iteration time, plus throughput when a byte count is
+//! given). `Harness::finish` prints a table and, when JSON output is
+//! enabled (`--json` or `GALLOPER_JSON_OUT`), writes
+//! `BENCH_micro_<name>.json`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use galloper_obs::Json;
+
+use crate::env_f64;
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct MicroRow {
+    /// Case label, e.g. `"encode/rs/k=8"`.
+    pub label: String,
+    /// Iterations actually timed.
+    pub iters: u64,
+    /// Fastest observed per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Bytes processed per iteration (0 when not meaningful).
+    pub bytes_per_iter: u64,
+}
+
+impl MicroRow {
+    /// Throughput in MiB/s based on the median time, or `None` when no
+    /// byte count was supplied.
+    pub fn mib_per_sec(&self) -> Option<f64> {
+        if self.bytes_per_iter == 0 || self.median_ns <= 0.0 {
+            return None;
+        }
+        let secs = self.median_ns / 1e9;
+        Some(self.bytes_per_iter as f64 / (1 << 20) as f64 / secs)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut row = Json::object()
+            .field("label", self.label.as_str())
+            .field("iters", self.iters)
+            .field("min_ns", self.min_ns)
+            .field("median_ns", self.median_ns)
+            .field("mean_ns", self.mean_ns)
+            .field("bytes_per_iter", self.bytes_per_iter);
+        if let Some(t) = self.mib_per_sec() {
+            row = row.field("mib_per_sec", t);
+        }
+        row
+    }
+}
+
+/// Collects [`MicroRow`]s for one benchmark binary.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    budget: Duration,
+    rows: Vec<MicroRow>,
+}
+
+impl Harness {
+    /// A harness named `name` (used in output file names). The
+    /// per-case measurement budget defaults to 200 ms and can be tuned
+    /// with `GALLOPER_BENCH_MS`.
+    pub fn new(name: &str) -> Harness {
+        let ms = env_f64("GALLOPER_BENCH_MS", 200.0);
+        Harness {
+            name: name.to_string(),
+            budget: Duration::from_secs_f64(ms / 1000.0),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing and recording one row. `bytes_per_iter` is
+    /// the payload size each call processes (0 if not meaningful).
+    pub fn case<R>(&mut self, label: &str, bytes_per_iter: u64, mut f: impl FnMut() -> R) {
+        // Calibrate: run once to estimate, then pick an iteration count
+        // that fills the budget, split into ~10 timing samples.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let total_iters = (self.budget.as_secs_f64() / once.as_secs_f64()).ceil() as u64;
+        let total_iters = total_iters.clamp(1, 1_000_000);
+        let samples = 10u64.min(total_iters);
+        let per_sample = (total_iters / samples).max(1);
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            times_ns.push(t0.elapsed().as_secs_f64() * 1e9 / per_sample as f64);
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min_ns = times_ns[0];
+        let median_ns = times_ns[times_ns.len() / 2];
+        let mean_ns = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+
+        let row = MicroRow {
+            label: label.to_string(),
+            iters: samples * per_sample,
+            min_ns,
+            median_ns,
+            mean_ns,
+            bytes_per_iter,
+        };
+        match row.mib_per_sec() {
+            Some(t) => println!(
+                "{:<40} {:>12.0} ns/iter  {:>10.1} MiB/s",
+                row.label, row.median_ns, t
+            ),
+            None => println!("{:<40} {:>12.0} ns/iter", row.label, row.median_ns),
+        }
+        self.rows.push(row);
+    }
+
+    /// Writes `BENCH_micro_<name>.json` when JSON output is enabled
+    /// (any CLI arg `--json [DIR]` or `GALLOPER_JSON_OUT`).
+    pub fn finish(self) {
+        let rows: Vec<Json> = self.rows.iter().map(MicroRow::to_json).collect();
+        let doc = Json::object()
+            .field("bench", self.name.as_str())
+            .field("rows", Json::Arr(rows));
+        crate::emit_json(&format!("micro_{}", self.name), &doc);
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end test of the bench binaries' machine-readable output: runs
+//! the real `fig7` binary with `--json`, then parses `BENCH_fig7.json`
+//! with the in-tree parser and checks the row count and field set.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use galloper_obs::json::{parse, Json};
+
+/// A scratch directory unique to this test process, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("galloper-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn fig7_json_output_parses_with_expected_shape() {
+    let scratch = ScratchDir::new("fig7-json");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig7"))
+        .arg(format!("--json={}", scratch.0.display()))
+        // Tiny blocks and one repetition: this test checks plumbing and
+        // shape, not performance numbers.
+        .env("GALLOPER_BLOCK_MB", "0.1")
+        .env("GALLOPER_REPS", "1")
+        .output()
+        .expect("run fig7");
+    assert!(
+        out.status.success(),
+        "fig7 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let raw = std::fs::read_to_string(scratch.0.join("BENCH_fig7.json")).expect("BENCH_fig7.json");
+    let doc = parse(&raw).expect("valid JSON");
+
+    assert_eq!(doc.get("fig").and_then(|v| v.as_str()), Some("fig7"));
+    assert_eq!(doc.get("reps").and_then(|v| v.as_f64()), Some(1.0));
+
+    // One row per k in {4, 6, 8, 10, 12}, in both tables.
+    for table in ["encode", "decode"] {
+        let rows = doc
+            .get(table)
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{table} is an array"));
+        assert_eq!(rows.len(), 5, "{table} row count");
+        for (row, expected_k) in rows.iter().zip([4.0, 6.0, 8.0, 10.0, 12.0]) {
+            assert_eq!(row.get("k").and_then(|v| v.as_f64()), Some(expected_k));
+            for field in ["rs_secs", "pyramid_secs", "galloper_secs"] {
+                let secs = row
+                    .get(field)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("{table} row missing {field}"));
+                assert!(secs >= 0.0, "{field} must be non-negative, got {secs}");
+            }
+        }
+    }
+
+    // The kernel counters rode along: encoding must have pushed bytes
+    // through the GF(256) multiply-accumulate kernel.
+    let counters = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("metrics.counters");
+    let mac_bytes = counters
+        .get("gf.mul_slice_add.bytes")
+        .and_then(|v| v.as_f64())
+        .expect("gf.mul_slice_add.bytes counter");
+    assert!(mac_bytes > 0.0);
+}

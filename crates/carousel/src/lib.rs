@@ -71,7 +71,7 @@ impl Carousel {
         let remapped = remap_basis(&gg, &selections, big_n)?;
 
         let mut roles = vec![BlockRole::Data; k];
-        roles.extend(std::iter::repeat(BlockRole::GlobalParity).take(r));
+        roles.extend(std::iter::repeat_n(BlockRole::GlobalParity, r));
         let layout = DataLayout::new(remapped.assignments, big_n);
         // MDS repair: read the first k other blocks, like Reed–Solomon.
         let plans = (0..n)

@@ -10,16 +10,25 @@
 //! galloper weights -k 4 -l 2 -g 1 --perfs 1.0,1.0,1.0,0.4,0.4,0.4,1.0
 //! ```
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use galloper::{solve_weights, GalloperParams, StripeAllocation};
 use galloper_cli::{check, decode_file, encode_file, inspect, repair_block, CodeSpec};
 use galloper_erasure::ErasureCode as _;
+use galloper_obs::Json;
 
 fn main() -> ExitCode {
+    galloper_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let command = args.first().cloned().unwrap_or_default();
+    let result = run(&args);
+    // Snapshot the metrics the command produced (gf kernel byte counts,
+    // erasure.<family>.* operation counters, timer histograms) even when
+    // the command itself failed — a failure's metrics are often the most
+    // interesting ones.
+    write_metrics(&command, result.is_ok());
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -30,6 +39,37 @@ fn main() -> ExitCode {
     }
 }
 
+/// Writes `galloper_metrics.json` into the `--json` / `GALLOPER_JSON_OUT`
+/// directory, if one was requested. No-op otherwise.
+fn write_metrics(command: &str, ok: bool) {
+    let Some(dir) = json_out_dir() else { return };
+    let doc = Json::object()
+        .field("tool", "galloper")
+        .field("command", command)
+        .field("ok", ok)
+        .field("metrics", galloper_obs::global().snapshot());
+    let path = dir.join("galloper_metrics.json");
+    match galloper_obs::write_json(&path, &doc) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// `--json[=DIR]` beats `GALLOPER_JSON_OUT`; bare `--json` means the
+/// current directory. The flag takes no separate-argument form here
+/// because every subcommand also takes positional arguments.
+fn json_out_dir() -> Option<PathBuf> {
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            return Some(PathBuf::from("."));
+        }
+        if let Some(dir) = arg.strip_prefix("--json=") {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    galloper_obs::json_out_dir_from_env()
+}
+
 const USAGE: &str = "usage:
   galloper encode  <input> <dir> [--family F] [-k K] [-l L] [-g G]
                    [--stripe-size BYTES] [--perfs P1,P2,...] [--resolution N]
@@ -37,7 +77,10 @@ const USAGE: &str = "usage:
   galloper repair  <dir> <block-index>
   galloper inspect <dir>
   galloper check   <dir>
-  galloper weights -k K -l L -g G --perfs P1,P2,...";
+  galloper weights -k K -l L -g G --perfs P1,P2,...
+global flags:
+  --json[=DIR]     write galloper_metrics.json (kernel/erasure counters)
+                   into DIR (default .); GALLOPER_JSON_OUT=DIR does the same";
 
 struct Options {
     positional: Vec<String>,
@@ -67,6 +110,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "--json" => {}
+            s if s.starts_with("--json=") => {}
             "--family" => o.family = value("--family")?.clone(),
             "-k" => o.k = value("-k")?.parse().map_err(|_| "-k must be a number")?,
             "-l" => o.l = value("-l")?.parse().map_err(|_| "-l must be a number")?,
@@ -185,9 +230,12 @@ fn make_spec(o: &Options) -> Result<CodeSpec, String> {
                     (resolution, alloc.counts().to_vec())
                 }
                 (None, Some(resolution)) => {
-                    let alloc =
-                        StripeAllocation::from_weights(params, &vec![1.0; params.num_blocks()], resolution)
-                            .map_err(|e| e.to_string())?;
+                    let alloc = StripeAllocation::from_weights(
+                        params,
+                        &vec![1.0; params.num_blocks()],
+                        resolution,
+                    )
+                    .map_err(|e| e.to_string())?;
                     (resolution, alloc.counts().to_vec())
                 }
                 (None, None) => {

@@ -17,11 +17,15 @@ pub use ops::{check, decode_file, encode_file, inspect, repair_block, CliError};
 
 use galloper::{Galloper, GalloperAsl};
 use galloper_carousel::Carousel;
-use galloper_erasure::ErasureCode;
+use galloper_erasure::{ErasureCode, Observed};
 use galloper_pyramid::Pyramid;
 use galloper_rs::ReedSolomon;
 
 /// Instantiates the erasure code described by a [`CodeSpec`].
+///
+/// Every code is wrapped in [`Observed`] with its family name, so CLI
+/// operations feed the `erasure.<family>.*` metrics that `--json`
+/// snapshots at exit.
 ///
 /// # Errors
 ///
@@ -30,17 +34,20 @@ use galloper_rs::ReedSolomon;
 pub fn build_code(spec: &CodeSpec) -> Result<Box<dyn ErasureCode>, CliError> {
     let bad = |e: String| CliError::BadSpec(e);
     match spec.family.as_str() {
-        "rs" => Ok(Box::new(
+        "rs" => Ok(Box::new(Observed::new(
+            "rs",
             ReedSolomon::new(spec.k, spec.g, spec.stripe_size * spec.resolution)
                 .map_err(|e| bad(e.to_string()))?,
-        )),
-        "pyramid" => Ok(Box::new(
+        ))),
+        "pyramid" => Ok(Box::new(Observed::new(
+            "pyramid",
             Pyramid::new(spec.k, spec.l, spec.g, spec.stripe_size * spec.resolution)
                 .map_err(|e| bad(e.to_string()))?,
-        )),
-        "carousel" => Ok(Box::new(
+        ))),
+        "carousel" => Ok(Box::new(Observed::new(
+            "carousel",
             Carousel::new(spec.k, spec.g, spec.stripe_size).map_err(|e| bad(e.to_string()))?,
-        )),
+        ))),
         "galloper" => {
             let params = galloper::GalloperParams::new(spec.k, spec.l, spec.g)
                 .map_err(|e| bad(e.to_string()))?;
@@ -52,9 +59,11 @@ pub fn build_code(spec: &CodeSpec) -> Result<Box<dyn ErasureCode>, CliError> {
                 galloper::StripeAllocation::from_weights(params, &weights, spec.resolution)
                     .map_err(|e| bad(e.to_string()))?
             };
-            Ok(Box::new(
-                Galloper::with_allocation(alloc, spec.stripe_size).map_err(|e| bad(e.to_string()))?,
-            ))
+            Ok(Box::new(Observed::new(
+                "galloper",
+                Galloper::with_allocation(alloc, spec.stripe_size)
+                    .map_err(|e| bad(e.to_string()))?,
+            )))
         }
         "galloper-asl" => {
             let params = galloper::GalloperParams::new(spec.k, spec.l, spec.g)
@@ -65,7 +74,7 @@ pub fn build_code(spec: &CodeSpec) -> Result<Box<dyn ErasureCode>, CliError> {
                 GalloperAsl::with_counts(params, &spec.counts, spec.resolution, spec.stripe_size)
             }
             .map_err(|e| bad(e.to_string()))?;
-            Ok(Box::new(code))
+            Ok(Box::new(Observed::new("galloper_asl", code)))
         }
         other => Err(CliError::BadSpec(format!("unknown code family '{other}'"))),
     }
@@ -89,7 +98,10 @@ mod tests {
             };
             let spec = if family == "galloper" {
                 // Uniform (4,2,2): n = 8, N must make 4N/8 integral → N=2.
-                CodeSpec { resolution: 2, ..spec }
+                CodeSpec {
+                    resolution: 2,
+                    ..spec
+                }
             } else {
                 spec
             };

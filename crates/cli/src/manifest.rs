@@ -124,7 +124,9 @@ impl Manifest {
             map: &'a HashMap<String, String>,
             key: &'static str,
         ) -> Result<&'a str, ManifestError> {
-            map.get(key).map(String::as_str).ok_or(ManifestError::MissingKey(key))
+            map.get(key)
+                .map(String::as_str)
+                .ok_or(ManifestError::MissingKey(key))
         }
         fn parse_usize(
             map: &HashMap<String, String>,

@@ -46,7 +46,11 @@ impl fmt::Display for CliError {
             CliError::Manifest(e) => write!(f, "manifest error: {e}"),
             CliError::Code(e) => write!(f, "coding error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
-            CliError::CorruptBlock { block, got, expected } => {
+            CliError::CorruptBlock {
+                block,
+                got,
+                expected,
+            } => {
                 write!(f, "block {block} has {got} bytes, expected {expected}")
             }
             CliError::MissingSources(s) => write!(f, "repair sources missing on disk: {s:?}"),
@@ -232,11 +236,11 @@ pub fn check(dir: &Path) -> Result<(String, bool), CliError> {
     let expected = code.block_len() * manifest.num_groups;
     let mut present = vec![false; n];
     let mut report = String::new();
-    for b in 0..n {
+    for (b, p) in present.iter_mut().enumerate() {
         match fs::metadata(block_path(dir, b)) {
             Ok(meta) => {
                 if meta.len() as usize == expected {
-                    present[b] = true;
+                    *p = true;
                 } else {
                     report.push_str(&format!(
                         "  block {b}: WRONG SIZE ({} bytes, expected {expected})\n",
@@ -333,7 +337,8 @@ mod tests {
     }
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("galloper-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("galloper-cli-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -440,7 +445,10 @@ mod tests {
         assert!(ok);
         assert!(report.contains("DEGRADED"), "{report}");
         assert!(report.contains("MISSING"), "{report}");
-        assert!(report.contains("[1]"), "block 1 must be listed repairable: {report}");
+        assert!(
+            report.contains("[1]"),
+            "block 1 must be listed repairable: {report}"
+        );
 
         fs::remove_file(out.join("block_0.bin")).unwrap();
         fs::remove_file(out.join("block_6.bin")).unwrap();

@@ -69,7 +69,12 @@ impl GalloperAsl {
     /// `g ≥ 1`; for `g = 1` the global group would need to hold more data
     /// per member than the remap allows at some shapes — construction
     /// fails cleanly in that case).
-    pub fn uniform(k: usize, l: usize, g: usize, stripe_size: usize) -> Result<Self, GalloperError> {
+    pub fn uniform(
+        k: usize,
+        l: usize,
+        g: usize,
+        stripe_size: usize,
+    ) -> Result<Self, GalloperError> {
         let params = GalloperParams::new(k, l, g)?;
         if params.l() == 0 {
             // With no local groups the "extension" is just Azure-LRC over
@@ -80,7 +85,7 @@ impl GalloperAsl {
         // Find the smallest N where uniform counts are integral and both
         // group capacities hold.
         for big_n in 1..=(n * n) {
-            if (k * big_n) % n != 0 {
+            if !(k * big_n).is_multiple_of(n) {
                 continue;
             }
             let m = k * big_n / n;
@@ -200,7 +205,9 @@ mod tests {
     use galloper_pyramid::subsets;
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len).map(|i| (i.wrapping_mul(151) % 247) as u8).collect()
+        (0..len)
+            .map(|i| (i.wrapping_mul(151) % 247) as u8)
+            .collect()
     }
 
     #[test]
@@ -219,7 +226,11 @@ mod tests {
                 .iter()
                 .map(|&s| (s, blocks[s].as_slice()))
                 .collect();
-            assert_eq!(code.reconstruct(b, &sources).unwrap(), blocks[b], "block {b}");
+            assert_eq!(
+                code.reconstruct(b, &sources).unwrap(),
+                blocks[b],
+                "block {b}"
+            );
         }
     }
 

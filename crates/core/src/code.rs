@@ -101,6 +101,10 @@ impl Galloper {
         alloc: StripeAllocation,
         stripe_size: usize,
     ) -> Result<Self, GalloperError> {
+        // Construction runs weight rationalization plus full generator
+        // validation — worth a latency histogram of its own.
+        let _t = galloper_obs::global().timer("galloper.construct_us");
+        galloper_obs::counter!("galloper.constructions", 1);
         let params = alloc.params();
         let c = construct::build(params, &alloc)?;
         let n = params.num_blocks();
@@ -123,7 +127,12 @@ impl Galloper {
     /// # Errors
     ///
     /// [`GalloperError`] for invalid `(k, l, g)` or `stripe_size == 0`.
-    pub fn uniform(k: usize, l: usize, g: usize, stripe_size: usize) -> Result<Self, GalloperError> {
+    pub fn uniform(
+        k: usize,
+        l: usize,
+        g: usize,
+        stripe_size: usize,
+    ) -> Result<Self, GalloperError> {
         let params = GalloperParams::new(k, l, g)?;
         let alloc = StripeAllocation::uniform(params);
         Galloper::with_allocation(alloc, stripe_size)

@@ -128,12 +128,9 @@ mod tests {
         // The alignment-independence property the single global remap
         // buys: wildly uneven counts still produce a full-rank basis.
         let params = GalloperParams::new(4, 2, 1).unwrap();
-        let alloc = StripeAllocation::from_performances(
-            params,
-            &[9.0, 0.3, 1.0, 0.7, 2.0, 1.1, 3.0],
-            24,
-        )
-        .unwrap();
+        let alloc =
+            StripeAllocation::from_performances(params, &[9.0, 0.3, 1.0, 0.7, 2.0, 1.1, 3.0], 24)
+                .unwrap();
         let c = build(params, &alloc).unwrap();
         assert_eq!(c.generator.rank(), 4 * 24);
     }

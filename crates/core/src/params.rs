@@ -73,7 +73,7 @@ impl GalloperParams {
         if g == 0 {
             return Err(ParamsError::ZeroG);
         }
-        if l > 0 && k % l != 0 {
+        if l > 0 && !k.is_multiple_of(l) {
             return Err(ParamsError::LocalityMismatch { k, l });
         }
         if k + g + 1 > 255 {
@@ -115,11 +115,7 @@ impl GalloperParams {
     /// Like [`GalloperParams::group_size`], but returns 1 when `l == 0`
     /// (useful for scale bounds in rational arithmetic).
     pub fn group_size_or_one(&self) -> usize {
-        if self.l == 0 {
-            1
-        } else {
-            self.k / self.l
-        }
+        self.k.checked_div(self.l).unwrap_or(1)
     }
 
     /// Blocks per local group including the local parity (`k/l + 1`).
@@ -268,7 +264,10 @@ mod tests {
             GalloperParams::new(4, 3, 1),
             Err(ParamsError::LocalityMismatch { k: 4, l: 3 })
         );
-        assert_eq!(GalloperParams::new(250, 0, 6), Err(ParamsError::TooManyBlocks));
+        assert_eq!(
+            GalloperParams::new(250, 0, 6),
+            Err(ParamsError::TooManyBlocks)
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl fmt::Display for WeightError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WeightError::WrongLength { got, expected } => {
-                write!(f, "got {got} performance entries, code has {expected} blocks")
+                write!(
+                    f,
+                    "got {got} performance entries, code has {expected} blocks"
+                )
             }
             WeightError::InvalidPerformance => {
                 f.write_str("server performances must be positive and finite")
@@ -269,7 +272,7 @@ fn water_level(k: usize, perfs: &[f64]) -> f64 {
     for t in 0..k {
         let c = rest / (k - t) as f64;
         let upper_ok = t == 0 || sorted[t - 1] >= c - 1e-12;
-        let lower_ok = sorted.get(t).map_or(true, |&p| p <= c + 1e-12);
+        let lower_ok = sorted.get(t).is_none_or(|&p| p <= c + 1e-12);
         if upper_ok && lower_ok {
             return perfs.iter().map(|&p| p.min(c)).sum();
         }
@@ -312,14 +315,17 @@ pub fn water_filling(k: usize, performances: &[f64]) -> Vec<f64> {
     for t in 0..k.min(n) {
         let c = rest / (k - t) as f64;
         let upper_ok = t == 0 || sorted[t - 1] >= c - 1e-12;
-        let lower_ok = t == n || sorted.get(t).map_or(true, |&p| p <= c + 1e-12);
+        let lower_ok = t == n || sorted.get(t).is_none_or(|&p| p <= c + 1e-12);
         if upper_ok && lower_ok {
             cap = c;
             break;
         }
         rest -= sorted[t];
     }
-    assert!(cap.is_finite(), "water filling must find a consistent level");
+    assert!(
+        cap.is_finite(),
+        "water filling must find a consistent level"
+    );
     let s: f64 = performances.iter().map(|&p| p.min(cap)).sum();
     performances
         .iter()
@@ -414,7 +420,7 @@ impl StripeAllocation {
         // Find the smallest N with k·N divisible by n and, for l > 0, the
         // per-group total divisible by the group size.
         for big_n in 1..=(n * n) {
-            if (k * big_n) % n != 0 {
+            if !(k * big_n).is_multiple_of(n) {
                 continue;
             }
             let m = k * big_n / n;
@@ -425,7 +431,7 @@ impl StripeAllocation {
                 let span = params.group_span();
                 let group_total = span * m;
                 let q = params.group_size();
-                if group_total % q != 0 || group_total / q > big_n {
+                if !group_total.is_multiple_of(q) || group_total / q > big_n {
                     continue;
                 }
             }
@@ -509,11 +515,15 @@ impl StripeAllocation {
             // Exactness: every count must divide out perfectly.
             if numerators
                 .iter()
-                .any(|&num| (k * num * big_n) % total != 0)
+                .any(|&num| !(k * num * big_n).is_multiple_of(total))
             {
                 continue;
             }
-            let q = if params.l() > 0 { params.group_size() } else { 1 };
+            let q = if params.l() > 0 {
+                params.group_size()
+            } else {
+                1
+            };
             let group_data_counts: Vec<usize> = (0..params.l())
                 .map(|j| params.group_blocks(j).map(|i| counts[i]).sum::<usize>() / q)
                 .collect();
@@ -659,13 +669,14 @@ fn round_with_caps(targets: &[f64], caps: &[usize], total: usize) -> Option<Vec<
         match sum.cmp(&total) {
             std::cmp::Ordering::Equal => return Some(counts),
             std::cmp::Ordering::Less => {
-                let candidate = (0..counts.len())
-                    .filter(|&i| counts[i] < caps[i])
-                    .max_by(|&a, &b| {
-                        let da = targets[a] - counts[a] as f64;
-                        let db = targets[b] - counts[b] as f64;
-                        da.partial_cmp(&db).unwrap()
-                    })?;
+                let candidate =
+                    (0..counts.len())
+                        .filter(|&i| counts[i] < caps[i])
+                        .max_by(|&a, &b| {
+                            let da = targets[a] - counts[a] as f64;
+                            let db = targets[b] - counts[b] as f64;
+                            da.partial_cmp(&db).unwrap()
+                        })?;
                 counts[candidate] += 1;
             }
             std::cmp::Ordering::Greater => {
@@ -726,13 +737,11 @@ fn rationalize_grouped(
             // per-unit shortfall.
             let group_cand = (deficit >= q)
                 .then(|| {
-                    (0..l)
-                        .filter(|&j| a[j] < big_n)
-                        .max_by(|&x, &y| {
-                            let dx = group_targets[x] - a[x] as f64;
-                            let dy = group_targets[y] - a[y] as f64;
-                            dx.partial_cmp(&dy).unwrap()
-                        })
+                    (0..l).filter(|&j| a[j] < big_n).max_by(|&x, &y| {
+                        let dx = group_targets[x] - a[x] as f64;
+                        let dy = group_targets[y] - a[y] as f64;
+                        dx.partial_cmp(&dy).unwrap()
+                    })
                 })
                 .flatten();
             let global_cand = (0..g).filter(|&i| t[i] < big_n).max_by(|&x, &y| {
@@ -755,7 +764,9 @@ fn rationalize_grouped(
                 (None, None) => {
                     // Nothing below cap can take units of the needed size:
                     // force a group up (may overshoot; loop shrinks later).
-                    let j = (0..l).find(|&j| a[j] < big_n).ok_or(WeightError::Unroundable)?;
+                    let j = (0..l)
+                        .find(|&j| a[j] < big_n)
+                        .ok_or(WeightError::Unroundable)?;
                     a[j] += 1;
                 }
             }
@@ -786,12 +797,12 @@ fn rationalize_grouped(
     // Level 2: within each group, distribute q·a_j among the q+1 members
     // capped at a_j.
     let mut counts = vec![0usize; params.num_blocks()];
-    for j in 0..l {
+    for (j, &aj) in a.iter().enumerate().take(l) {
         let blocks: Vec<usize> = params.group_blocks(j).collect();
         let member_targets: Vec<f64> = blocks.iter().map(|&i| targets[i]).collect();
-        let caps = vec![a[j]; blocks.len()];
-        let member_counts = round_with_caps(&member_targets, &caps, q * a[j])
-            .ok_or(WeightError::Unroundable)?;
+        let caps = vec![aj; blocks.len()];
+        let member_counts =
+            round_with_caps(&member_targets, &caps, q * aj).ok_or(WeightError::Unroundable)?;
         for (&b, &m) in blocks.iter().zip(&member_counts) {
             counts[b] = m;
         }
@@ -906,7 +917,14 @@ mod tests {
 
     #[test]
     fn allocation_invariants_hold_for_many_shapes() {
-        for (k, l, g) in [(4, 2, 1), (6, 3, 2), (8, 2, 1), (12, 4, 2), (6, 0, 2), (9, 3, 1)] {
+        for (k, l, g) in [
+            (4, 2, 1),
+            (6, 3, 2),
+            (8, 2, 1),
+            (12, 4, 2),
+            (6, 0, 2),
+            (9, 3, 1),
+        ] {
             let p = params(k, l, g);
             let perfs: Vec<f64> = (0..p.num_blocks())
                 .map(|i| 1.0 + (i % 5) as f64 * 0.7)
@@ -936,7 +954,10 @@ mod tests {
         let p = params(4, 2, 1);
         let f = vec![(4u64, 7u64); 7];
         let alloc = StripeAllocation::from_fractions(p, &f).unwrap();
-        assert_eq!(alloc.resolution(), StripeAllocation::uniform(p).resolution());
+        assert_eq!(
+            alloc.resolution(),
+            StripeAllocation::uniform(p).resolution()
+        );
         assert_eq!(alloc.counts(), StripeAllocation::uniform(p).counts());
     }
 
@@ -963,7 +984,10 @@ mod tests {
         let n = alloc.resolution() as f64;
         for (i, &(num, den)) in f.iter().enumerate() {
             let want = num as f64 / den as f64;
-            assert!((alloc.counts()[i] as f64 / n - want).abs() < 1e-12, "block {i}");
+            assert!(
+                (alloc.counts()[i] as f64 / n - want).abs() < 1e-12,
+                "block {i}"
+            );
         }
     }
 
@@ -1001,6 +1025,10 @@ mod tests {
         let counts = round_with_caps(&[1.5, 1.5, 1.0], &[2, 2, 2], 4).unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 4);
         assert!(counts.iter().all(|&c| c <= 2));
-        assert_eq!(round_with_caps(&[5.0], &[2], 4), None, "cap sum below total");
+        assert_eq!(
+            round_with_caps(&[5.0], &[2], 4),
+            None,
+            "cap sum below total"
+        );
     }
 }

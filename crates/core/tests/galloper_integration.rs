@@ -7,12 +7,23 @@ use galloper_erasure::{BlockRole, ErasureCode};
 use galloper_pyramid::{subsets, Pyramid};
 
 fn sample_data(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i.wrapping_mul(197).wrapping_add(i >> 8) % 251) as u8).collect()
+    (0..len)
+        .map(|i| (i.wrapping_mul(197).wrapping_add(i >> 8) % 251) as u8)
+        .collect()
 }
 
 #[test]
 fn roundtrip_uniform_many_params() {
-    for (k, l, g) in [(4, 2, 1), (4, 0, 1), (4, 0, 2), (6, 2, 1), (6, 3, 2), (8, 4, 1), (4, 1, 1), (4, 4, 1)] {
+    for (k, l, g) in [
+        (4, 2, 1),
+        (4, 0, 1),
+        (4, 0, 2),
+        (6, 2, 1),
+        (6, 3, 2),
+        (8, 4, 1),
+        (4, 1, 1),
+        (4, 4, 1),
+    ] {
         let code = Galloper::uniform(k, l, g, 8).unwrap();
         let data = sample_data(code.message_len());
         let blocks = code.encode(&data).unwrap();
@@ -164,8 +175,7 @@ fn weighted_placement_follows_performance() {
     // Fig. 2b / Fig. 10: the amount of original data per block tracks the
     // server's performance.
     let code =
-        Galloper::from_performances(4, 2, 1, &[1.0, 1.0, 1.0, 0.4, 0.4, 0.4, 1.0], 20, 16)
-            .unwrap();
+        Galloper::from_performances(4, 2, 1, &[1.0, 1.0, 1.0, 0.4, 0.4, 0.4, 1.0], 20, 16).unwrap();
     let layout = code.layout();
     // Fast group servers hold more than throttled ones.
     for fast in 0..3 {

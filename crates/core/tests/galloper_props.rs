@@ -1,96 +1,90 @@
-//! Property-based tests: Galloper codes built from random parameters and
+//! Randomized tests: Galloper codes built from random parameters and
 //! random server performances keep every paper-claimed invariant.
 
 use galloper::{Galloper, GalloperParams, StripeAllocation};
 use galloper_erasure::ErasureCode;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use galloper_testkit::{run_cases, TestRng};
 
 /// Random valid (k, l, g) with k + l + g small enough for fast tests.
-fn params() -> impl Strategy<Value = GalloperParams> {
-    (1usize..=4, 0usize..=3, 1usize..=2).prop_filter_map("l divides k", |(q, l, g)| {
+fn params(rng: &mut TestRng) -> GalloperParams {
+    loop {
+        let q = rng.usize_in(1, 5);
+        let l = rng.usize_in(0, 4);
+        let g = rng.usize_in(1, 3);
         // Build k from group size so l | k holds by construction.
         let k = if l == 0 { q + 1 } else { q * l };
-        GalloperParams::new(k, l, g).ok()
-    })
+        if let Ok(p) = GalloperParams::new(k, l, g) {
+            return p;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_performances_build_valid_codes(
-        p in params(),
-        seed in any::<u64>(),
-        resolution in 4usize..24,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.gen_range(0.2..5.0f64)).collect();
+#[test]
+fn random_performances_build_valid_codes() {
+    run_cases(48, 0x41, |rng| {
+        let p = params(rng);
+        let resolution = rng.usize_in(4, 24);
+        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.f64_in(0.2, 5.0)).collect();
         let alloc = StripeAllocation::from_performances(p, &perfs, resolution).unwrap();
         alloc.verify().unwrap();
         let code = Galloper::with_allocation(alloc, 4).unwrap();
 
-        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let data = rng.bytes(code.message_len());
         let blocks = code.encode(&data).unwrap();
 
         // Extraction without decoding reproduces the message.
         let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
-        prop_assert_eq!(code.layout().extract_data(&refs), data.clone());
+        assert_eq!(code.layout().extract_data(&refs), data);
 
         // Random erasures up to the tolerance decode. With l = 0 the code
         // is (k, g)-RS-equivalent and tolerates g failures; with local
         // parities it tolerates g + 1 (the split XOR row adds one).
         let tolerance = if p.l() == 0 { p.g() } else { p.g() + 1 };
-        let mut order: Vec<usize> = (0..p.num_blocks()).collect();
-        order.shuffle(&mut rng);
-        let erased: Vec<usize> = order.into_iter().take(tolerance).collect();
+        let erased = rng.sample_indices(p.num_blocks(), tolerance);
         let avail: Vec<Option<&[u8]>> = (0..p.num_blocks())
             .map(|b| (!erased.contains(&b)).then(|| blocks[b].as_slice()))
             .collect();
-        prop_assert_eq!(code.decode(&avail).unwrap(), data);
-    }
+        assert_eq!(code.decode(&avail).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn reconstruction_is_exact_for_random_targets(
-        p in params(),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn reconstruction_is_exact_for_random_targets() {
+    run_cases(48, 0x42, |rng| {
+        let p = params(rng);
         let code = Galloper::uniform(p.k(), p.l(), p.g(), 8).unwrap();
-        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let data = rng.bytes(code.message_len());
         let blocks = code.encode(&data).unwrap();
-        let target = rng.gen_range(0..p.num_blocks());
+        let target = rng.usize_in(0, p.num_blocks());
         let plan = code.repair_plan(target).unwrap();
         let sources: Vec<(usize, &[u8])> = plan
             .sources()
             .iter()
             .map(|&s| (s, blocks[s].as_slice()))
             .collect();
-        prop_assert_eq!(code.reconstruct(target, &sources).unwrap(), blocks[target].clone());
-    }
+        assert_eq!(code.reconstruct(target, &sources).unwrap(), blocks[target]);
+    });
+}
 
-    #[test]
-    fn realized_weights_sum_to_k(
-        p in params(),
-        seed in any::<u64>(),
-        resolution in 4usize..32,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.gen_range(0.2..5.0f64)).collect();
+#[test]
+fn realized_weights_sum_to_k() {
+    run_cases(48, 0x43, |rng| {
+        let p = params(rng);
+        let resolution = rng.usize_in(4, 32);
+        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.f64_in(0.2, 5.0)).collect();
         let alloc = StripeAllocation::from_performances(p, &perfs, resolution).unwrap();
         let total: usize = alloc.counts().iter().sum();
-        prop_assert_eq!(total, p.k() * alloc.resolution());
+        assert_eq!(total, p.k() * alloc.resolution());
         for (i, &c) in alloc.counts().iter().enumerate() {
-            prop_assert!(c <= alloc.resolution(), "block {} overfull", i);
+            assert!(c <= alloc.resolution(), "block {i} overfull");
         }
-    }
+    });
+}
 
-    #[test]
-    fn locality_never_exceeds_pyramid(
-        p in params(),
-    ) {
+#[test]
+fn locality_never_exceeds_pyramid() {
+    run_cases(48, 0x44, |rng| {
+        let p = params(rng);
         let code = Galloper::uniform(p.k(), p.l(), p.g(), 1).unwrap();
         for b in 0..p.num_blocks() {
             let plan = code.repair_plan(b).unwrap();
@@ -101,19 +95,18 @@ proptest! {
             } else {
                 p.k()
             };
-            prop_assert_eq!(plan.fan_in(), expected, "block {}", b);
+            assert_eq!(plan.fan_in(), expected, "block {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn weights_are_monotone_in_performance(
-        p in params(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn weights_are_monotone_in_performance() {
+    run_cases(48, 0x45, |rng| {
         // Within one group (same structural constraints), a faster server
         // never receives less data than a slower one.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.gen_range(0.5..3.0f64)).collect();
+        let p = params(rng);
+        let perfs: Vec<f64> = (0..p.num_blocks()).map(|_| rng.f64_in(0.5, 3.0)).collect();
         let weights = galloper::solve_weights(p, &perfs).unwrap();
         if p.l() > 0 {
             for j in 0..p.l() {
@@ -121,56 +114,55 @@ proptest! {
                 for &a in &blocks {
                     for &b in &blocks {
                         if perfs[a] > perfs[b] + 1e-9 {
-                            prop_assert!(
+                            assert!(
                                 weights[a] >= weights[b] - 1e-6,
                                 "block {} (p={}) got weight {} < block {} (p={}) weight {}",
-                                a, perfs[a], weights[a], b, perfs[b], weights[b]
+                                a,
+                                perfs[a],
+                                weights[a],
+                                b,
+                                perfs[b],
+                                weights[b]
                             );
                         }
                     }
                 }
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// For l = 0 the paper's LP and the closed-form water-filling are the
-    /// same optimization; they must agree on random inputs.
-    #[test]
-    fn lp_matches_water_filling_for_l0(
-        k in 1usize..8,
-        extra in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+/// For l = 0 the paper's LP and the closed-form water-filling are the
+/// same optimization; they must agree on random inputs.
+#[test]
+fn lp_matches_water_filling_for_l0() {
+    run_cases(64, 0x46, |rng| {
+        let k = rng.usize_in(1, 8);
+        let extra = rng.usize_in(1, 4);
         let params = GalloperParams::new(k, 0, extra).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let perfs: Vec<f64> = (0..params.num_blocks())
-            .map(|_| rng.gen_range(0.1..20.0f64))
+            .map(|_| rng.f64_in(0.1, 20.0))
             .collect();
         let lp = galloper::solve_weights(params, &perfs).unwrap();
         let wf = galloper::water_filling(k, &perfs);
         for (i, (a, b)) in lp.iter().zip(&wf).enumerate() {
-            prop_assert!((a - b).abs() < 1e-5, "block {}: lp {} vs wf {}", i, a, b);
+            assert!((a - b).abs() < 1e-5, "block {i}: lp {a} vs wf {b}");
         }
-    }
+    });
+}
 
-    /// Rationalized counts approximate the target weights within 1/N per
-    /// block plus the group-divisibility slack.
-    #[test]
-    fn rationalization_error_is_bounded(
-        q in 1usize..4,
-        l in 1usize..4,
-        g in 1usize..3,
-        resolution in 8usize..64,
-        seed in any::<u64>(),
-    ) {
+/// Rationalized counts approximate the target weights within 1/N per
+/// block plus the group-divisibility slack.
+#[test]
+fn rationalization_error_is_bounded() {
+    run_cases(64, 0x47, |rng| {
+        let q = rng.usize_in(1, 4);
+        let l = rng.usize_in(1, 4);
+        let g = rng.usize_in(1, 3);
+        let resolution = rng.usize_in(8, 64);
         let params = GalloperParams::new(q * l, l, g).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let perfs: Vec<f64> = (0..params.num_blocks())
-            .map(|_| rng.gen_range(0.5..4.0f64))
+            .map(|_| rng.f64_in(0.5, 4.0))
             .collect();
         let weights = galloper::solve_weights(params, &perfs).unwrap();
         let alloc = StripeAllocation::from_weights(params, &weights, resolution).unwrap();
@@ -180,9 +172,11 @@ proptest! {
         // structural invariants exactly.
         let slack = (q as f64 + 2.0) / resolution as f64;
         for (i, (w, r)) in weights.iter().zip(&realized).enumerate() {
-            prop_assert!((w - r).abs() <= slack,
-                "block {}: target {} realized {} (slack {})", i, w, r, slack);
+            assert!(
+                (w - r).abs() <= slack,
+                "block {i}: target {w} realized {r} (slack {slack})"
+            );
         }
         alloc.verify().unwrap();
-    }
+    });
 }

@@ -219,7 +219,12 @@ impl<C: ErasureCode> Dfs<C> {
             return Err(DfsError::NotEnoughServers);
         }
         // Emptiest-first, tie-broken by a rotating offset for spread.
-        live.sort_by_key(|&s| (self.stores[s].len(), (s + self.alive.len() - salt % self.alive.len()) % self.alive.len()));
+        live.sort_by_key(|&s| {
+            (
+                self.stores[s].len(),
+                (s + self.alive.len() - salt % self.alive.len()) % self.alive.len(),
+            )
+        });
         live.truncate(n);
         Ok(live)
     }
@@ -368,9 +373,8 @@ impl<C: ErasureCode> Dfs<C> {
                     let readable = avail.iter().filter(|a| a.is_some()).count();
                     match self.codec.code().decode(&avail) {
                         Ok(message) => {
-                            summary.bytes_read +=
-                                readable.min(self.codec.code().num_data_blocks())
-                                    * self.codec.code().block_len();
+                            summary.bytes_read += readable.min(self.codec.code().num_data_blocks())
+                                * self.codec.code().block_len();
                             decoded_group = Some(self.codec.code().encode(&message)?);
                         }
                         Err(_) => {
@@ -470,4 +474,3 @@ where
         Ok(out)
     }
 }
-

@@ -5,12 +5,10 @@ use galloper::Galloper;
 use galloper_dfs::{Dfs, DfsError, GroupHealth};
 use galloper_pyramid::Pyramid;
 use galloper_rs::ReedSolomon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use galloper_testkit::TestRng;
 
 fn random_data(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen()).collect()
+    TestRng::new(seed).bytes(len)
 }
 
 #[test]
@@ -158,7 +156,12 @@ fn range_reads_through_dfs() {
     let data = random_data(30_000, 19);
     dfs.put("a", &data).unwrap();
     dfs.fail_server(1);
-    for (offset, len) in [(0usize, 100usize), (3_583, 4_097), (29_990, 10), (0, 30_000)] {
+    for (offset, len) in [
+        (0usize, 100usize),
+        (3_583, 4_097),
+        (29_990, 10),
+        (0, 30_000),
+    ] {
         assert_eq!(
             dfs.read_range("a", offset, len).unwrap(),
             &data[offset..offset + len],
@@ -175,14 +178,12 @@ fn range_reads_through_dfs() {
 fn placement_balances_load() {
     let mut dfs = Dfs::new(14, Galloper::uniform(4, 2, 1, 64).unwrap());
     for i in 0..20 {
-        dfs.put(&format!("f{i}"), &random_data(4_000, i as u64)).unwrap();
+        dfs.put(&format!("f{i}"), &random_data(4_000, i as u64))
+            .unwrap();
     }
     let counts: Vec<usize> = (0..14).map(|s| dfs.blocks_on(s)).collect();
     let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-    assert!(
-        max - min <= 2,
-        "placement should balance: {counts:?}"
-    );
+    assert!(max - min <= 2, "placement should balance: {counts:?}");
 }
 
 #[test]

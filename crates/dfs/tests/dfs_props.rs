@@ -1,12 +1,10 @@
-//! Property-based tests: a random sequence of DFS operations (puts,
+//! Randomized tests: a random sequence of DFS operations (puts,
 //! failures, repairs, revivals) never loses data while failures stay
 //! within the code's tolerance window.
 
 use galloper::Galloper;
 use galloper_dfs::Dfs;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use galloper_testkit::{run_cases, TestRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,34 +13,33 @@ enum Op {
     RepairAndRevive,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1usize..5_000).prop_map(|len| Op::Put { len }),
-            Just(Op::FailOne),
-            Just(Op::RepairAndRevive),
-        ],
-        1..25,
-    )
+fn ops(rng: &mut TestRng) -> Vec<Op> {
+    let n = rng.usize_in(1, 25);
+    (0..n)
+        .map(|_| match rng.usize_in(0, 3) {
+            0 => Op::Put {
+                len: rng.usize_in(1, 5_000),
+            },
+            1 => Op::FailOne,
+            _ => Op::RepairAndRevive,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn no_data_loss_within_tolerance(ops in ops(), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn no_data_loss_within_tolerance() {
+    run_cases(24, 0x71, |rng| {
         // (4, 2, 1): tolerance 2; we never leave more than 2 servers
         // failed without repairing.
         let mut dfs = Dfs::new(12, Galloper::uniform(4, 2, 1, 64).unwrap());
         let mut contents: Vec<(String, Vec<u8>)> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
 
-        for (i, op) in ops.into_iter().enumerate() {
+        for (i, op) in ops(rng).into_iter().enumerate() {
             match op {
                 Op::Put { len } => {
                     let name = format!("f{i}");
-                    let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                    let data = rng.bytes(len);
                     dfs.put(&name, &data).unwrap();
                     contents.push((name, data));
                 }
@@ -50,9 +47,8 @@ proptest! {
                     if failed.len() >= 2 {
                         continue; // stay within tolerance
                     }
-                    let candidates: Vec<usize> =
-                        (0..12).filter(|s| !failed.contains(s)).collect();
-                    let victim = candidates[rng.gen_range(0..candidates.len())];
+                    let candidates: Vec<usize> = (0..12).filter(|s| !failed.contains(s)).collect();
+                    let victim = candidates[rng.usize_in(0, candidates.len())];
                     dfs.fail_server(victim);
                     failed.push(victim);
                 }
@@ -62,14 +58,14 @@ proptest! {
                     }
                     failed.clear();
                     let summary = dfs.repair().unwrap();
-                    prop_assert_eq!(summary.unrecoverable_groups, 0);
-                    prop_assert!(dfs.fsck().all_healthy());
+                    assert_eq!(summary.unrecoverable_groups, 0);
+                    assert!(dfs.fsck().all_healthy());
                 }
             }
             // Every file is readable at every step (degraded or not).
             for (name, data) in &contents {
-                prop_assert_eq!(&dfs.get(name).unwrap(), data, "{} after op {}", name, i);
+                assert_eq!(&dfs.get(name).unwrap(), data, "{name} after op {i}");
             }
         }
-    }
+    });
 }

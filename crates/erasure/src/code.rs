@@ -81,8 +81,7 @@ pub trait ErasureCode {
     /// * [`CodeError::WrongSources`] if the supplied blocks do not match
     ///   the plan.
     /// * [`CodeError::BlockSizeMismatch`] on inconsistent block sizes.
-    fn reconstruct(&self, target: usize, sources: &[(usize, &[u8])])
-        -> Result<Vec<u8>, CodeError>;
+    fn reconstruct(&self, target: usize, sources: &[(usize, &[u8])]) -> Result<Vec<u8>, CodeError>;
 
     /// Where the original data lives inside the encoded blocks.
     fn layout(&self) -> DataLayout;

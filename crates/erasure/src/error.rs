@@ -70,7 +70,10 @@ impl fmt::Display for CodeError {
                 "reconstruction requires source blocks {expected:?}, got {got:?}"
             ),
             CodeError::BlockIndexOutOfRange { index, num_blocks } => {
-                write!(f, "block index {index} out of range (code has {num_blocks} blocks)")
+                write!(
+                    f,
+                    "block index {index} out of range (code has {num_blocks} blocks)"
+                )
             }
         }
     }

@@ -45,7 +45,12 @@ impl DataLayout {
         }
         all.sort_unstable();
         for (i, &v) in all.iter().enumerate() {
-            assert_eq!(v, i, "original stripes must be 0..{} exactly once", all.len());
+            assert_eq!(
+                v,
+                i,
+                "original stripes must be 0..{} exactly once",
+                all.len()
+            );
         }
         DataLayout {
             assignments,
@@ -60,7 +65,11 @@ impl DataLayout {
         let mut assignments = Vec::with_capacity(num_blocks);
         for b in 0..num_blocks {
             if b < k {
-                assignments.push((0..stripes_per_block).map(|s| b * stripes_per_block + s).collect());
+                assignments.push(
+                    (0..stripes_per_block)
+                        .map(|s| b * stripes_per_block + s)
+                        .collect(),
+                );
             } else {
                 assignments.push(Vec::new());
             }
@@ -149,7 +158,10 @@ impl DataLayout {
     pub fn extract_data(&self, blocks: &[&[u8]]) -> Vec<u8> {
         assert_eq!(blocks.len(), self.num_blocks(), "need every block");
         let block_size = blocks[0].len();
-        assert!(blocks.iter().all(|b| b.len() == block_size), "unequal blocks");
+        assert!(
+            blocks.iter().all(|b| b.len() == block_size),
+            "unequal blocks"
+        );
         assert_eq!(block_size % self.stripes_per_block, 0);
         let stripe_size = block_size / self.stripes_per_block;
         let total = self.total_data_stripes();

@@ -23,6 +23,7 @@ mod error;
 mod layout;
 mod linear;
 mod object;
+pub mod observe;
 mod plan;
 mod read;
 pub mod reliability;
@@ -33,5 +34,6 @@ pub use error::CodeError;
 pub use layout::DataLayout;
 pub use linear::{AsLinearCode, ConstructionError, LinearCode};
 pub use object::{EncodedObject, ObjectCodec, ObjectManifest};
-pub use read::ReadStats;
+pub use observe::Observed;
 pub use plan::RepairPlan;
+pub use read::ReadStats;

@@ -16,6 +16,7 @@
 
 use galloper_gf::Gf256;
 use galloper_linalg::{apply_parallel, Matrix, RowBasis};
+use galloper_obs::counter;
 
 use crate::{BlockRole, CodeError, DataLayout, ErasureCode, RepairPlan};
 
@@ -160,7 +161,10 @@ impl LinearCode {
                     .enumerate()
                     .all(|(j, &v)| v == u8::from(j == orig));
                 if !ok {
-                    return Err(ConstructionError::LayoutMismatch { block: b, position: pos });
+                    return Err(ConstructionError::LayoutMismatch {
+                        block: b,
+                        position: pos,
+                    });
                 }
             }
         }
@@ -275,6 +279,9 @@ impl ErasureCode for LinearCode {
                 multiple_of: self.message_len(),
             });
         }
+        let _t = galloper_obs::global().timer("erasure.encode_us");
+        counter!("erasure.encode.calls", 1);
+        counter!("erasure.encode.bytes", data.len());
         let inputs = self.split_stripes(data);
         let stripes = apply_parallel(&self.generator, &inputs, self.threads);
         let mut blocks = Vec::with_capacity(self.n);
@@ -300,6 +307,12 @@ impl ErasureCode for LinearCode {
                 return Err(CodeError::BlockSizeMismatch);
             }
         }
+        let _t = galloper_obs::global().timer("erasure.decode_us");
+        counter!("erasure.decode.calls", 1);
+        counter!(
+            "erasure.decode.bytes_read",
+            blocks.iter().flatten().map(|b| b.len() as u64).sum::<u64>()
+        );
         let kn = self.k * self.stripes_per_block;
 
         // Greedily select kN independent generator rows among available
@@ -362,20 +375,20 @@ impl ErasureCode for LinearCode {
     }
 
     fn repair_plan(&self, target: usize) -> Result<RepairPlan, CodeError> {
-        self.plans
+        let plan = self
+            .plans
             .get(target)
             .cloned()
             .ok_or(CodeError::BlockIndexOutOfRange {
                 index: target,
                 num_blocks: self.n,
-            })
+            })?;
+        counter!("erasure.repair.plans", 1);
+        counter!("erasure.repair.symbols_read", plan.sources().len());
+        Ok(plan)
     }
 
-    fn reconstruct(
-        &self,
-        target: usize,
-        sources: &[(usize, &[u8])],
-    ) -> Result<Vec<u8>, CodeError> {
+    fn reconstruct(&self, target: usize, sources: &[(usize, &[u8])]) -> Result<Vec<u8>, CodeError> {
         let plan = self.repair_plan(target)?;
         let got: Vec<usize> = sources.iter().map(|(i, _)| *i).collect();
         if got != plan.sources() {
@@ -389,6 +402,13 @@ impl ErasureCode for LinearCode {
                 return Err(CodeError::BlockSizeMismatch);
             }
         }
+        let _t = galloper_obs::global().timer("erasure.reconstruct_us");
+        counter!("erasure.reconstruct.calls", 1);
+        counter!("erasure.reconstruct.symbols_read", sources.len());
+        counter!(
+            "erasure.reconstruct.bytes_read",
+            sources.len() * self.block_len()
+        );
         let stripes: Vec<&[u8]> = sources
             .iter()
             .flat_map(|(_, b)| b.chunks_exact(self.stripe_size))
@@ -520,7 +540,11 @@ mod tests {
         assert_eq!(blocks.len(), 3);
         assert_eq!(blocks[0], b"abcd");
         assert_eq!(blocks[1], b"efgh");
-        let parity: Vec<u8> = blocks[0].iter().zip(&blocks[1]).map(|(a, b)| a ^ b).collect();
+        let parity: Vec<u8> = blocks[0]
+            .iter()
+            .zip(&blocks[1])
+            .map(|(a, b)| a ^ b)
+            .collect();
         assert_eq!(blocks[2], parity);
 
         // Decode with block 0 missing.
@@ -570,7 +594,13 @@ mod tests {
             RepairPlan::new(2, vec![0, 1]),
         ];
         let err = LinearCode::new(generator, 2, roles, layout, plans, 1).unwrap_err();
-        assert_eq!(err, ConstructionError::LayoutMismatch { block: 2, position: 0 });
+        assert_eq!(
+            err,
+            ConstructionError::LayoutMismatch {
+                block: 2,
+                position: 0
+            }
+        );
     }
 
     #[test]
@@ -610,7 +640,10 @@ mod tests {
         let code = xor_code(4);
         assert!(matches!(
             code.encode(b"short"),
-            Err(CodeError::InvalidDataLength { got: 5, multiple_of: 8 })
+            Err(CodeError::InvalidDataLength {
+                got: 5,
+                multiple_of: 8
+            })
         ));
     }
 

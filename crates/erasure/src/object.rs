@@ -149,11 +149,7 @@ impl<C: ErasureCode> ObjectCodec<C> {
     ///
     /// Panics if any group is missing blocks (use
     /// [`ObjectCodec::decode_object`] for degraded reads).
-    pub fn extract_object(
-        &self,
-        groups: &[Vec<Vec<u8>>],
-        manifest: ObjectManifest,
-    ) -> Vec<u8> {
+    pub fn extract_object(&self, groups: &[Vec<Vec<u8>>], manifest: ObjectManifest) -> Vec<u8> {
         let layout = self.code.layout();
         let mut out = Vec::with_capacity(manifest.num_groups * self.code.message_len());
         for group in groups {
@@ -201,7 +197,11 @@ mod tests {
                 .iter()
                 .map(|g| g.iter().map(|b| Some(b.as_slice())).collect())
                 .collect();
-            assert_eq!(codec.decode_object(&avail, enc.manifest).unwrap(), data, "len {len}");
+            assert_eq!(
+                codec.decode_object(&avail, enc.manifest).unwrap(),
+                data,
+                "len {len}"
+            );
         }
     }
 

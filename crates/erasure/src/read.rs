@@ -154,8 +154,7 @@ impl LinearCode {
                 stripes_read: already_read
                     + (self.num_data_blocks() * self.stripes_per_block())
                         .min(available_blocks * self.stripes_per_block()),
-                bytes_read: (already_read
-                    + self.num_data_blocks() * self.stripes_per_block())
+                bytes_read: (already_read + self.num_data_blocks() * self.stripes_per_block())
                     * self.stripe_size(),
                 degraded: true,
                 full_decode: true,
@@ -189,7 +188,9 @@ mod tests {
     }
 
     fn encode_sample(code: &LinearCode) -> (Vec<u8>, Vec<Vec<u8>>) {
-        let data: Vec<u8> = (0..code.message_len()).map(|i| (i * 11 + 3) as u8).collect();
+        let data: Vec<u8> = (0..code.message_len())
+            .map(|i| (i * 11 + 3) as u8)
+            .collect();
         let blocks = code.encode(&data).unwrap();
         (data, blocks)
     }
@@ -212,11 +213,8 @@ mod tests {
         let code = xor_code();
         let (data, blocks) = encode_sample(&code);
         // Lose block 0; read its first stripe (bytes 0..4).
-        let avail: Vec<Option<&[u8]>> = vec![
-            None,
-            Some(blocks[1].as_slice()),
-            Some(blocks[2].as_slice()),
-        ];
+        let avail: Vec<Option<&[u8]>> =
+            vec![None, Some(blocks[1].as_slice()), Some(blocks[2].as_slice())];
         let (out, stats) = code.read_range(0, 4, &avail).unwrap();
         assert_eq!(out, &data[0..4]);
         assert!(stats.degraded);
@@ -289,11 +287,8 @@ mod tests {
         let (data, blocks) = encode_sample(&code);
         let avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
         // Also in degraded mode with block 1 down.
-        let degraded: Vec<Option<&[u8]>> = vec![
-            Some(blocks[0].as_slice()),
-            None,
-            Some(blocks[2].as_slice()),
-        ];
+        let degraded: Vec<Option<&[u8]>> =
+            vec![Some(blocks[0].as_slice()), None, Some(blocks[2].as_slice())];
         for offset in 0..data.len() {
             for len in 0..=(data.len() - offset) {
                 let (a, _) = code.read_range(offset, len, &avail).unwrap();

@@ -30,7 +30,10 @@ pub const MAX_EXACT_BLOCKS: usize = 20;
 pub fn data_loss_probability(code: &dyn ErasureCode, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
     let n = code.num_blocks();
-    assert!(n <= MAX_EXACT_BLOCKS, "exact enumeration is limited to {MAX_EXACT_BLOCKS} blocks");
+    assert!(
+        n <= MAX_EXACT_BLOCKS,
+        "exact enumeration is limited to {MAX_EXACT_BLOCKS} blocks"
+    );
     let profile = tolerance_profile(code);
     let mut total = 0.0;
     for (f, &(undecodable, patterns)) in profile.iter().enumerate() {
@@ -54,7 +57,10 @@ pub fn data_loss_probability(code: &dyn ErasureCode, p: f64) -> f64 {
 /// Panics if the code has more than [`MAX_EXACT_BLOCKS`] blocks.
 pub fn tolerance_profile(code: &dyn ErasureCode) -> Vec<(u64, u64)> {
     let n = code.num_blocks();
-    assert!(n <= MAX_EXACT_BLOCKS, "exact enumeration is limited to {MAX_EXACT_BLOCKS} blocks");
+    assert!(
+        n <= MAX_EXACT_BLOCKS,
+        "exact enumeration is limited to {MAX_EXACT_BLOCKS} blocks"
+    );
     let mut profile = vec![(0u64, 0u64); n + 1];
     for mask in 0u32..(1 << n) {
         let failed = mask.count_ones() as usize;

@@ -1,5 +1,9 @@
 //! The typed field element [`Gf256`].
 
+// In characteristic 2, addition IS xor and a/b IS a·b⁻¹; clippy's
+// "suspicious operator in arithmetic impl" heuristic does not apply.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
 use core::fmt;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};

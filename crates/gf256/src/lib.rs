@@ -44,8 +44,8 @@ pub mod slice;
 
 pub use element::Gf256;
 pub use poly::Polynomial;
-pub use wide::{Gf65536, PRIMITIVE_POLY_16};
 pub use tables::{EXP_TABLE, LOG_TABLE, PRIMITIVE_POLY};
+pub use wide::{Gf65536, PRIMITIVE_POLY_16};
 
 /// The number of elements in the field.
 pub const FIELD_SIZE: usize = 256;

@@ -127,7 +127,10 @@ impl Polynomial {
                     denom *= xi + xj;
                 }
             }
-            let scale = yi * denom.inv().expect("distinct points give non-zero denominator");
+            let scale = yi
+                * denom
+                    .inv()
+                    .expect("distinct points give non-zero denominator");
             acc = acc.add(&basis.scale(scale));
         }
         acc

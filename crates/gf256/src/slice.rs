@@ -6,8 +6,16 @@
 //! `0` and `1` take dedicated fast paths (`0` is a no-op or fill, `1` is a
 //! word-wide XOR/copy), which matters in practice: systematic generator
 //! matrices are dominated by zeros and ones.
+//!
+//! Every kernel call adds its byte count to a global counter
+//! (`gf.xor_slice.bytes`, `gf.mul_slice.bytes`, `gf.mul_slice_add.bytes`,
+//! `gf.dot_product.calls`) in the [`galloper_obs`] registry — one relaxed
+//! atomic add per call, so the kernels stay memory-bound. Snapshot with
+//! `galloper_obs::global().snapshot()`.
 
 use crate::tables::MUL_TABLE;
+
+use galloper_obs::counter;
 
 /// `dst[i] ^= src[i]` for all `i`, processing eight bytes per step.
 ///
@@ -16,6 +24,7 @@ use crate::tables::MUL_TABLE;
 /// Panics if `src` and `dst` have different lengths.
 pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+    counter!("gf.xor_slice.bytes", src.len());
     let mut dchunks = dst.chunks_exact_mut(8);
     let mut schunks = src.chunks_exact(8);
     for (d, s) in (&mut dchunks).zip(&mut schunks) {
@@ -23,11 +32,7 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
         let sv = u64::from_ne_bytes(s.try_into().unwrap());
         d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
     }
-    for (d, s) in dchunks
-        .into_remainder()
-        .iter_mut()
-        .zip(schunks.remainder())
-    {
+    for (d, s) in dchunks.into_remainder().iter_mut().zip(schunks.remainder()) {
         *d ^= *s;
     }
 }
@@ -41,6 +46,7 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
 /// Panics if `src` and `dst` have different lengths.
 pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+    counter!("gf.mul_slice.bytes", src.len());
     match c {
         0 => dst.fill(0),
         1 => dst.copy_from_slice(src),
@@ -63,6 +69,7 @@ pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
 /// Panics if `src` and `dst` have different lengths.
 pub fn mul_slice_add(c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "mul_slice_add length mismatch");
+    counter!("gf.mul_slice_add.bytes", src.len());
     match c {
         0 => {}
         1 => xor_slice(src, dst),
@@ -103,6 +110,7 @@ pub fn dot_product(coeffs: &[u8], sources: &[&[u8]], dst: &mut [u8]) {
         coeffs.len(),
         sources.len()
     );
+    counter!("gf.dot_product.calls", 1);
     dst.fill(0);
     for (&c, src) in coeffs.iter().zip(sources) {
         mul_slice_add(c, src, dst);

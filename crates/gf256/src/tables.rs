@@ -103,8 +103,8 @@ mod tests {
     fn generator_has_full_order() {
         // α^i must hit every non-zero element exactly once in 0..255.
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP_TABLE[i] as usize;
+        for (i, &e) in EXP_TABLE.iter().take(255).enumerate() {
+            let v = e as usize;
             assert!(!seen[v], "α^{i} repeats value {v}");
             seen[v] = true;
         }

@@ -1,98 +1,141 @@
-//! Property-based verification that GF(2⁸) as implemented really is a field,
+//! Randomized verification that GF(2⁸) as implemented really is a field,
 //! and that the slice kernels agree with element-wise arithmetic.
+//!
+//! (Formerly proptest-based; the offline build environment has no
+//! crates.io access, so these now run seeded cases via `galloper-testkit`.)
 
 use galloper_gf::{slice, Gf256};
-use proptest::prelude::*;
+use galloper_testkit::{run_cases, TestRng};
 
-fn elem() -> impl Strategy<Value = Gf256> {
-    any::<u8>().prop_map(Gf256::new)
+const CASES: u64 = 256;
+
+fn elem(rng: &mut TestRng) -> Gf256 {
+    Gf256::new(rng.u8())
 }
 
-proptest! {
-    #[test]
-    fn addition_is_commutative(a in elem(), b in elem()) {
-        prop_assert_eq!(a + b, b + a);
-    }
+#[test]
+fn addition_is_commutative() {
+    run_cases(CASES, 0x01, |rng| {
+        let (a, b) = (elem(rng), elem(rng));
+        assert_eq!(a + b, b + a);
+    });
+}
 
-    #[test]
-    fn addition_is_associative(a in elem(), b in elem(), c in elem()) {
-        prop_assert_eq!((a + b) + c, a + (b + c));
-    }
+#[test]
+fn addition_is_associative() {
+    run_cases(CASES, 0x02, |rng| {
+        let (a, b, c) = (elem(rng), elem(rng), elem(rng));
+        assert_eq!((a + b) + c, a + (b + c));
+    });
+}
 
-    #[test]
-    fn multiplication_is_commutative(a in elem(), b in elem()) {
-        prop_assert_eq!(a * b, b * a);
-    }
+#[test]
+fn multiplication_is_commutative() {
+    run_cases(CASES, 0x03, |rng| {
+        let (a, b) = (elem(rng), elem(rng));
+        assert_eq!(a * b, b * a);
+    });
+}
 
-    #[test]
-    fn multiplication_is_associative(a in elem(), b in elem(), c in elem()) {
-        prop_assert_eq!((a * b) * c, a * (b * c));
-    }
+#[test]
+fn multiplication_is_associative() {
+    run_cases(CASES, 0x04, |rng| {
+        let (a, b, c) = (elem(rng), elem(rng), elem(rng));
+        assert_eq!((a * b) * c, a * (b * c));
+    });
+}
 
-    #[test]
-    fn multiplication_distributes_over_addition(a in elem(), b in elem(), c in elem()) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-    }
+#[test]
+fn multiplication_distributes_over_addition() {
+    run_cases(CASES, 0x05, |rng| {
+        let (a, b, c) = (elem(rng), elem(rng), elem(rng));
+        assert_eq!(a * (b + c), a * b + a * c);
+    });
+}
 
-    #[test]
-    fn additive_inverse_is_self(a in elem()) {
-        prop_assert_eq!(a + a, Gf256::ZERO);
-        prop_assert_eq!(-a, a);
-    }
+#[test]
+fn additive_inverse_is_self() {
+    run_cases(CASES, 0x06, |rng| {
+        let a = elem(rng);
+        assert_eq!(a + a, Gf256::ZERO);
+        assert_eq!(-a, a);
+    });
+}
 
-    #[test]
-    fn no_zero_divisors(a in elem(), b in elem()) {
+#[test]
+fn no_zero_divisors() {
+    run_cases(CASES, 0x07, |rng| {
+        let (a, b) = (elem(rng), elem(rng));
         if (a * b).is_zero() {
-            prop_assert!(a.is_zero() || b.is_zero());
+            assert!(a.is_zero() || b.is_zero());
         }
-    }
+    });
+}
 
-    #[test]
-    fn pow_is_repeated_multiplication(a in elem(), e in 0u32..600) {
+#[test]
+fn pow_is_repeated_multiplication() {
+    run_cases(CASES, 0x08, |rng| {
+        let a = elem(rng);
+        let e = rng.usize_in(0, 600) as u32;
         let mut acc = Gf256::ONE;
         for _ in 0..e {
             acc *= a;
         }
-        prop_assert_eq!(a.pow(e), acc);
-    }
+        assert_eq!(a.pow(e), acc);
+    });
+}
 
-    #[test]
-    fn log_exp_agree_with_mul(a in elem(), b in elem()) {
+#[test]
+fn log_exp_agree_with_mul() {
+    run_cases(CASES, 0x09, |rng| {
+        let (a, b) = (elem(rng), elem(rng));
         if let (Some(la), Some(lb)) = (a.log(), b.log()) {
             let expected = Gf256::exp(la as usize + lb as usize);
-            prop_assert_eq!(a * b, expected);
+            assert_eq!(a * b, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mul_slice_add_matches_scalar(c in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..300), acc in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let n = data.len().min(acc.len());
-        let (data, acc) = (&data[..n], &acc[..n]);
-        let mut dst = acc.to_vec();
-        slice::mul_slice_add(c, data, &mut dst);
+#[test]
+fn mul_slice_add_matches_scalar() {
+    run_cases(CASES, 0x0A, |rng| {
+        let c = rng.u8();
+        let n = rng.usize_in(0, 300);
+        let data = rng.bytes(n);
+        let acc = rng.bytes(n);
+        let mut dst = acc.clone();
+        slice::mul_slice_add(c, &data, &mut dst);
         for i in 0..n {
             let want = Gf256::new(acc[i]) + Gf256::new(c) * Gf256::new(data[i]);
-            prop_assert_eq!(dst[i], want.value());
+            assert_eq!(dst[i], want.value());
         }
-    }
+    });
+}
 
-    #[test]
-    fn mul_slice_is_invertible(c in 1u8..=255, data in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn mul_slice_is_invertible() {
+    run_cases(CASES, 0x0B, |rng| {
+        let c = rng.usize_in(1, 256) as u8;
+        let len = rng.usize_in(0, 300);
+        let data = rng.bytes(len);
         let mut fwd = vec![0u8; data.len()];
         slice::mul_slice(c, &data, &mut fwd);
         let cinv = Gf256::new(c).inv().unwrap().value();
         let mut back = vec![0u8; data.len()];
         slice::mul_slice(cinv, &fwd, &mut back);
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
+}
 
-    #[test]
-    fn xor_slice_is_involution(a in proptest::collection::vec(any::<u8>(), 0..300), b in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let n = a.len().min(b.len());
-        let (a, b) = (&a[..n], &b[..n]);
-        let mut dst = b.to_vec();
-        slice::xor_slice(a, &mut dst);
-        slice::xor_slice(a, &mut dst);
-        prop_assert_eq!(dst.as_slice(), b);
-    }
+#[test]
+fn xor_slice_is_involution() {
+    run_cases(CASES, 0x0C, |rng| {
+        let n = rng.usize_in(0, 300);
+        let a = rng.bytes(n);
+        let b = rng.bytes(n);
+        let mut dst = b.clone();
+        slice::xor_slice(&a, &mut dst);
+        slice::xor_slice(&a, &mut dst);
+        assert_eq!(dst, b);
+    });
 }

@@ -51,7 +51,7 @@ pub fn apply_into(matrix: &Matrix, inputs: &[&[u8]], outputs: &mut [&mut [u8]]) 
 }
 
 /// Multi-threaded [`apply`]: output rows are distributed over `threads`
-/// OS threads via crossbeam scoped threads.
+/// OS threads via [`std::thread::scope`].
 ///
 /// With `threads <= 1` this falls back to the serial path. Outputs are
 /// deterministic and identical to [`apply`].
@@ -66,17 +66,16 @@ pub fn apply_parallel(matrix: &Matrix, inputs: &[&[u8]], threads: usize) -> Vec<
     let stripe_len = check_inputs(matrix, inputs);
     let mut outputs: Vec<Vec<u8>> = (0..matrix.rows()).map(|_| vec![0; stripe_len]).collect();
     let rows_per_thread = matrix.rows().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, chunk) in outputs.chunks_mut(rows_per_thread).enumerate() {
             let base = chunk_idx * rows_per_thread;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, out) in chunk.iter_mut().enumerate() {
                     apply_row(matrix.row(base + off), inputs, out);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     outputs
 }
 
@@ -98,7 +97,11 @@ fn check_inputs(matrix: &Matrix, inputs: &[&[u8]]) -> usize {
     );
     let stripe_len = inputs.first().map_or(0, |s| s.len());
     for (j, s) in inputs.iter().enumerate() {
-        assert_eq!(s.len(), stripe_len, "input stripe {j} has mismatched length");
+        assert_eq!(
+            s.len(),
+            stripe_len,
+            "input stripe {j} has mismatched length"
+        );
     }
     stripe_len
 }
@@ -110,7 +113,11 @@ mod tests {
 
     fn sample_inputs(cols: usize, len: usize) -> Vec<Vec<u8>> {
         (0..cols)
-            .map(|j| (0..len).map(|i| ((i * 31 + j * 7 + 3) % 251) as u8).collect())
+            .map(|j| {
+                (0..len)
+                    .map(|i| ((i * 31 + j * 7 + 3) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -120,12 +127,10 @@ mod tests {
         let inputs = sample_inputs(4, 57);
         let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
         let out = apply(&m, &refs);
-        for r in 0..3 {
+        for (r, out_row) in out.iter().enumerate() {
             for i in 0..57 {
-                let want: Gf256 = (0..4)
-                    .map(|j| m.get(r, j) * Gf256::new(inputs[j][i]))
-                    .sum();
-                assert_eq!(out[r][i], want.value(), "row {r} byte {i}");
+                let want: Gf256 = (0..4).map(|j| m.get(r, j) * Gf256::new(inputs[j][i])).sum();
+                assert_eq!(out_row[i], want.value(), "row {r} byte {i}");
             }
         }
     }
@@ -146,7 +151,11 @@ mod tests {
         let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
         let serial = apply(&m, &refs);
         for threads in [1, 2, 3, 4, 16, 100] {
-            assert_eq!(apply_parallel(&m, &refs, threads), serial, "threads={threads}");
+            assert_eq!(
+                apply_parallel(&m, &refs, threads),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 

@@ -109,7 +109,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Gf256 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         Gf256::new(self.data[row * self.cols + col])
     }
 
@@ -120,7 +123,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: Gf256) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value.value();
     }
 
@@ -446,8 +452,8 @@ mod tests {
         let got = m.matvec(&v);
         let col = Matrix::from_rows(&[vec![7], vec![8], vec![9]]);
         let prod = &m * &col;
-        for r in 0..2 {
-            assert_eq!(got[r], prod.get(r, 0));
+        for (r, &g) in got.iter().enumerate() {
+            assert_eq!(g, prod.get(r, 0));
         }
     }
 

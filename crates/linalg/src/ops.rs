@@ -241,9 +241,9 @@ impl Matrix {
         let (m, n) = (self.rows(), self.cols());
         // Augmented matrix [self | b].
         let mut aug = Matrix::zeros(m, n + 1);
-        for r in 0..m {
+        for (r, &bv) in b.iter().enumerate() {
             aug.row_mut(r)[..n].copy_from_slice(self.row(r));
-            aug.set(r, n, b[r]);
+            aug.set(r, n, bv);
         }
         // Forward elimination with pivot tracking.
         let mut pivot_cols = Vec::new();
@@ -379,7 +379,10 @@ mod tests {
         assert!(b.try_add(&[0, 1, 1]));
         // 2*(1,2,3) is dependent.
         let two = Gf256::new(2);
-        let scaled: Vec<u8> = [1u8, 2, 3].iter().map(|&v| (two * Gf256::new(v)).value()).collect();
+        let scaled: Vec<u8> = [1u8, 2, 3]
+            .iter()
+            .map(|&v| (two * Gf256::new(v)).value())
+            .collect();
         assert!(!b.try_add(&scaled));
         // Sum of the two accepted rows is dependent.
         assert!(!b.try_add(&[1, 3, 2])); // (1,2,3) xor (0,1,1)

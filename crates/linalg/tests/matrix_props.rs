@@ -1,156 +1,183 @@
-//! Property-based tests on the matrix algebra: inversion roundtrips, rank
+//! Randomized tests on the matrix algebra: inversion roundtrips, rank
 //! bounds, Kronecker identities, and consistency of `apply` with `matmul`.
 
 use galloper_gf::Gf256;
 use galloper_linalg::{apply, apply_parallel, Matrix, RowBasis};
-use proptest::prelude::*;
+use galloper_testkit::{run_cases, TestRng};
 
-/// Strategy producing a random matrix with dimensions in `[1, max_dim]`.
-fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(any::<u8>(), r * c).prop_map(move |data| {
-            let mut m = Matrix::zeros(r, c);
-            for (i, v) in data.into_iter().enumerate() {
-                m.set(i / c, i % c, Gf256::new(v));
-            }
-            m
-        })
-    })
+const CASES: u64 = 96;
+
+/// A random matrix with dimensions in `[1, max_dim]`.
+fn matrix(rng: &mut TestRng, max_dim: usize) -> Matrix {
+    let r = rng.usize_in(1, max_dim + 1);
+    let c = rng.usize_in(1, max_dim + 1);
+    matrix_of(rng, r, c)
 }
 
-/// Strategy producing a random square matrix.
-fn square(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim).prop_flat_map(square_of)
-}
-
-/// Strategy producing a random `n × n` matrix.
-fn square_of(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(any::<u8>(), n * n).prop_map(move |data| {
-        let mut m = Matrix::zeros(n, n);
-        for (i, v) in data.into_iter().enumerate() {
-            m.set(i / n, i % n, Gf256::new(v));
+fn matrix_of(rng: &mut TestRng, r: usize, c: usize) -> Matrix {
+    let mut m = Matrix::zeros(r, c);
+    for i in 0..r {
+        for j in 0..c {
+            m.set(i, j, Gf256::new(rng.u8()));
         }
-        m
-    })
+    }
+    m
 }
 
-/// Strategy producing three square matrices of one shared dimension.
-fn square_triple(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
-    (1..=max_dim).prop_flat_map(|n| (square_of(n), square_of(n), square_of(n)))
+/// A random square matrix with dimension in `[1, max_dim]`.
+fn square(rng: &mut TestRng, max_dim: usize) -> Matrix {
+    let n = rng.usize_in(1, max_dim + 1);
+    matrix_of(rng, n, n)
 }
 
-proptest! {
-    #[test]
-    fn inverse_roundtrips(m in square(8)) {
+/// Three random square matrices of one shared dimension in `[1, max_dim]`.
+fn square_triple(rng: &mut TestRng, max_dim: usize) -> (Matrix, Matrix, Matrix) {
+    let n = rng.usize_in(1, max_dim + 1);
+    (
+        matrix_of(rng, n, n),
+        matrix_of(rng, n, n),
+        matrix_of(rng, n, n),
+    )
+}
+
+#[test]
+fn inverse_roundtrips() {
+    run_cases(CASES, 0x11, |rng| {
+        let m = square(rng, 8);
         if let Some(inv) = m.inverted() {
-            prop_assert!((&m * &inv).is_identity());
-            prop_assert!((&inv * &m).is_identity());
+            assert!((&m * &inv).is_identity());
+            assert!((&inv * &m).is_identity());
             // determinant of invertible matrix is non-zero
-            prop_assert!(!m.determinant().is_zero());
+            assert!(!m.determinant().is_zero());
         } else {
-            prop_assert!(m.rank() < m.rows());
-            prop_assert!(m.determinant().is_zero());
+            assert!(m.rank() < m.rows());
+            assert!(m.determinant().is_zero());
         }
-    }
+    });
+}
 
-    #[test]
-    fn rank_is_bounded(m in matrix(8)) {
+#[test]
+fn rank_is_bounded() {
+    run_cases(CASES, 0x12, |rng| {
+        let m = matrix(rng, 8);
         let r = m.rank();
-        prop_assert!(r <= m.rows().min(m.cols()));
-        prop_assert_eq!(m.transposed().rank(), r);
-    }
+        assert!(r <= m.rows().min(m.cols()));
+        assert_eq!(m.transposed().rank(), r);
+    });
+}
 
-    #[test]
-    fn matmul_is_associative((a, b, c) in square_triple(5)) {
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-    }
+#[test]
+fn matmul_is_associative() {
+    run_cases(CASES, 0x13, |rng| {
+        let (a, b, c) = square_triple(rng, 5);
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    });
+}
 
-    #[test]
-    fn transpose_of_product((a, b, _) in square_triple(5)) {
-        prop_assert_eq!((&a * &b).transposed(), &b.transposed() * &a.transposed());
-    }
+#[test]
+fn transpose_of_product() {
+    run_cases(CASES, 0x14, |rng| {
+        let (a, b, _) = square_triple(rng, 5);
+        assert_eq!((&a * &b).transposed(), &b.transposed() * &a.transposed());
+    });
+}
 
-    #[test]
-    fn kron_identity_commutes_with_product((a, b, _) in square_triple(4), n in 1usize..4) {
-        prop_assert_eq!(
+#[test]
+fn kron_identity_commutes_with_product() {
+    run_cases(CASES, 0x15, |rng| {
+        let (a, b, _) = square_triple(rng, 4);
+        let n = rng.usize_in(1, 4);
+        assert_eq!(
             (&a * &b).kron_identity(n),
             &a.kron_identity(n) * &b.kron_identity(n)
         );
-    }
+    });
+}
 
-    #[test]
-    fn kron_identity_preserves_invertibility(m in square(5), n in 1usize..4) {
+#[test]
+fn kron_identity_preserves_invertibility() {
+    run_cases(CASES, 0x16, |rng| {
+        let m = square(rng, 5);
+        let n = rng.usize_in(1, 4);
         let expanded = m.kron_identity(n);
-        prop_assert_eq!(expanded.rank(), m.rank() * n);
-        prop_assert_eq!(expanded.inverted().is_some(), m.inverted().is_some());
-    }
+        assert_eq!(expanded.rank(), m.rank() * n);
+        assert_eq!(expanded.inverted().is_some(), m.inverted().is_some());
+    });
+}
 
-    #[test]
-    fn apply_agrees_with_matmul(m in matrix(6), stripe_len in 1usize..40) {
+#[test]
+fn apply_agrees_with_matmul() {
+    run_cases(CASES, 0x17, |rng| {
+        let m = matrix(rng, 6);
+        let stripe_len = rng.usize_in(1, 40);
         // Treat each input stripe as a column-block and compare apply()
         // against the equivalent matrix product.
         let inputs: Vec<Vec<u8>> = (0..m.cols())
-            .map(|j| (0..stripe_len).map(|i| ((i * 17 + j * 29 + 1) % 256) as u8).collect())
+            .map(|j| {
+                (0..stripe_len)
+                    .map(|i| ((i * 17 + j * 29 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
         let out = apply(&m, &refs);
 
         let data_matrix = Matrix::from_rows(&inputs);
         let prod = &m * &data_matrix;
-        for r in 0..m.rows() {
-            prop_assert_eq!(out[r].as_slice(), prod.row(r));
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o.as_slice(), prod.row(r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn apply_parallel_is_deterministic(m in matrix(6), threads in 1usize..8) {
+#[test]
+fn apply_parallel_is_deterministic() {
+    run_cases(CASES, 0x18, |rng| {
+        let m = matrix(rng, 6);
+        let threads = rng.usize_in(1, 8);
         let inputs: Vec<Vec<u8>> = (0..m.cols())
             .map(|j| (0..100).map(|i| ((i * 13 + j) % 256) as u8).collect())
             .collect();
         let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
-        prop_assert_eq!(apply_parallel(&m, &refs, threads), apply(&m, &refs));
-    }
+        assert_eq!(apply_parallel(&m, &refs, threads), apply(&m, &refs));
+    });
+}
 
-    #[test]
-    fn solve_any_finds_solutions_of_consistent_systems(
-        m in matrix(7),
-        xs in proptest::collection::vec(any::<u8>(), 7),
-    ) {
+#[test]
+fn solve_any_finds_solutions_of_consistent_systems() {
+    run_cases(CASES, 0x19, |rng| {
+        let m = matrix(rng, 7);
         // Build b = A·x for a random x: always consistent, any returned
         // solution must satisfy the system (not necessarily equal x).
-        let x: Vec<Gf256> = xs.iter().take(m.cols()).map(|&v| Gf256::new(v)).collect();
-        prop_assume!(x.len() == m.cols());
+        let x: Vec<Gf256> = (0..m.cols()).map(|_| Gf256::new(rng.u8())).collect();
         let b = m.matvec(&x);
         let got = m.solve_any(&b).expect("consistent system must solve");
-        prop_assert_eq!(m.matvec(&got), b);
-    }
+        assert_eq!(m.matvec(&got), b);
+    });
+}
 
-    #[test]
-    fn express_row_is_sound_and_complete(m in matrix(6), coeffs in proptest::collection::vec(any::<u8>(), 6)) {
+#[test]
+fn express_row_is_sound_and_complete() {
+    run_cases(CASES, 0x1A, |rng| {
+        let m = matrix(rng, 6);
         // Soundness + completeness: a row built as c·M must be expressible,
         // and the returned combination must reproduce it exactly.
-        let c: Vec<Gf256> = coeffs.iter().take(m.rows()).map(|&v| Gf256::new(v)).collect();
-        prop_assume!(c.len() == m.rows());
+        let c: Vec<Gf256> = (0..m.rows()).map(|_| Gf256::new(rng.u8())).collect();
         let target: Vec<Gf256> = (0..m.cols())
-            .map(|j| {
-                (0..m.rows())
-                    .map(|i| c[i] * m.get(i, j))
-                    .sum()
-            })
+            .map(|j| (0..m.rows()).map(|i| c[i] * m.get(i, j)).sum())
             .collect();
         let found = m.express_row(&target).expect("target is in the row space");
         let rebuilt: Vec<Gf256> = (0..m.cols())
-            .map(|j| {
-                (0..m.rows())
-                    .map(|i| found[i] * m.get(i, j))
-                    .sum()
-            })
+            .map(|j| (0..m.rows()).map(|i| found[i] * m.get(i, j)).sum())
             .collect();
-        prop_assert_eq!(rebuilt, target);
-    }
+        assert_eq!(rebuilt, target);
+    });
+}
 
-    #[test]
-    fn row_basis_rank_matches_matrix_rank(m in matrix(8)) {
+#[test]
+fn row_basis_rank_matches_matrix_rank() {
+    run_cases(CASES, 0x1B, |rng| {
+        let m = matrix(rng, 8);
         let mut basis = RowBasis::new(m.cols());
         let mut accepted = 0;
         for r in 0..m.rows() {
@@ -158,19 +185,21 @@ proptest! {
                 accepted += 1;
             }
         }
-        prop_assert_eq!(accepted, m.rank());
-        prop_assert_eq!(basis.rank(), m.rank());
-    }
+        assert_eq!(accepted, m.rank());
+        assert_eq!(basis.rank(), m.rank());
+    });
+}
 
-    #[test]
-    fn solve_inverts_matvec(a in square(6), xs in proptest::collection::vec(any::<u8>(), 6)) {
+#[test]
+fn solve_inverts_matvec() {
+    run_cases(CASES, 0x1C, |rng| {
+        let a = square(rng, 6);
         let n = a.rows();
-        let x: Vec<Gf256> = xs.iter().take(n).map(|&v| Gf256::new(v)).collect();
-        prop_assume!(x.len() == n);
+        let x: Vec<Gf256> = (0..n).map(|_| Gf256::new(rng.u8())).collect();
         let b = a.matvec(&x);
         match a.solve(&b) {
-            Ok(got) => prop_assert_eq!(got, x),
-            Err(_) => prop_assert!(a.rank() < n),
+            Ok(got) => assert_eq!(got, x),
+            Err(_) => assert!(a.rank() < n),
         }
-    }
+    });
 }

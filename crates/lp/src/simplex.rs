@@ -301,8 +301,8 @@ impl Tableau {
         for (row, &b) in self.basis.iter().enumerate() {
             let cb = costs[b];
             if cb != 0.0 {
-                for j in 0..self.cols {
-                    reduced[j] -= cb * self.rows[row][j];
+                for (rj, &a) in reduced.iter_mut().zip(&self.rows[row]) {
+                    *rj -= cb * a;
                 }
             }
         }
@@ -365,8 +365,7 @@ impl Tableau {
         let mut row = 0;
         while row < self.rows.len() {
             if self.basis[row] >= self.artificial_start {
-                let col = (0..self.artificial_start)
-                    .find(|&j| self.rows[row][j].abs() > TOL);
+                let col = (0..self.artificial_start).find(|&j| self.rows[row][j].abs() > TOL);
                 match col {
                     Some(c) => self.pivot(row, c),
                     None => {
@@ -504,8 +503,8 @@ mod tests {
             let rhs: f64 = p.iter().sum::<f64>() - k * p[i];
             lp.constraint(&coeffs, Relation::Le, rhs);
         }
-        for i in 0..n {
-            lp.bound(i, p[i]);
+        for (i, &pi) in p.iter().enumerate() {
+            lp.bound(i, pi);
         }
         let sol = lp.solve().unwrap();
         assert_close(sol.objective, 0.0);
@@ -528,8 +527,8 @@ mod tests {
             let rhs: f64 = p.iter().sum::<f64>() - k * p[i];
             lp.constraint(&coeffs, Relation::Le, rhs);
         }
-        for i in 0..n {
-            lp.bound(i, p[i]);
+        for (i, &pi) in p.iter().enumerate() {
+            lp.bound(i, pi);
         }
         let sol = lp.solve().unwrap();
         assert_close(sol.objective, 26.0 / 3.0);

@@ -1,17 +1,23 @@
-//! Property-based tests for the simplex solver: returned points must be
+//! Randomized tests for the simplex solver: returned points must be
 //! feasible, optimal for problems with known closed forms, and stable under
 //! objective scaling.
 
 use galloper_lp::{LinearProgram, Relation};
-use proptest::prelude::*;
+use galloper_testkit::{run_cases, TestRng};
 
 const EPS: f64 = 1e-6;
+const CASES: u64 = 128;
 
-proptest! {
-    /// min Σ x_i subject to x_i >= b_i has the closed-form optimum Σ b_i.
-    #[test]
-    fn lower_bounds_have_closed_form(bs in proptest::collection::vec(0.0f64..100.0, 1..8)) {
-        let n = bs.len();
+fn vec_f64(rng: &mut TestRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.f64_in(lo, hi)).collect()
+}
+
+/// min Σ x_i subject to x_i >= b_i has the closed-form optimum Σ b_i.
+#[test]
+fn lower_bounds_have_closed_form() {
+    run_cases(CASES, 0x21, |rng| {
+        let n = rng.usize_in(1, 8);
+        let bs = vec_f64(rng, n, 0.0, 100.0);
         let mut lp = LinearProgram::minimize(&vec![1.0; n]);
         for (i, &b) in bs.iter().enumerate() {
             let mut coeffs = vec![0.0; n];
@@ -20,20 +26,21 @@ proptest! {
         }
         let sol = lp.solve().unwrap();
         let want: f64 = bs.iter().sum();
-        prop_assert!((sol.objective - want).abs() < EPS);
+        assert!((sol.objective - want).abs() < EPS);
         for (i, &b) in bs.iter().enumerate() {
-            prop_assert!(sol.x[i] >= b - EPS);
+            assert!(sol.x[i] >= b - EPS);
         }
-    }
+    });
+}
 
-    /// A knapsack-style LP: max Σ c_i x_i with Σ x_i <= budget, x_i <= 1.
-    /// The optimum fills variables greedily by descending c_i.
-    #[test]
-    fn fractional_knapsack_matches_greedy(
-        cs in proptest::collection::vec(0.1f64..10.0, 1..8),
-        budget in 0.0f64..8.0,
-    ) {
-        let n = cs.len();
+/// A knapsack-style LP: max Σ c_i x_i with Σ x_i <= budget, x_i <= 1.
+/// The optimum fills variables greedily by descending c_i.
+#[test]
+fn fractional_knapsack_matches_greedy() {
+    run_cases(CASES, 0x22, |rng| {
+        let n = rng.usize_in(1, 8);
+        let cs = vec_f64(rng, n, 0.1, 10.0);
+        let budget = rng.f64_in(0.0, 8.0);
         let mut lp = LinearProgram::maximize(&cs);
         lp.constraint(&vec![1.0; n], Relation::Le, budget);
         for i in 0..n {
@@ -53,20 +60,25 @@ proptest! {
                 break;
             }
         }
-        prop_assert!((sol.objective - greedy).abs() < EPS,
-            "simplex {} vs greedy {}", sol.objective, greedy);
-    }
+        assert!(
+            (sol.objective - greedy).abs() < EPS,
+            "simplex {} vs greedy {}",
+            sol.objective,
+            greedy
+        );
+    });
+}
 
-    /// The returned point must satisfy every constraint of a random
-    /// feasible program (feasible by construction: rhs = A·x₀ for a random
-    /// x₀ ≥ 0, all constraints Le with a bounded objective).
-    #[test]
-    fn solutions_are_feasible(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-5.0f64..5.0, 4), 1..6),
-        x0 in proptest::collection::vec(0.0f64..3.0, 4),
-    ) {
+/// The returned point must satisfy every constraint of a random feasible
+/// program (feasible by construction: rhs = A·x₀ for a random x₀ ≥ 0, all
+/// constraints Le with a bounded objective).
+#[test]
+fn solutions_are_feasible() {
+    run_cases(CASES, 0x23, |rng| {
         let n = 4;
+        let num_rows = rng.usize_in(1, 6);
+        let rows: Vec<Vec<f64>> = (0..num_rows).map(|_| vec_f64(rng, n, -5.0, 5.0)).collect();
+        let x0 = vec_f64(rng, n, 0.0, 3.0);
         let mut lp = LinearProgram::minimize(&vec![1.0; n]); // bounded below by 0
         let mut rhss = Vec::new();
         for coeffs in &rows {
@@ -77,35 +89,40 @@ proptest! {
         let sol = lp.solve().unwrap();
         for (coeffs, rhs) in rows.iter().zip(&rhss) {
             let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
-            prop_assert!(lhs <= rhs + EPS, "violated: {lhs} > {rhs}");
+            assert!(lhs <= rhs + EPS, "violated: {lhs} > {rhs}");
         }
         for &v in &sol.x {
-            prop_assert!(v >= -EPS, "negative variable {v}");
+            assert!(v >= -EPS, "negative variable {v}");
         }
         // x0 itself is feasible, so the minimum can be no larger than Σ x0.
         let upper: f64 = x0.iter().sum();
-        prop_assert!(sol.objective <= upper + EPS);
-    }
+        assert!(sol.objective <= upper + EPS);
+    });
+}
 
-    /// Scaling the objective scales the optimum; the argmin set is stable.
-    #[test]
-    fn objective_scaling(scale in 0.1f64..50.0, b in 1.0f64..20.0) {
+/// Scaling the objective scales the optimum; the argmin set is stable.
+#[test]
+fn objective_scaling() {
+    run_cases(CASES, 0x24, |rng| {
+        let scale = rng.f64_in(0.1, 50.0);
+        let b = rng.f64_in(1.0, 20.0);
         let mut lp1 = LinearProgram::minimize(&[1.0, 2.0]);
         lp1.constraint(&[1.0, 1.0], Relation::Ge, b);
         let mut lp2 = LinearProgram::minimize(&[scale, 2.0 * scale]);
         lp2.constraint(&[1.0, 1.0], Relation::Ge, b);
         let (s1, s2) = (lp1.solve().unwrap(), lp2.solve().unwrap());
-        prop_assert!((s2.objective - scale * s1.objective).abs() < EPS * scale.max(1.0));
-    }
+        assert!((s2.objective - scale * s1.objective).abs() < EPS * scale.max(1.0));
+    });
+}
 
-    /// The §IV-C weight LP is always feasible when k <= number of servers,
-    /// and yields weights in [0, 1] summing to k.
-    #[test]
-    fn paper_weight_lp_always_valid(
-        perfs in proptest::collection::vec(0.5f64..20.0, 5..12),
-        kdelta in 1usize..4,
-    ) {
-        let n = perfs.len();
+/// The §IV-C weight LP is always feasible when k <= number of servers,
+/// and yields weights in [0, 1] summing to k.
+#[test]
+fn paper_weight_lp_always_valid() {
+    run_cases(CASES, 0x25, |rng| {
+        let n = rng.usize_in(5, 12);
+        let perfs = vec_f64(rng, n, 0.5, 20.0);
+        let kdelta = rng.usize_in(1, 4);
         let k = n - kdelta; // ensure k < n
         let mut lp = LinearProgram::minimize(&vec![1.0; n]);
         for i in 0..n {
@@ -114,18 +131,18 @@ proptest! {
             let rhs: f64 = perfs.iter().sum::<f64>() - k as f64 * perfs[i];
             lp.constraint(&coeffs, Relation::Le, rhs);
         }
-        for i in 0..n {
-            lp.bound(i, perfs[i]);
+        for (i, &pi) in perfs.iter().enumerate() {
+            lp.bound(i, pi);
         }
         let sol = lp.solve().unwrap();
         let total: f64 = perfs.iter().zip(&sol.x).map(|(p, d)| p - d).sum();
-        prop_assert!(total > 0.0);
+        assert!(total > 0.0);
         let mut wsum = 0.0;
-        for i in 0..n {
-            let w = (perfs[i] - sol.x[i]) * k as f64 / total;
-            prop_assert!(w >= -EPS && w <= 1.0 + EPS, "w[{i}] = {w}");
+        for (i, (&pi, &xi)) in perfs.iter().zip(&sol.x).enumerate() {
+            let w = (pi - xi) * k as f64 / total;
+            assert!((-EPS..=1.0 + EPS).contains(&w), "w[{i}] = {w}");
             wsum += w;
         }
-        prop_assert!((wsum - k as f64).abs() < 1e-5);
-    }
+        assert!((wsum - k as f64).abs() < 1e-5);
+    });
 }

@@ -1,0 +1,156 @@
+//! Chrome `trace_event` format builder.
+//!
+//! Emits the JSON Object Format described in the Trace Event Format
+//! spec: `{"traceEvents": [...]}` with `ph:"X"` complete events and
+//! `ph:"M"` metadata records. The output loads in Perfetto and
+//! `chrome://tracing`. Timestamps and durations are microseconds.
+
+use crate::json::Json;
+
+/// Builder for a Chrome trace document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Names a process (shown as a track group in viewers).
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        self.events.push(
+            Json::object()
+                .field("name", "process_name")
+                .field("ph", "M")
+                .field("pid", pid)
+                .field("tid", 0u64)
+                .field("args", Json::object().field("name", name)),
+        );
+    }
+
+    /// Names a thread (one track within a process group).
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(
+            Json::object()
+                .field("name", "thread_name")
+                .field("ph", "M")
+                .field("pid", pid)
+                .field("tid", tid)
+                .field("args", Json::object().field("name", name)),
+        );
+    }
+
+    /// Adds a complete (`ph:"X"`) event: a span from `ts_us` lasting
+    /// `dur_us`.
+    pub fn complete(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64, dur_us: u64) {
+        self.events.push(
+            Json::object()
+                .field("name", name)
+                .field("cat", cat)
+                .field("ph", "X")
+                .field("ts", ts_us)
+                .field("dur", dur_us)
+                .field("pid", pid)
+                .field("tid", tid),
+        );
+    }
+
+    /// Like [`complete`](Self::complete) with an extra `args` object of
+    /// key/value details shown in the viewer's selection panel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_args(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: Json,
+    ) {
+        self.events.push(
+            Json::object()
+                .field("name", name)
+                .field("cat", cat)
+                .field("ph", "X")
+                .field("ts", ts_us)
+                .field("dur", dur_us)
+                .field("pid", pid)
+                .field("tid", tid)
+                .field("args", args),
+        );
+    }
+
+    /// Adds an instant (`ph:"i"`) event.
+    pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64) {
+        self.events.push(
+            Json::object()
+                .field("name", name)
+                .field("cat", cat)
+                .field("ph", "i")
+                .field("ts", ts_us)
+                .field("s", "t")
+                .field("pid", pid)
+                .field("tid", tid),
+        );
+    }
+
+    /// Number of events added so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the document.
+    pub fn into_json(self) -> Json {
+        Json::object()
+            .field("traceEvents", Json::Arr(self.events))
+            .field("displayTimeUnit", "ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_spec_shaped_events() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "sim");
+        t.name_thread(1, 2, "disk");
+        t.complete("read", "disk", 1, 2, 10, 5);
+        t.instant("fail", "ctrl", 1, 2, 12);
+        assert_eq!(t.len(), 4);
+        let json = t.into_json();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(events[2].get("dur").unwrap().as_f64(), Some(5.0));
+        assert_eq!(events[3].get("ph").unwrap().as_str(), Some("i"));
+    }
+
+    #[test]
+    fn complete_with_args_embeds_details() {
+        let mut t = ChromeTrace::new();
+        t.complete_with_args(
+            "repair",
+            "sim",
+            0,
+            0,
+            0,
+            100,
+            Json::object().field("mb", 64.0),
+        );
+        let json = t.into_json();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        let args = events[0].get("args").unwrap();
+        assert_eq!(args.get("mb").unwrap().as_f64(), Some(64.0));
+    }
+}

@@ -1,0 +1,402 @@
+//! A global, thread-safe metrics registry.
+//!
+//! Counters and gauges are single atomics; histograms are fixed-bucket
+//! atomic arrays. Hot paths (the GF(2^8) kernels) go through the
+//! [`counter!`](crate::counter) macro, which caches the `Arc<Counter>`
+//! in a per-call-site static so steady-state cost is one relaxed
+//! `fetch_add` — the registry's `Mutex` is only taken on first use and
+//! when snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket bounds: powers of four from 1 to 4^15,
+/// which spans 1 µs .. ~18 min when recording microseconds and
+/// 1 B .. ~1 GiB when recording bytes.
+pub const DEFAULT_BUCKETS: [u64; 16] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+];
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// `buckets[i]` counts samples `<= bounds[i]`; one extra overflow bucket
+/// counts the rest. `sum` and `count` are exact regardless of bucketing.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn snapshot(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .bounds
+            .iter()
+            .map(|b| Json::Uint(*b))
+            .zip(self.buckets.iter())
+            .map(|(bound, count)| {
+                Json::object()
+                    .field("le", bound)
+                    .field("count", count.load(Ordering::Relaxed))
+            })
+            .collect();
+        Json::object()
+            .field("count", self.count())
+            .field("sum", self.sum())
+            .field("max", self.max())
+            .field("mean", self.mean())
+            .field(
+                "overflow",
+                self.buckets[self.bounds.len()].load(Ordering::Relaxed),
+            )
+            .field("buckets", Json::Arr(buckets))
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry. Most code uses [`global()`] instead; a private
+    /// registry is useful in tests that need isolation.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name` with [`DEFAULT_BUCKETS`], created on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &DEFAULT_BUCKETS)
+    }
+
+    /// The histogram named `name`; `bounds` applies only on creation
+    /// (an existing histogram keeps its original buckets).
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Starts a scoped timer that records elapsed microseconds into the
+    /// histogram `name` (and a span into the global trace ring) when
+    /// dropped.
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        ScopedTimer {
+            hist: self.histogram(name),
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time JSON snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Json {
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Uint(v.get())))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(v.get())))
+            .collect();
+        let histograms: Vec<(String, Json)> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Json::object()
+            .field("counters", Json::Obj(counters))
+            .field("gauges", Json::Obj(gauges))
+            .field("histograms", Json::Obj(histograms))
+    }
+
+    /// Removes every metric. Registered `Arc`s held by callers (including
+    /// the `counter!` macro's per-call-site caches) keep counting, but
+    /// they no longer appear in snapshots; subsequent lookups by the same
+    /// name create fresh metrics. Intended for test isolation.
+    pub fn clear(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Guard returned by [`Registry::timer`]; records on drop.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Arc<Histogram>,
+    name: String,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Elapsed time so far, in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        let us = self.elapsed_us();
+        self.hist.record(us);
+        crate::trace::global_trace().record_span(&self.name, "timer", self.start, us);
+    }
+}
+
+/// Adds `$n` to the global counter `$name`, caching the `Arc<Counter>`
+/// in a per-call-site static so the steady-state cost is one relaxed
+/// `fetch_add`.
+///
+/// ```
+/// galloper_obs::counter!("gf.bytes_xored", 4096);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $n:expr) => {{
+        static CACHED: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::global().counter($name))
+            .add($n as u64);
+    }};
+}
+
+/// Starts a scoped timer on the global registry; the value binds to a
+/// local so it drops (and records) at end of scope.
+///
+/// ```
+/// let _t = galloper_obs::timer!("erasure.encode_us");
+/// ```
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {
+        $crate::global().timer($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.counter("c").inc();
+        assert_eq!(r.counter("c").get(), 4);
+        r.gauge("g").set(10);
+        r.gauge("g").add(-4);
+        assert_eq!(r.gauge("g").get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let r = Registry::new();
+        let h = r.histogram_with("h", &[10, 100]);
+        h.record(5);
+        h.record(10); // le 10 (inclusive bound)
+        h.record(50);
+        h.record(1000); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+        assert_eq!(h.max(), 1000);
+        let snap = h.snapshot();
+        let buckets = snap.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets[0].get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(buckets[1].get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(snap.get("overflow").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").inc();
+        let snap = r.snapshot();
+        let Json::Obj(counters) = snap.get("counters").unwrap() else {
+            panic!("counters not an object")
+        };
+        let names: Vec<&str> = counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn timer_records_into_histogram() {
+        let r = Registry::new();
+        {
+            let _t = r.timer("op_us");
+        }
+        assert_eq!(r.histogram("op_us").count(), 1);
+    }
+
+    #[test]
+    fn clear_empties_snapshot() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.clear();
+        assert_eq!(
+            r.snapshot().get("counters").unwrap(),
+            &Json::Obj(Vec::new())
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! A bounded, lock-cheap ring buffer of trace events.
+//!
+//! Spans (and instant events) are recorded with one short mutex hold;
+//! when the ring is full the oldest events are overwritten and a drop
+//! counter increments, so tracing can stay on in hot code without
+//! unbounded memory growth. Disabled by default — recording is a single
+//! relaxed atomic load when off.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::chrome::ChromeTrace;
+use crate::json::Json;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Human-readable event name (e.g. `"erasure.encode"`).
+    pub name: String,
+    /// Category string, used by trace viewers for filtering.
+    pub cat: String,
+    /// Start timestamp in microseconds since the ring's epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Originating thread, as a small dense id.
+    pub tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+}
+
+/// A fixed-capacity ring of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+    epoch: Instant,
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A disabled ring holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            inner: Mutex::new(RingInner::default()),
+            capacity,
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns recording on or off. Off is the default; recording while
+    /// off is a single atomic load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds elapsed since this ring was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a span that started at `start` and ran `dur_us`.
+    pub fn record_span(&self, name: &str, cat: &str, start: Instant, dur_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts_us = start.duration_since(self.epoch).as_micros() as u64;
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_us,
+            dur_us,
+            tid: current_tid(),
+        });
+    }
+
+    /// Records an instant event at the current time.
+    pub fn record_instant(&self, name: &str, cat: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_us: self.now_us(),
+            dur_us: 0,
+            tid: current_tid(),
+        });
+    }
+
+    /// Starts a span guard; the span is recorded when the guard drops.
+    pub fn span(&self, name: &str, cat: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            ring: self,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() < self.capacity {
+            inner.events.push(event);
+        } else {
+            let head = inner.head;
+            inner.events[head] = event;
+            inner.head = (head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(inner.events.len());
+        out.extend_from_slice(&inner.events[inner.head..]);
+        out.extend_from_slice(&inner.events[..inner.head]);
+        out
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Empties the ring (drop counter resets too).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events.clear();
+        inner.head = 0;
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Exports buffered events as a Chrome `trace_event` JSON document
+    /// (load in Perfetto or `chrome://tracing`). All events share pid 0;
+    /// tid is the recording thread.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut trace = ChromeTrace::new();
+        trace.name_process(0, "galloper");
+        for e in self.events() {
+            trace.complete(&e.name, &e.cat, 0, e.tid, e.ts_us, e.dur_us);
+        }
+        trace.into_json()
+    }
+}
+
+/// Guard returned by [`TraceRing::span`]; records the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    ring: &'a TraceRing,
+    name: String,
+    cat: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        self.ring
+            .record_span(&self.name, &self.cat, self.start, dur_us);
+    }
+}
+
+/// The process-wide trace ring (capacity 65 536 events, disabled until
+/// [`TraceRing::set_enabled`] is called).
+pub fn global_trace() -> &'static TraceRing {
+    static GLOBAL: OnceLock<TraceRing> = OnceLock::new();
+    GLOBAL.get_or_init(|| TraceRing::with_capacity(65_536))
+}
+
+/// A small dense id for the current thread (first thread to ask gets 0).
+fn current_tid() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let ring = TraceRing::with_capacity(8);
+        ring.record_instant("x", "test");
+        {
+            let _s = ring.span("y", "test");
+        }
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let ring = TraceRing::with_capacity(8);
+        ring.set_enabled(true);
+        {
+            let _s = ring.span("op", "test");
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "op");
+        assert_eq!(events[0].cat, "test");
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let ring = TraceRing::with_capacity(3);
+        ring.set_enabled(true);
+        for i in 0..5 {
+            ring.record_instant(&format!("e{i}"), "test");
+        }
+        let names: Vec<String> = ring.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+        assert_eq!(ring.dropped(), 2);
+        ring.clear();
+        assert!(ring.events().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn chrome_export_has_trace_events() {
+        let ring = TraceRing::with_capacity(8);
+        ring.set_enabled(true);
+        ring.record_instant("e", "test");
+        let json = ring.to_chrome_trace();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        // Process-name metadata + one complete event.
+        assert_eq!(events.len(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Thread-safety stress tests for the global metrics registry: many
+//! threads hammering the same counter through the `counter!` macro must
+//! lose no increments, and the registry snapshot taken afterwards must
+//! see the exact total.
+
+use galloper_obs::counter;
+
+#[test]
+fn concurrent_counter_increments_are_all_counted() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    // A name no other test in this binary touches, so the total is exact.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    counter!("test.concurrent.hits", 1);
+                }
+            });
+        }
+    });
+
+    let total = galloper_obs::global().counter("test.concurrent.hits").get();
+    assert_eq!(total, THREADS as u64 * PER_THREAD);
+
+    // The snapshot sees the same number.
+    let snap = galloper_obs::global().snapshot();
+    let counters = snap.get("counters").expect("counters object");
+    assert_eq!(
+        counters
+            .get("test.concurrent.hits")
+            .and_then(|v| v.as_f64()),
+        Some((THREADS as u64 * PER_THREAD) as f64),
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_every_sample() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 10_000;
+
+    let hist = galloper_obs::global().histogram("test.concurrent.hist");
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(hist.count(), THREADS as u64 * PER_THREAD);
+    assert_eq!(hist.max(), THREADS as u64 * PER_THREAD - 1);
+}

@@ -67,7 +67,7 @@ impl Pyramid {
     /// [`ConstructionError`] if parameters are out of range: `k == 0`,
     /// `l == 0`, `l ∤ k`, `k + g + 1 > 255`, or `block_size == 0`.
     pub fn new(k: usize, l: usize, g: usize, block_size: usize) -> Result<Self, ConstructionError> {
-        if k == 0 || l == 0 || k % l != 0 || k + g + 1 > 255 {
+        if k == 0 || l == 0 || !k.is_multiple_of(l) || k + g + 1 > 255 {
             return Err(ConstructionError::ComponentMismatch);
         }
         let group_size = k / l;
@@ -246,7 +246,9 @@ mod tests {
     use galloper_erasure::ErasureCode;
 
     fn sample_data(len: usize) -> Vec<u8> {
-        (0..len).map(|i| (i.wrapping_mul(167) % 253) as u8).collect()
+        (0..len)
+            .map(|i| (i.wrapping_mul(167) % 253) as u8)
+            .collect()
     }
 
     #[test]

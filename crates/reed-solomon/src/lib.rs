@@ -66,7 +66,7 @@ impl ReedSolomon {
         let n = k + r;
         let generator = Matrix::identity(k).vstack(&Matrix::cauchy(r, k));
         let mut roles = vec![BlockRole::Data; k];
-        roles.extend(std::iter::repeat(BlockRole::GlobalParity).take(r));
+        roles.extend(std::iter::repeat_n(BlockRole::GlobalParity, r));
         let layout = DataLayout::systematic(k, n, 1);
         // Canonical repair plan: read the first k other blocks. Any k would
         // do (MDS); a fixed choice makes disk-I/O accounting deterministic.
@@ -127,7 +127,13 @@ mod tests {
     }
 
     fn subsets(n: usize, size: usize) -> Vec<Vec<usize>> {
-        fn go(start: usize, n: usize, size: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        fn go(
+            start: usize,
+            n: usize,
+            size: usize,
+            acc: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
             if acc.len() == size {
                 out.push(acc.clone());
                 return;

@@ -1,93 +1,80 @@
-//! Property-based tests: Reed–Solomon behaves as an MDS code for random
+//! Randomized tests: Reed–Solomon behaves as an MDS code for random
 //! parameters, data, and erasure patterns.
 
 use galloper_erasure::ErasureCode;
 use galloper_rs::ReedSolomon;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use galloper_testkit::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn roundtrip_under_r_random_erasures(
-        k in 1usize..8,
-        r in 1usize..4,
-        stripe in 1usize..64,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn roundtrip_under_r_random_erasures() {
+    run_cases(CASES, 0x31, |rng| {
+        let k = rng.usize_in(1, 8);
+        let r = rng.usize_in(1, 4);
+        let stripe = rng.usize_in(1, 64);
         let code = ReedSolomon::new(k, r, stripe).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let data = rng.bytes(code.message_len());
         let blocks = code.encode(&data).unwrap();
 
         // Erase exactly r random blocks.
-        let mut order: Vec<usize> = (0..k + r).collect();
-        order.shuffle(&mut rng);
-        let erased: Vec<usize> = order.into_iter().take(r).collect();
+        let erased = rng.sample_indices(k + r, r);
         let avail: Vec<Option<&[u8]>> = (0..k + r)
             .map(|b| (!erased.contains(&b)).then(|| blocks[b].as_slice()))
             .collect();
-        prop_assert_eq!(code.decode(&avail).unwrap(), data);
-    }
+        assert_eq!(code.decode(&avail).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn reconstruction_matches_encoding(
-        k in 1usize..8,
-        r in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn reconstruction_matches_encoding() {
+    run_cases(CASES, 0x32, |rng| {
+        let k = rng.usize_in(1, 8);
+        let r = rng.usize_in(1, 4);
         let code = ReedSolomon::new(k, r, 16).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let data = rng.bytes(code.message_len());
         let blocks = code.encode(&data).unwrap();
-        let target = rng.gen_range(0..k + r);
+        let target = rng.usize_in(0, k + r);
         let plan = code.repair_plan(target).unwrap();
         let sources: Vec<(usize, &[u8])> = plan
             .sources()
             .iter()
             .map(|&s| (s, blocks[s].as_slice()))
             .collect();
-        prop_assert_eq!(code.reconstruct(target, &sources).unwrap(), blocks[target].clone());
-    }
+        assert_eq!(code.reconstruct(target, &sources).unwrap(), blocks[target]);
+    });
+}
 
-    #[test]
-    fn extracting_layout_equals_original(
-        k in 1usize..8,
-        r in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn extracting_layout_equals_original() {
+    run_cases(CASES, 0x33, |rng| {
+        let k = rng.usize_in(1, 8);
+        let r = rng.usize_in(1, 4);
         // For a systematic code, reading the layout's data extents back
         // from the encoded blocks must reproduce the message exactly.
         let code = ReedSolomon::new(k, r, 8).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let data = rng.bytes(code.message_len());
         let blocks = code.encode(&data).unwrap();
         let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
-        prop_assert_eq!(code.layout().extract_data(&refs), data);
-    }
+        assert_eq!(code.layout().extract_data(&refs), data);
+    });
+}
 
-    #[test]
-    fn decode_is_independent_of_which_k_blocks(
-        k in 2usize..6,
-        r in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn decode_is_independent_of_which_k_blocks() {
+    run_cases(CASES, 0x34, |rng| {
+        let k = rng.usize_in(2, 6);
+        let r = rng.usize_in(1, 4);
         let code = ReedSolomon::new(k, r, 4).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data: Vec<u8> = (0..code.message_len()).map(|_| rng.gen()).collect();
+        let data = rng.bytes(code.message_len());
         let blocks = code.encode(&data).unwrap();
         // Two random k-subsets must decode to the same message.
         for _ in 0..2 {
-            let mut order: Vec<usize> = (0..k + r).collect();
-            order.shuffle(&mut rng);
-            let keep: Vec<usize> = order.into_iter().take(k).collect();
+            let keep = rng.sample_indices(k + r, k);
             let avail: Vec<Option<&[u8]>> = (0..k + r)
                 .map(|b| keep.contains(&b).then(|| blocks[b].as_slice()))
                 .collect();
-            prop_assert_eq!(code.decode(&avail).unwrap(), data.clone());
+            assert_eq!(code.decode(&avail).unwrap(), data);
         }
-    }
+    });
 }

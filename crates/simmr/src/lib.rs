@@ -51,10 +51,9 @@ pub use speculation::{simulate_job_speculative, SpeculationConfig};
 
 use galloper_erasure::DataLayout;
 use galloper_simstore::{ActivityGraph, Cluster, Placement, ResourceKind, Work};
-use serde::{Deserialize, Serialize};
 
 /// The cost profile of a MapReduce workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Workload name (reporting only).
     pub name: String,
@@ -99,7 +98,7 @@ impl Workload {
 }
 
 /// One map input split: `megabytes` of original data on `server`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputSplit {
     /// The server holding the split (map task runs here — data locality).
     pub server: usize,
@@ -128,7 +127,10 @@ pub fn layout_splits(
     block_size_mb: f64,
     max_split_mb: f64,
 ) -> Vec<InputSplit> {
-    assert!(block_size_mb > 0.0 && max_split_mb > 0.0, "sizes must be positive");
+    assert!(
+        block_size_mb > 0.0 && max_split_mb > 0.0,
+        "sizes must be positive"
+    );
     assert_eq!(
         placement.num_blocks(),
         layout.num_blocks(),
@@ -229,7 +231,12 @@ pub fn simulate_job(cluster: &Cluster, splits: &[InputSplit], config: &JobConfig
         let duration = w.task_overhead_secs
             + split.megabytes / spec.disk_read_mbps
             + split.megabytes * w.map_compute_per_mb / spec.effective_cpu_mbps();
-        let id = graph.add(split.server, ResourceKind::Slot, Work::Seconds(duration), &[]);
+        let id = graph.add(
+            split.server,
+            ResourceKind::Slot,
+            Work::Seconds(duration),
+            &[],
+        );
         map_ids.push(id);
         map_tasks.push((split.server, duration));
     }
@@ -292,11 +299,18 @@ mod tests {
     #[test]
     fn single_map_task_timing() {
         let cluster = Cluster::homogeneous(2, flat_spec());
-        let splits = vec![InputSplit { server: 0, megabytes: 100.0, block: 0 }];
+        let splits = vec![InputSplit {
+            server: 0,
+            megabytes: 100.0,
+            block: 0,
+        }];
         let report = simulate_job(
             &cluster,
             &splits,
-            &JobConfig { workload: simple_workload(), reducers: vec![1] },
+            &JobConfig {
+                workload: simple_workload(),
+                reducers: vec![1],
+            },
         );
         // map: 1 + 100/100 + 100/100 = 3 s.
         assert!((report.map_secs - 3.0).abs() < 1e-6);
@@ -310,12 +324,19 @@ mod tests {
         let cluster = Cluster::homogeneous(2, flat_spec());
         // Three equal tasks on server 0 with 2 slots: two waves.
         let splits: Vec<InputSplit> = (0..3)
-            .map(|b| InputSplit { server: 0, megabytes: 100.0, block: b })
+            .map(|b| InputSplit {
+                server: 0,
+                megabytes: 100.0,
+                block: b,
+            })
             .collect();
         let report = simulate_job(
             &cluster,
             &splits,
-            &JobConfig { workload: simple_workload(), reducers: vec![1] },
+            &JobConfig {
+                workload: simple_workload(),
+                reducers: vec![1],
+            },
         );
         assert!((report.map_secs - 6.0).abs() < 1e-6, "{}", report.map_secs);
     }
@@ -325,20 +346,34 @@ mod tests {
         let mut cluster = Cluster::homogeneous(3, flat_spec());
         cluster.spec_mut(1).cpu_factor = 0.4;
         let splits = vec![
-            InputSplit { server: 0, megabytes: 100.0, block: 0 },
-            InputSplit { server: 1, megabytes: 100.0, block: 1 },
+            InputSplit {
+                server: 0,
+                megabytes: 100.0,
+                block: 0,
+            },
+            InputSplit {
+                server: 1,
+                megabytes: 100.0,
+                block: 1,
+            },
         ];
         let report = simulate_job(
             &cluster,
             &splits,
-            &JobConfig { workload: simple_workload(), reducers: vec![2] },
+            &JobConfig {
+                workload: simple_workload(),
+                reducers: vec![2],
+            },
         );
         let fast = report.avg_map_task_secs_where(|s| s == 0).unwrap();
         let slow = report.avg_map_task_secs_where(|s| s == 1).unwrap();
         // Slow: 1 + 1 + 100/40 = 4.5 vs fast 3.0.
         assert!((fast - 3.0).abs() < 1e-6);
         assert!((slow - 4.5).abs() < 1e-6);
-        assert!((report.map_secs - 4.5).abs() < 1e-6, "map waits for the straggler");
+        assert!(
+            (report.map_secs - 4.5).abs() < 1e-6,
+            "map waits for the straggler"
+        );
         assert_eq!(report.avg_map_task_secs_where(|s| s == 9), None);
     }
 
@@ -375,6 +410,9 @@ mod tests {
         let t = Workload::terasort();
         let w = Workload::wordcount();
         assert!(t.shuffle_ratio > w.shuffle_ratio, "terasort shuffles more");
-        assert!(w.map_compute_per_mb > t.map_compute_per_mb, "wordcount maps heavier");
+        assert!(
+            w.map_compute_per_mb > t.map_compute_per_mb,
+            "wordcount maps heavier"
+        );
     }
 }

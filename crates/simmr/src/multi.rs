@@ -138,8 +138,15 @@ mod tests {
     fn one_job() -> JobArrival {
         JobArrival {
             at_secs: 0.0,
-            splits: vec![InputSplit { server: 0, megabytes: 100.0, block: 0 }],
-            config: JobConfig { workload: workload(), reducers: vec![5] },
+            splits: vec![InputSplit {
+                server: 0,
+                megabytes: 100.0,
+                block: 0,
+            }],
+            config: JobConfig {
+                workload: workload(),
+                reducers: vec![5],
+            },
         }
     }
 
@@ -162,7 +169,11 @@ mod tests {
         let reports = simulate_job_sequence(&cluster, &[one_job(), one_job()]);
         // Task duration is 1 + 1 + 1 = 3 s.
         assert!((reports[0].map_secs - 3.0).abs() < 1e-6);
-        assert!((reports[1].map_secs - 6.0).abs() < 1e-6, "{}", reports[1].map_secs);
+        assert!(
+            (reports[1].map_secs - 6.0).abs() < 1e-6,
+            "{}",
+            reports[1].map_secs
+        );
     }
 
     #[test]
@@ -172,7 +183,11 @@ mod tests {
         second.at_secs = 3.0; // first job's map is done by then
         let reports = simulate_job_sequence(&cluster, &[one_job(), second]);
         assert!((reports[0].map_secs - 3.0).abs() < 1e-6);
-        assert!((reports[1].map_secs - 3.0).abs() < 1e-6, "{}", reports[1].map_secs);
+        assert!(
+            (reports[1].map_secs - 3.0).abs() < 1e-6,
+            "{}",
+            reports[1].map_secs
+        );
     }
 
     #[test]
@@ -194,31 +209,40 @@ mod tests {
         let narrow = |at: f64| JobArrival {
             at_secs: at,
             splits: (0..4)
-                .map(|s| InputSplit { server: s, megabytes: 150.0, block: s })
+                .map(|s| InputSplit {
+                    server: s,
+                    megabytes: 150.0,
+                    block: s,
+                })
                 .collect(),
-            config: JobConfig { workload: workload(), reducers: vec![5] },
+            config: JobConfig {
+                workload: workload(),
+                reducers: vec![5],
+            },
         };
         let wide = |at: f64| JobArrival {
             at_secs: at,
             splits: (0..6)
-                .map(|s| InputSplit { server: s, megabytes: 100.0, block: s })
+                .map(|s| InputSplit {
+                    server: s,
+                    megabytes: 100.0,
+                    block: s,
+                })
                 .collect(),
-            config: JobConfig { workload: workload(), reducers: vec![5] },
+            config: JobConfig {
+                workload: workload(),
+                reducers: vec![5],
+            },
         };
-        let narrow_total: f64 = simulate_job_sequence(
-            &cluster,
-            &[narrow(0.0), narrow(0.0), narrow(0.0)],
-        )
-        .iter()
-        .map(|r| r.job_secs)
-        .sum();
-        let wide_total: f64 = simulate_job_sequence(
-            &cluster,
-            &[wide(0.0), wide(0.0), wide(0.0)],
-        )
-        .iter()
-        .map(|r| r.job_secs)
-        .sum();
+        let narrow_total: f64 =
+            simulate_job_sequence(&cluster, &[narrow(0.0), narrow(0.0), narrow(0.0)])
+                .iter()
+                .map(|r| r.job_secs)
+                .sum();
+        let wide_total: f64 = simulate_job_sequence(&cluster, &[wide(0.0), wide(0.0), wide(0.0)])
+            .iter()
+            .map(|r| r.job_secs)
+            .sum();
         assert!(
             wide_total < narrow_total,
             "wide {wide_total} vs narrow {narrow_total}"

@@ -164,11 +164,26 @@ mod tests {
     fn speculation_beats_plain_on_stragglers() {
         let cluster = spec_cluster();
         let splits = vec![
-            InputSplit { server: 0, megabytes: 100.0, block: 0 },
-            InputSplit { server: 1, megabytes: 100.0, block: 1 }, // straggler
-            InputSplit { server: 2, megabytes: 100.0, block: 2 },
+            InputSplit {
+                server: 0,
+                megabytes: 100.0,
+                block: 0,
+            },
+            InputSplit {
+                server: 1,
+                megabytes: 100.0,
+                block: 1,
+            }, // straggler
+            InputSplit {
+                server: 2,
+                megabytes: 100.0,
+                block: 2,
+            },
         ];
-        let config = JobConfig { workload: workload(), reducers: vec![7] };
+        let config = JobConfig {
+            workload: workload(),
+            reducers: vec![7],
+        };
         let plain = simulate_job(&cluster, &splits, &config);
         let spec = simulate_job_speculative(
             &cluster,
@@ -186,7 +201,10 @@ mod tests {
             &cluster,
             &splits,
             &config,
-            &SpeculationConfig { threshold: 1.0, backup_servers: vec![5] },
+            &SpeculationConfig {
+                threshold: 1.0,
+                backup_servers: vec![5],
+            },
         );
         assert!(eager.map_secs <= plain.map_secs + 1e-9);
         assert!(spec.map_secs <= plain.map_secs + 1e-9);
@@ -197,9 +215,16 @@ mod tests {
         let mut cluster = spec_cluster();
         cluster.spec_mut(1).cpu_factor = 1.0;
         let splits: Vec<InputSplit> = (0..3)
-            .map(|b| InputSplit { server: b, megabytes: 50.0, block: b })
+            .map(|b| InputSplit {
+                server: b,
+                megabytes: 50.0,
+                block: b,
+            })
             .collect();
-        let config = JobConfig { workload: workload(), reducers: vec![7] };
+        let config = JobConfig {
+            workload: workload(),
+            reducers: vec![7],
+        };
         let plain = simulate_job(&cluster, &splits, &config);
         let spec = simulate_job_speculative(
             &cluster,
@@ -218,16 +243,30 @@ mod tests {
         let mut cluster = spec_cluster();
         cluster.spec_mut(1).cpu_factor = 0.8;
         let splits = vec![
-            InputSplit { server: 0, megabytes: 100.0, block: 0 },
-            InputSplit { server: 1, megabytes: 100.0, block: 1 },
+            InputSplit {
+                server: 0,
+                megabytes: 100.0,
+                block: 0,
+            },
+            InputSplit {
+                server: 1,
+                megabytes: 100.0,
+                block: 1,
+            },
         ];
-        let config = JobConfig { workload: workload(), reducers: vec![7] };
+        let config = JobConfig {
+            workload: workload(),
+            reducers: vec![7],
+        };
         let plain = simulate_job(&cluster, &splits, &config);
         let spec = simulate_job_speculative(
             &cluster,
             &splits,
             &config,
-            &SpeculationConfig { threshold: 1.01, backup_servers: vec![5] },
+            &SpeculationConfig {
+                threshold: 1.01,
+                backup_servers: vec![5],
+            },
         );
         assert!((plain.map_secs - spec.map_secs).abs() < 1e-9);
     }

@@ -1,10 +1,10 @@
-//! Property-based tests for the MapReduce simulator: structural bounds
-//! any correct job model must satisfy, plus the paper's parallelism
+//! Randomized tests for the MapReduce simulator: structural bounds any
+//! correct job model must satisfy, plus the paper's parallelism
 //! arithmetic on random layouts.
 
 use galloper_simmr::{layout_splits, simulate_job, InputSplit, JobConfig, Workload};
 use galloper_simstore::{Cluster, Placement, ServerSpec};
-use proptest::prelude::*;
+use galloper_testkit::{run_cases, TestRng};
 
 fn workload(overhead: f64) -> Workload {
     Workload {
@@ -16,29 +16,38 @@ fn workload(overhead: f64) -> Workload {
     }
 }
 
-fn splits_strategy() -> impl Strategy<Value = Vec<InputSplit>> {
-    proptest::collection::vec(
-        (0usize..6, 1.0f64..500.0).prop_map(|(server, megabytes)| InputSplit {
-            server,
-            megabytes,
+fn random_splits(rng: &mut TestRng) -> Vec<InputSplit> {
+    let n = rng.usize_in(1, 20);
+    (0..n)
+        .map(|_| InputSplit {
+            server: rng.usize_in(0, 6),
+            megabytes: rng.f64_in(1.0, 500.0),
             block: 0,
-        }),
-        1..20,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn job_time_bounds(splits in splits_strategy(), overhead in 0.0f64..10.0) {
+#[test]
+fn job_time_bounds() {
+    run_cases(128, 0x61, |rng| {
+        let splits = random_splits(rng);
+        let overhead = rng.f64_in(0.0, 10.0);
         let cluster = Cluster::homogeneous(8, ServerSpec::default());
-        let config = JobConfig { workload: workload(overhead), reducers: vec![6, 7] };
+        let config = JobConfig {
+            workload: workload(overhead),
+            reducers: vec![6, 7],
+        };
         let report = simulate_job(&cluster, &splits, &config);
 
         // Map phase is at least the longest single task and at least the
         // per-server work divided by slots.
-        let longest = report.map_tasks.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
+        let longest = report
+            .map_tasks
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0f64, f64::max);
         // The engine quantizes to whole microseconds.
-        prop_assert!(report.map_secs >= longest - 1e-5);
+        assert!(report.map_secs >= longest - 1e-5);
         for server in 0..6 {
             let total: f64 = report
                 .map_tasks
@@ -46,21 +55,24 @@ proptest! {
                 .filter(|&&(s, _)| s == server)
                 .map(|&(_, d)| d)
                 .sum();
-            prop_assert!(report.map_secs >= total / 2.0 - 1e-6, "server {server}");
+            assert!(report.map_secs >= total / 2.0 - 1e-6, "server {server}");
         }
         // Phases compose.
-        prop_assert!(report.reduce_secs >= 0.0);
-        prop_assert!((report.job_secs - report.map_secs - report.reduce_secs).abs() < 1e-9);
+        assert!(report.reduce_secs >= 0.0);
+        assert!((report.job_secs - report.map_secs - report.reduce_secs).abs() < 1e-9);
         // Every task is at least the fixed overhead long.
         for &(_, d) in &report.map_tasks {
-            prop_assert!(d >= overhead - 1e-5);
+            assert!(d >= overhead - 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn splitting_conserves_data(fractions in proptest::collection::vec(0.0f64..=1.0, 3..10)) {
-        // Build a layout with the given data fractions (resolution 100).
-        let n = fractions.len();
+#[test]
+fn splitting_conserves_data() {
+    run_cases(128, 0x62, |rng| {
+        // Build a layout with random data fractions (resolution 100).
+        let n = rng.usize_in(3, 10);
+        let fractions: Vec<f64> = (0..n).map(|_| rng.f64_in(0.0, 1.0)).collect();
         let counts: Vec<usize> = fractions.iter().map(|f| (f * 100.0) as usize).collect();
         let mut assignments = Vec::new();
         let mut next = 0;
@@ -68,41 +80,58 @@ proptest! {
             assignments.push((next..next + c).collect::<Vec<usize>>());
             next += c;
         }
-        prop_assume!(next > 0);
+        if next == 0 {
+            return; // all-empty layout: nothing to split
+        }
         let layout = galloper_erasure::DataLayout::new(assignments, 100);
         let placement = Placement::identity(n);
         let splits = layout_splits(&layout, &placement, 200.0, 64.0);
         let total: f64 = splits.iter().map(|s| s.megabytes).sum();
         let expected: f64 = counts.iter().map(|&c| c as f64 / 100.0 * 200.0).sum();
-        prop_assert!((total - expected).abs() < 1e-6);
+        assert!((total - expected).abs() < 1e-6);
         // No split exceeds the max size.
         for s in &splits {
-            prop_assert!(s.megabytes <= 64.0 + 1e-9);
+            assert!(s.megabytes <= 64.0 + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn more_parallelism_never_hurts_on_homogeneous_servers(
-        data_mb in 100.0f64..2000.0,
-        wide in 4usize..10,
-    ) {
+#[test]
+fn more_parallelism_never_hurts_on_homogeneous_servers() {
+    run_cases(128, 0x63, |rng| {
         // The same total data on 4 servers vs `wide` servers: the wider
         // layout's map phase can only be faster or equal (no overhead in
         // this workload, so the ideal-parallelism bound is exact).
+        let data_mb = rng.f64_in(100.0, 2000.0);
+        let wide = rng.usize_in(4, 10);
         let cluster = Cluster::homogeneous(12, ServerSpec::default());
-        let config = JobConfig { workload: workload(0.0), reducers: vec![11] };
+        let config = JobConfig {
+            workload: workload(0.0),
+            reducers: vec![11],
+        };
         let narrow: Vec<InputSplit> = (0..4)
-            .map(|s| InputSplit { server: s, megabytes: data_mb / 4.0, block: s })
+            .map(|s| InputSplit {
+                server: s,
+                megabytes: data_mb / 4.0,
+                block: s,
+            })
             .collect();
         let wide_splits: Vec<InputSplit> = (0..wide)
-            .map(|s| InputSplit { server: s, megabytes: data_mb / wide as f64, block: s })
+            .map(|s| InputSplit {
+                server: s,
+                megabytes: data_mb / wide as f64,
+                block: s,
+            })
             .collect();
         let narrow_report = simulate_job(&cluster, &narrow, &config);
         let wide_report = simulate_job(&cluster, &wide_splits, &config);
-        prop_assert!(wide_report.map_secs <= narrow_report.map_secs + 1e-5);
+        assert!(wide_report.map_secs <= narrow_report.map_secs + 1e-5);
         // With zero overhead the saving equals the ideal bound 1 - 4/wide.
         let ideal = 1.0 - 4.0 / wide as f64;
         let measured = 1.0 - wide_report.map_secs / narrow_report.map_secs;
-        prop_assert!((measured - ideal).abs() < 1e-4, "measured {measured}, ideal {ideal}");
-    }
+        assert!(
+            (measured - ideal).abs() < 1e-4,
+            "measured {measured}, ideal {ideal}"
+        );
+    });
 }

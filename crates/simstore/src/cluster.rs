@@ -1,7 +1,5 @@
 //! Cluster description: server specifications and block placement.
 
-use serde::{Deserialize, Serialize};
-
 use crate::engine::{ActivityGraph, Engine, ResourceKind, RunResult};
 
 /// Performance specification of one server.
@@ -9,7 +7,7 @@ use crate::engine::{ActivityGraph, Engine, ResourceKind, RunResult};
 /// Rates are in MB/s. `cpu_factor` scales the processing rate only — it is
 /// how the Fig. 10 experiment throttles servers to 40 % without touching
 /// disk or network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerSpec {
     /// Sequential disk read bandwidth, MB/s.
     pub disk_read_mbps: f64,
@@ -79,7 +77,11 @@ impl Placement {
         let mut sorted = servers.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), servers.len(), "blocks must be on distinct servers");
+        assert_eq!(
+            sorted.len(),
+            servers.len(),
+            "blocks must be on distinct servers"
+        );
         Placement {
             block_to_server: servers,
         }
@@ -179,7 +181,10 @@ impl Cluster {
     /// effective processing rate (the measurement the paper feeds to the
     /// weight LP for CPU-bound analytics).
     pub fn cpu_performances(&self) -> Vec<f64> {
-        self.servers.iter().map(ServerSpec::effective_cpu_mbps).collect()
+        self.servers
+            .iter()
+            .map(ServerSpec::effective_cpu_mbps)
+            .collect()
     }
 
     /// Runs an activity graph on this cluster.
@@ -257,8 +262,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-positive rate")]
     fn cluster_rejects_bad_spec() {
-        let mut s = ServerSpec::default();
-        s.net_mbps = 0.0;
+        let s = ServerSpec {
+            net_mbps: 0.0,
+            ..Default::default()
+        };
         let _ = Cluster::new(vec![s]);
     }
 }

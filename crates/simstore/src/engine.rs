@@ -78,7 +78,10 @@ impl ActivityGraph {
             Work::Megabytes(mb) => mb,
             Work::Seconds(s) => s,
         };
-        assert!(amount.is_finite() && amount >= 0.0, "work must be non-negative");
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "work must be non-negative"
+        );
         for d in deps {
             assert!(d.0 < self.activities.len(), "dependency does not exist");
         }
@@ -114,10 +117,27 @@ pub(crate) fn to_secs(us: Micros) -> f64 {
 }
 
 /// The outcome of simulating an [`ActivityGraph`] on a cluster.
+///
+/// # Accessor conventions
+///
+/// Per-activity accessors ([`finish_secs`](Self::finish_secs),
+/// [`start_secs`](Self::start_secs), [`ready_secs`](Self::ready_secs),
+/// [`queue_wait_secs`](Self::queue_wait_secs)) and per-server byte
+/// accessors ([`disk_read_megabytes`](Self::disk_read_megabytes),
+/// [`net_megabytes`](Self::net_megabytes)) **panic with a descriptive
+/// message** when given an id or server outside the simulated run —
+/// such a query is a caller bug, and silently answering `0.0` hid those
+/// bugs in the past. [`busy_secs`](Self::busy_secs) and
+/// [`utilization`](Self::utilization) are the deliberate exception:
+/// they take a *(server, kind)* pair drawn from the full cross product,
+/// and a pair that never did work legitimately answers `0.0`.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     finish: Vec<Micros>,
     start: Vec<Micros>,
+    /// When each activity became ready (all dependencies finished);
+    /// `start - ready` is its queue wait.
+    ready: Vec<Micros>,
     /// (server, kind) of each activity, for timeline rendering.
     meta: Vec<(usize, ResourceKind)>,
     /// (server, kind) → busy microseconds, summed over units.
@@ -129,6 +149,25 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    #[track_caller]
+    fn check_id(&self, id: ActivityId) {
+        assert!(
+            id.0 < self.finish.len(),
+            "activity id {} out of range: this run simulated {} activities",
+            id.0,
+            self.finish.len()
+        );
+    }
+
+    #[track_caller]
+    fn check_server(&self, server: usize) {
+        assert!(
+            server < self.disk_read_mb.len(),
+            "server {server} out of range: this run simulated {} servers",
+            self.disk_read_mb.len()
+        );
+    }
+
     /// Makespan of the whole graph, in seconds.
     pub fn completion_secs(&self) -> f64 {
         to_secs(self.finish.iter().copied().max().unwrap_or(0))
@@ -138,8 +177,9 @@ impl RunResult {
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range.
+    /// Panics if `id` does not belong to the simulated graph.
     pub fn finish_secs(&self, id: ActivityId) -> f64 {
+        self.check_id(id);
         to_secs(self.finish[id.0])
     }
 
@@ -147,19 +187,63 @@ impl RunResult {
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range.
+    /// Panics if `id` does not belong to the simulated graph.
     pub fn start_secs(&self, id: ActivityId) -> f64 {
+        self.check_id(id);
         to_secs(self.start[id.0])
     }
 
+    /// When the activity became ready (all dependencies finished), in
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the simulated graph.
+    pub fn ready_secs(&self, id: ActivityId) -> f64 {
+        self.check_id(id);
+        to_secs(self.ready[id.0])
+    }
+
+    /// How long the activity sat ready but waiting for its resource, in
+    /// seconds (`start - ready`). Queue wait is the engine's direct
+    /// measure of contention: the paper's parallelism argument is that
+    /// spreading data shrinks exactly this term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the simulated graph.
+    pub fn queue_wait_secs(&self, id: ActivityId) -> f64 {
+        self.check_id(id);
+        to_secs(self.start[id.0] - self.ready[id.0])
+    }
+
+    /// Total queue wait across every activity, in seconds.
+    pub fn total_queue_wait_secs(&self) -> f64 {
+        self.start
+            .iter()
+            .zip(&self.ready)
+            .map(|(&s, &r)| to_secs(s - r))
+            .sum()
+    }
+
     /// Total megabytes read from `server`'s disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` was not part of the simulated cluster.
     pub fn disk_read_megabytes(&self, server: usize) -> f64 {
-        self.disk_read_mb.get(server).copied().unwrap_or(0.0)
+        self.check_server(server);
+        self.disk_read_mb[server]
     }
 
     /// Megabytes received over `server`'s NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` was not part of the simulated cluster.
     pub fn net_megabytes(&self, server: usize) -> f64 {
-        self.net_mb.get(server).copied().unwrap_or(0.0)
+        self.check_server(server);
+        self.net_mb[server]
     }
 
     /// Total disk megabytes read cluster-wide (the paper's repair disk-I/O
@@ -170,6 +254,10 @@ impl RunResult {
 
     /// Busy time of a (server, resource) pair in seconds, summed across
     /// its parallel units.
+    ///
+    /// Unlike the per-activity and per-server accessors, this does
+    /// *not* panic on unknown pairs: a (server, kind) that never did
+    /// work answers `0.0` (see the type-level accessor conventions).
     pub fn busy_secs(&self, server: usize, kind: ResourceKind) -> f64 {
         to_secs(self.busy.get(&(server, kind)).copied().unwrap_or(0))
     }
@@ -234,6 +322,94 @@ impl RunResult {
         }
         out
     }
+
+    /// Exports the run as a Chrome `trace_event` JSON document (load in
+    /// Perfetto or `chrome://tracing`): one process per server, one
+    /// thread per resource kind, one complete event per activity with
+    /// its queue wait attached as an argument.
+    pub fn to_chrome_trace(&self) -> galloper_obs::Json {
+        let mut trace = galloper_obs::ChromeTrace::new();
+        let mut named: std::collections::BTreeSet<(usize, Option<u64>)> =
+            std::collections::BTreeSet::new();
+        for &(server, kind) in &self.meta {
+            if named.insert((server, None)) {
+                trace.name_process(server as u64, &format!("server {server}"));
+            }
+            if named.insert((server, Some(kind_tid(kind)))) {
+                trace.name_thread(server as u64, kind_tid(kind), kind_name(kind));
+            }
+        }
+        for (i, &(server, kind)) in self.meta.iter().enumerate() {
+            trace.complete_with_args(
+                &format!("a{i} {}", kind_name(kind)),
+                "sim",
+                server as u64,
+                kind_tid(kind),
+                self.start[i],
+                self.finish[i] - self.start[i],
+                galloper_obs::Json::object().field("queue_wait_us", self.start[i] - self.ready[i]),
+            );
+        }
+        trace.into_json()
+    }
+
+    /// A compact machine-readable summary: makespan, total queue wait,
+    /// per-server disk/net megabytes, and the busy-seconds table.
+    pub fn summary_json(&self) -> galloper_obs::Json {
+        let servers: Vec<galloper_obs::Json> = (0..self.disk_read_mb.len())
+            .map(|s| {
+                galloper_obs::Json::object()
+                    .field("server", s)
+                    .field("disk_read_mb", self.disk_read_mb[s])
+                    .field("net_mb", self.net_mb[s])
+            })
+            .collect();
+        let mut busy: Vec<_> = self
+            .busy
+            .iter()
+            .map(|(&(server, kind), &us)| (server, kind_name(kind), to_secs(us)))
+            .collect();
+        busy.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let busy: Vec<galloper_obs::Json> = busy
+            .into_iter()
+            .map(|(server, kind, secs)| {
+                galloper_obs::Json::object()
+                    .field("server", server)
+                    .field("kind", kind)
+                    .field("busy_secs", secs)
+            })
+            .collect();
+        galloper_obs::Json::object()
+            .field("completion_secs", self.completion_secs())
+            .field("total_queue_wait_secs", self.total_queue_wait_secs())
+            .field("activities", self.meta.len())
+            .field("servers", galloper_obs::Json::Arr(servers))
+            .field("busy", galloper_obs::Json::Arr(busy))
+    }
+}
+
+/// Stable thread-track id for a resource kind in Chrome trace exports.
+fn kind_tid(kind: ResourceKind) -> u64 {
+    match kind {
+        ResourceKind::DiskRead => 0,
+        ResourceKind::DiskWrite => 1,
+        ResourceKind::Net => 2,
+        ResourceKind::Cpu => 3,
+        ResourceKind::Slot => 4,
+        ResourceKind::Timer => 5,
+    }
+}
+
+/// Stable display name for a resource kind in JSON exports.
+fn kind_name(kind: ResourceKind) -> &'static str {
+    match kind {
+        ResourceKind::DiskRead => "DiskRead",
+        ResourceKind::DiskWrite => "DiskWrite",
+        ResourceKind::Net => "Net",
+        ResourceKind::Cpu => "Cpu",
+        ResourceKind::Slot => "Slot",
+        ResourceKind::Timer => "Timer",
+    }
 }
 
 /// One FIFO multi-unit resource: a min-heap of unit free times.
@@ -274,6 +450,7 @@ impl Engine<'_> {
         let n = graph.activities.len();
         let mut finish = vec![0; n];
         let mut start = vec![0; n];
+        let mut ready_at = vec![0; n];
         let mut indegree = vec![0usize; n];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, a) in graph.activities.iter().enumerate() {
@@ -311,7 +488,12 @@ impl Engine<'_> {
                 Work::Seconds(s) => to_micros(s),
                 Work::Megabytes(mb) => {
                     let rate = (self.rates)(a.server, a.kind);
-                    assert!(rate > 0.0, "zero rate for {:?} on server {}", a.kind, a.server);
+                    assert!(
+                        rate > 0.0,
+                        "zero rate for {:?} on server {}",
+                        a.kind,
+                        a.server
+                    );
                     to_micros(mb / rate)
                 }
             };
@@ -320,6 +502,7 @@ impl Engine<'_> {
                 .entry(key)
                 .or_insert_with(|| Resource::new((self.capacities)(a.server, a.kind)));
             let (s, f) = res.schedule(t, duration);
+            ready_at[i] = t;
             start[i] = s;
             finish[i] = f;
             *busy.entry(key).or_insert(0) += duration;
@@ -350,6 +533,7 @@ impl Engine<'_> {
         RunResult {
             finish,
             start,
+            ready: ready_at,
             meta: graph
                 .activities
                 .iter()
@@ -366,7 +550,13 @@ impl Engine<'_> {
 mod tests {
     use super::*;
 
-    fn uniform_engine(num_servers: usize) -> (impl Fn(usize, ResourceKind) -> f64, impl Fn(usize, ResourceKind) -> usize, usize) {
+    fn uniform_engine(
+        num_servers: usize,
+    ) -> (
+        impl Fn(usize, ResourceKind) -> f64,
+        impl Fn(usize, ResourceKind) -> usize,
+        usize,
+    ) {
         (
             |_s: usize, _k: ResourceKind| 100.0, // 100 MB/s everywhere
             |_s: usize, k: ResourceKind| if k == ResourceKind::Slot { 2 } else { 1 },
@@ -482,7 +672,10 @@ mod tests {
         assert!(gantt.contains("s1"), "{gantt}");
         // The disk row is busy in the first half, idle in the second.
         let disk_row = gantt.lines().find(|l| l.starts_with("s0")).unwrap();
-        assert!(disk_row.contains('#') && disk_row.contains('.'), "{disk_row}");
+        assert!(
+            disk_row.contains('#') && disk_row.contains('.'),
+            "{disk_row}"
+        );
         let _ = b;
     }
 
@@ -499,5 +692,79 @@ mod tests {
     fn forward_dependency_rejected() {
         let mut g = ActivityGraph::new();
         g.add(0, ResourceKind::Cpu, Work::Seconds(1.0), &[ActivityId(5)]);
+    }
+
+    #[test]
+    fn queue_wait_measures_contention() {
+        let mut g = ActivityGraph::new();
+        // Both ready at 0 on the same single-unit disk: the loser waits
+        // exactly one transfer time.
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let b = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let r = run(&g, 1);
+        assert_eq!(r.ready_secs(a), 0.0);
+        assert_eq!(r.ready_secs(b), 0.0);
+        assert_eq!(r.queue_wait_secs(a) + r.queue_wait_secs(b), 1.0);
+        assert_eq!(r.total_queue_wait_secs(), 1.0);
+        // A dependent activity's ready time is its dependency's finish,
+        // and an uncontended resource means zero wait.
+        let c = g.add(1, ResourceKind::Net, Work::Megabytes(100.0), &[b]);
+        let r = run(&g, 2);
+        assert_eq!(r.ready_secs(c), r.finish_secs(b));
+        assert_eq!(r.queue_wait_secs(c), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range: this run simulated 1 activities")]
+    fn per_activity_accessors_panic_out_of_range() {
+        let mut g = ActivityGraph::new();
+        g.add(0, ResourceKind::Cpu, Work::Seconds(1.0), &[]);
+        let r = run(&g, 1);
+        r.finish_secs(ActivityId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "server 5 out of range: this run simulated 2 servers")]
+    fn per_server_accessors_panic_out_of_range() {
+        let mut g = ActivityGraph::new();
+        g.add(0, ResourceKind::DiskRead, Work::Megabytes(1.0), &[]);
+        let r = run(&g, 2);
+        r.disk_read_megabytes(5);
+    }
+
+    #[test]
+    fn chrome_trace_has_one_event_per_activity() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        let b = g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[a]);
+        let _ = b;
+        let r = run(&g, 1);
+        let doc = r.to_chrome_trace();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process-name + 1 thread-name + 2 complete events.
+        assert_eq!(events.len(), 4);
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        // The dependent transfer starts when the first finishes (1s).
+        assert_eq!(complete[1].get("ts").unwrap().as_f64(), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn summary_json_reports_totals() {
+        let mut g = ActivityGraph::new();
+        g.add(0, ResourceKind::DiskRead, Work::Megabytes(100.0), &[]);
+        g.add(1, ResourceKind::Net, Work::Megabytes(50.0), &[]);
+        let r = run(&g, 2);
+        let doc = r.summary_json();
+        assert_eq!(doc.get("activities").unwrap().as_f64(), Some(2.0));
+        let servers = doc.get("servers").unwrap().as_array().unwrap();
+        assert_eq!(
+            servers[0].get("disk_read_mb").unwrap().as_f64(),
+            Some(100.0)
+        );
+        assert_eq!(servers[1].get("net_mb").unwrap().as_f64(), Some(50.0));
     }
 }

@@ -61,7 +61,10 @@ fn add_repair_activities(
     let mut transfers = Vec::with_capacity(plan.fan_in());
     for &src in plan.sources() {
         let server = placement.server_of(src);
-        assert_ne!(server, replacement, "replacement server must not hold a source");
+        assert_ne!(
+            server, replacement,
+            "replacement server must not hold a source"
+        );
         let read = graph.add(
             server,
             ResourceKind::DiskRead,
@@ -137,7 +140,8 @@ pub fn simulate_server_failure(
                 "plan for block {b} reads lost block {src}"
             );
         }
-        let ids = add_repair_activities(&mut graph, placement, plan, block_size_mb, replacement, &[]);
+        let ids =
+            add_repair_activities(&mut graph, placement, plan, block_size_mb, replacement, &[]);
         writes.push(ids.write);
     }
     let run = cluster.simulate(&graph);
@@ -192,7 +196,11 @@ mod tests {
         assert_eq!(out.network_mb, 90.0);
         // reads overlap: done 0.45; transfers FIFO: 0.45+0.45, +0.45 → 1.35;
         // decode: 1.35 + 0.225 = 1.575; write: + 0.45 = 2.025.
-        assert!((out.completion_secs - 2.025).abs() < 1e-6, "{}", out.completion_secs);
+        assert!(
+            (out.completion_secs - 2.025).abs() < 1e-6,
+            "{}",
+            out.completion_secs
+        );
     }
 
     #[test]

@@ -52,9 +52,7 @@ impl Topology {
 
     /// The rack containing `server`, if any.
     pub fn rack_of(&self, server: usize) -> Option<usize> {
-        self.racks
-            .iter()
-            .position(|rack| rack.contains(&server))
+        self.racks.iter().position(|rack| rack.contains(&server))
     }
 }
 
@@ -173,7 +171,10 @@ mod tests {
             );
         }
         // Data blocks occupy the four fastest servers.
-        let mut data_perfs: Vec<f64> = [0, 1, 3, 4].iter().map(|&b| perfs[p.server_of(b)]).collect();
+        let mut data_perfs: Vec<f64> = [0, 1, 3, 4]
+            .iter()
+            .map(|&b| perfs[p.server_of(b)])
+            .collect();
         data_perfs.sort_by(|a, b| b.partial_cmp(a).unwrap());
         assert_eq!(data_perfs, vec![7.0, 6.0, 5.0, 4.0]);
     }

@@ -1,0 +1,59 @@
+//! Byte-stable golden test for [`RunResult::to_chrome_trace`].
+//!
+//! The engine is deterministic and `galloper_obs::Json` renders objects
+//! in insertion order, so the Chrome-trace export of a fixed graph on a
+//! fixed cluster is a fixed byte string. Any change to the trace shape
+//! shows up here as a diff against the golden text below.
+
+use galloper_simstore::{ActivityGraph, Cluster, ResourceKind, ServerSpec, Work};
+
+/// Three activities: a 2 s disk read on server 0, a dependent 1 s CPU
+/// burst on server 0, and an independent 1 s network transfer on
+/// server 1 (explicit durations, so server rates cannot shift timings).
+fn three_activity_graph() -> ActivityGraph {
+    let mut g = ActivityGraph::new();
+    let read = g.add(0, ResourceKind::DiskRead, Work::Seconds(2.0), &[]);
+    g.add(0, ResourceKind::Cpu, Work::Seconds(1.0), &[read]);
+    g.add(1, ResourceKind::Net, Work::Seconds(1.0), &[]);
+    g
+}
+
+const GOLDEN: &str = concat!(
+    r#"{"traceEvents":["#,
+    r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"server 0"}},"#,
+    r#"{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"DiskRead"}},"#,
+    r#"{"name":"thread_name","ph":"M","pid":0,"tid":3,"args":{"name":"Cpu"}},"#,
+    r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"server 1"}},"#,
+    r#"{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"Net"}},"#,
+    r#"{"name":"a0 DiskRead","cat":"sim","ph":"X","ts":0,"dur":2000000,"pid":0,"tid":0,"args":{"queue_wait_us":0}},"#,
+    r#"{"name":"a1 Cpu","cat":"sim","ph":"X","ts":2000000,"dur":1000000,"pid":0,"tid":3,"args":{"queue_wait_us":0}},"#,
+    r#"{"name":"a2 Net","cat":"sim","ph":"X","ts":0,"dur":1000000,"pid":1,"tid":2,"args":{"queue_wait_us":0}}"#,
+    r#"],"displayTimeUnit":"ms"}"#,
+);
+
+#[test]
+fn chrome_trace_bytes_are_stable() {
+    let g = three_activity_graph();
+    let result = Cluster::homogeneous(2, ServerSpec::default()).simulate(&g);
+    assert_eq!(result.to_chrome_trace().render(), GOLDEN);
+}
+
+#[test]
+fn chrome_trace_roundtrips_through_the_parser() {
+    let g = three_activity_graph();
+    let result = Cluster::homogeneous(2, ServerSpec::default()).simulate(&g);
+    let rendered = result.to_chrome_trace().render();
+    let parsed = galloper_obs::json::parse(&rendered).expect("trace is valid JSON");
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    // 2 process-name + 3 thread-name + 3 complete events... process/thread
+    // metadata counts depend on distinct (server, kind) pairs: here
+    // servers {0, 1} and kinds {disk_read, cpu} on 0 and {net} on 1.
+    assert_eq!(events.len(), 8);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count(),
+        3
+    );
+}

@@ -1,9 +1,9 @@
-//! Property-based tests for the discrete-event engine: determinism,
-//! work conservation, and makespan bounds that any correct scheduler
-//! must satisfy.
+//! Randomized tests for the discrete-event engine: determinism, work
+//! conservation, and makespan bounds that any correct scheduler must
+//! satisfy.
 
 use galloper_simstore::{ActivityGraph, ActivityId, Cluster, ResourceKind, ServerSpec, Work};
-use proptest::prelude::*;
+use galloper_testkit::{run_cases, TestRng};
 
 const KINDS: [ResourceKind; 5] = [
     ResourceKind::DiskRead,
@@ -22,22 +22,18 @@ struct ActivitySpec {
     deps: Vec<usize>,
 }
 
-fn activities(max: usize) -> impl Strategy<Value = Vec<ActivitySpec>> {
-    proptest::collection::vec(
-        (
-            0usize..4,
-            0usize..KINDS.len(),
-            0.01f64..5.0,
-            proptest::collection::vec(0usize..100, 0..3),
-        )
-            .prop_map(|(server, kind, seconds, deps)| ActivitySpec {
-                server,
-                kind,
-                seconds,
-                deps,
-            }),
-        1..max,
-    )
+fn activities(rng: &mut TestRng, max: usize) -> Vec<ActivitySpec> {
+    let n = rng.usize_in(1, max);
+    (0..n)
+        .map(|_| ActivitySpec {
+            server: rng.usize_in(0, 4),
+            kind: rng.usize_in(0, KINDS.len()),
+            seconds: rng.f64_in(0.01, 5.0),
+            deps: (0..rng.usize_in(0, 3))
+                .map(|_| rng.usize_in(0, 100))
+                .collect(),
+        })
+        .collect()
 }
 
 fn build(specs: &[ActivitySpec]) -> (ActivityGraph, Vec<ActivityId>) {
@@ -62,49 +58,60 @@ fn cluster() -> Cluster {
     Cluster::homogeneous(4, ServerSpec::default())
 }
 
-proptest! {
-    #[test]
-    fn simulation_is_deterministic(specs in activities(40)) {
+#[test]
+fn simulation_is_deterministic() {
+    run_cases(128, 0x51, |rng| {
+        let specs = activities(rng, 40);
         let (g, ids) = build(&specs);
         let c = cluster();
         let a = c.simulate(&g);
         let b = c.simulate(&g);
-        prop_assert_eq!(a.completion_secs(), b.completion_secs());
+        assert_eq!(a.completion_secs(), b.completion_secs());
         for &id in &ids {
-            prop_assert_eq!(a.finish_secs(id), b.finish_secs(id));
-            prop_assert_eq!(a.start_secs(id), b.start_secs(id));
+            assert_eq!(a.finish_secs(id), b.finish_secs(id));
+            assert_eq!(a.start_secs(id), b.start_secs(id));
         }
-    }
+    });
+}
 
-    #[test]
-    fn starts_respect_dependencies(specs in activities(40)) {
+#[test]
+fn starts_respect_dependencies() {
+    run_cases(128, 0x52, |rng| {
+        let specs = activities(rng, 40);
         let (g, ids) = build(&specs);
         let run = cluster().simulate(&g);
         for (i, s) in specs.iter().enumerate() {
             if i > 0 {
                 for &d in &s.deps {
                     let dep = ids[d % i];
-                    prop_assert!(
+                    assert!(
                         run.start_secs(ids[i]) >= run.finish_secs(dep) - 1e-9,
-                        "activity {} started before its dependency finished", i
+                        "activity {i} started before its dependency finished"
                     );
                 }
             }
             // Duration is honored exactly (Seconds work).
             let dur = run.finish_secs(ids[i]) - run.start_secs(ids[i]);
-            prop_assert!((dur - s.seconds).abs() < 2e-6, "duration {dur} vs {}", s.seconds);
+            assert!(
+                (dur - s.seconds).abs() < 2e-6,
+                "duration {dur} vs {}",
+                s.seconds
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn makespan_bounds(specs in activities(40)) {
+#[test]
+fn makespan_bounds() {
+    run_cases(128, 0x53, |rng| {
+        let specs = activities(rng, 40);
         let (g, ids) = build(&specs);
         let run = cluster().simulate(&g);
         let makespan = run.completion_secs();
 
         // Lower bound 1: the longest single activity.
         let longest = specs.iter().map(|s| s.seconds).fold(0.0f64, f64::max);
-        prop_assert!(makespan >= longest - 1e-6);
+        assert!(makespan >= longest - 1e-6);
 
         // Lower bound 2: per (server, resource) total work / capacity.
         for server in 0..4 {
@@ -115,14 +122,14 @@ proptest! {
                     .map(|s| s.seconds)
                     .sum();
                 let capacity = if kind == ResourceKind::Slot { 2.0 } else { 1.0 };
-                prop_assert!(
+                assert!(
                     makespan >= total / capacity - specs.len() as f64 * 1e-6 - 1e-6,
                     "resource bound violated on server {server} {kind:?}"
                 );
                 // Busy-time accounting is conservative of work (up to
                 // per-activity microsecond quantization).
                 let quantization = specs.len() as f64 * 1e-6 + 1e-6;
-                prop_assert!((run.busy_secs(server, kind) - total).abs() < quantization);
+                assert!((run.busy_secs(server, kind) - total).abs() < quantization);
             }
         }
 
@@ -130,14 +137,18 @@ proptest! {
         // engine's microsecond quantization of each activity).
         let serial: f64 = specs.iter().map(|s| s.seconds).sum();
         let quantization = specs.len() as f64 * 1e-6;
-        prop_assert!(makespan <= serial + quantization + 1e-6);
+        assert!(makespan <= serial + quantization + 1e-6);
         let _ = ids;
-    }
+    });
+}
 
-    #[test]
-    fn rates_scale_durations(mb in 1.0f64..1000.0, rate_scale in 0.1f64..4.0) {
+#[test]
+fn rates_scale_durations() {
+    run_cases(128, 0x54, |rng| {
         // One activity of `mb` megabytes on two clusters whose disk rates
         // differ by `rate_scale`: durations must differ by the inverse.
+        let mb = rng.f64_in(1.0, 1000.0);
+        let rate_scale = rng.f64_in(0.1, 4.0);
         let base = ServerSpec::default();
         let mut faster = base;
         faster.disk_read_mbps *= rate_scale;
@@ -147,7 +158,9 @@ proptest! {
         let id = g.add(0, ResourceKind::DiskRead, Work::Megabytes(mb), &[]);
         let t1 = c1.simulate(&g).finish_secs(id);
         let t2 = c2.simulate(&g).finish_secs(id);
-        prop_assert!((t1 / t2 - rate_scale).abs() < 0.01 * rate_scale,
-            "t1={t1} t2={t2} scale={rate_scale}");
-    }
+        assert!(
+            (t1 / t2 - rate_scale).abs() < 0.01 * rate_scale,
+            "t1={t1} t2={t2} scale={rate_scale}"
+        );
+    });
 }

@@ -1,0 +1,165 @@
+//! Deterministic, dependency-free randomness for tests and benchmarks.
+//!
+//! The build environment is offline, so the workspace cannot depend on
+//! `rand` or `proptest`. This crate provides the small slice of their
+//! functionality the test suites actually use: a seedable, reproducible
+//! generator with ranges, shuffles, and byte buffers. Randomized tests
+//! iterate over a fixed number of seeded cases — every failure reports
+//! its case index, so reruns reproduce it exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A [SplitMix64](https://prng.di.unimi.it/splitmix64.c) generator:
+/// 64 bits of state, equidistributed output, and good enough statistical
+/// quality for coverage-style randomized testing.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose entire output stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform byte.
+    pub fn u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
+        // 53 random bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.u8()).collect()
+    }
+
+    /// An in-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_in(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random subset of size `take` from `0..n`, in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `take > n`.
+    pub fn sample_indices(&mut self, n: usize, take: usize) -> Vec<usize> {
+        assert!(take <= n, "cannot take {take} of {n}");
+        let mut order: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut order);
+        order.truncate(take);
+        order
+    }
+}
+
+/// Runs `body` for `cases` seeded iterations, labelling panics with the
+/// case index so failures reproduce deterministically.
+///
+/// The per-case seed mixes `base_seed` and the case index, so different
+/// test functions can share a base seed without correlating.
+pub fn run_cases(cases: u64, base_seed: u64, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..cases {
+        let mut rng = TestRng::new(base_seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("randomized case {case} (base seed {base_seed:#x}) failed");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::new(43);
+        assert_ne!(TestRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = rng.usize_in(3, 17);
+            assert!((3..17).contains(&v));
+            let f = rng.f64_in(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TestRng::new(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let mut rng = TestRng::new(13);
+        let s = rng.sample_indices(10, 4);
+        assert_eq!(s.len(), 4);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn run_cases_sees_distinct_seeds() {
+        let mut first_values = Vec::new();
+        run_cases(8, 99, |rng| first_values.push(rng.next_u64()));
+        let mut unique = first_values.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), first_values.len());
+    }
+}

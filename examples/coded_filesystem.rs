@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
         dfs.put(name, &data)?;
     }
-    println!("stored {} files over {} servers", files.len(), dfs.num_servers());
+    println!(
+        "stored {} files over {} servers",
+        files.len(),
+        dfs.num_servers()
+    );
     println!(
         "blocks per server: {:?}",
         (0..12).map(|s| dfs.blocks_on(s)).collect::<Vec<_>>()
@@ -36,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reads still work, degraded.
     let data = dfs.get("logs/2026-07-01.log")?;
-    println!("degraded read of logs/2026-07-01.log: {} bytes OK", data.len());
+    println!(
+        "degraded read of logs/2026-07-01.log: {} bytes OK",
+        data.len()
+    );
 
     // Repair: two fresh machines join.
     dfs.revive_server(2);

@@ -11,7 +11,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let galloper = Galloper::uniform(4, 2, 1, 64 * 1024)?;
     let rs = ReedSolomon::new(4, 2, galloper.block_len())?;
 
-    let data: Vec<u8> = (0..galloper.message_len()).map(|i| (i % 251) as u8).collect();
+    let data: Vec<u8> = (0..galloper.message_len())
+        .map(|i| (i % 251) as u8)
+        .collect();
     let g_blocks = galloper.encode(&data)?;
     let rs_data: Vec<u8> = (0..rs.message_len()).map(|i| (i % 251) as u8).collect();
     let rs_blocks = rs.encode(&rs_data)?;
@@ -20,12 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g_avail: Vec<Option<&[u8]>> = g_blocks
         .iter()
         .enumerate()
-        .map(|(i, b)| (i != 0).then(|| b.as_slice()))
+        .map(|(i, b)| (i != 0).then_some(b.as_slice()))
         .collect();
     let rs_avail: Vec<Option<&[u8]>> = rs_blocks
         .iter()
         .enumerate()
-        .map(|(i, b)| (i != 0).then(|| b.as_slice()))
+        .map(|(i, b)| (i != 0).then_some(b.as_slice()))
         .collect();
 
     // Read 100 KiB that lives (partly) on the dead server.

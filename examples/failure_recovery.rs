@@ -33,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plans: Vec<_> = (0..n)
             .map(|b| code.repair_plan(b).expect("valid block"))
             .collect();
-        let report =
-            simulate_server_failure(&cluster, &placement, &plans, block_mb, 0, n + 1);
+        let report = simulate_server_failure(&cluster, &placement, &plans, block_mb, 0, n + 1);
         println!(
             "{:<14} {:>8} {:>14.0} {:>14.3} {:>9.2}x",
             name,
@@ -47,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And prove the arithmetic is real: encode, drop a block, rebuild it,
     // compare bit-for-bit.
-    let data: Vec<u8> = (0..galloper.message_len()).map(|i| (i % 253) as u8).collect();
+    let data: Vec<u8> = (0..galloper.message_len())
+        .map(|i| (i % 253) as u8)
+        .collect();
     let blocks = galloper.encode(&data)?;
     let plan = galloper.repair_plan(3)?;
     let sources: Vec<(usize, &[u8])> = plan
@@ -56,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&s| (s, blocks[s].as_slice()))
         .collect();
     assert_eq!(galloper.reconstruct(3, &sources)?, blocks[3]);
-    println!("\nGalloper block 3 rebuilt bit-exactly from {:?}", plan.sources());
+    println!(
+        "\nGalloper block 3 rebuilt bit-exactly from {:?}",
+        plan.sources()
+    );
 
     // The saving the paper leads with: a local repair reads half the data
     // a Reed-Solomon repair does (Fig. 1), at equal failure tolerance.

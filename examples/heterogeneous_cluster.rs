@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nrealized data fraction per block:");
     for b in 0..code.num_blocks() {
         let bar = "#".repeat((layout.data_fraction(b) * 40.0) as usize);
-        println!("  block {b}: {:>5.1}% {bar}", layout.data_fraction(b) * 100.0);
+        println!(
+            "  block {b}: {:>5.1}% {bar}",
+            layout.data_fraction(b) * 100.0
+        );
     }
 
     // Faster servers hold more data; the throttled group holds the least.

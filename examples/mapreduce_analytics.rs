@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for workload in [Workload::terasort(), Workload::wordcount()] {
         println!("== {} ==", workload.name);
-        for (name, layout) in [("Pyramid ", pyramid.layout()), ("Galloper", galloper.layout())] {
+        for (name, layout) in [
+            ("Pyramid ", pyramid.layout()),
+            ("Galloper", galloper.layout()),
+        ] {
             // The split generator is the paper's modified FileInputFormat:
             // map tasks are created only over original-data extents.
             let splits = layout_splits(&layout, &placement, block_mb, block_mb + 1.0);

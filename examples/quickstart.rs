@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let blocks = code.encode(&data)?;
 
     // 1. Parallelism: every block holds original data (Fig. 2b/Fig. 3).
-    println!("\noriginal data per block (a Pyramid code would have 4/7 blocks at 100% and 3/7 at 0%):");
+    println!(
+        "\noriginal data per block (a Pyramid code would have 4/7 blocks at 100% and 3/7 at 0%):"
+    );
     let layout = code.layout();
     for b in 0..code.num_blocks() {
         println!(
@@ -52,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let rebuilt = code.reconstruct(0, &sources)?;
     assert_eq!(rebuilt, blocks[0]);
-    println!("block 0 rebuilt bit-exactly from {} local reads", plan.fan_in());
+    println!(
+        "block 0 rebuilt bit-exactly from {} local reads",
+        plan.fan_in()
+    );
 
     // 3. Failure tolerance: any g + 1 = 2 failures decode (like Pyramid).
     let mut available: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local quality gate: formatting, lints (warnings are errors),
+# and the complete workspace test suite. Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --release --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build + test"
+cargo build --release
+cargo test -q --release
+
+echo "==> full workspace tests"
+cargo test -q --release --workspace
+
+echo "ci: all green"

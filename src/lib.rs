@@ -49,8 +49,8 @@ pub mod dfs {
 /// The cluster and MapReduce simulators.
 pub mod sim {
     pub use galloper_simmr::{
-        layout_splits, simulate_job, simulate_job_sequence, simulate_job_speculative,
-        InputSplit, JobArrival, JobConfig, JobReport, SpeculationConfig, Workload,
+        layout_splits, simulate_job, simulate_job_sequence, simulate_job_speculative, InputSplit,
+        JobArrival, JobConfig, JobReport, SpeculationConfig, Workload,
     };
     pub use galloper_simstore::{
         simulate_repair, simulate_server_failure, ActivityGraph, ActivityId, Cluster,

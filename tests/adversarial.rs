@@ -7,7 +7,9 @@ use galloper_suite::codes::{
 };
 
 fn sample(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i.wrapping_mul(173) % 251) as u8).collect()
+    (0..len)
+        .map(|i| (i.wrapping_mul(173) % 251) as u8)
+        .collect()
 }
 
 #[test]
@@ -33,7 +35,10 @@ fn malformed_inputs_error_cleanly() {
     let mut avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
     let truncated = &blocks[0][..blocks[0].len() - 1];
     avail[0] = Some(truncated);
-    assert!(matches!(code.decode(&avail), Err(CodeError::BlockSizeMismatch)));
+    assert!(matches!(
+        code.decode(&avail),
+        Err(CodeError::BlockSizeMismatch)
+    ));
 
     // Reconstruction with sources in the wrong order.
     let plan = code.repair_plan(0).unwrap();
@@ -156,8 +161,10 @@ fn reliability_is_preserved_by_symbol_remapping() {
     // Symbol remapping changes where data lives but not the code space,
     // so the loss probability under independent server failures must be
     // bit-identical between the remapped code and its source code.
+    use galloper_erasure::reliability::{
+        data_loss_probability, guaranteed_tolerance, tolerance_profile,
+    };
     use galloper_suite::codes::Carousel;
-    use galloper_erasure::reliability::{data_loss_probability, guaranteed_tolerance, tolerance_profile};
 
     let rs = ReedSolomon::new(4, 2, 16).unwrap();
     let carousel = Carousel::new(4, 2, 4).unwrap();

@@ -4,7 +4,9 @@
 use galloper_suite::codes::{Carousel, ErasureCode, Galloper, Pyramid, ReedSolomon};
 
 fn sample(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i.wrapping_mul(101) % 251) as u8).collect()
+    (0..len)
+        .map(|i| (i.wrapping_mul(101) % 251) as u8)
+        .collect()
 }
 
 #[test]
@@ -26,7 +28,7 @@ fn range_reads_roundtrip_for_all_codes_under_single_failure() {
             let avail: Vec<Option<&[u8]>> = blocks
                 .iter()
                 .enumerate()
-                .map(|(i, b)| (i != failed).then(|| b.as_slice()))
+                .map(|(i, b)| (i != failed).then_some(b.as_slice()))
                 .collect();
             // A handful of ranges including stripe-straddling ones.
             for (offset, len) in [
@@ -62,7 +64,7 @@ fn galloper_degraded_reads_amplify_less_than_rs() {
     let g_avail: Vec<Option<&[u8]>> = g_blocks
         .iter()
         .enumerate()
-        .map(|(i, b)| (i != 0).then(|| b.as_slice()))
+        .map(|(i, b)| (i != 0).then_some(b.as_slice()))
         .collect();
     // The first stripe of the message lives in block 0 (lost).
     let (_, g_stats) = gal.as_linear().read_range(0, 512, &g_avail).unwrap();
@@ -72,7 +74,7 @@ fn galloper_degraded_reads_amplify_less_than_rs() {
     let r_avail: Vec<Option<&[u8]>> = r_blocks
         .iter()
         .enumerate()
-        .map(|(i, b)| (i != 0).then(|| b.as_slice()))
+        .map(|(i, b)| (i != 0).then_some(b.as_slice()))
         .collect();
     let (_, r_stats) = rs.as_linear().read_range(0, 512, &r_avail).unwrap();
 

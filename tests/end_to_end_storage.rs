@@ -8,7 +8,9 @@ use galloper_suite::codes::{Carousel, ErasureCode, Galloper, Pyramid, ReedSolomo
 use galloper_suite::sim::{simulate_server_failure, Cluster, Placement, ServerSpec};
 
 fn sample(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i.wrapping_mul(131) % 251) as u8).collect()
+    (0..len)
+        .map(|i| (i.wrapping_mul(131) % 251) as u8)
+        .collect()
 }
 
 fn check_code(name: &str, code: &dyn ErasureCode, block_mb: f64) {
@@ -22,8 +24,7 @@ fn check_code(name: &str, code: &dyn ErasureCode, block_mb: f64) {
 
     for failed in 0..n {
         // Simulated recovery (timing + I/O accounting).
-        let report =
-            simulate_server_failure(&cluster, &placement, &plans, block_mb, failed, n + 1);
+        let report = simulate_server_failure(&cluster, &placement, &plans, block_mb, failed, n + 1);
         assert_eq!(report.lost_blocks, vec![failed], "{name}");
         assert!(report.completion_secs > 0.0, "{name}");
         let expected_io = plans[failed].fan_in() as f64 * block_mb;
@@ -82,7 +83,10 @@ fn locally_repairable_codes_recover_faster_and_cheaper() {
     assert_eq!(pyr.1, 90.0, "Pyramid reads its group");
     assert_eq!(gal.1, 90.0, "Galloper reads its group");
     assert!(gal.0 < rs.0, "Galloper repair is faster than RS");
-    assert!((gal.0 - pyr.0).abs() < 1e-9, "Galloper repair time equals Pyramid");
+    assert!(
+        (gal.0 - pyr.0).abs() < 1e-9,
+        "Galloper repair time equals Pyramid"
+    );
 }
 
 #[test]

@@ -8,7 +8,6 @@ use galloper_suite::sim::{
     layout_splits, simulate_job, Cluster, JobConfig, Placement, ServerSpec, Workload,
 };
 
-
 struct Axes {
     /// Disk MB read to repair one lost data block (per 45 MB block).
     repair_io_mb: f64,
@@ -127,7 +126,9 @@ fn weighted_galloper_absorbs_stragglers() {
         let expected = if b == 6 { 4 } else { 2 };
         assert_eq!(weighted.repair_plan(b).unwrap().fan_in(), expected);
     }
-    let data: Vec<u8> = (0..weighted.message_len()).map(|i| (i % 249) as u8).collect();
+    let data: Vec<u8> = (0..weighted.message_len())
+        .map(|i| (i % 249) as u8)
+        .collect();
     let blocks = weighted.encode(&data).unwrap();
     let avail: Vec<Option<&[u8]>> = (0..7)
         .map(|i| (i != 0 && i != 4).then(|| blocks[i].as_slice()))
@@ -144,7 +145,10 @@ fn extraction_feeds_the_same_bytes_a_job_would_read() {
         ("rs", Box::new(ReedSolomon::new(4, 2, 512).unwrap())),
         ("pyramid", Box::new(Pyramid::new(4, 2, 1, 512).unwrap())),
         ("carousel", Box::new(Carousel::new(4, 2, 128).unwrap())),
-        ("galloper", Box::new(Galloper::uniform(4, 2, 1, 128).unwrap())),
+        (
+            "galloper",
+            Box::new(Galloper::uniform(4, 2, 1, 128).unwrap()),
+        ),
     ];
     for (name, code) in codes {
         let data: Vec<u8> = (0..code.message_len()).map(|i| (i % 239) as u8).collect();
