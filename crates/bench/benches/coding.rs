@@ -11,7 +11,7 @@
 use galloper_bench::fig7::{build_trio, decode_patterns, K_VALUES};
 use galloper_bench::micro::Harness;
 use galloper_bench::payload;
-use galloper_carousel::Carousel;
+use galloper_codes::{build_code, CodeSpec};
 use galloper_erasure::ErasureCode;
 
 const BLOCK_MB: f64 = 0.5;
@@ -34,7 +34,7 @@ fn bench_encode(h: &mut Harness) {
             || trio.galloper.encode(&gal_data).unwrap(),
         );
         // The Carousel baseline (same block size, r = 2 to match).
-        let carousel = Carousel::new(k, 2, trio.block_bytes / (k + 2)).unwrap();
+        let carousel = build_code(&CodeSpec::carousel(k, 2, trio.block_bytes / (k + 2))).unwrap();
         let car_data = payload(carousel.message_len(), 7);
         h.case(
             &format!("encode/carousel/k={k}"),

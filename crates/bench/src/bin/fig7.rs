@@ -2,10 +2,16 @@
 //! for (k,2) Reed–Solomon, (k,2,1) Pyramid, and (k,2,1) Galloper codes,
 //! k ∈ {4, 6, 8, 10, 12}.
 //!
+//! Also times the streaming bounded-memory encoder against the one-shot
+//! whole-object path over a multi-group object, to show that bounded
+//! memory costs no throughput.
+//!
 //! Usage: `cargo run -p galloper-bench --release --bin fig7 [-- --json [DIR]]`
-//! Env:   `GALLOPER_BLOCK_MB` (default 4.5; the paper uses 45)
-//!        `GALLOPER_REPS`     (default 20, as in the paper)
-//!        `GALLOPER_JSON_OUT` (directory; write BENCH_fig7.json there)
+//! Env:   `GALLOPER_BLOCK_MB`      (default 4.5; the paper uses 45)
+//!        `GALLOPER_REPS`          (default 20, as in the paper)
+//!        `GALLOPER_STREAM_GROUPS` (streaming concurrency; default
+//!                                  min(cores, 4))
+//!        `GALLOPER_JSON_OUT`      (directory; write BENCH_fig7.json there)
 
 use galloper_bench::table::{secs, Table};
 use galloper_bench::{emit_json, env_f64, env_usize, fig7};
@@ -18,8 +24,15 @@ fn main() {
     println!("# Fig. 7 — encoding/decoding time vs k");
     println!("block size: {block_mb} MB (paper: 45 MB), {reps} repetitions\n");
 
+    // Overlapping more groups than there are cores is pure thread
+    // overhead, so the default tracks the machine.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stream_concurrency = env_usize("GALLOPER_STREAM_GROUPS", cores.min(4));
+    let stream_groups = 4;
+
     let encode_rows = fig7::encode_times(block_mb, reps);
     let decode_rows = fig7::decode_times(block_mb, reps);
+    let stream_rows = fig7::stream_times(block_mb, reps, stream_groups, stream_concurrency);
 
     println!("## Fig. 7a — encoding");
     let mut t = Table::new(&[
@@ -55,6 +68,20 @@ fn main() {
     }
     println!("{}", t.to_markdown());
 
+    println!(
+        "## Streaming encoder vs one-shot ({}-group Galloper object, {} groups in flight)",
+        stream_groups, stream_concurrency
+    );
+    let mut t = Table::new(&["k", "one-shot (s)", "streaming (s)"]);
+    for row in &stream_rows {
+        t.row(&[
+            row.k.to_string(),
+            secs(row.oneshot_secs),
+            secs(row.stream_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
     // The JSON mirror is generated from the very same row structs the
     // tables printed, so the two outputs cannot disagree.
     emit_json(
@@ -70,6 +97,10 @@ fn main() {
             .field(
                 "decode",
                 Json::Arr(decode_rows.iter().map(|r| r.to_json()).collect()),
+            )
+            .field(
+                "stream",
+                Json::Arr(stream_rows.iter().map(|r| r.to_json()).collect()),
             )
             .field("metrics", galloper_obs::global().snapshot()),
     );

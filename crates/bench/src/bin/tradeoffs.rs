@@ -5,15 +5,12 @@
 //!
 //! Usage: `cargo run -p galloper-bench --release --bin tradeoffs`
 
-use galloper::{Galloper, GalloperAsl};
 use galloper_bench::table::Table;
-use galloper_carousel::Carousel;
+use galloper_codes::{build_code, BoxedCode, CodeSpec};
 use galloper_erasure::reliability::{
     data_loss_probability, expected_repair_io, guaranteed_tolerance,
 };
 use galloper_erasure::ErasureCode;
-use galloper_pyramid::Pyramid;
-use galloper_rs::ReedSolomon;
 
 fn main() {
     // Annualized server failure probability in the spirit of published
@@ -30,23 +27,26 @@ fn main() {
         "blocks holding data",
     ]);
 
-    let codes: Vec<(&str, Box<dyn ErasureCode>)> = vec![
+    let codes: Vec<(&str, BoxedCode)> = vec![
         (
             "(4,2) Reed-Solomon",
-            Box::new(ReedSolomon::new(4, 2, 64).unwrap()),
+            build_code(&CodeSpec::rs(4, 2, 64)).unwrap(),
         ),
-        ("(4,2) Carousel", Box::new(Carousel::new(4, 2, 16).unwrap())),
+        (
+            "(4,2) Carousel",
+            build_code(&CodeSpec::carousel(4, 2, 16)).unwrap(),
+        ),
         (
             "(4,2,1) Pyramid",
-            Box::new(Pyramid::new(4, 2, 1, 64).unwrap()),
+            build_code(&CodeSpec::pyramid(4, 2, 1, 64)).unwrap(),
         ),
         (
             "(4,2,1) Galloper",
-            Box::new(Galloper::uniform(4, 2, 1, 16).unwrap()),
+            build_code(&CodeSpec::galloper(4, 2, 1, 16)).unwrap(),
         ),
         (
             "(4,2,2) Galloper-ASL",
-            Box::new(GalloperAsl::uniform(4, 2, 2, 16).unwrap()),
+            build_code(&CodeSpec::galloper_asl(4, 2, 2, 16)).unwrap(),
         ),
     ];
     for (name, code) in &codes {

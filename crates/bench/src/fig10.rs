@@ -2,7 +2,8 @@
 //! to 40 % CPU — comparing a Galloper code built with homogeneous weights
 //! against one whose weights follow the measured server performance.
 
-use galloper::Galloper;
+use galloper::{GalloperParams, StripeAllocation};
+use galloper_codes::{build_code, CodeSpec};
 use galloper_erasure::ErasureCode;
 use galloper_simmr::{layout_splits, simulate_job, JobConfig, Workload};
 use galloper_simstore::{Cluster, Placement};
@@ -60,7 +61,7 @@ impl Fig10Result {
 
 fn run_weighting(
     cluster: &Cluster,
-    code: &Galloper,
+    code: &dyn ErasureCode,
     placement: &Placement,
     block_mb: f64,
     weighting: &str,
@@ -98,27 +99,33 @@ pub fn run(block_mb: f64) -> Fig10Result {
     let placement = Placement::identity(7);
 
     // Homogeneous weights: the Fig. 9 code, oblivious to the throttling.
-    let homogeneous_code = Galloper::uniform(4, 2, 1, 1).expect("valid galloper");
+    let homogeneous_code = build_code(&CodeSpec::galloper(4, 2, 1, 1)).expect("valid galloper");
 
     // Heterogeneous weights: measure each block server's effective CPU
-    // rate and run the §V-B weight LP.
+    // rate, run the §V-B weight LP, and pin the resulting allocation in
+    // the spec — exactly what a deployment would record in its manifest.
     let perfs: Vec<f64> = (0..7)
         .map(|b| cluster.spec(placement.server_of(b)).effective_cpu_mbps())
         .collect();
-    let heterogeneous_code =
-        Galloper::from_performances(4, 2, 1, &perfs, 35, 1).expect("valid weighted galloper");
+    let params = GalloperParams::new(4, 2, 1).expect("valid parameters");
+    let alloc =
+        StripeAllocation::from_performances(params, &perfs, 35).expect("valid weighted allocation");
+    let heterogeneous_code = build_code(
+        &CodeSpec::galloper(4, 2, 1, 1).with_counts(alloc.resolution(), alloc.counts().to_vec()),
+    )
+    .expect("valid weighted galloper");
 
     Fig10Result {
         homogeneous: run_weighting(
             &cluster,
-            &homogeneous_code,
+            homogeneous_code.as_ref(),
             &placement,
             block_mb,
             "homogeneous",
         ),
         heterogeneous: run_weighting(
             &cluster,
-            &heterogeneous_code,
+            heterogeneous_code.as_ref(),
             &placement,
             block_mb,
             "heterogeneous",

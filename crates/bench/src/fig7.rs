@@ -1,13 +1,17 @@
 //! Fig. 7: encoding and decoding completion time vs k, for a `(k, 2)`
 //! Reed–Solomon code, a `(k, 2, 1)` Pyramid code, and a `(k, 2, 1)`
 //! Galloper code (each block the same size after encoding, as in §VII-A).
+//!
+//! All three codes are constructed through the workspace-wide
+//! [`build_code`] API, so the benchmark measures exactly the codes the
+//! CLI and DFS would build from the same [`CodeSpec`].
 
 use std::time::Instant;
 
-use galloper::{Galloper, GalloperParams, StripeAllocation};
-use galloper_erasure::ErasureCode;
-use galloper_pyramid::Pyramid;
-use galloper_rs::ReedSolomon;
+use galloper::{GalloperParams, StripeAllocation};
+use galloper_codes::{build_code, BoxedCode, CodeSpec};
+use galloper_erasure::stream::StripeEncoder;
+use galloper_erasure::{ErasureCode, ObjectCodec};
 
 use crate::payload;
 
@@ -39,14 +43,40 @@ impl Fig7Row {
     }
 }
 
+/// One row of the streaming-pipeline comparison: encoding a multi-group
+/// object through the bounded-memory [`StripeEncoder`] vs materializing
+/// every group at once with [`ObjectCodec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7StreamRow {
+    /// Number of data blocks.
+    pub k: usize,
+    /// Coding groups in the object.
+    pub groups: usize,
+    /// Mean seconds for the whole-object `ObjectCodec` encode.
+    pub oneshot_secs: f64,
+    /// Mean seconds for the streaming `StripeEncoder` encode.
+    pub stream_secs: f64,
+}
+
+impl Fig7StreamRow {
+    /// The row as a JSON object — same fields the markdown prints.
+    pub fn to_json(&self) -> galloper_obs::Json {
+        galloper_obs::Json::object()
+            .field("k", self.k)
+            .field("groups", self.groups)
+            .field("oneshot_secs", self.oneshot_secs)
+            .field("stream_secs", self.stream_secs)
+    }
+}
+
 /// The three codes under test, sharing one block size.
 pub struct CodeTrio {
     /// `(k, 2)` Reed–Solomon.
-    pub rs: ReedSolomon,
+    pub rs: BoxedCode,
     /// `(k, 2, 1)` Pyramid.
-    pub pyramid: Pyramid,
+    pub pyramid: BoxedCode,
     /// `(k, 2, 1)` Galloper with uniform weights.
-    pub galloper: Galloper,
+    pub galloper: BoxedCode,
     /// The common encoded-block size in bytes.
     pub block_bytes: usize,
 }
@@ -66,9 +96,9 @@ pub fn build_trio(k: usize, block_mb: f64) -> CodeTrio {
     let block_bytes = (raw / n_stripes).max(1) * n_stripes;
     let stripe = block_bytes / n_stripes;
     CodeTrio {
-        rs: ReedSolomon::new(k, 2, block_bytes).expect("valid RS"),
-        pyramid: Pyramid::new(k, 2, 1, block_bytes).expect("valid Pyramid"),
-        galloper: Galloper::with_allocation(alloc, stripe).expect("valid Galloper"),
+        rs: build_code(&CodeSpec::rs(k, 2, block_bytes)).expect("valid RS"),
+        pyramid: build_code(&CodeSpec::pyramid(k, 2, 1, block_bytes)).expect("valid Pyramid"),
+        galloper: build_code(&CodeSpec::galloper(k, 2, 1, stripe)).expect("valid Galloper"),
         block_bytes,
     }
 }
@@ -106,6 +136,51 @@ pub fn encode_times(block_mb: f64, reps: usize) -> Vec<Fig7Row> {
                 rs_secs,
                 pyramid_secs,
                 galloper_secs,
+            }
+        })
+        .collect()
+}
+
+/// Streaming-vs-one-shot encode of a `groups`-group object through the
+/// `(k, 2, 1)` Galloper code: one-shot materializes every encoded group
+/// before any is "written", the streaming driver holds one batch of
+/// recycled buffers and hands each group to the sink as it completes.
+///
+/// `concurrency` is the number of groups the streaming encoder codes in
+/// flight (the CLI's `GALLOPER_STREAM_GROUPS`).
+pub fn stream_times(
+    block_mb: f64,
+    reps: usize,
+    groups: usize,
+    concurrency: usize,
+) -> Vec<Fig7StreamRow> {
+    K_VALUES
+        .iter()
+        .map(|&k| {
+            let trio = build_trio(k, block_mb);
+            let codec = ObjectCodec::new(trio.galloper);
+            let data = payload(codec.code().message_len() * groups, 7 + k as u64);
+
+            let oneshot_secs = time_mean(reps, || {
+                std::hint::black_box(codec.encode_object(&data).unwrap());
+            });
+            let stream_secs = time_mean(reps, || {
+                let sink =
+                    |_g: usize, blocks: &[Vec<u8>]| -> Result<(), core::convert::Infallible> {
+                        std::hint::black_box(blocks.last().map(Vec::len));
+                        Ok(())
+                    };
+                let mut encoder =
+                    StripeEncoder::new(codec.code(), sink).with_concurrency(concurrency);
+                encoder.push(&data).unwrap();
+                let (manifest, _sink) = encoder.finish().unwrap();
+                std::hint::black_box(manifest);
+            });
+            Fig7StreamRow {
+                k,
+                groups,
+                oneshot_secs,
+                stream_secs,
             }
         })
         .collect()
@@ -219,6 +294,18 @@ mod tests {
             assert!(row.rs_secs > 0.0);
             assert!(row.pyramid_secs > 0.0);
             assert!(row.galloper_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn stream_rows_cover_all_k() {
+        let rows = stream_times(0.01, 1, 3, 2);
+        assert_eq!(rows.len(), K_VALUES.len());
+        for (row, &k) in rows.iter().zip(&K_VALUES) {
+            assert_eq!(row.k, k);
+            assert_eq!(row.groups, 3);
+            assert!(row.oneshot_secs > 0.0);
+            assert!(row.stream_secs > 0.0);
         }
     }
 }

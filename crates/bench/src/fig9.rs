@@ -2,9 +2,8 @@
 //! encoded with a `(4, 2, 1)` Pyramid code vs a `(4, 2, 1)` Galloper code
 //! on 30 homogeneous servers (450 MB per block).
 
-use galloper::Galloper;
+use galloper_codes::{build_code, CodeSpec};
 use galloper_erasure::ErasureCode;
-use galloper_pyramid::Pyramid;
 use galloper_simmr::{layout_splits, simulate_job, JobConfig, JobReport, Workload};
 use galloper_simstore::{Cluster, Placement, ServerSpec};
 
@@ -111,8 +110,8 @@ pub fn run(block_mb: f64) -> Fig9Result {
     // Reducers on servers that do not hold blocks.
     let reducers: Vec<usize> = (7..15).collect();
 
-    let pyramid = Pyramid::new(4, 2, 1, 1).expect("valid pyramid");
-    let galloper = Galloper::uniform(4, 2, 1, 1).expect("valid galloper");
+    let pyramid = build_code(&CodeSpec::pyramid(4, 2, 1, 1)).expect("valid pyramid");
+    let galloper = build_code(&CodeSpec::galloper(4, 2, 1, 1)).expect("valid galloper");
 
     let mut rows = Vec::new();
     for workload in [Workload::terasort(), Workload::wordcount()] {

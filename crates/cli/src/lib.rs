@@ -1,6 +1,13 @@
-//! Library backing the `galloper` command-line tool: code selection,
-//! manifest (de)serialization, and the encode/decode/repair/inspect
-//! operations over files on disk.
+//! Library backing the `galloper` command-line tool: manifest
+//! (de)serialization and the encode/decode/repair/inspect operations over
+//! files on disk.
+//!
+//! Code construction is shared workspace-wide: the CLI's manifest records
+//! a [`CodeSpec`] and every operation rebuilds the code through
+//! [`galloper_codes::build_code`] (re-exported here). The file operations
+//! themselves run the streaming drivers from `galloper_erasure::stream`,
+//! so encoding or decoding a multi-gigabyte object holds one coding group
+//! in memory, not the whole object.
 //!
 //! The binary (`src/bin/galloper.rs`) is a thin argument parser over
 //! these functions, so everything here is unit-testable without spawning
@@ -12,130 +19,6 @@
 mod manifest;
 mod ops;
 
-pub use manifest::{CodeSpec, Manifest, ManifestError};
+pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
+pub use manifest::{Manifest, ManifestError};
 pub use ops::{check, decode_file, encode_file, inspect, repair_block, CliError};
-
-use galloper::{Galloper, GalloperAsl};
-use galloper_carousel::Carousel;
-use galloper_erasure::{ErasureCode, Observed};
-use galloper_pyramid::Pyramid;
-use galloper_rs::ReedSolomon;
-
-/// Instantiates the erasure code described by a [`CodeSpec`].
-///
-/// Every code is wrapped in [`Observed`] with its family name, so CLI
-/// operations feed the `erasure.<family>.*` metrics that `--json`
-/// snapshots at exit.
-///
-/// # Errors
-///
-/// [`CliError::BadSpec`] when the parameters are invalid for the chosen
-/// family.
-pub fn build_code(spec: &CodeSpec) -> Result<Box<dyn ErasureCode>, CliError> {
-    let bad = |e: String| CliError::BadSpec(e);
-    match spec.family.as_str() {
-        "rs" => Ok(Box::new(Observed::new(
-            "rs",
-            ReedSolomon::new(spec.k, spec.g, spec.stripe_size * spec.resolution)
-                .map_err(|e| bad(e.to_string()))?,
-        ))),
-        "pyramid" => Ok(Box::new(Observed::new(
-            "pyramid",
-            Pyramid::new(spec.k, spec.l, spec.g, spec.stripe_size * spec.resolution)
-                .map_err(|e| bad(e.to_string()))?,
-        ))),
-        "carousel" => Ok(Box::new(Observed::new(
-            "carousel",
-            Carousel::new(spec.k, spec.g, spec.stripe_size).map_err(|e| bad(e.to_string()))?,
-        ))),
-        "galloper" => {
-            let params = galloper::GalloperParams::new(spec.k, spec.l, spec.g)
-                .map_err(|e| bad(e.to_string()))?;
-            let alloc = if spec.counts.is_empty() {
-                galloper::StripeAllocation::uniform(params)
-            } else {
-                // Rebuild the exact allocation recorded in the manifest.
-                let weights: Vec<f64> = spec.counts.iter().map(|&c| c as f64).collect();
-                galloper::StripeAllocation::from_weights(params, &weights, spec.resolution)
-                    .map_err(|e| bad(e.to_string()))?
-            };
-            Ok(Box::new(Observed::new(
-                "galloper",
-                Galloper::with_allocation(alloc, spec.stripe_size)
-                    .map_err(|e| bad(e.to_string()))?,
-            )))
-        }
-        "galloper-asl" => {
-            let params = galloper::GalloperParams::new(spec.k, spec.l, spec.g)
-                .map_err(|e| bad(e.to_string()))?;
-            let code = if spec.counts.is_empty() {
-                GalloperAsl::uniform(spec.k, spec.l, spec.g, spec.stripe_size)
-            } else {
-                GalloperAsl::with_counts(params, &spec.counts, spec.resolution, spec.stripe_size)
-            }
-            .map_err(|e| bad(e.to_string()))?;
-            Ok(Box::new(Observed::new("galloper_asl", code)))
-        }
-        other => Err(CliError::BadSpec(format!("unknown code family '{other}'"))),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn builds_each_family() {
-        for family in ["rs", "pyramid", "carousel", "galloper"] {
-            let spec = CodeSpec {
-                family: family.into(),
-                k: 4,
-                l: 2,
-                g: 2,
-                resolution: if family == "galloper" { 4 } else { 1 },
-                stripe_size: 64,
-                counts: vec![],
-            };
-            let spec = if family == "galloper" {
-                // Uniform (4,2,2): n = 8, N must make 4N/8 integral → N=2.
-                CodeSpec {
-                    resolution: 2,
-                    ..spec
-                }
-            } else {
-                spec
-            };
-            let code = build_code(&spec).unwrap_or_else(|e| panic!("{family}: {e}"));
-            assert!(code.num_blocks() >= 6, "{family}");
-        }
-    }
-
-    #[test]
-    fn builds_asl_family() {
-        let spec = CodeSpec {
-            family: "galloper-asl".into(),
-            k: 4,
-            l: 2,
-            g: 2,
-            resolution: 0, // unused for uniform
-            stripe_size: 64,
-            counts: vec![],
-        };
-        let code = build_code(&spec).unwrap();
-        assert_eq!(code.num_blocks(), 9, "k + l + g + 1 blocks");
-    }
-
-    #[test]
-    fn rejects_unknown_family() {
-        let spec = CodeSpec {
-            family: "raid0".into(),
-            k: 4,
-            l: 0,
-            g: 1,
-            resolution: 1,
-            stripe_size: 1,
-            counts: vec![],
-        };
-        assert!(matches!(build_code(&spec), Err(CliError::BadSpec(_))));
-    }
-}

@@ -18,6 +18,8 @@
 use core::fmt;
 use std::collections::HashMap;
 
+use galloper_codes::CodeSpec;
+
 /// Errors from manifest parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -48,25 +50,6 @@ impl fmt::Display for ManifestError {
 }
 
 impl std::error::Error for ManifestError {}
-
-/// The code parameters recorded in a manifest.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CodeSpec {
-    /// Code family: `rs`, `pyramid`, `carousel`, or `galloper`.
-    pub family: String,
-    /// Data blocks.
-    pub k: usize,
-    /// Local parity blocks (0 for `rs`/`carousel`).
-    pub l: usize,
-    /// Global parity blocks (the `r` of `rs`/`carousel`).
-    pub g: usize,
-    /// Stripes per block.
-    pub resolution: usize,
-    /// Bytes per stripe.
-    pub stripe_size: usize,
-    /// Galloper stripe counts (empty = uniform or not applicable).
-    pub counts: Vec<usize>,
-}
 
 /// A full manifest: code spec plus object metadata.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,14 +1,24 @@
 //! The CLI operations: encode/decode/repair/inspect over files on disk.
 //!
 //! Layout on disk: encoding `FILE` into `DIR` produces
-//! `DIR/FILE.manifest` plus one `DIR/block_<i>.bin` per block, each
+//! `DIR/object.manifest` plus one `DIR/block_<i>.bin` per block, each
 //! holding that block's bytes for every coding group, concatenated in
 //! group order (so a block file is what one storage server would hold).
+//!
+//! Every operation is streaming: the object flows through the
+//! [`galloper_erasure::stream`] drivers one coding group at a time, so
+//! peak memory is a handful of group-sized buffers regardless of the
+//! object's size. `GALLOPER_STREAM_GROUPS=N` overlaps N groups across
+//! threads during encode (default 1: each group's encode already fans
+//! its rows across threads internally).
 
 use std::fs;
+use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-use galloper_erasure::{ErasureCode, ObjectCodec, ObjectManifest};
+use galloper_codes::BuildError;
+use galloper_erasure::stream::{StreamError, StripeDecoder, StripeEncoder, StripeReconstructor};
+use galloper_erasure::{ErasureCode, ObjectManifest};
 
 use crate::{build_code, CodeSpec, Manifest, ManifestError};
 
@@ -18,8 +28,8 @@ use core::fmt;
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum CliError {
-    /// Invalid code parameters.
-    BadSpec(String),
+    /// The manifest's code spec could not be built.
+    Spec(BuildError),
     /// Manifest parse failure.
     Manifest(ManifestError),
     /// Coding failure (undecodable, wrong sizes, …).
@@ -42,7 +52,7 @@ pub enum CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::BadSpec(s) => write!(f, "invalid code spec: {s}"),
+            CliError::Spec(e) => write!(f, "invalid code spec: {e}"),
             CliError::Manifest(e) => write!(f, "manifest error: {e}"),
             CliError::Code(e) => write!(f, "coding error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
@@ -58,7 +68,23 @@ impl fmt::Display for CliError {
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Spec(e) => Some(e),
+            CliError::Manifest(e) => Some(e),
+            CliError::Code(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            CliError::CorruptBlock { .. } | CliError::MissingSources(_) => None,
+        }
+    }
+}
+
+impl From<BuildError> for CliError {
+    fn from(e: BuildError) -> Self {
+        CliError::Spec(e)
+    }
+}
 
 impl From<ManifestError> for CliError {
     fn from(e: ManifestError) -> Self {
@@ -78,6 +104,25 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<StreamError<std::io::Error>> for CliError {
+    fn from(e: StreamError<std::io::Error>) -> Self {
+        match e {
+            StreamError::Code(e) => CliError::Code(e),
+            StreamError::Sink(e) => CliError::Io(e),
+            other => CliError::Io(std::io::Error::other(other.to_string())),
+        }
+    }
+}
+
+impl From<StreamError> for CliError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Code(e) => CliError::Code(e),
+            other => CliError::Io(std::io::Error::other(other.to_string())),
+        }
+    }
+}
+
 fn block_path(dir: &Path, block: usize) -> PathBuf {
     dir.join(format!("block_{block}.bin"))
 }
@@ -86,65 +131,101 @@ fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("object.manifest")
 }
 
+/// Groups to overlap across threads during streaming encode
+/// (`GALLOPER_STREAM_GROUPS`, default 1).
+fn stream_groups() -> usize {
+    std::env::var("GALLOPER_STREAM_GROUPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Bytes read from the input file per `push` — independent of the code's
+/// message size, so CLI memory stays flat for any code.
+const READ_CHUNK: usize = 1 << 20;
+
 /// Encodes `input` into `out_dir` with the given code, writing one block
 /// file per block and a manifest. Returns the manifest.
+///
+/// The input streams through a [`StripeEncoder`] one coding group at a
+/// time: block bytes are appended to the block files as each group
+/// completes, and buffers are recycled between groups, so peak memory is
+/// a few coding groups even for arbitrarily large inputs.
 ///
 /// # Errors
 ///
 /// [`CliError`] on invalid spec, I/O failure, or coding failure.
 pub fn encode_file(input: &Path, out_dir: &Path, spec: &CodeSpec) -> Result<Manifest, CliError> {
     let code = build_code(spec)?;
-    let data = fs::read(input)?;
-    let codec = ObjectCodec::new(code);
-    let encoded = codec.encode_object(&data)?;
-
     fs::create_dir_all(out_dir)?;
-    let n = codec.code().num_blocks();
+    let n = code.num_blocks();
+    let mut writers = Vec::with_capacity(n);
     for b in 0..n {
-        let mut file = Vec::with_capacity(encoded.manifest.num_groups * codec.code().block_len());
-        for group in &encoded.groups {
-            file.extend_from_slice(&group[b]);
+        writers.push(io::BufWriter::new(fs::File::create(block_path(
+            out_dir, b,
+        ))?));
+    }
+    let sink = |_: usize, blocks: &[Vec<u8>]| -> Result<(), io::Error> {
+        for (writer, block) in writers.iter_mut().zip(blocks) {
+            writer.write_all(block)?;
         }
-        fs::write(block_path(out_dir, b), file)?;
+        Ok(())
+    };
+    let mut encoder = StripeEncoder::new(&code, sink).with_concurrency(stream_groups());
+    let mut reader = fs::File::open(input)?;
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let read = reader.read(&mut chunk)?;
+        if read == 0 {
+            break;
+        }
+        encoder.push(&chunk[..read])?;
+    }
+    // `_` drops the returned sink here, releasing its borrow of `writers`.
+    let (object, _) = encoder.finish()?;
+    for mut writer in writers {
+        writer.flush()?;
     }
     let manifest = Manifest {
         spec: spec.clone(),
-        object_len: encoded.manifest.object_len,
-        num_groups: encoded.manifest.num_groups,
+        object_len: object.object_len,
+        num_groups: object.num_groups,
     };
     fs::write(manifest_path(out_dir), manifest.to_text())?;
     Ok(manifest)
 }
 
-/// Reads the block files that exist in `dir`, returning `None` for
-/// missing or wrong-sized ones (wrong-sized files are an error).
-fn read_blocks(
+/// Opens the block file for `block`, verifying its size. Returns `None`
+/// for a missing file (an erasure).
+fn open_block(
     dir: &Path,
-    n: usize,
+    block: usize,
     expected_len: usize,
-) -> Result<Vec<Option<Vec<u8>>>, CliError> {
-    let mut blocks = Vec::with_capacity(n);
-    for b in 0..n {
-        match fs::read(block_path(dir, b)) {
-            Ok(bytes) => {
-                if bytes.len() != expected_len {
-                    return Err(CliError::CorruptBlock {
-                        block: b,
-                        got: bytes.len(),
-                        expected: expected_len,
-                    });
-                }
-                blocks.push(Some(bytes));
+) -> Result<Option<io::BufReader<fs::File>>, CliError> {
+    match fs::File::open(block_path(dir, block)) {
+        Ok(file) => {
+            let got = file.metadata()?.len() as usize;
+            if got != expected_len {
+                return Err(CliError::CorruptBlock {
+                    block,
+                    got,
+                    expected: expected_len,
+                });
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => blocks.push(None),
-            Err(e) => return Err(e.into()),
+            Ok(Some(io::BufReader::new(file)))
         }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
     }
-    Ok(blocks)
 }
 
 /// Decodes the object from the block files in `dir` (missing files are
 /// treated as erasures) and writes it to `output`.
+///
+/// Groups stream through a [`StripeDecoder`]: each group's block bytes
+/// are read into `num_blocks` reused buffers, decoded, and appended to
+/// the output — the whole object is never resident.
 ///
 /// # Errors
 ///
@@ -155,33 +236,45 @@ pub fn decode_file(dir: &Path, output: &Path) -> Result<(), CliError> {
     let code = build_code(&manifest.spec)?;
     let n = code.num_blocks();
     let group_len = code.block_len();
-    let blocks = read_blocks(dir, n, group_len * manifest.num_groups)?;
+    let file_len = group_len * manifest.num_groups;
+    let mut readers = Vec::with_capacity(n);
+    for b in 0..n {
+        readers.push(open_block(dir, b, file_len)?);
+    }
 
-    let codec = ObjectCodec::new(code);
-    let availability: Vec<Vec<Option<&[u8]>>> = (0..manifest.num_groups)
-        .map(|g| {
-            blocks
-                .iter()
-                .map(|b| {
-                    b.as_deref()
-                        .map(|bytes| &bytes[g * group_len..(g + 1) * group_len])
-                })
-                .collect()
-        })
-        .collect();
-    let data = codec.decode_object(
-        &availability,
+    let mut decoder = StripeDecoder::new(
+        &code,
         ObjectManifest {
             object_len: manifest.object_len,
             num_groups: manifest.num_groups,
         },
-    )?;
-    fs::write(output, data)?;
+    );
+    let mut out = io::BufWriter::new(fs::File::create(output)?);
+    let mut group_bufs: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; group_len]).collect();
+    for _ in 0..manifest.num_groups {
+        for (reader, buf) in readers.iter_mut().zip(group_bufs.iter_mut()) {
+            if let Some(r) = reader {
+                r.read_exact(buf)?;
+            }
+        }
+        let available: Vec<Option<&[u8]>> = readers
+            .iter()
+            .zip(group_bufs.iter())
+            .map(|(r, buf)| r.is_some().then_some(buf.as_slice()))
+            .collect();
+        out.write_all(&decoder.next_group(&available)?)?;
+    }
+    decoder.finish()?;
+    out.flush()?;
     Ok(())
 }
 
 /// Rebuilds block `target`'s file in `dir` from its repair plan's source
 /// files, group by group. Returns the number of source blocks read.
+///
+/// Only the plan's source files are opened — the disk-I/O frugality that
+/// locally repairable codes exist for — and the rebuilt block streams to
+/// a temporary file that replaces the target atomically at the end.
 ///
 /// # Errors
 ///
@@ -190,35 +283,42 @@ pub fn decode_file(dir: &Path, output: &Path) -> Result<(), CliError> {
 pub fn repair_block(dir: &Path, target: usize) -> Result<usize, CliError> {
     let manifest = Manifest::from_text(&fs::read_to_string(manifest_path(dir))?)?;
     let code = build_code(&manifest.spec)?;
-    let n = code.num_blocks();
     let group_len = code.block_len();
-    let blocks = read_blocks(dir, n, group_len * manifest.num_groups)?;
+    let file_len = group_len * manifest.num_groups;
 
-    let plan = code.repair_plan(target)?;
-    let missing: Vec<usize> = plan
-        .sources()
-        .iter()
-        .copied()
-        .filter(|&s| blocks[s].is_none())
-        .collect();
+    let mut rec = StripeReconstructor::new(&code, target, manifest.num_groups)?;
+    let src_ids = rec.plan().sources().to_vec();
+    let mut readers = Vec::with_capacity(src_ids.len());
+    let mut missing = Vec::new();
+    for &s in &src_ids {
+        match open_block(dir, s, file_len)? {
+            Some(r) => readers.push(r),
+            None => missing.push(s),
+        }
+    }
     if !missing.is_empty() {
         return Err(CliError::MissingSources(missing));
     }
 
-    let mut rebuilt = Vec::with_capacity(group_len * manifest.num_groups);
-    for g in 0..manifest.num_groups {
-        let sources: Vec<(usize, &[u8])> = plan
-            .sources()
+    let tmp_path = dir.join(format!("block_{target}.bin.tmp"));
+    let mut out = io::BufWriter::new(fs::File::create(&tmp_path)?);
+    let mut bufs: Vec<Vec<u8>> = (0..src_ids.len()).map(|_| vec![0u8; group_len]).collect();
+    for _ in 0..manifest.num_groups {
+        for (reader, buf) in readers.iter_mut().zip(bufs.iter_mut()) {
+            reader.read_exact(buf)?;
+        }
+        let sources: Vec<(usize, &[u8])> = src_ids
             .iter()
-            .map(|&s| {
-                let bytes = blocks[s].as_deref().expect("checked above");
-                (s, &bytes[g * group_len..(g + 1) * group_len])
-            })
+            .copied()
+            .zip(bufs.iter().map(Vec::as_slice))
             .collect();
-        rebuilt.extend_from_slice(&code.reconstruct(target, &sources)?);
+        out.write_all(&rec.next_group(&sources)?)?;
     }
-    fs::write(block_path(dir, target), rebuilt)?;
-    Ok(plan.fan_in())
+    rec.finish()?;
+    out.flush()?;
+    drop(out);
+    fs::rename(&tmp_path, block_path(dir, target))?;
+    Ok(src_ids.len())
 }
 
 /// Checks an encoded directory's health: which block files are present,
@@ -325,15 +425,7 @@ mod tests {
     use super::*;
 
     fn galloper_spec() -> CodeSpec {
-        CodeSpec {
-            family: "galloper".into(),
-            k: 4,
-            l: 2,
-            g: 1,
-            resolution: 7,
-            stripe_size: 1024,
-            counts: vec![],
-        }
+        CodeSpec::galloper(4, 2, 1, 1024)
     }
 
     fn tempdir(tag: &str) -> PathBuf {
@@ -362,6 +454,21 @@ mod tests {
         let restored = dir.join("restored.bin");
         decode_file(&out, &restored).unwrap();
         assert_eq!(fs::read(&restored).unwrap(), data);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let dir = tempdir("empty");
+        let input = dir.join("input.bin");
+        fs::write(&input, []).unwrap();
+        let out = dir.join("encoded");
+        let manifest = encode_file(&input, &out, &galloper_spec()).unwrap();
+        assert_eq!(manifest.object_len, 0);
+        assert_eq!(manifest.num_groups, 1, "an empty object still has a group");
+        let restored = dir.join("restored.bin");
+        decode_file(&out, &restored).unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), Vec::<u8>::new());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -464,15 +571,7 @@ mod tests {
         let input = dir.join("input.bin");
         let data: Vec<u8> = (0..10_000).map(|i| (i % 199) as u8).collect();
         fs::write(&input, &data).unwrap();
-        let spec = CodeSpec {
-            family: "rs".into(),
-            k: 4,
-            l: 0,
-            g: 2,
-            resolution: 1,
-            stripe_size: 2048,
-            counts: vec![],
-        };
+        let spec = CodeSpec::rs(4, 2, 2048);
         let out = dir.join("encoded");
         encode_file(&input, &out, &spec).unwrap();
         fs::remove_file(out.join("block_2.bin")).unwrap();
@@ -481,5 +580,17 @@ mod tests {
         decode_file(&out, &restored).unwrap();
         assert_eq!(fs::read(&restored).unwrap(), data);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_errors_carry_their_source() {
+        let err = encode_file(Path::new("/nonexistent"), Path::new("/tmp/x"), &{
+            let mut s = galloper_spec();
+            s.family = "raid0".into();
+            s
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Spec(_)));
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use galloper_erasure::stream::{StreamError, StripeDecoder, StripeEncoder};
 use galloper_erasure::{AsLinearCode, CodeError, ErasureCode, ObjectCodec, ObjectManifest};
 
 use crate::{FileHealth, FsckReport, GroupHealth};
@@ -58,7 +59,14 @@ impl fmt::Display for DfsError {
     }
 }
 
-impl std::error::Error for DfsError {}
+impl std::error::Error for DfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DfsError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CodeError> for DfsError {
     fn from(e: CodeError) -> Self {
@@ -184,52 +192,49 @@ impl<C: ErasureCode> Dfs<C> {
         if self.files.contains_key(name) {
             return Err(DfsError::AlreadyExists(name.to_string()));
         }
-        let encoded = self.codec.encode_object(data)?;
-        let n = self.codec.code().num_blocks();
         let id = FileId(self.next_id);
-        self.next_id += 1;
-
-        let mut placements = Vec::with_capacity(encoded.manifest.num_groups);
-        for (g, group) in encoded.groups.iter().enumerate() {
-            let servers = self.place_group(id.0 + g)?;
-            for (b, block) in group.iter().enumerate() {
-                self.stores[servers[b]].insert((id, g, b), block.clone());
+        // Stream the object through the code one coding group at a time:
+        // each group is placed and stored as soon as it is encoded, and
+        // the driver's buffer pool recycles the block buffers, so only
+        // one group of codec memory is ever in flight. The fields are
+        // split so the sink can write `stores` while the encoder borrows
+        // the code.
+        let Dfs {
+            codec,
+            alive,
+            stores,
+            ..
+        } = self;
+        let mut placements: Vec<Vec<usize>> = Vec::new();
+        let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), DfsError> {
+            let servers = place_group(alive, stores, blocks.len(), id.0 + g)?;
+            for (b, block) in blocks.iter().enumerate() {
+                stores[servers[b]].insert((id, g, b), block.clone());
             }
             placements.push(servers);
-        }
-        debug_assert!(placements.iter().all(|p| p.len() == n));
+            Ok(())
+        };
+        let mut encoder = StripeEncoder::new(codec.code(), sink);
+        encoder.push(data).map_err(put_error)?;
+        let (manifest, _) = encoder.finish().map_err(put_error)?;
+        self.next_id += 1;
         self.files.insert(
             name.to_string(),
             FileMeta {
                 id,
                 name: name.to_string(),
-                manifest: encoded.manifest,
+                manifest,
                 placements,
             },
         );
         Ok(id)
     }
 
-    /// Chooses `num_blocks` distinct live servers, rotating with `salt`
-    /// and preferring emptier servers for balance.
-    fn place_group(&self, salt: usize) -> Result<Vec<usize>, DfsError> {
-        let n = self.codec.code().num_blocks();
-        let mut live: Vec<usize> = (0..self.alive.len()).filter(|&s| self.alive[s]).collect();
-        if live.len() < n {
-            return Err(DfsError::NotEnoughServers);
-        }
-        // Emptiest-first, tie-broken by a rotating offset for spread.
-        live.sort_by_key(|&s| {
-            (
-                self.stores[s].len(),
-                (s + self.alive.len() - salt % self.alive.len()) % self.alive.len(),
-            )
-        });
-        live.truncate(n);
-        Ok(live)
-    }
-
     /// Reads a whole file, tolerating lost blocks (degraded read).
+    ///
+    /// Groups stream through a [`StripeDecoder`], which hands back
+    /// exactly the object bytes each group carries (tail padding never
+    /// surfaces).
     ///
     /// # Errors
     ///
@@ -239,20 +244,18 @@ impl<C: ErasureCode> Dfs<C> {
             .files
             .get(name)
             .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        let mut decoder = StripeDecoder::new(self.codec.code(), meta.manifest);
         let mut out = Vec::with_capacity(meta.manifest.object_len);
         for g in 0..meta.manifest.num_groups {
             let blocks = self.group_availability(meta, g);
-            let decoded = self
-                .codec
-                .code()
-                .decode(&blocks)
+            let payload = decoder
+                .next_group(&blocks)
                 .map_err(|_| DfsError::DataLoss {
                     name: name.to_string(),
                     group: g,
                 })?;
-            out.extend_from_slice(&decoded);
+            out.extend_from_slice(&payload);
         }
-        out.truncate(meta.manifest.object_len);
         Ok(out)
     }
 
@@ -425,6 +428,42 @@ impl<C: ErasureCode> Dfs<C> {
             .collect();
         files.sort_by(|a, b| a.name.cmp(&b.name));
         FsckReport { files }
+    }
+}
+
+/// Chooses `num_blocks` distinct live servers, rotating with `salt` and
+/// preferring emptier servers for balance. A free function (not a
+/// method) so [`Dfs::put`]'s streaming sink can place groups while the
+/// encoder borrows the code.
+fn place_group<V>(
+    alive: &[bool],
+    stores: &[HashMap<(FileId, usize, usize), V>],
+    num_blocks: usize,
+    salt: usize,
+) -> Result<Vec<usize>, DfsError> {
+    let mut live: Vec<usize> = (0..alive.len()).filter(|&s| alive[s]).collect();
+    if live.len() < num_blocks {
+        return Err(DfsError::NotEnoughServers);
+    }
+    // Emptiest-first, tie-broken by a rotating offset for spread.
+    live.sort_by_key(|&s| {
+        (
+            stores[s].len(),
+            (s + alive.len() - salt % alive.len()) % alive.len(),
+        )
+    });
+    live.truncate(num_blocks);
+    Ok(live)
+}
+
+/// Collapses a streaming-encode failure into a [`DfsError`].
+fn put_error(e: StreamError<DfsError>) -> DfsError {
+    match e {
+        StreamError::Sink(e) => e,
+        StreamError::Code(e) => DfsError::Code(e),
+        // The encoder only surfaces Code/Sink; defensive arm for the
+        // non-exhaustive enum.
+        _ => DfsError::Code(CodeError::BlockSizeMismatch),
     }
 }
 

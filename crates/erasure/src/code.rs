@@ -53,6 +53,34 @@ pub trait ErasureCode {
     /// [`CodeError::InvalidDataLength`] if `data.len() != message_len()`.
     fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError>;
 
+    /// Encodes `data` into caller-provided block buffers, resizing each
+    /// buffer to [`ErasureCode::block_len`].
+    ///
+    /// This is the buffer-recycling entry point used by the streaming
+    /// drivers in [`stream`](crate::stream): callers checkout buffers
+    /// from a [`BufferPool`](crate::stream::BufferPool) and encode coding
+    /// group after coding group with no per-group allocation. The default
+    /// implementation delegates to [`ErasureCode::encode`] and moves the
+    /// resulting blocks into the buffers; [`LinearCode`](crate::LinearCode)
+    /// overrides it to write into the buffers directly.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidDataLength`] if `data.len() != message_len()`.
+    /// * [`CodeError::WrongBlockCount`] if `blocks.len() != num_blocks()`.
+    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+        if blocks.len() != self.num_blocks() {
+            return Err(CodeError::WrongBlockCount {
+                got: blocks.len(),
+                expected: self.num_blocks(),
+            });
+        }
+        for (dst, src) in blocks.iter_mut().zip(self.encode(data)?) {
+            *dst = src;
+        }
+        Ok(())
+    }
+
     /// Decodes the original message from the available blocks
     /// (`None` marks an erased block).
     ///
@@ -127,6 +155,9 @@ impl<T: ErasureCode + ?Sized> ErasureCode for Box<T> {
     }
     fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
         (**self).encode(data)
+    }
+    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+        (**self).encode_into(data, blocks)
     }
     fn decode(&self, blocks: &[Option<&[u8]>]) -> Result<Vec<u8>, CodeError> {
         (**self).decode(blocks)
@@ -228,5 +259,22 @@ mod tests {
     fn storage_overhead_default() {
         let c = Replica { len: 4 };
         assert_eq!(c.storage_overhead(), 2.0);
+    }
+
+    #[test]
+    fn default_encode_into_fills_buffers() {
+        let c = Replica { len: 4 };
+        let mut bufs = vec![vec![0xAA; 9], Vec::new()];
+        c.encode_into(b"abcd", &mut bufs).unwrap();
+        assert_eq!(bufs, vec![b"abcd".to_vec(), b"abcd".to_vec()]);
+
+        let mut wrong = vec![Vec::new()];
+        assert!(matches!(
+            c.encode_into(b"abcd", &mut wrong),
+            Err(CodeError::WrongBlockCount {
+                got: 1,
+                expected: 2
+            })
+        ));
     }
 }

@@ -28,6 +28,7 @@ mod plan;
 mod read;
 pub mod reliability;
 pub mod remap;
+pub mod stream;
 
 pub use code::{BlockRole, ErasureCode};
 pub use error::CodeError;
@@ -37,3 +38,6 @@ pub use object::{EncodedObject, ObjectCodec, ObjectManifest};
 pub use observe::Observed;
 pub use plan::RepairPlan;
 pub use read::ReadStats;
+pub use stream::{
+    BufferPool, GroupSink, StreamError, StripeDecoder, StripeEncoder, StripeReconstructor,
+};

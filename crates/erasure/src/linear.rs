@@ -15,7 +15,7 @@
 //! construction fails immediately instead of corrupting data later.
 
 use galloper_gf::Gf256;
-use galloper_linalg::{apply_parallel, Matrix, RowBasis};
+use galloper_linalg::{apply_parallel, apply_parallel_into, Matrix, RowBasis};
 use galloper_obs::counter;
 
 use crate::{BlockRole, CodeError, DataLayout, ErasureCode, RepairPlan};
@@ -273,26 +273,41 @@ impl ErasureCode for LinearCode {
     }
 
     fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let mut blocks: Vec<Vec<u8>> = (0..self.n).map(|_| Vec::new()).collect();
+        self.encode_into(data, &mut blocks)?;
+        Ok(blocks)
+    }
+
+    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
         if data.len() != self.message_len() {
             return Err(CodeError::InvalidDataLength {
                 got: data.len(),
                 multiple_of: self.message_len(),
             });
         }
+        if blocks.len() != self.n {
+            return Err(CodeError::WrongBlockCount {
+                got: blocks.len(),
+                expected: self.n,
+            });
+        }
         let _t = galloper_obs::global().timer("erasure.encode_us");
         counter!("erasure.encode.calls", 1);
         counter!("erasure.encode.bytes", data.len());
         let inputs = self.split_stripes(data);
-        let stripes = apply_parallel(&self.generator, &inputs, self.threads);
-        let mut blocks = Vec::with_capacity(self.n);
-        for b in 0..self.n {
-            let mut block = Vec::with_capacity(self.block_len());
-            for s in 0..self.stripes_per_block {
-                block.extend_from_slice(&stripes[b * self.stripes_per_block + s]);
-            }
-            blocks.push(block);
+        for block in blocks.iter_mut() {
+            block.resize(self.block_len(), 0);
         }
-        Ok(blocks)
+        // One output slice per generator row: stripe s of block b lives at
+        // byte range [s·stripe, (s+1)·stripe) of block b's buffer, so the
+        // matrix product writes every block in place with no intermediate
+        // stripe allocations.
+        let mut out_refs: Vec<&mut [u8]> = blocks
+            .iter_mut()
+            .flat_map(|block| block.chunks_exact_mut(self.stripe_size))
+            .collect();
+        apply_parallel_into(&self.generator, &inputs, &mut out_refs, self.threads);
+        Ok(())
     }
 
     fn decode(&self, blocks: &[Option<&[u8]>]) -> Result<Vec<u8>, CodeError> {
@@ -492,6 +507,13 @@ macro_rules! delegate_erasure_code {
             fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, $crate::CodeError> {
                 self.$field.encode(data)
             }
+            fn encode_into(
+                &self,
+                data: &[u8],
+                blocks: &mut [Vec<u8>],
+            ) -> Result<(), $crate::CodeError> {
+                self.$field.encode_into(data, blocks)
+            }
             fn decode(&self, blocks: &[Option<&[u8]>]) -> Result<Vec<u8>, $crate::CodeError> {
                 self.$field.decode(blocks)
             }
@@ -552,6 +574,29 @@ mod tests {
             .decode(&[None, Some(&blocks[1]), Some(&blocks[2])])
             .unwrap();
         assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_overwrites_dirty_buffers() {
+        let code = xor_code(4);
+        let data = b"abcdefgh";
+        let fresh = code.encode(data).unwrap();
+        let mut bufs: Vec<Vec<u8>> = (0..3).map(|_| vec![0xEE; 11]).collect();
+        code.encode_into(data, &mut bufs).unwrap();
+        assert_eq!(bufs, fresh);
+
+        let mut wrong = vec![Vec::new(); 2];
+        assert!(matches!(
+            code.encode_into(data, &mut wrong),
+            Err(CodeError::WrongBlockCount {
+                got: 2,
+                expected: 3
+            })
+        ));
+        assert!(matches!(
+            code.encode_into(b"short", &mut bufs),
+            Err(CodeError::InvalidDataLength { .. })
+        ));
     }
 
     #[test]

@@ -77,6 +77,15 @@ impl<C: ErasureCode> ErasureCode for Observed<C> {
         self.inner.encode(data)
     }
 
+    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+        let _t = global().timer(&self.metric("encode_us"));
+        global().counter(&self.metric("encode.calls")).inc();
+        global()
+            .counter(&self.metric("encode.bytes"))
+            .add(data.len() as u64);
+        self.inner.encode_into(data, blocks)
+    }
+
     fn decode(&self, blocks: &[Option<&[u8]>]) -> Result<Vec<u8>, CodeError> {
         let _t = global().timer(&self.metric("decode_us"));
         global().counter(&self.metric("decode.calls")).inc();

@@ -1,0 +1,788 @@
+//! Streaming, bounded-memory codec drivers.
+//!
+//! Every [`ErasureCode`] consumes messages of one fixed length, so a
+//! multi-gigabyte object is a *sequence* of coding groups — and nothing
+//! about coding requires more than one group (per worker thread) to be
+//! resident at a time. The paper's Hadoop prototype (§VI) exploits
+//! exactly this, pumping HDFS files through a fixed-size buffer; the
+//! drivers here are the Rust analogue:
+//!
+//! * [`StripeEncoder`] — push arbitrary-sized byte chunks, receive fully
+//!   encoded coding groups through a [`GroupSink`] as soon as each is
+//!   complete. Tail zero-padding happens once, inside [`StripeEncoder::finish`].
+//! * [`StripeDecoder`] — feed one group's block availability at a time,
+//!   receive exactly the object bytes that group carries (the driver
+//!   truncates the final group's padding).
+//! * [`StripeReconstructor`] — rebuild one block of every group from its
+//!   repair plan's sources, group by group.
+//!
+//! Block and message buffers are recycled through a [`BufferPool`], so a
+//! steady-state encode performs **no per-group allocation**: peak codec
+//! memory is `O(one coding group × groups in flight)` regardless of the
+//! object's size. [`StripeEncoder::with_concurrency`] additionally
+//! overlaps whole groups across OS threads (each group's encode already
+//! fans its output rows across threads via
+//! [`galloper_linalg::apply_parallel_into`]).
+//!
+//! The drivers feed the global [`galloper_obs`] registry:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `stream.groups` | counter | coding groups pushed through any driver |
+//! | `stream.pool.alloc` | counter | buffers newly allocated by pools |
+//! | `stream.pool.reuse` | counter | buffer checkouts served from a pool's free list |
+//! | `stream.pool.resident_bytes` | gauge | bytes currently held by live pools |
+//! | `stream.pool.resident_peak_bytes` | gauge | high-water mark of the above |
+
+use galloper_obs::{counter, global};
+
+use crate::{CodeError, ErasureCode, ObjectManifest, RepairPlan};
+
+use core::fmt;
+
+/// A small free-list of equally sized byte buffers.
+///
+/// `checkout` hands out a buffer of exactly `buf_len` bytes — recycled
+/// from the free list when possible, freshly allocated (and counted in
+/// the `stream.pool.*` metrics) otherwise. Recycled buffers keep their
+/// previous contents; every driver in this module overwrites buffers
+/// completely before use.
+#[derive(Debug)]
+pub struct BufferPool {
+    buf_len: usize,
+    free: Vec<Vec<u8>>,
+    allocated: u64,
+    reused: u64,
+}
+
+impl BufferPool {
+    /// An empty pool of `buf_len`-byte buffers.
+    pub fn new(buf_len: usize) -> BufferPool {
+        BufferPool {
+            buf_len,
+            free: Vec::new(),
+            allocated: 0,
+            reused: 0,
+        }
+    }
+
+    /// The fixed size of every buffer this pool manages.
+    pub fn buf_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// Buffers this pool has allocated over its lifetime — the pool's
+    /// peak residency in units of buffers.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Checkouts served from the free list instead of the allocator.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Hands out one `buf_len`-byte buffer (contents unspecified).
+    pub fn checkout(&mut self) -> Vec<u8> {
+        if let Some(buf) = self.free.pop() {
+            self.reused += 1;
+            counter!("stream.pool.reuse", 1);
+            return buf;
+        }
+        self.allocated += 1;
+        counter!("stream.pool.alloc", 1);
+        let resident = global().gauge("stream.pool.resident_bytes");
+        resident.add(self.buf_len as i64);
+        let peak = global().gauge("stream.pool.resident_peak_bytes");
+        let now = resident.get();
+        if now > peak.get() {
+            peak.set(now);
+        }
+        vec![0u8; self.buf_len]
+    }
+
+    /// Returns a buffer to the free list for reuse.
+    ///
+    /// The buffer is resized back to `buf_len` so a caller that shrank it
+    /// (e.g. truncating a tail group) cannot poison later checkouts.
+    pub fn give_back(&mut self, mut buf: Vec<u8>) {
+        buf.resize(self.buf_len, 0);
+        self.free.push(buf);
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        global()
+            .gauge("stream.pool.resident_bytes")
+            .add(-((self.allocated as i64) * self.buf_len as i64));
+    }
+}
+
+/// Errors from the streaming drivers.
+///
+/// `E` is the sink's error type; drivers without a sink use the default
+/// [`core::convert::Infallible`], making those variants unconstructible.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StreamError<E = core::convert::Infallible> {
+    /// The underlying code rejected an operation.
+    Code(CodeError),
+    /// The [`GroupSink`] failed to accept an encoded group.
+    Sink(E),
+    /// More groups were fed to a driver than its manifest records.
+    TooManyGroups {
+        /// Groups the manifest records.
+        expected: usize,
+    },
+    /// A driver was finished before every group was processed.
+    MissingGroups {
+        /// Groups processed so far.
+        got: usize,
+        /// Groups the manifest records.
+        expected: usize,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for StreamError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Code(e) => write!(f, "coding failure: {e}"),
+            StreamError::Sink(e) => write!(f, "group sink failed: {e}"),
+            StreamError::TooManyGroups { expected } => {
+                write!(f, "stream already processed all {expected} groups")
+            }
+            StreamError::MissingGroups { got, expected } => {
+                write!(f, "stream finished after {got} of {expected} groups")
+            }
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StreamError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Code(e) => Some(e),
+            StreamError::Sink(e) => Some(e),
+            StreamError::TooManyGroups { .. } | StreamError::MissingGroups { .. } => None,
+        }
+    }
+}
+
+impl<E> From<CodeError> for StreamError<E> {
+    fn from(e: CodeError) -> Self {
+        StreamError::Code(e)
+    }
+}
+
+/// Receives encoded coding groups, in order, from a [`StripeEncoder`].
+///
+/// The encoder retains ownership of the block buffers (they return to its
+/// [`BufferPool`] after the call), so a sink that needs the bytes beyond
+/// the call must copy them — typically it writes them to files, sockets,
+/// or a block store instead.
+///
+/// Any `FnMut(usize, &[Vec<u8>]) -> Result<(), E>` closure is a sink.
+pub trait GroupSink {
+    /// The sink's failure type (e.g. [`std::io::Error`] for file sinks).
+    type Error;
+
+    /// Accepts coding group `group` (0-based, strictly increasing);
+    /// `blocks[b]` is block `b` of that group.
+    ///
+    /// # Errors
+    ///
+    /// Any sink-specific failure; the encoder surfaces it as
+    /// [`StreamError::Sink`] and stops.
+    fn group(&mut self, group: usize, blocks: &[Vec<u8>]) -> Result<(), Self::Error>;
+}
+
+impl<F, E> GroupSink for F
+where
+    F: FnMut(usize, &[Vec<u8>]) -> Result<(), E>,
+{
+    type Error = E;
+
+    fn group(&mut self, group: usize, blocks: &[Vec<u8>]) -> Result<(), E> {
+        self(group, blocks)
+    }
+}
+
+/// How a batch of full messages is encoded into per-group block buffers.
+///
+/// Chosen once at construction: the serial strategy works for any code;
+/// the overlapped strategy (selected by [`StripeEncoder::with_concurrency`])
+/// requires `C: Sync` and encodes the batch's groups on scoped OS threads.
+type BatchFn<C> = fn(&C, &[Vec<u8>], &mut [Vec<Vec<u8>>]) -> Result<(), CodeError>;
+
+fn encode_batch_serial<C: ErasureCode>(
+    code: &C,
+    batch: &[Vec<u8>],
+    outs: &mut [Vec<Vec<u8>>],
+) -> Result<(), CodeError> {
+    for (msg, blocks) in batch.iter().zip(outs.iter_mut()) {
+        code.encode_into(msg, blocks)?;
+    }
+    Ok(())
+}
+
+fn encode_batch_parallel<C: ErasureCode + Sync>(
+    code: &C,
+    batch: &[Vec<u8>],
+    outs: &mut [Vec<Vec<u8>>],
+) -> Result<(), CodeError> {
+    if batch.len() <= 1 {
+        return encode_batch_serial(code, batch, outs);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batch
+            .iter()
+            .zip(outs.iter_mut())
+            .map(|(msg, blocks)| scope.spawn(move || code.encode_into(msg, blocks)))
+            .collect();
+        handles
+            .into_iter()
+            .try_for_each(|h| h.join().expect("stream encoder worker panicked"))
+    })
+}
+
+/// Incremental encoder: pushes an arbitrary-length object through a
+/// fixed-message [`ErasureCode`] one coding group at a time.
+///
+/// Input arrives via [`StripeEncoder::push`] in chunks of any size; each
+/// time a full message accumulates, the group is encoded into recycled
+/// buffers and handed to the [`GroupSink`]. [`StripeEncoder::finish`]
+/// zero-pads the ragged tail (the one place in the workspace where
+/// padding happens), flushes, and returns the [`ObjectManifest`].
+///
+/// Peak memory is `O(message + codeword)` per group in flight — constant
+/// in the object's length.
+///
+/// # Examples
+///
+/// ```
+/// use galloper_erasure::stream::StripeEncoder;
+/// use galloper_rs::ReedSolomon;
+///
+/// let code = ReedSolomon::new(4, 2, 16)?; // message_len = 64
+/// let mut stored: Vec<Vec<Vec<u8>>> = Vec::new();
+/// let mut enc = StripeEncoder::new(&code, |_, blocks: &[Vec<u8>]| {
+///     stored.push(blocks.to_vec());
+///     Ok::<(), std::convert::Infallible>(())
+/// });
+/// enc.push(&[7u8; 100])?; // not a multiple of 64: tail is padded
+/// let (manifest, _) = enc.finish()?;
+/// assert_eq!(manifest.object_len, 100);
+/// assert_eq!(manifest.num_groups, 2);
+/// assert_eq!(stored.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct StripeEncoder<'c, C, S> {
+    code: &'c C,
+    sink: S,
+    batch_fn: BatchFn<C>,
+    concurrency: usize,
+    messages: BufferPool,
+    blocks: BufferPool,
+    pending: Option<Vec<u8>>,
+    fill: usize,
+    batch: Vec<Vec<u8>>,
+    object_len: usize,
+    groups_emitted: usize,
+}
+
+impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
+    /// A serial encoder (one group in flight). Each group's encode still
+    /// fans its output rows across threads inside the code itself.
+    pub fn new(code: &'c C, sink: S) -> Self {
+        StripeEncoder {
+            code,
+            sink,
+            batch_fn: encode_batch_serial::<C>,
+            concurrency: 1,
+            messages: BufferPool::new(code.message_len()),
+            blocks: BufferPool::new(code.block_len()),
+            pending: None,
+            fill: 0,
+            batch: Vec::new(),
+            object_len: 0,
+            groups_emitted: 0,
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes_consumed(&self) -> usize {
+        self.object_len
+    }
+
+    /// Coding groups already delivered to the sink.
+    pub fn groups_emitted(&self) -> usize {
+        self.groups_emitted
+    }
+
+    /// The pool recycling codeword block buffers (for residency stats).
+    pub fn block_pool(&self) -> &BufferPool {
+        &self.blocks
+    }
+
+    /// The pool recycling message buffers (for residency stats).
+    pub fn message_pool(&self) -> &BufferPool {
+        &self.messages
+    }
+
+    /// The sink, for inspection mid-stream.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes `data`, emitting every coding group that completes.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Code`] or [`StreamError::Sink`]; after an error the
+    /// encoder should be dropped.
+    pub fn push(&mut self, mut data: &[u8]) -> Result<(), StreamError<S::Error>> {
+        let msg_len = self.code.message_len();
+        while !data.is_empty() {
+            if self.pending.is_none() {
+                self.pending = Some(self.messages.checkout());
+            }
+            let pending = self.pending.as_mut().expect("just filled");
+            let take = (msg_len - self.fill).min(data.len());
+            pending[self.fill..self.fill + take].copy_from_slice(&data[..take]);
+            self.fill += take;
+            self.object_len += take;
+            data = &data[take..];
+            if self.fill == msg_len {
+                let full = self.pending.take().expect("pending message exists");
+                self.fill = 0;
+                self.batch.push(full);
+                if self.batch.len() >= self.concurrency {
+                    self.flush()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Zero-pads and emits the ragged tail (an empty object still
+    /// occupies one all-zero group, exactly as
+    /// [`ObjectCodec::encode_object`](crate::ObjectCodec::encode_object)
+    /// does), flushes everything in flight, and returns the manifest
+    /// along with the sink.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Code`] or [`StreamError::Sink`].
+    pub fn finish(mut self) -> Result<(ObjectManifest, S), StreamError<S::Error>> {
+        let tail_pending = self.fill > 0;
+        let empty_object = self.object_len == 0 && self.batch.is_empty();
+        if tail_pending || empty_object {
+            let mut pending = match self.pending.take() {
+                Some(buf) => buf,
+                None => self.messages.checkout(),
+            };
+            // The single place tail padding happens: recycled buffers may
+            // be dirty, so the unfilled remainder is zeroed here.
+            pending[self.fill..].fill(0);
+            self.fill = 0;
+            self.batch.push(pending);
+        }
+        self.flush()?;
+        let manifest = ObjectManifest {
+            object_len: self.object_len,
+            num_groups: self.groups_emitted,
+        };
+        Ok((manifest, self.sink))
+    }
+
+    fn flush(&mut self) -> Result<(), StreamError<S::Error>> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let n = self.code.num_blocks();
+        let batch = std::mem::take(&mut self.batch);
+        let mut outs: Vec<Vec<Vec<u8>>> = batch
+            .iter()
+            .map(|_| (0..n).map(|_| self.blocks.checkout()).collect())
+            .collect();
+        let encoded = (self.batch_fn)(self.code, &batch, &mut outs);
+        if let Err(e) = encoded {
+            for blocks in outs {
+                for b in blocks {
+                    self.blocks.give_back(b);
+                }
+            }
+            for msg in batch {
+                self.messages.give_back(msg);
+            }
+            return Err(StreamError::Code(e));
+        }
+        for (msg, blocks) in batch.into_iter().zip(outs) {
+            counter!("stream.groups", 1);
+            let delivered = self.sink.group(self.groups_emitted, &blocks);
+            for b in blocks {
+                self.blocks.give_back(b);
+            }
+            self.messages.give_back(msg);
+            delivered.map_err(StreamError::Sink)?;
+            self.groups_emitted += 1;
+        }
+        Ok(())
+    }
+}
+
+impl<'c, C: ErasureCode + Sync, S: GroupSink> StripeEncoder<'c, C, S> {
+    /// Overlaps up to `groups` coding groups across OS threads.
+    ///
+    /// Peak memory grows to `O(one coding group × groups)`. Note each
+    /// group's encode may itself be multi-threaded (the
+    /// [`galloper_linalg::apply_parallel`] machinery), so modest values
+    /// — 2 to 4 — are usually enough to hide per-group latency.
+    #[must_use]
+    pub fn with_concurrency(mut self, groups: usize) -> Self {
+        self.concurrency = groups.max(1);
+        self.batch_fn = encode_batch_parallel::<C>;
+        self
+    }
+}
+
+/// Incremental decoder: recovers an object group by group, truncating
+/// the final group's padding so callers never see it.
+///
+/// Feed each group's block availability (in group order) to
+/// [`StripeDecoder::next_group`]; it returns exactly the object bytes
+/// that group carries. [`StripeDecoder::finish`] verifies every group
+/// was consumed.
+#[derive(Debug)]
+pub struct StripeDecoder<'c, C> {
+    code: &'c C,
+    object_len: usize,
+    num_groups: usize,
+    next_group: usize,
+    emitted: usize,
+}
+
+impl<'c, C: ErasureCode> StripeDecoder<'c, C> {
+    /// A decoder for the object described by `manifest`.
+    pub fn new(code: &'c C, manifest: ObjectManifest) -> Self {
+        StripeDecoder {
+            code,
+            object_len: manifest.object_len,
+            num_groups: manifest.num_groups,
+            next_group: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Groups the manifest records.
+    pub fn groups_total(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Groups decoded so far.
+    pub fn groups_done(&self) -> usize {
+        self.next_group
+    }
+
+    /// Whether every group has been decoded.
+    pub fn is_done(&self) -> bool {
+        self.next_group == self.num_groups
+    }
+
+    /// Decodes the next group from its block availability (`None` marks
+    /// an erased block) and returns the object bytes it carries — a full
+    /// message for interior groups, the unpadded remainder for the tail.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::TooManyGroups`] once every group was decoded.
+    /// * [`StreamError::Code`] if the group cannot be decoded.
+    pub fn next_group(&mut self, blocks: &[Option<&[u8]>]) -> Result<Vec<u8>, StreamError> {
+        if self.next_group >= self.num_groups {
+            return Err(StreamError::TooManyGroups {
+                expected: self.num_groups,
+            });
+        }
+        let mut payload = self.code.decode(blocks)?;
+        counter!("stream.groups", 1);
+        let take = payload.len().min(self.object_len - self.emitted);
+        payload.truncate(take);
+        self.emitted += take;
+        self.next_group += 1;
+        Ok(payload)
+    }
+
+    /// Confirms the stream is complete, returning the object length.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::MissingGroups`] if groups remain undecoded.
+    pub fn finish(self) -> Result<usize, StreamError> {
+        if self.next_group != self.num_groups {
+            return Err(StreamError::MissingGroups {
+                got: self.next_group,
+                expected: self.num_groups,
+            });
+        }
+        Ok(self.object_len)
+    }
+}
+
+/// Incremental repair driver: rebuilds one block of every coding group
+/// from exactly its repair plan's sources.
+///
+/// The [`RepairPlan`] is resolved once at construction; callers feed the
+/// plan's source blocks (in plan order) for each group and receive the
+/// rebuilt block bytes for that group.
+#[derive(Debug)]
+pub struct StripeReconstructor<'c, C> {
+    code: &'c C,
+    plan: RepairPlan,
+    num_groups: usize,
+    done: usize,
+}
+
+impl<'c, C: ErasureCode> StripeReconstructor<'c, C> {
+    /// A reconstructor for block `target` across `num_groups` groups.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::BlockIndexOutOfRange`] if `target` is invalid.
+    pub fn new(code: &'c C, target: usize, num_groups: usize) -> Result<Self, CodeError> {
+        Ok(StripeReconstructor {
+            plan: code.repair_plan(target)?,
+            code,
+            num_groups,
+            done: 0,
+        })
+    }
+
+    /// The repair plan driving the rebuild (read its
+    /// [`sources`](RepairPlan::sources) to know what to feed).
+    pub fn plan(&self) -> &RepairPlan {
+        &self.plan
+    }
+
+    /// Groups rebuilt so far.
+    pub fn groups_done(&self) -> usize {
+        self.done
+    }
+
+    /// Rebuilds the target block of the next group from `sources`
+    /// (plan-ordered `(block index, bytes)` pairs).
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::TooManyGroups`] once every group was rebuilt.
+    /// * [`StreamError::Code`] on wrong sources or sizes.
+    pub fn next_group(&mut self, sources: &[(usize, &[u8])]) -> Result<Vec<u8>, StreamError> {
+        if self.done >= self.num_groups {
+            return Err(StreamError::TooManyGroups {
+                expected: self.num_groups,
+            });
+        }
+        let rebuilt = self.code.reconstruct(self.plan.target(), sources)?;
+        counter!("stream.groups", 1);
+        self.done += 1;
+        Ok(rebuilt)
+    }
+
+    /// Confirms every group's block was rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::MissingGroups`] if groups remain unprocessed.
+    pub fn finish(self) -> Result<(), StreamError> {
+        if self.done != self.num_groups {
+            return Err(StreamError::MissingGroups {
+                got: self.done,
+                expected: self.num_groups,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockRole, DataLayout, LinearCode};
+    use galloper_linalg::Matrix;
+
+    /// The same tiny XOR code the object tests use: k=2, n=3, N=1.
+    fn xor_code(stripe: usize) -> LinearCode {
+        let generator = Matrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        LinearCode::new(
+            generator,
+            2,
+            vec![BlockRole::Data, BlockRole::Data, BlockRole::GlobalParity],
+            DataLayout::systematic(2, 3, 1),
+            vec![
+                RepairPlan::new(0, vec![1, 2]),
+                RepairPlan::new(1, vec![0, 2]),
+                RepairPlan::new(2, vec![0, 1]),
+            ],
+            stripe,
+        )
+        .unwrap()
+    }
+
+    fn collect_groups(
+        code: &LinearCode,
+        data: &[u8],
+        concurrency: usize,
+        chunk: usize,
+    ) -> (ObjectManifest, Vec<Vec<Vec<u8>>>) {
+        let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
+        let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), core::convert::Infallible> {
+            assert_eq!(g, groups.len(), "groups arrive in order");
+            groups.push(blocks.to_vec());
+            Ok(())
+        };
+        let mut enc = StripeEncoder::new(code, sink).with_concurrency(concurrency);
+        for piece in data.chunks(chunk.max(1)) {
+            enc.push(piece).unwrap();
+        }
+        let (manifest, _) = enc.finish().unwrap();
+        (manifest, groups)
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_for_ragged_and_empty_objects() {
+        let code = xor_code(4); // message_len = 8
+        let codec = crate::ObjectCodec::new(code.clone());
+        for len in [0usize, 1, 7, 8, 9, 16, 17, 100] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+            let oneshot = codec.encode_object(&data).unwrap();
+            for concurrency in [1, 3] {
+                for chunk in [1, 3, 8, 64] {
+                    let (manifest, groups) = collect_groups(&code, &data, concurrency, chunk);
+                    assert_eq!(manifest.object_len, oneshot.manifest.object_len);
+                    assert_eq!(manifest.num_groups, oneshot.manifest.num_groups);
+                    assert_eq!(groups, oneshot.groups, "len={len} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_residency_is_bounded_by_groups_in_flight() {
+        let code = xor_code(4);
+        let data: Vec<u8> = (0..800).map(|i| i as u8).collect(); // 100 groups
+        let sink = |_: usize, _: &[Vec<u8>]| -> Result<(), core::convert::Infallible> { Ok(()) };
+        let mut enc = StripeEncoder::new(&code, sink);
+        enc.push(&data).unwrap();
+        // Serial: exactly one message buffer and one codeword's blocks,
+        // ever, despite 100 groups.
+        assert_eq!(enc.message_pool().allocated(), 1);
+        assert_eq!(enc.block_pool().allocated(), code.num_blocks() as u64);
+        assert!(enc.message_pool().reused() >= 98);
+        let (manifest, _) = enc.finish().unwrap();
+        assert_eq!(manifest.num_groups, 100);
+    }
+
+    #[test]
+    fn concurrent_pool_residency_scales_with_concurrency() {
+        let code = xor_code(4);
+        let data: Vec<u8> = (0..800).map(|i| (i * 7) as u8).collect();
+        let sink = |_: usize, _: &[Vec<u8>]| -> Result<(), core::convert::Infallible> { Ok(()) };
+        let mut enc = StripeEncoder::new(&code, sink).with_concurrency(4);
+        enc.push(&data).unwrap();
+        let (_, _) = {
+            let e = enc;
+            assert!(e.message_pool().allocated() <= 4 + 1);
+            assert!(e.block_pool().allocated() <= (4 + 1) * code.num_blocks() as u64);
+            e.finish().unwrap()
+        };
+    }
+
+    #[test]
+    fn decoder_truncates_tail_and_tracks_groups() {
+        let code = xor_code(4);
+        let data: Vec<u8> = (0..19).map(|i| 250 - i as u8).collect(); // 3 groups, ragged
+        let (manifest, groups) = collect_groups(&code, &data, 1, 19);
+        let mut dec = StripeDecoder::new(&code, manifest);
+        let mut out = Vec::new();
+        for blocks in &groups {
+            let avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
+            out.extend_from_slice(&dec.next_group(&avail).unwrap());
+        }
+        assert!(dec.is_done());
+        let avail: Vec<Option<&[u8]>> = groups[0].iter().map(|b| Some(b.as_slice())).collect();
+        assert!(matches!(
+            dec.next_group(&avail),
+            Err(StreamError::TooManyGroups { expected: 3 })
+        ));
+        assert_eq!(dec.finish().unwrap(), 19);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn decoder_finish_rejects_missing_groups() {
+        let code = xor_code(4);
+        let manifest = ObjectManifest {
+            object_len: 16,
+            num_groups: 2,
+        };
+        let dec = StripeDecoder::new(&code, manifest);
+        assert!(matches!(
+            dec.finish(),
+            Err(StreamError::MissingGroups {
+                got: 0,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn reconstructor_rebuilds_each_block_groupwise() {
+        let code = xor_code(4);
+        let data: Vec<u8> = (0..24).map(|i| (i * 3 + 1) as u8).collect();
+        let (manifest, groups) = collect_groups(&code, &data, 1, 24);
+        for target in 0..3 {
+            let mut rec = StripeReconstructor::new(&code, target, manifest.num_groups).unwrap();
+            let src_ids: Vec<usize> = rec.plan().sources().to_vec();
+            for blocks in &groups {
+                let sources: Vec<(usize, &[u8])> =
+                    src_ids.iter().map(|&s| (s, blocks[s].as_slice())).collect();
+                let rebuilt = rec.next_group(&sources).unwrap();
+                assert_eq!(rebuilt, blocks[target]);
+            }
+            rec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn sink_errors_surface_and_buffers_recycle() {
+        let code = xor_code(4);
+        let mut calls = 0usize;
+        let sink = move |_: usize, _: &[Vec<u8>]| -> Result<(), &'static str> {
+            calls += 1;
+            if calls >= 2 {
+                Err("disk full")
+            } else {
+                Ok(())
+            }
+        };
+        let mut enc = StripeEncoder::new(&code, sink);
+        let err = enc.push(&[9u8; 64]).expect_err("second group must fail");
+        assert!(matches!(err, StreamError::Sink("disk full")));
+    }
+
+    #[test]
+    fn stream_error_display_and_source() {
+        let e: StreamError<std::io::Error> = StreamError::Code(CodeError::BlockSizeMismatch);
+        assert!(e.to_string().contains("coding failure"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: StreamError<std::io::Error> = StreamError::Sink(std::io::Error::other("x"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: StreamError = StreamError::MissingGroups {
+            got: 1,
+            expected: 2,
+        };
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("1 of 2"));
+    }
+}

@@ -60,11 +60,46 @@ pub fn apply_into(matrix: &Matrix, inputs: &[&[u8]], outputs: &mut [&mut [u8]]) 
 ///
 /// Same shape conditions as [`apply`].
 pub fn apply_parallel(matrix: &Matrix, inputs: &[&[u8]], threads: usize) -> Vec<Vec<u8>> {
-    if threads <= 1 || matrix.rows() == 1 {
-        return apply(matrix, inputs);
-    }
     let stripe_len = check_inputs(matrix, inputs);
     let mut outputs: Vec<Vec<u8>> = (0..matrix.rows()).map(|_| vec![0; stripe_len]).collect();
+    {
+        let mut out_refs: Vec<&mut [u8]> = outputs.iter_mut().map(Vec::as_mut_slice).collect();
+        apply_parallel_into(matrix, inputs, &mut out_refs, threads);
+    }
+    outputs
+}
+
+/// Multi-threaded [`apply_into`]: computes `matrix · inputs` into
+/// caller-provided output buffers, distributing output rows over
+/// `threads` OS threads via [`std::thread::scope`].
+///
+/// This is the buffer-recycling primitive behind the streaming codec
+/// pipeline (`galloper_erasure::stream`): a driver can checkout block
+/// buffers from a pool and encode group after group with no per-group
+/// allocation. With `threads <= 1` it falls back to the serial
+/// [`apply_into`]. Outputs are deterministic and identical to [`apply`].
+///
+/// # Panics
+///
+/// Same shape conditions as [`apply_into`].
+pub fn apply_parallel_into(
+    matrix: &Matrix,
+    inputs: &[&[u8]],
+    outputs: &mut [&mut [u8]],
+    threads: usize,
+) {
+    if threads <= 1 || matrix.rows() == 1 {
+        return apply_into(matrix, inputs, outputs);
+    }
+    let stripe_len = check_inputs(matrix, inputs);
+    assert_eq!(
+        outputs.len(),
+        matrix.rows(),
+        "output count must equal matrix rows"
+    );
+    for out in outputs.iter() {
+        assert_eq!(out.len(), stripe_len, "output stripe length mismatch");
+    }
     let rows_per_thread = matrix.rows().div_ceil(threads);
     std::thread::scope(|scope| {
         for (chunk_idx, chunk) in outputs.chunks_mut(rows_per_thread).enumerate() {
@@ -76,7 +111,6 @@ pub fn apply_parallel(matrix: &Matrix, inputs: &[&[u8]], threads: usize) -> Vec<
             });
         }
     });
-    outputs
 }
 
 /// One output stripe: `out = Σ_j row[j] · inputs[j]`.
@@ -173,6 +207,35 @@ mod tests {
         let fresh = apply(&m, &refs);
         assert_eq!(a, fresh[0]);
         assert_eq!(b, fresh[1]);
+    }
+
+    #[test]
+    fn parallel_into_matches_serial_and_reuses_buffers() {
+        let m = Matrix::cauchy(5, 3);
+        let inputs = sample_inputs(3, 513);
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let fresh = apply(&m, &refs);
+        // Dirty buffers must be fully overwritten, for any thread count.
+        for threads in [1, 2, 4, 9] {
+            let mut bufs: Vec<Vec<u8>> = (0..5).map(|_| vec![0xEE; 513]).collect();
+            {
+                let mut outs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+                apply_parallel_into(&m, &refs, &mut outs, threads);
+            }
+            assert_eq!(bufs, fresh, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output stripe length mismatch")]
+    fn parallel_into_rejects_short_output() {
+        let m = Matrix::cauchy(2, 2);
+        let inputs = sample_inputs(2, 8);
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut a = vec![0u8; 8];
+        let mut b = vec![0u8; 7];
+        let mut outs: Vec<&mut [u8]> = vec![&mut a, &mut b];
+        apply_parallel_into(&m, &refs, &mut outs, 2);
     }
 
     #[test]

@@ -33,6 +33,6 @@ mod construct;
 mod matrix;
 mod ops;
 
-pub use apply::{apply, apply_into, apply_parallel};
+pub use apply::{apply, apply_into, apply_parallel, apply_parallel_into};
 pub use matrix::Matrix;
 pub use ops::{RowBasis, SingularMatrixError};

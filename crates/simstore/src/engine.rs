@@ -127,7 +127,11 @@ pub(crate) fn to_secs(us: Micros) -> f64 {
 /// [`net_megabytes`](Self::net_megabytes)) **panic with a descriptive
 /// message** when given an id or server outside the simulated run —
 /// such a query is a caller bug, and silently answering `0.0` hid those
-/// bugs in the past. [`busy_secs`](Self::busy_secs) and
+/// bugs in the past. Each has a non-panicking `try_` twin (e.g.
+/// [`try_finish_secs`](Self::try_finish_secs)) returning `Option` for
+/// callers probing ids they did not mint themselves; the panicking
+/// accessors are thin documented wrappers over the `try_` forms.
+/// [`busy_secs`](Self::busy_secs) and
 /// [`utilization`](Self::utilization) are the deliberate exception:
 /// they take a *(server, kind)* pair drawn from the full cross product,
 /// and a pair that never did work legitimately answers `0.0`.
@@ -150,9 +154,8 @@ pub struct RunResult {
 
 impl RunResult {
     #[track_caller]
-    fn check_id(&self, id: ActivityId) {
-        assert!(
-            id.0 < self.finish.len(),
+    fn bad_id(&self, id: ActivityId) -> ! {
+        panic!(
             "activity id {} out of range: this run simulated {} activities",
             id.0,
             self.finish.len()
@@ -160,9 +163,8 @@ impl RunResult {
     }
 
     #[track_caller]
-    fn check_server(&self, server: usize) {
-        assert!(
-            server < self.disk_read_mb.len(),
+    fn bad_server(&self, server: usize) -> ! {
+        panic!(
             "server {server} out of range: this run simulated {} servers",
             self.disk_read_mb.len()
         );
@@ -173,35 +175,78 @@ impl RunResult {
         to_secs(self.finish.iter().copied().max().unwrap_or(0))
     }
 
+    /// Finish time of one activity, in seconds, or `None` if `id` does
+    /// not belong to the simulated graph.
+    pub fn try_finish_secs(&self, id: ActivityId) -> Option<f64> {
+        self.finish.get(id.0).map(|&us| to_secs(us))
+    }
+
     /// Finish time of one activity, in seconds.
+    ///
+    /// Thin wrapper over [`try_finish_secs`](Self::try_finish_secs) for
+    /// callers holding ids they minted themselves.
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to the simulated graph.
+    #[track_caller]
     pub fn finish_secs(&self, id: ActivityId) -> f64 {
-        self.check_id(id);
-        to_secs(self.finish[id.0])
+        match self.try_finish_secs(id) {
+            Some(v) => v,
+            None => self.bad_id(id),
+        }
+    }
+
+    /// Start time of one activity, in seconds, or `None` if `id` does
+    /// not belong to the simulated graph.
+    pub fn try_start_secs(&self, id: ActivityId) -> Option<f64> {
+        self.start.get(id.0).map(|&us| to_secs(us))
     }
 
     /// Start time of one activity, in seconds.
     ///
+    /// Thin wrapper over [`try_start_secs`](Self::try_start_secs).
+    ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to the simulated graph.
+    #[track_caller]
     pub fn start_secs(&self, id: ActivityId) -> f64 {
-        self.check_id(id);
-        to_secs(self.start[id.0])
+        match self.try_start_secs(id) {
+            Some(v) => v,
+            None => self.bad_id(id),
+        }
+    }
+
+    /// When the activity became ready (all dependencies finished), in
+    /// seconds, or `None` if `id` does not belong to the simulated graph.
+    pub fn try_ready_secs(&self, id: ActivityId) -> Option<f64> {
+        self.ready.get(id.0).map(|&us| to_secs(us))
     }
 
     /// When the activity became ready (all dependencies finished), in
     /// seconds.
     ///
+    /// Thin wrapper over [`try_ready_secs`](Self::try_ready_secs).
+    ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to the simulated graph.
+    #[track_caller]
     pub fn ready_secs(&self, id: ActivityId) -> f64 {
-        self.check_id(id);
-        to_secs(self.ready[id.0])
+        match self.try_ready_secs(id) {
+            Some(v) => v,
+            None => self.bad_id(id),
+        }
+    }
+
+    /// How long the activity sat ready but waiting for its resource, in
+    /// seconds (`start - ready`), or `None` if `id` does not belong to
+    /// the simulated graph.
+    pub fn try_queue_wait_secs(&self, id: ActivityId) -> Option<f64> {
+        let start = *self.start.get(id.0)?;
+        let ready = *self.ready.get(id.0)?;
+        Some(to_secs(start - ready))
     }
 
     /// How long the activity sat ready but waiting for its resource, in
@@ -209,12 +254,17 @@ impl RunResult {
     /// measure of contention: the paper's parallelism argument is that
     /// spreading data shrinks exactly this term.
     ///
+    /// Thin wrapper over [`try_queue_wait_secs`](Self::try_queue_wait_secs).
+    ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to the simulated graph.
+    #[track_caller]
     pub fn queue_wait_secs(&self, id: ActivityId) -> f64 {
-        self.check_id(id);
-        to_secs(self.start[id.0] - self.ready[id.0])
+        match self.try_queue_wait_secs(id) {
+            Some(v) => v,
+            None => self.bad_id(id),
+        }
     }
 
     /// Total queue wait across every activity, in seconds.
@@ -226,24 +276,47 @@ impl RunResult {
             .sum()
     }
 
+    /// Total megabytes read from `server`'s disk, or `None` if `server`
+    /// was not part of the simulated cluster.
+    pub fn try_disk_read_megabytes(&self, server: usize) -> Option<f64> {
+        self.disk_read_mb.get(server).copied()
+    }
+
     /// Total megabytes read from `server`'s disk.
+    ///
+    /// Thin wrapper over
+    /// [`try_disk_read_megabytes`](Self::try_disk_read_megabytes).
     ///
     /// # Panics
     ///
     /// Panics if `server` was not part of the simulated cluster.
+    #[track_caller]
     pub fn disk_read_megabytes(&self, server: usize) -> f64 {
-        self.check_server(server);
-        self.disk_read_mb[server]
+        match self.try_disk_read_megabytes(server) {
+            Some(v) => v,
+            None => self.bad_server(server),
+        }
+    }
+
+    /// Megabytes received over `server`'s NIC, or `None` if `server` was
+    /// not part of the simulated cluster.
+    pub fn try_net_megabytes(&self, server: usize) -> Option<f64> {
+        self.net_mb.get(server).copied()
     }
 
     /// Megabytes received over `server`'s NIC.
     ///
+    /// Thin wrapper over [`try_net_megabytes`](Self::try_net_megabytes).
+    ///
     /// # Panics
     ///
     /// Panics if `server` was not part of the simulated cluster.
+    #[track_caller]
     pub fn net_megabytes(&self, server: usize) -> f64 {
-        self.check_server(server);
-        self.net_mb[server]
+        match self.try_net_megabytes(server) {
+            Some(v) => v,
+            None => self.bad_server(server),
+        }
     }
 
     /// Total disk megabytes read cluster-wide (the paper's repair disk-I/O
@@ -730,6 +803,29 @@ mod tests {
         g.add(0, ResourceKind::DiskRead, Work::Megabytes(1.0), &[]);
         let r = run(&g, 2);
         r.disk_read_megabytes(5);
+    }
+
+    #[test]
+    fn try_accessors_answer_none_out_of_range_and_agree_in_range() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(0, ResourceKind::DiskRead, Work::Megabytes(1.0), &[]);
+        let r = run(&g, 2);
+
+        // In range: the try_ and panicking forms agree exactly.
+        assert_eq!(r.try_finish_secs(a), Some(r.finish_secs(a)));
+        assert_eq!(r.try_start_secs(a), Some(r.start_secs(a)));
+        assert_eq!(r.try_ready_secs(a), Some(r.ready_secs(a)));
+        assert_eq!(r.try_queue_wait_secs(a), Some(r.queue_wait_secs(a)));
+        assert_eq!(r.try_disk_read_megabytes(0), Some(r.disk_read_megabytes(0)));
+        assert_eq!(r.try_net_megabytes(1), Some(r.net_megabytes(1)));
+
+        // Out of range: None instead of a panic.
+        assert_eq!(r.try_finish_secs(ActivityId(9)), None);
+        assert_eq!(r.try_start_secs(ActivityId(9)), None);
+        assert_eq!(r.try_ready_secs(ActivityId(9)), None);
+        assert_eq!(r.try_queue_wait_secs(ActivityId(9)), None);
+        assert_eq!(r.try_disk_read_megabytes(5), None);
+        assert_eq!(r.try_net_megabytes(5), None);
     }
 
     #[test]

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> tier-1: cargo build + test"
 cargo build --release
 cargo test -q --release

@@ -34,11 +34,18 @@ pub mod codes {
         StripeAllocation, WeightError,
     };
     pub use galloper_carousel::Carousel;
+    pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
     pub use galloper_erasure::{
-        BlockRole, CodeError, ConstructionError, DataLayout, ErasureCode, LinearCode, RepairPlan,
+        BlockRole, CodeError, ConstructionError, DataLayout, ErasureCode, LinearCode, ObjectCodec,
+        ObjectManifest, RepairPlan,
     };
     pub use galloper_pyramid::Pyramid;
     pub use galloper_rs::ReedSolomon;
+}
+
+/// The streaming bounded-memory codec drivers.
+pub mod stream {
+    pub use galloper_erasure::stream::*;
 }
 
 /// The erasure-coded distributed file system.

@@ -1,0 +1,166 @@
+//! Property-style round-trips of the streaming codec drivers against the
+//! one-shot [`ObjectCodec`]: for every code family, every ragged object
+//! length (including the empty object), every push-chunk size, and both
+//! serial and concurrent encoders, the streamed groups must be
+//! byte-identical to the whole-object path and decode back to the exact
+//! original bytes — while the buffer pools stay bounded by the number of
+//! groups in flight.
+
+use galloper_suite::codes::{build_code, BoxedCode, CodeSpec, ErasureCode, ObjectCodec};
+use galloper_suite::stream::{StripeDecoder, StripeEncoder, StripeReconstructor};
+
+/// Deterministic non-trivial payload.
+fn sample(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i.wrapping_mul(131).wrapping_add(seed as usize * 17) % 251) as u8)
+        .collect()
+}
+
+/// Every family at small stripe sizes, as the specs the shared builder
+/// consumes — exactly what the CLI would rebuild from a manifest.
+fn families() -> Vec<(&'static str, CodeSpec)> {
+    vec![
+        ("rs", CodeSpec::rs(4, 2, 64)),
+        ("pyramid", CodeSpec::pyramid(4, 2, 1, 64)),
+        ("carousel", CodeSpec::carousel(4, 2, 16)),
+        ("galloper", CodeSpec::galloper(4, 2, 1, 16)),
+        ("galloper-asl", CodeSpec::galloper_asl(4, 2, 2, 16)),
+    ]
+}
+
+/// Object lengths exercising the empty object, sub-group tails, exact
+/// multiples, and ragged multi-group objects.
+fn object_lens(msg: usize) -> Vec<usize> {
+    vec![0, 1, msg / 2, msg - 1, msg, msg + 1, 2 * msg, 3 * msg - 7]
+}
+
+/// Streams `data` through a [`StripeEncoder`] in `chunk`-byte pushes and
+/// returns the emitted groups plus the encoder's pool-allocation counts.
+fn stream_encode(
+    code: &BoxedCode,
+    data: &[u8],
+    chunk: usize,
+    concurrency: usize,
+) -> (
+    galloper_suite::codes::ObjectManifest,
+    Vec<Vec<Vec<u8>>>,
+    u64,
+    u64,
+) {
+    let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
+    let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), core::convert::Infallible> {
+        assert_eq!(g, groups.len(), "groups must arrive in order");
+        groups.push(blocks.to_vec());
+        Ok(())
+    };
+    let mut encoder = StripeEncoder::new(code, sink).with_concurrency(concurrency);
+    for piece in data.chunks(chunk.max(1)) {
+        encoder.push(piece).unwrap();
+    }
+    let msg_alloc = encoder.message_pool().allocated();
+    let blk_alloc = encoder.block_pool().allocated();
+    // `_` drops the returned sink here, releasing its borrow of `groups`.
+    let (manifest, _) = encoder.finish().unwrap();
+    (manifest, groups, msg_alloc, blk_alloc)
+}
+
+#[test]
+fn streaming_encode_matches_oneshot_for_every_family() {
+    for (name, spec) in families() {
+        let code = build_code(&spec).unwrap();
+        let msg = code.message_len();
+        // The builder is deterministic, so a second build is the same code.
+        let codec = ObjectCodec::new(build_code(&spec).unwrap());
+        for len in object_lens(msg) {
+            let data = sample(len, 3);
+            let oneshot = codec.encode_object(&data).unwrap();
+            for concurrency in [1, 3] {
+                for chunk in [7, msg, usize::MAX] {
+                    let (manifest, groups, _, _) =
+                        stream_encode(&code, &data, chunk.min(len.max(1)), concurrency);
+                    assert_eq!(
+                        manifest, oneshot.manifest,
+                        "{name}: manifest len={len} chunk={chunk} conc={concurrency}"
+                    );
+                    assert_eq!(
+                        groups, oneshot.groups,
+                        "{name}: groups len={len} chunk={chunk} conc={concurrency}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_decode_recovers_exact_bytes_with_a_lost_block() {
+    for (name, spec) in families() {
+        let code = build_code(&spec).unwrap();
+        let msg = code.message_len();
+        let n = code.num_blocks();
+        for len in object_lens(msg) {
+            let data = sample(len, 5);
+            let (manifest, groups, _, _) = stream_encode(&code, &data, 4096, 2);
+
+            // Stream the groups back with data block 0 missing everywhere.
+            let mut decoder = StripeDecoder::new(&code, manifest);
+            let mut out = Vec::new();
+            for blocks in &groups {
+                let available: Vec<Option<&[u8]>> = (0..n)
+                    .map(|b| (b != 0).then(|| blocks[b].as_slice()))
+                    .collect();
+                out.extend_from_slice(&decoder.next_group(&available).unwrap());
+            }
+            let total = decoder.finish().unwrap();
+            assert_eq!(total, len, "{name}: reported length for len={len}");
+            assert_eq!(out, data, "{name}: decoded bytes for len={len}");
+        }
+    }
+}
+
+#[test]
+fn streaming_reconstruct_rebuilds_every_block_groupwise() {
+    for (name, spec) in families() {
+        let code = build_code(&spec).unwrap();
+        let msg = code.message_len();
+        let data = sample(3 * msg - 7, 9);
+        let (manifest, groups, _, _) = stream_encode(&code, &data, 4096, 1);
+
+        for target in 0..code.num_blocks() {
+            let mut rec = StripeReconstructor::new(&code, target, manifest.num_groups).unwrap();
+            let src_ids: Vec<usize> = rec.plan().sources().to_vec();
+            for blocks in &groups {
+                let sources: Vec<(usize, &[u8])> =
+                    src_ids.iter().map(|&s| (s, blocks[s].as_slice())).collect();
+                let rebuilt = rec.next_group(&sources).unwrap();
+                assert_eq!(rebuilt, blocks[target], "{name}: block {target}");
+            }
+            rec.finish().unwrap();
+        }
+    }
+}
+
+#[test]
+fn encoder_pools_stay_bounded_by_groups_in_flight() {
+    for (name, spec) in families() {
+        let code = build_code(&spec).unwrap();
+        let msg = code.message_len();
+        let n = code.num_blocks() as u64;
+        // 20 groups through a serial and a 3-deep concurrent encoder.
+        let data = sample(20 * msg, 11);
+        for concurrency in [1u64, 3] {
+            let (_, groups, msg_alloc, blk_alloc) =
+                stream_encode(&code, &data, msg, concurrency as usize);
+            assert_eq!(groups.len(), 20, "{name}");
+            // One message buffer may be pending while a full batch codes.
+            assert!(
+                msg_alloc <= concurrency + 1,
+                "{name}: {msg_alloc} message buffers at concurrency {concurrency}"
+            );
+            assert!(
+                blk_alloc <= concurrency * n,
+                "{name}: {blk_alloc} block buffers at concurrency {concurrency}"
+            );
+        }
+    }
+}
