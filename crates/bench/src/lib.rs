@@ -67,10 +67,21 @@ pub fn json_out_dir_from(args: impl IntoIterator<Item = String>) -> Option<PathB
 /// Writes `BENCH_<name>.json` into the JSON output directory, if JSON
 /// output is enabled; otherwise does nothing. IO failures warn on
 /// stderr rather than aborting the benchmark run.
+///
+/// Every object document is stamped with a `kernel_backend` field naming
+/// the active GF(2⁸) kernel backend (`scalar`/`swar`/`simd`), so results
+/// gathered on different machines — or under a `GALLOPER_KERNEL`
+/// override — stay attributable.
 pub fn emit_json(name: &str, doc: &Json) {
     let Some(dir) = json_out_dir() else { return };
+    let doc = match doc {
+        Json::Obj(_) if doc.get("kernel_backend").is_none() => doc
+            .clone()
+            .field("kernel_backend", galloper_gf::kernel::active().name()),
+        _ => doc.clone(),
+    };
     let path = dir.join(format!("BENCH_{name}.json"));
-    match galloper_obs::write_json(&path, doc) {
+    match galloper_obs::write_json(&path, &doc) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }

@@ -20,9 +20,10 @@
 //! steady-state encode performs **no per-group allocation**: peak codec
 //! memory is `O(one coding group × groups in flight)` regardless of the
 //! object's size. [`StripeEncoder::with_concurrency`] additionally
-//! overlaps whole groups across OS threads (each group's encode already
-//! fans its output rows across threads via
-//! [`galloper_linalg::apply_parallel_into`]).
+//! overlaps whole groups across the persistent worker pool
+//! ([`galloper_linalg::pool::global_pool`]) — no per-group thread spawns;
+//! each group's encode already fans its output rows across the same pool
+//! via [`galloper_linalg::apply_parallel_into`].
 //!
 //! The drivers feed the global [`galloper_obs`] registry:
 //!
@@ -212,7 +213,8 @@ where
 ///
 /// Chosen once at construction: the serial strategy works for any code;
 /// the overlapped strategy (selected by [`StripeEncoder::with_concurrency`])
-/// requires `C: Sync` and encodes the batch's groups on scoped OS threads.
+/// requires `C: Sync` and encodes the batch's groups on the persistent
+/// [`galloper_linalg::pool::global_pool`] workers.
 type BatchFn<C> = fn(&C, &[Vec<u8>], &mut [Vec<Vec<u8>>]) -> Result<(), CodeError>;
 
 fn encode_batch_serial<C: ErasureCode>(
@@ -234,16 +236,23 @@ fn encode_batch_parallel<C: ErasureCode + Sync>(
     if batch.len() <= 1 {
         return encode_batch_serial(code, batch, outs);
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = batch
-            .iter()
-            .zip(outs.iter_mut())
-            .map(|(msg, blocks)| scope.spawn(move || code.encode_into(msg, blocks)))
-            .collect();
-        handles
-            .into_iter()
-            .try_for_each(|h| h.join().expect("stream encoder worker panicked"))
-    })
+    // One result slot per group; the pool's workers (which persist across
+    // batches — no per-group thread spawns) fill them in place. A group's
+    // encode may itself fan rows across the same pool; the pool's
+    // help-while-wait scheduling makes that nesting deadlock-free.
+    let mut results: Vec<Result<(), CodeError>> = batch.iter().map(|_| Ok(())).collect();
+    let tasks: Vec<galloper_linalg::pool::ScopedTask<'_>> = batch
+        .iter()
+        .zip(outs.iter_mut())
+        .zip(results.iter_mut())
+        .map(|((msg, blocks), slot)| {
+            Box::new(move || {
+                *slot = code.encode_into(msg, blocks);
+            }) as galloper_linalg::pool::ScopedTask<'_>
+        })
+        .collect();
+    galloper_linalg::pool::global_pool().run(tasks);
+    results.into_iter().collect()
 }
 
 /// Incremental encoder: pushes an arbitrary-length object through a
@@ -434,12 +443,14 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
 }
 
 impl<'c, C: ErasureCode + Sync, S: GroupSink> StripeEncoder<'c, C, S> {
-    /// Overlaps up to `groups` coding groups across OS threads.
+    /// Overlaps up to `groups` coding groups across the persistent
+    /// worker pool ([`galloper_linalg::pool::global_pool`]).
     ///
     /// Peak memory grows to `O(one coding group × groups)`. Note each
     /// group's encode may itself be multi-threaded (the
-    /// [`galloper_linalg::apply_parallel`] machinery), so modest values
-    /// — 2 to 4 — are usually enough to hide per-group latency.
+    /// [`galloper_linalg::apply_parallel`] machinery, sharing the same
+    /// pool), so modest values — 2 to 4 — are usually enough to hide
+    /// per-group latency.
     #[must_use]
     pub fn with_concurrency(mut self, groups: usize) -> Self {
         self.concurrency = groups.max(1);

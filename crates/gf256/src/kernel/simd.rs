@@ -1,0 +1,253 @@
+//! The `std::arch` shuffle backend: nibble-split table lookups done
+//! 16 (SSSE3/NEON) or 32 (AVX2) bytes per step.
+//!
+//! Technique (the same one ISA-L uses): a product `c·s` factors as
+//! `c·(s & 0x0F) ^ c·(s >> 4 << 4)`. Each half has only 16 possible
+//! values, so the two 16-byte rows `MUL_LO_NIBBLE[c]` / `MUL_HI_NIBBLE[c]`
+//! are loaded into vector registers once per slice call, and every data
+//! byte is resolved with two in-register shuffles (`pshufb` / `vtbl`) —
+//! no memory lookups in the loop at all.
+//!
+//! # Safety
+//!
+//! This is the only `unsafe` code in the crate, and it is bounded by
+//! three invariants:
+//!
+//! 1. **Feature gating** — every `#[target_feature]` function is reached
+//!    only through the safe wrappers below, which consult the
+//!    process-wide feature probe (`is_x86_feature_detected!` / NEON,
+//!    cached in a `OnceLock`). The instructions executed are therefore
+//!    always supported by the running CPU.
+//! 2. **In-bounds pointers** — the wrappers pass equal-length slices
+//!    (asserted by the dispatch layer), and each intrinsic loop touches
+//!    only `i < n` where `n = len - len % STRIDE` is computed from the
+//!    slice length; the `[n..]` tail is handled by the safe scalar
+//!    backend. All loads/stores are the unaligned (`loadu`/`storeu` /
+//!    `vld1q`/`vst1q`) variants, so sub-slice alignment is irrelevant.
+//! 3. **No aliasing** — `src` and `dst` are `&[u8]` / `&mut [u8]` of the
+//!    same call, so Rust's borrow rules already guarantee they do not
+//!    overlap.
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use crate::tables::{MUL_HI_NIBBLE, MUL_LO_NIBBLE};
+    use core::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Level {
+        Avx2,
+        Ssse3,
+    }
+
+    fn level() -> Option<Level> {
+        static LEVEL: OnceLock<Option<Level>> = OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Some(Level::Avx2)
+            } else if std::arch::is_x86_feature_detected!("ssse3") {
+                Some(Level::Ssse3)
+            } else {
+                None
+            }
+        })
+    }
+
+    pub(in crate::kernel) fn supported() -> bool {
+        level().is_some()
+    }
+
+    pub(in crate::kernel) fn mul_add(c: u8, src: &[u8], dst: &mut [u8]) {
+        // SAFETY: `level()` proved the matching CPU feature is present;
+        // slice lengths are equal (asserted by the dispatch layer).
+        let done = match level().expect("simd kernel backend unavailable on this CPU") {
+            Level::Avx2 => unsafe { mul_add_avx2(c, src, dst) },
+            Level::Ssse3 => unsafe { mul_add_ssse3(c, src, dst) },
+        };
+        crate::kernel::scalar::mul_add(c, &src[done..], &mut dst[done..]);
+    }
+
+    pub(in crate::kernel) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
+        // SAFETY: as in `mul_add`.
+        let done = match level().expect("simd kernel backend unavailable on this CPU") {
+            Level::Avx2 => unsafe { mul_avx2(c, src, dst) },
+            Level::Ssse3 => unsafe { mul_ssse3(c, src, dst) },
+        };
+        crate::kernel::scalar::mul(c, &src[done..], &mut dst[done..]);
+    }
+
+    /// Returns the number of prefix bytes processed (a multiple of 32).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_add_avx2(c: u8, src: &[u8], dst: &mut [u8]) -> usize {
+        let lo =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO_NIBBLE[c as usize].as_ptr().cast()));
+        let hi =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_HI_NIBBLE[c as usize].as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = src.len() & !31;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i).cast());
+            let l = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+            let h = _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            let p = _mm256_xor_si256(l, h);
+            let d = _mm256_loadu_si256(dp.add(i).cast());
+            _mm256_storeu_si256(dp.add(i).cast(), _mm256_xor_si256(d, p));
+            i += 32;
+        }
+        n
+    }
+
+    /// Returns the number of prefix bytes processed (a multiple of 32).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_avx2(c: u8, src: &[u8], dst: &mut [u8]) -> usize {
+        let lo =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO_NIBBLE[c as usize].as_ptr().cast()));
+        let hi =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_HI_NIBBLE[c as usize].as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = src.len() & !31;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i).cast());
+            let l = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+            let h = _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            _mm256_storeu_si256(dp.add(i).cast(), _mm256_xor_si256(l, h));
+            i += 32;
+        }
+        n
+    }
+
+    /// Returns the number of prefix bytes processed (a multiple of 16).
+    ///
+    /// # Safety
+    ///
+    /// Requires SSSE3 and `src.len() == dst.len()`.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_add_ssse3(c: u8, src: &[u8], dst: &mut [u8]) -> usize {
+        let lo = _mm_loadu_si128(MUL_LO_NIBBLE[c as usize].as_ptr().cast());
+        let hi = _mm_loadu_si128(MUL_HI_NIBBLE[c as usize].as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let n = src.len() & !15;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i).cast());
+            let l = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+            let h = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            let p = _mm_xor_si128(l, h);
+            let d = _mm_loadu_si128(dp.add(i).cast());
+            _mm_storeu_si128(dp.add(i).cast(), _mm_xor_si128(d, p));
+            i += 16;
+        }
+        n
+    }
+
+    /// Returns the number of prefix bytes processed (a multiple of 16).
+    ///
+    /// # Safety
+    ///
+    /// Requires SSSE3 and `src.len() == dst.len()`.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_ssse3(c: u8, src: &[u8], dst: &mut [u8]) -> usize {
+        let lo = _mm_loadu_si128(MUL_LO_NIBBLE[c as usize].as_ptr().cast());
+        let hi = _mm_loadu_si128(MUL_HI_NIBBLE[c as usize].as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let n = src.len() & !15;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i).cast());
+            let l = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+            let h = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            _mm_storeu_si128(dp.add(i).cast(), _mm_xor_si128(l, h));
+            i += 16;
+        }
+        n
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod imp {
+    use crate::tables::{MUL_HI_NIBBLE, MUL_LO_NIBBLE};
+    use core::arch::aarch64::*;
+
+    pub(in crate::kernel) fn supported() -> bool {
+        std::arch::is_aarch64_feature_detected!("neon")
+    }
+
+    pub(in crate::kernel) fn mul_add(c: u8, src: &[u8], dst: &mut [u8]) {
+        assert!(supported(), "simd kernel backend unavailable on this CPU");
+        // SAFETY: NEON presence checked above; slice lengths are equal
+        // (asserted by the dispatch layer).
+        let done = unsafe { mul_add_neon(c, src, dst) };
+        crate::kernel::scalar::mul_add(c, &src[done..], &mut dst[done..]);
+    }
+
+    pub(in crate::kernel) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
+        assert!(supported(), "simd kernel backend unavailable on this CPU");
+        // SAFETY: as in `mul_add`.
+        let done = unsafe { mul_neon(c, src, dst) };
+        crate::kernel::scalar::mul(c, &src[done..], &mut dst[done..]);
+    }
+
+    /// Returns the number of prefix bytes processed (a multiple of 16).
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `src.len() == dst.len()`.
+    #[target_feature(enable = "neon")]
+    unsafe fn mul_add_neon(c: u8, src: &[u8], dst: &mut [u8]) -> usize {
+        let lo = vld1q_u8(MUL_LO_NIBBLE[c as usize].as_ptr());
+        let hi = vld1q_u8(MUL_HI_NIBBLE[c as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let n = src.len() & !15;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = vld1q_u8(sp.add(i));
+            let l = vqtbl1q_u8(lo, vandq_u8(s, mask));
+            let h = vqtbl1q_u8(hi, vshrq_n_u8::<4>(s));
+            let p = veorq_u8(l, h);
+            let d = vld1q_u8(dp.add(i));
+            vst1q_u8(dp.add(i), veorq_u8(d, p));
+            i += 16;
+        }
+        n
+    }
+
+    /// Returns the number of prefix bytes processed (a multiple of 16).
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `src.len() == dst.len()`.
+    #[target_feature(enable = "neon")]
+    unsafe fn mul_neon(c: u8, src: &[u8], dst: &mut [u8]) -> usize {
+        let lo = vld1q_u8(MUL_LO_NIBBLE[c as usize].as_ptr());
+        let hi = vld1q_u8(MUL_HI_NIBBLE[c as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let n = src.len() & !15;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < n {
+            let s = vld1q_u8(sp.add(i));
+            let l = vqtbl1q_u8(lo, vandq_u8(s, mask));
+            let h = vqtbl1q_u8(hi, vshrq_n_u8::<4>(s));
+            vst1q_u8(dp.add(i), veorq_u8(l, h));
+            i += 16;
+        }
+        n
+    }
+}
+
+pub(super) use imp::{mul, mul_add, supported};

@@ -1,0 +1,104 @@
+//! The portable SWAR backend: eight field multiplications per step using
+//! plain `u64` arithmetic — no tables in the hot loop, no `unsafe`.
+//!
+//! A whole word of bytes is multiplied by the generator `x` at once:
+//! shift every byte left within its lane, then fold the bytes that
+//! overflowed back in with the reduction constant `0x1D`
+//! (`PRIMITIVE_POLY` minus the `x⁸` term). Multiplication by an
+//! arbitrary constant `c` is then one conditional XOR per set bit of
+//! `c` — at most eight doublings per word, independent of the slice
+//! length. Because the lane masks are position-based, the routine is
+//! endian-agnostic.
+
+use crate::tables::{MUL_TABLE, PRIMITIVE_POLY};
+
+const MSB: u64 = 0x8080_8080_8080_8080;
+const POLY_LOW: u64 = (PRIMITIVE_POLY & 0xFF) as u64; // 0x1D
+
+/// Multiplies every byte lane of `x` by the field generator (value 2).
+///
+/// `(x & MSB) >> 7` is `0x00` or `0x01` per lane; multiplying the whole
+/// word by `0x1D` scales each of those lanes to `0x00`/`0x1D` without
+/// cross-lane carries (the per-lane product is at most `0x1D`).
+#[inline]
+fn mulx_wide(x: u64) -> u64 {
+    ((x & !MSB) << 1) ^ (((x & MSB) >> 7) * POLY_LOW)
+}
+
+/// Multiplies every byte lane of `x` by the constant `c`.
+#[inline]
+fn mul_word(mut x: u64, c: u8) -> u64 {
+    let mut acc = if c & 1 != 0 { x } else { 0 };
+    let mut bits = c >> 1;
+    while bits != 0 {
+        x = mulx_wide(x);
+        if bits & 1 != 0 {
+            acc ^= x;
+        }
+        bits >>= 1;
+    }
+    acc
+}
+
+/// `dst[i] ^= c · src[i]`, eight bytes per step.
+pub(super) fn mul_add(c: u8, src: &[u8], dst: &mut [u8]) {
+    let mut d_iter = dst.chunks_exact_mut(8);
+    let mut s_iter = src.chunks_exact(8);
+    for (d, s) in (&mut d_iter).zip(&mut s_iter) {
+        let x = u64::from_ne_bytes(s.try_into().unwrap());
+        let dv = u64::from_ne_bytes(d.try_into().unwrap());
+        d.copy_from_slice(&(dv ^ mul_word(x, c)).to_ne_bytes());
+    }
+    let row = &MUL_TABLE[c as usize];
+    for (d, s) in d_iter.into_remainder().iter_mut().zip(s_iter.remainder()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// `dst[i] = c · src[i]`, eight bytes per step.
+pub(super) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
+    let mut d_iter = dst.chunks_exact_mut(8);
+    let mut s_iter = src.chunks_exact(8);
+    for (d, s) in (&mut d_iter).zip(&mut s_iter) {
+        let x = u64::from_ne_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&mul_word(x, c).to_ne_bytes());
+    }
+    let row = &MUL_TABLE[c as usize];
+    for (d, s) in d_iter.into_remainder().iter_mut().zip(s_iter.remainder()) {
+        *d = row[*s as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulx_wide_matches_table_per_lane() {
+        for s in 0..=255u8 {
+            let word = u64::from_ne_bytes([s, s ^ 0xA5, 0, 1, 0x80, 0x7F, s, 0xFF]);
+            let doubled = mulx_wide(word);
+            for (lane, byte) in word.to_ne_bytes().into_iter().enumerate() {
+                assert_eq!(
+                    doubled.to_ne_bytes()[lane],
+                    MUL_TABLE[2][byte as usize],
+                    "lane {lane} of 2·{byte}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_word_matches_table_for_all_coefficients() {
+        let word = u64::from_ne_bytes([0, 1, 2, 0x53, 0x80, 0xAA, 0xFE, 0xFF]);
+        for c in 0..=255u8 {
+            let got = mul_word(word, c).to_ne_bytes();
+            for (lane, byte) in word.to_ne_bytes().into_iter().enumerate() {
+                assert_eq!(
+                    got[lane], MUL_TABLE[c as usize][byte as usize],
+                    "c={c} lane={lane}"
+                );
+            }
+        }
+    }
+}

@@ -16,7 +16,9 @@
 //!   invariants).
 //! * [mod@slice] — raw `u8` bulk kernels (`mul_slice_add` and friends) used by
 //!   the hot encode/decode paths, with XOR fast paths that work on whole
-//!   words at a time.
+//!   words at a time. The byte loops behind them live in [mod@kernel],
+//!   which picks a scalar, SWAR, or SIMD backend at startup
+//!   (`GALLOPER_KERNEL` overrides the choice).
 //!
 //! # Examples
 //!
@@ -32,7 +34,10 @@
 //! assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the feature-gated `std::arch` intrinsics in `kernel::simd` (see the
+// safety argument at the top of that module).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod element;
@@ -40,11 +45,12 @@ mod poly;
 mod tables;
 mod wide;
 
+pub mod kernel;
 pub mod slice;
 
 pub use element::Gf256;
 pub use poly::Polynomial;
-pub use tables::{EXP_TABLE, LOG_TABLE, PRIMITIVE_POLY};
+pub use tables::{EXP_TABLE, LOG_TABLE, MUL_HI_NIBBLE, MUL_LO_NIBBLE, PRIMITIVE_POLY};
 pub use wide::{Gf65536, PRIMITIVE_POLY_16};
 
 /// The number of elements in the field.

@@ -7,13 +7,19 @@
 //! word-wide XOR/copy), which matters in practice: systematic generator
 //! matrices are dominated by zeros and ones.
 //!
-//! Every kernel call adds its byte count to a global counter
-//! (`gf.xor_slice.bytes`, `gf.mul_slice.bytes`, `gf.mul_slice_add.bytes`,
-//! `gf.dot_product.calls`) in the [`galloper_obs`] registry — one relaxed
-//! atomic add per call, so the kernels stay memory-bound. Snapshot with
-//! `galloper_obs::global().snapshot()`.
+//! Since the kernel rewrite, the actual byte loops live in
+//! [`crate::kernel`], which dispatches to a scalar, SWAR, or SIMD backend
+//! chosen once at startup (`GALLOPER_KERNEL` overrides). This module is the
+//! *counted* facade over those raw kernels: every call here adds its byte
+//! count to a global counter (`gf.xor_slice.bytes`, `gf.mul_slice.bytes`,
+//! `gf.mul_slice_add.bytes`, `gf.dot_product.calls`) in the
+//! [`galloper_obs`] registry — one relaxed atomic add per call, so the
+//! kernels stay memory-bound. Batch drivers that would otherwise pay one
+//! atomic add per tiny tile (`galloper_linalg::apply`) call the raw
+//! kernels directly and reproduce the identical totals through
+//! [`record_mac_bytes`]. Snapshot with `galloper_obs::global().snapshot()`.
 
-use crate::tables::MUL_TABLE;
+use crate::kernel;
 
 use galloper_obs::counter;
 
@@ -25,16 +31,7 @@ use galloper_obs::counter;
 pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
     counter!("gf.xor_slice.bytes", src.len());
-    let mut dchunks = dst.chunks_exact_mut(8);
-    let mut schunks = src.chunks_exact(8);
-    for (d, s) in (&mut dchunks).zip(&mut schunks) {
-        let dv = u64::from_ne_bytes(d.try_into().unwrap());
-        let sv = u64::from_ne_bytes(s.try_into().unwrap());
-        d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
-    }
-    for (d, s) in dchunks.into_remainder().iter_mut().zip(schunks.remainder()) {
-        *d ^= *s;
-    }
+    kernel::xor(src, dst);
 }
 
 /// `dst[i] = c · src[i]` for all `i`.
@@ -47,16 +44,7 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
 pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
     counter!("gf.mul_slice.bytes", src.len());
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let row = &MUL_TABLE[c as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = row[*s as usize];
-            }
-        }
-    }
+    kernel::mul(c, src, dst);
 }
 
 /// `dst[i] ^= c · src[i]` for all `i` — the fused multiply-accumulate that
@@ -73,22 +61,7 @@ pub fn mul_slice_add(c: u8, src: &[u8], dst: &mut [u8]) {
     match c {
         0 => {}
         1 => xor_slice(src, dst),
-        _ => {
-            let row = &MUL_TABLE[c as usize];
-            // Unrolled by four: measurably faster than the naive loop and
-            // trivially correct.
-            let mut d_iter = dst.chunks_exact_mut(4);
-            let mut s_iter = src.chunks_exact(4);
-            for (d, s) in (&mut d_iter).zip(&mut s_iter) {
-                d[0] ^= row[s[0] as usize];
-                d[1] ^= row[s[1] as usize];
-                d[2] ^= row[s[2] as usize];
-                d[3] ^= row[s[3] as usize];
-            }
-            for (d, s) in d_iter.into_remainder().iter_mut().zip(s_iter.remainder()) {
-                *d ^= row[*s as usize];
-            }
-        }
+        _ => kernel::mul_add(c, src, dst),
     }
 }
 
@@ -96,7 +69,9 @@ pub fn mul_slice_add(c: u8, src: &[u8], dst: &mut [u8]) {
 /// slices: `dst = Σ coeffs[j] · sources[j]`.
 ///
 /// This is one output stripe of a matrix–data product. `dst` is fully
-/// overwritten.
+/// overwritten. The byte loop itself is [`kernel::dot_into`]; this
+/// wrapper adds the accounting (`gf.dot_product.calls` plus the batched
+/// per-coefficient byte counts via [`record_mac_bytes`]).
 ///
 /// # Panics
 ///
@@ -111,10 +86,26 @@ pub fn dot_product(coeffs: &[u8], sources: &[&[u8]], dst: &mut [u8]) {
         sources.len()
     );
     counter!("gf.dot_product.calls", 1);
-    dst.fill(0);
-    for (&c, src) in coeffs.iter().zip(sources) {
-        mul_slice_add(c, src, dst);
-    }
+    let ones = coeffs.iter().filter(|&&c| c == 1).count();
+    record_mac_bytes(coeffs.len(), ones, dst.len());
+    kernel::dot_into(coeffs, sources, dst);
+}
+
+/// Batched twin of the per-call kernel accounting.
+///
+/// Adds to the global counters exactly what `coeff_count` calls of
+/// [`mul_slice_add`] over `stripe_len`-byte stripes would have added:
+/// `coeff_count · stripe_len` on `gf.mul_slice_add.bytes`, plus
+/// `one_count · stripe_len` on `gf.xor_slice.bytes` for the coefficients
+/// equal to `1` (whose per-call path delegates to [`xor_slice`], which
+/// counts again). Batch drivers such as `galloper_linalg::apply` call
+/// this once per matrix application and then drive the raw
+/// [`crate::kernel`] entry points, so totals stay byte-identical to the
+/// per-call accounting while tiny tiles stop paying one atomic add per
+/// row×coefficient.
+pub fn record_mac_bytes(coeff_count: usize, one_count: usize, stripe_len: usize) {
+    counter!("gf.mul_slice_add.bytes", coeff_count * stripe_len);
+    counter!("gf.xor_slice.bytes", one_count * stripe_len);
 }
 
 #[cfg(test)]

@@ -64,6 +64,37 @@ const fn gen_mul() -> [[u8; 256]; 256] {
 /// loop over the data.
 pub static MUL_TABLE: [[u8; 256]; 256] = gen_mul();
 
+const fn gen_nibble(shift: u32) -> [[u8; 16]; 256] {
+    let (exp, log) = (TABLES.0, TABLES.1);
+    let mut table = [[0u8; 16]; 256];
+    let mut c = 1;
+    while c < 256 {
+        let mut x = 1;
+        while x < 16 {
+            let v = x << shift;
+            table[c][x] = exp[log[c] as usize + log[v] as usize];
+            x += 1;
+        }
+        c += 1;
+    }
+    table
+}
+
+/// Low-nibble split multiply table: `MUL_LO_NIBBLE[c][x] = c · x` for
+/// `x < 16`.
+///
+/// Together with [`MUL_HI_NIBBLE`] this factors a full product through the
+/// identity `c·s = c·(s & 0x0F) ^ c·(s & 0xF0)`: two 16-entry lookups per
+/// byte instead of one 256-entry lookup. Sixteen entries is exactly one
+/// SIMD register, which is what makes the `pshufb`/`vtbl` shuffle kernels
+/// possible — the table row is broadcast once per slice call and every
+/// data byte becomes two in-register shuffles.
+pub static MUL_LO_NIBBLE: [[u8; 16]; 256] = gen_nibble(0);
+
+/// High-nibble split multiply table: `MUL_HI_NIBBLE[c][x] = c · (x << 4)`
+/// for `x < 16`. See [`MUL_LO_NIBBLE`].
+pub static MUL_HI_NIBBLE: [[u8; 16]; 256] = gen_nibble(4);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +140,21 @@ mod tests {
             seen[v] = true;
         }
         assert!(!seen[0], "a power of the generator may never be zero");
+    }
+
+    #[test]
+    fn nibble_tables_recompose_full_products() {
+        for c in 0..=255u8 {
+            for s in 0..=255u8 {
+                let lo = MUL_LO_NIBBLE[c as usize][(s & 0x0F) as usize];
+                let hi = MUL_HI_NIBBLE[c as usize][(s >> 4) as usize];
+                assert_eq!(
+                    lo ^ hi,
+                    MUL_TABLE[c as usize][s as usize],
+                    "nibble split disagrees at {c} * {s}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   paper §III-C and §IV-B).
 //! * [`Matrix::kron_identity`] — the stripe expansion `G ⊗ I_N` that turns a
 //!   block-level generator into a stripe-level one (§III-C).
-//! * [`apply`] — application of a generator matrix to real data buffers,
-//!   with a multi-threaded variant used by the benchmarks.
+//! * [`apply`] — cache-blocked application of a generator matrix to real
+//!   data buffers, with a multi-threaded variant (backed by the
+//!   persistent [`pool`]) used by the codecs and benchmarks.
 //!
 //! # Examples
 //!
@@ -25,13 +26,17 @@
 //! assert!((&c * &inv).is_identity());
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the lifetime erasure inside `pool::WorkerPool::run` (see the safety
+// comment there).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod apply;
 mod construct;
 mod matrix;
 mod ops;
+pub mod pool;
 
 pub use apply::{apply, apply_into, apply_parallel, apply_parallel_into};
 pub use matrix::Matrix;

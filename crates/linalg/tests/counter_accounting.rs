@@ -1,0 +1,87 @@
+//! The batched accounting in `apply` must reproduce, byte for byte, the
+//! totals the historical per-call `mul_slice_add` path recorded.
+//!
+//! Per call the old path added `stripe_len` to `gf.mul_slice_add.bytes`
+//! for *every* matrix entry (zeros included), plus `stripe_len` to
+//! `gf.xor_slice.bytes` for every entry equal to 1 (whose fast path
+//! delegated to the counted `xor_slice`). The blocked driver records the
+//! same totals once per application via `record_mac_bytes`.
+//!
+//! Everything lives in one `#[test]` because the counters are process
+//! globals: concurrent tests in the same binary would corrupt each
+//! other's deltas.
+
+use galloper_linalg::{apply, apply_parallel, Matrix};
+use galloper_obs::global;
+
+fn counts() -> (u64, u64) {
+    (
+        global().counter("gf.mul_slice_add.bytes").get(),
+        global().counter("gf.xor_slice.bytes").get(),
+    )
+}
+
+#[test]
+fn batched_totals_match_per_call_accounting() {
+    // 3×4 with a mix of zeros (no work), ones (XOR fast path, which the
+    // old code double-counted) and general coefficients.
+    let m = Matrix::from_rows(&[vec![0, 1, 2, 93], vec![1, 1, 0, 7], vec![5, 0, 0, 1]]);
+    let stripe = 1031usize;
+    let inputs: Vec<Vec<u8>> = (0..4)
+        .map(|j| {
+            (0..stripe)
+                .map(|i| ((i * 13 + j * 7 + 1) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+
+    // Expected per application: 12 entries × stripe on mul_slice_add,
+    // 4 ones × stripe on xor_slice.
+    let mac = (m.rows() * m.cols() * stripe) as u64;
+    let ones = 4 * stripe as u64;
+
+    let (mac0, xor0) = counts();
+    let serial = apply(&m, &refs);
+    let (mac1, xor1) = counts();
+    assert_eq!(mac1 - mac0, mac, "serial mul_slice_add.bytes delta");
+    assert_eq!(xor1 - xor0, ones, "serial xor_slice.bytes delta");
+
+    // The old reference path, entry by entry, must produce the same
+    // delta — this is the "snapshot matches old accounting" assertion.
+    let mut old_style: Vec<Vec<u8>> = (0..m.rows()).map(|_| vec![0u8; stripe]).collect();
+    for (r, out) in old_style.iter_mut().enumerate() {
+        for (j, input) in refs.iter().enumerate() {
+            galloper_gf::slice::mul_slice_add(m.get(r, j).value(), input, out);
+        }
+    }
+    let (mac2, xor2) = counts();
+    assert_eq!(mac2 - mac1, mac, "per-call mul_slice_add.bytes delta");
+    assert_eq!(xor2 - xor1, ones, "per-call xor_slice.bytes delta");
+    assert_eq!(
+        old_style, serial,
+        "accounting twin computes the same product"
+    );
+
+    // The parallel path (above the small-work cutoff: 3 × 30 KiB) counts
+    // exactly once too, not once per task or per tile.
+    let big = 30 * 1024 + 7;
+    let big_inputs: Vec<Vec<u8>> = (0..4)
+        .map(|j| (0..big).map(|i| ((i * 19 + j) % 256) as u8).collect())
+        .collect();
+    let big_refs: Vec<&[u8]> = big_inputs.iter().map(Vec::as_slice).collect();
+    let (mac3, xor3) = counts();
+    let parallel = apply_parallel(&m, &big_refs, 4);
+    let (mac4, xor4) = counts();
+    assert_eq!(
+        mac4 - mac3,
+        (m.rows() * m.cols() * big) as u64,
+        "parallel mul_slice_add.bytes delta"
+    );
+    assert_eq!(
+        xor4 - xor3,
+        4 * big as u64,
+        "parallel xor_slice.bytes delta"
+    );
+    assert_eq!(parallel, apply(&m, &big_refs), "parallel product unchanged");
+}

@@ -17,7 +17,17 @@ echo "==> tier-1: cargo build + test"
 cargo build --release
 cargo test -q --release
 
-echo "==> full workspace tests"
+echo "==> full workspace tests (auto-dispatched kernel)"
 cargo test -q --release --workspace
+
+echo "==> full workspace tests (GALLOPER_KERNEL=scalar)"
+GALLOPER_KERNEL=scalar cargo test -q --release --workspace
+
+echo "==> miri: gf256 kernel differential suite"
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  cargo +nightly miri test -p galloper-gf --test kernel_differential
+else
+  echo "miri: not installed; skipping (install: rustup +nightly component add miri)"
+fi
 
 echo "ci: all green"
