@@ -6,6 +6,7 @@
 //!                  [--perfs 1.0,1.0,0.4,...] [--resolution N]
 //! galloper decode  <dir> <output>
 //! galloper repair  <dir> <block-index>
+//! galloper fsck    <dir> [--repair]
 //! galloper inspect <dir>
 //! galloper weights -k 4 -l 2 -g 1 --perfs 1.0,1.0,1.0,0.4,0.4,0.4,1.0
 //! ```
@@ -14,7 +15,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use galloper::{solve_weights, GalloperParams, StripeAllocation};
-use galloper_cli::{check, decode_file, encode_file, inspect, repair_block, CodeSpec};
+use galloper_cli::{check, decode_file, encode_file, fsck, inspect, repair_block, CodeSpec};
 use galloper_erasure::ErasureCode as _;
 use galloper_obs::Json;
 
@@ -77,6 +78,7 @@ const USAGE: &str = "usage:
   galloper repair  <dir> <block-index>
   galloper inspect <dir>
   galloper check   <dir>
+  galloper fsck    <dir> [--repair]
   galloper weights -k K -l L -g G --perfs P1,P2,...
 global flags:
   --json[=DIR]     write galloper_metrics.json (kernel/erasure counters)
@@ -91,6 +93,7 @@ struct Options {
     stripe_size: usize,
     resolution: Option<usize>,
     perfs: Option<Vec<f64>>,
+    repair: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -103,6 +106,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         stripe_size: 65536,
         resolution: None,
         perfs: None,
+        repair: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -112,6 +116,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--json" => {}
             s if s.starts_with("--json=") => {}
+            "--repair" => o.repair = true,
             "--family" => o.family = value("--family")?.clone(),
             "-k" => o.k = value("-k")?.parse().map_err(|_| "-k must be a number")?,
             "-l" => o.l = value("-l")?.parse().map_err(|_| "-l must be a number")?,
@@ -187,6 +192,21 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{report}");
             if !ok {
                 return Err("object is unrecoverable".into());
+            }
+            Ok(())
+        }
+        "fsck" => {
+            let [dir] = o.positional.as_slice() else {
+                return Err("fsck needs <dir>".into());
+            };
+            let (report, healthy) = fsck(Path::new(dir), o.repair).map_err(|e| e.to_string())?;
+            print!("{report}");
+            if !healthy {
+                return Err(if o.repair {
+                    "object is unrecoverable".into()
+                } else {
+                    "object is degraded (re-run with --repair)".into()
+                });
             }
             Ok(())
         }

@@ -21,4 +21,4 @@ mod ops;
 
 pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
 pub use manifest::{Manifest, ManifestError};
-pub use ops::{check, decode_file, encode_file, inspect, repair_block, CliError};
+pub use ops::{check, decode_file, encode_file, fsck, inspect, repair_block, CliError};

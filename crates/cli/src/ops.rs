@@ -384,6 +384,113 @@ pub fn check(dir: &Path) -> Result<(String, bool), CliError> {
     Ok((report, decodable))
 }
 
+/// Filesystem-check over an encoded directory: verifies every block
+/// file, and with `repair` set rebuilds whatever is missing or the
+/// wrong size — cheap local repairs first, then a full decode +
+/// re-encode fallback for anything a local plan cannot reach.
+///
+/// Returns `(report, healthy)` where `healthy` reflects the state
+/// *after* any repairs.
+///
+/// The repair pass iterates local plans to a fixed point (rebuilding one
+/// block can complete another block's source set), so the expensive
+/// fallback runs only when no chain of local repairs covers the damage.
+/// Wrong-sized block files are deleted first under `repair` — an
+/// unreadable block is an erasure, exactly like the DFS's CRC check
+/// reclassifying a corrupt block.
+///
+/// # Errors
+///
+/// [`CliError`] on manifest problems, undecodable damage during the
+/// fallback, or I/O failure.
+pub fn fsck(dir: &Path, repair: bool) -> Result<(String, bool), CliError> {
+    let manifest = Manifest::from_text(&fs::read_to_string(manifest_path(dir))?)?;
+    let code = build_code(&manifest.spec)?;
+    let n = code.num_blocks();
+    let expected = code.block_len() * manifest.num_groups;
+    let mut report = String::new();
+
+    let mut present = vec![false; n];
+    for (b, p) in present.iter_mut().enumerate() {
+        match fs::metadata(block_path(dir, b)) {
+            Ok(meta) if meta.len() as usize == expected => *p = true,
+            Ok(meta) => {
+                report.push_str(&format!(
+                    "block {b}: wrong size ({} bytes, expected {expected})",
+                    meta.len()
+                ));
+                if repair {
+                    // An unreadable block is an erasure: clear it so the
+                    // rebuild below writes a fresh, full-sized one.
+                    fs::remove_file(block_path(dir, b))?;
+                    report.push_str(" — removed, will rebuild");
+                }
+                report.push('\n');
+            }
+            Err(_) => report.push_str(&format!("block {b}: missing\n")),
+        }
+    }
+
+    if repair {
+        // Local plans to a fixed point: cheapest repairs first, and each
+        // rebuilt block may complete another plan's source set.
+        loop {
+            let target = (0..n).find(|&b| {
+                !present[b]
+                    && code
+                        .repair_plan(b)
+                        .map(|p| p.sources().iter().all(|&s| present[s]))
+                        .unwrap_or(false)
+            });
+            let Some(b) = target else { break };
+            let fan_in = repair_block(dir, b)?;
+            present[b] = true;
+            report.push_str(&format!(
+                "block {b}: rebuilt locally from {fan_in} sources\n"
+            ));
+        }
+
+        // Whatever no local chain reaches needs the full group decode:
+        // restore the object, re-encode it (encoding is deterministic),
+        // and take only the still-missing block files.
+        if present.iter().any(|&p| !p) {
+            if !code.can_decode(&present) {
+                report.push_str("object is UNRECOVERABLE: too many blocks lost\n");
+                return Ok((report, false));
+            }
+            let tmp_object = dir.join(".fsck-object.tmp");
+            let tmp_dir = dir.join(".fsck-reencode.tmp");
+            let restored: Result<(), CliError> = (|| {
+                decode_file(dir, &tmp_object)?;
+                encode_file(&tmp_object, &tmp_dir, &manifest.spec)?;
+                for b in (0..n).filter(|&b| !present[b]) {
+                    fs::rename(block_path(&tmp_dir, b), block_path(dir, b))?;
+                    report.push_str(&format!("block {b}: rebuilt via full decode\n"));
+                }
+                Ok(())
+            })();
+            let _ = fs::remove_file(&tmp_object);
+            let _ = fs::remove_dir_all(&tmp_dir);
+            restored?;
+            present.fill(true);
+        }
+    }
+
+    let lost = present.iter().filter(|&&p| !p).count();
+    report.push_str(&format!(
+        "{} of {n} blocks present; object is {}\n",
+        n - lost,
+        if lost == 0 {
+            "fully healthy"
+        } else if code.can_decode(&present) {
+            "DEGRADED but decodable (run `galloper fsck <dir> --repair`)"
+        } else {
+            "UNRECOVERABLE"
+        }
+    ));
+    Ok((report, lost == 0))
+}
+
 /// Renders a human-readable description of an encoded directory: the
 /// code, the per-block roles, data fractions, and repair fan-ins.
 ///
@@ -561,6 +668,109 @@ mod tests {
         fs::remove_file(out.join("block_6.bin")).unwrap();
         let (report, ok) = check(&out).unwrap();
         assert!(!ok);
+        assert!(report.contains("UNRECOVERABLE"), "{report}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_reports_without_touching_anything() {
+        let dir = tempdir("fsck-report");
+        let input = dir.join("input.bin");
+        fs::write(&input, vec![3u8; 25_000]).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+
+        let (report, healthy) = fsck(&out, false).unwrap();
+        assert!(healthy);
+        assert!(report.contains("fully healthy"), "{report}");
+
+        fs::remove_file(out.join("block_2.bin")).unwrap();
+        let (report, healthy) = fsck(&out, false).unwrap();
+        assert!(!healthy);
+        assert!(report.contains("block 2: missing"), "{report}");
+        assert!(report.contains("--repair"), "{report}");
+        assert!(
+            !out.join("block_2.bin").exists(),
+            "report-only mode must not rebuild"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_repair_heals_local_damage() {
+        let dir = tempdir("fsck-local");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..40_000).map(|i| (i % 239) as u8).collect();
+        fs::write(&input, &data).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+        let original = fs::read(out.join("block_1.bin")).unwrap();
+
+        // One missing block and one truncated block, in different local
+        // groups so plans alone cover both.
+        fs::remove_file(out.join("block_1.bin")).unwrap();
+        fs::write(out.join("block_3.bin"), b"garbage").unwrap();
+
+        let (report, healthy) = fsck(&out, true).unwrap();
+        assert!(healthy, "{report}");
+        assert!(report.contains("block 1: rebuilt locally"), "{report}");
+        assert!(report.contains("block 3: wrong size"), "{report}");
+        assert!(report.contains("block 3: rebuilt locally"), "{report}");
+        assert!(!report.contains("full decode"), "{report}");
+        assert_eq!(fs::read(out.join("block_1.bin")).unwrap(), original);
+
+        let restored = dir.join("restored.bin");
+        decode_file(&out, &restored).unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), data);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_repair_falls_back_to_full_decode() {
+        let dir = tempdir("fsck-decode");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..30_000).map(|i| (i % 233) as u8).collect();
+        fs::write(&input, &data).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+
+        // Blocks 0 and 1 are each other's local-plan sources in the
+        // (4, 2, 1) Galloper layout, so no local chain heals this pair.
+        let originals: Vec<Vec<u8>> = (0..2)
+            .map(|b| fs::read(out.join(format!("block_{b}.bin"))).unwrap())
+            .collect();
+        fs::remove_file(out.join("block_0.bin")).unwrap();
+        fs::remove_file(out.join("block_1.bin")).unwrap();
+
+        let (report, healthy) = fsck(&out, true).unwrap();
+        assert!(healthy, "{report}");
+        assert!(report.contains("rebuilt via full decode"), "{report}");
+        for (b, original) in originals.iter().enumerate() {
+            assert_eq!(
+                &fs::read(out.join(format!("block_{b}.bin"))).unwrap(),
+                original,
+                "block {b} re-encode must be byte-identical"
+            );
+        }
+        // No temporary droppings.
+        assert!(!out.join(".fsck-object.tmp").exists());
+        assert!(!out.join(".fsck-reencode.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_repair_reports_unrecoverable_damage() {
+        let dir = tempdir("fsck-lost");
+        let input = dir.join("input.bin");
+        fs::write(&input, vec![8u8; 12_000]).unwrap();
+        let out = dir.join("encoded");
+        encode_file(&input, &out, &galloper_spec()).unwrap();
+        // All four data blocks gone: three parities cannot carry them.
+        for b in [0, 1, 2, 3] {
+            fs::remove_file(out.join(format!("block_{b}.bin"))).unwrap();
+        }
+        let (report, healthy) = fsck(&out, true).unwrap();
+        assert!(!healthy);
         assert!(report.contains("UNRECOVERABLE"), "{report}");
         let _ = fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3 polynomial), hand-rolled because the build is
+//! offline and `std` ships no checksum.
+//!
+//! The DFS block store stamps every block with its CRC at write time and
+//! verifies it on every read, so a silently flipped byte surfaces as a
+//! missing block instead of corrupt data — the same trick HDFS plays
+//! with its per-chunk checksum files.
+
+/// The reflected IEEE polynomial used by zlib, Ethernet, and HDFS.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `data` (IEEE, reflected, init/final-xor `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value from the CRC catalogue.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data: Vec<u8> = (0..255u8).collect();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

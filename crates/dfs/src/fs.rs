@@ -3,8 +3,14 @@
 use std::collections::HashMap;
 
 use galloper_erasure::stream::{StreamError, StripeDecoder, StripeEncoder};
-use galloper_erasure::{AsLinearCode, CodeError, ErasureCode, ObjectCodec, ObjectManifest};
+use galloper_erasure::{
+    AsLinearCode, CodeError, ErasureCode, ObjectCodec, ObjectManifest, ReadStats,
+};
+use galloper_obs::global;
 
+use crate::crc::crc32;
+use crate::faults::{self, Fault, FaultPlan, TimedFault};
+use crate::repair_queue::RepairQueue;
 use crate::{FileHealth, FsckReport, GroupHealth};
 
 use core::fmt;
@@ -31,6 +37,16 @@ pub enum DfsError {
         /// The unrecoverable group index.
         group: usize,
     },
+    /// A group cannot be read *right now* because servers are in a
+    /// transient outage window — the data is intact and will return.
+    /// Retryable, unlike [`DfsError::DataLoss`]; see
+    /// [`Dfs::get_with_retry`].
+    Unavailable {
+        /// The file.
+        name: String,
+        /// The blocked group index.
+        group: usize,
+    },
     /// Not enough live servers to (re)place blocks on distinct servers.
     NotEnoughServers,
     /// An underlying coding failure.
@@ -49,6 +65,12 @@ impl fmt::Display for DfsError {
             }
             DfsError::DataLoss { name, group } => {
                 write!(f, "file '{name}' group {group} is unrecoverable")
+            }
+            DfsError::Unavailable { name, group } => {
+                write!(
+                    f,
+                    "file '{name}' group {group} is transiently unavailable (retry later)"
+                )
             }
             DfsError::NotEnoughServers => {
                 f.write_str("not enough live servers for distinct block placement")
@@ -78,6 +100,83 @@ impl From<CodeError> for DfsError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(usize);
 
+impl FileId {
+    #[cfg(test)]
+    pub(crate) fn test_only(n: usize) -> Self {
+        FileId(n)
+    }
+}
+
+/// Availability of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerHealth {
+    /// Serving reads and writes.
+    Up,
+    /// Crashed: its blocks are gone until repair rebuilds them
+    /// elsewhere.
+    Down,
+    /// Transiently unreachable until the stated tick of the logical
+    /// clock; its blocks are retained and come back with it.
+    Unavailable {
+        /// First tick at which the server answers again.
+        until: u64,
+    },
+}
+
+impl ServerHealth {
+    /// Whether the server currently serves reads and writes.
+    pub fn is_up(&self) -> bool {
+        matches!(self, ServerHealth::Up)
+    }
+}
+
+/// One stored block plus the checksum computed when it was written.
+/// Verified on every read: a block whose bytes no longer match its CRC
+/// is treated as erased and routed around, exactly like a lost block.
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    bytes: Vec<u8>,
+    crc: u32,
+}
+
+impl StoredBlock {
+    fn new(bytes: Vec<u8>) -> Self {
+        let crc = crc32(&bytes);
+        StoredBlock { bytes, crc }
+    }
+
+    fn is_intact(&self) -> bool {
+        crc32(&self.bytes) == self.crc
+    }
+}
+
+/// Where one block of a group stands right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    /// On an up server, checksum intact.
+    Present,
+    /// On a transiently unavailable server: unreadable now, but not
+    /// lost — it returns when the outage window ends.
+    Away,
+    /// Gone (crashed server, missing entry, or failed checksum): must
+    /// be rebuilt.
+    Lost,
+}
+
+/// What one [`Dfs::repair_group`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RepairGroupOutcome {
+    /// Nothing was lost.
+    Clean,
+    /// Every lost block was rebuilt.
+    Repaired,
+    /// Rebuilding needs data that is transiently away; retry after the
+    /// outage window.
+    Blocked,
+    /// The group cannot be rebuilt (counted in the summary).
+    Unrecoverable,
+}
+
 #[derive(Debug, Clone)]
 struct FileMeta {
     id: FileId,
@@ -100,6 +199,32 @@ pub struct RepairSummary {
     pub bytes_read: usize,
     /// Groups that could not be repaired (data loss).
     pub unrecoverable_groups: usize,
+}
+
+impl RepairSummary {
+    /// Adds another summary's counts into this one.
+    pub fn merge(&mut self, other: &RepairSummary) {
+        self.repaired_locally += other.repaired_locally;
+        self.repaired_via_decode += other.repaired_via_decode;
+        self.bytes_read += other.bytes_read;
+        self.unrecoverable_groups += other.unrecoverable_groups;
+    }
+}
+
+/// What one [`Dfs::drain_repairs`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Queue entries whose group was fully rebuilt.
+    pub repaired_groups: usize,
+    /// Entries put back because a transient outage blocked the rebuild.
+    pub requeued: usize,
+    /// Blocked entries dropped after exhausting their retry budget
+    /// (a later [`Dfs::scan_endangered`] picks the group up again).
+    pub abandoned: usize,
+    /// Entries whose group turned out to be unrecoverable.
+    pub unrecoverable: usize,
+    /// Byte/block accounting summed over every attempted repair.
+    pub summary: RepairSummary,
 }
 
 /// An in-memory erasure-coded distributed file system.
@@ -126,19 +251,58 @@ pub struct RepairSummary {
 /// assert!(dfs.fsck().all_healthy());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// Beyond clean crashes, the DFS runs deterministic *chaos*: schedule a
+/// seeded [`FaultPlan`] and drive the logical clock, repairing as you
+/// go.
+///
+/// ```
+/// use galloper_dfs::{Dfs, Fault, FaultPlan};
+/// use galloper::Galloper;
+///
+/// let mut dfs = Dfs::new(10, Galloper::uniform(4, 2, 1, 512)?);
+/// dfs.put("a", &vec![3u8; 20_000])?;
+/// dfs.schedule(
+///     &FaultPlan::new()
+///         .push(1, Fault::Corrupt { server: 2 })
+///         .push(2, Fault::Outage { server: 4, ticks: 3 }),
+/// );
+/// for t in 1..=8 {
+///     dfs.advance_to(t);
+///     dfs.scan_endangered();
+///     dfs.drain_repairs(usize::MAX)?;
+/// }
+/// assert!(dfs.fsck().all_healthy());
+/// assert_eq!(dfs.get("a")?, vec![3u8; 20_000]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct Dfs<C> {
     codec: ObjectCodec<C>,
-    alive: Vec<bool>,
-    /// `stores[server][(file, group, block)] = bytes`.
-    stores: Vec<HashMap<(FileId, usize, usize), Vec<u8>>>,
+    health: Vec<ServerHealth>,
+    /// Per-server service-rate multiplier (1.0 = nominal, < 1 =
+    /// straggler). Not consulted by the in-memory data path; it feeds
+    /// the simstore timing model (see `Cluster::set_rate_multiplier`).
+    slow: Vec<f64>,
+    /// `stores[server][(file, group, block)] = block + checksum`.
+    stores: Vec<HashMap<(FileId, usize, usize), StoredBlock>>,
     files: HashMap<String, FileMeta>,
     next_id: usize,
+    /// Logical clock, advanced by [`Dfs::advance_to`]; outage windows
+    /// and [`FaultPlan`] schedules are expressed in its ticks.
+    clock: u64,
+    /// Scheduled faults not yet applied, sorted by `at`.
+    pending: Vec<TimedFault>,
+    queue: RepairQueue,
+    retry_limit: usize,
 }
 
 impl<C: ErasureCode> Dfs<C> {
     /// Creates a DFS over `num_servers` empty servers using `code` for
     /// every file.
+    ///
+    /// The retry budget for transient outages defaults to
+    /// `GALLOPER_REPAIR_RETRIES` (or 5); see [`Dfs::set_retry_limit`].
     ///
     /// # Panics
     ///
@@ -151,10 +315,15 @@ impl<C: ErasureCode> Dfs<C> {
         );
         Dfs {
             codec: ObjectCodec::new(code),
-            alive: vec![true; num_servers],
+            health: vec![ServerHealth::Up; num_servers],
+            slow: vec![1.0; num_servers],
             stores: (0..num_servers).map(|_| HashMap::new()).collect(),
             files: HashMap::new(),
             next_id: 0,
+            clock: 0,
+            pending: Vec::new(),
+            queue: RepairQueue::new(),
+            retry_limit: faults::retry_limit_from_env(),
         }
     }
 
@@ -165,12 +334,67 @@ impl<C: ErasureCode> Dfs<C> {
 
     /// Number of servers (live and failed).
     pub fn num_servers(&self) -> usize {
-        self.alive.len()
+        self.health.len()
     }
 
-    /// Number of currently live servers.
+    /// Number of currently live servers (transiently unavailable
+    /// servers are not live).
     pub fn live_servers(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.health.iter().filter(|h| h.is_up()).count()
+    }
+
+    /// The health of one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn server_health(&self, server: usize) -> ServerHealth {
+        self.health[server]
+    }
+
+    /// Number of servers currently inside a transient outage window.
+    pub fn outage_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| matches!(h, ServerHealth::Unavailable { .. }))
+            .count()
+    }
+
+    /// The server's service-rate multiplier (1.0 unless a
+    /// [`Fault::Slow`] or [`Dfs::set_slow`] changed it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn rate_multiplier(&self, server: usize) -> f64 {
+        self.slow[server]
+    }
+
+    /// Marks the server a straggler (or restores it with 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or `multiplier <= 0`.
+    pub fn set_slow(&mut self, server: usize, multiplier: f64) {
+        assert!(server < self.health.len(), "no server {server}");
+        assert!(multiplier > 0.0, "rate multiplier must be positive");
+        self.slow[server] = multiplier;
+    }
+
+    /// The current tick of the logical clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// How often a blocked operation retries before giving up; also the
+    /// per-entry requeue budget of [`Dfs::drain_repairs`].
+    pub fn retry_limit(&self) -> usize {
+        self.retry_limit
+    }
+
+    /// Overrides the retry budget (see [`Dfs::get_with_retry`]).
+    pub fn set_retry_limit(&mut self, retries: usize) {
+        self.retry_limit = retries;
     }
 
     /// Total blocks currently stored on `server`.
@@ -201,15 +425,15 @@ impl<C: ErasureCode> Dfs<C> {
         // the code.
         let Dfs {
             codec,
-            alive,
+            health,
             stores,
             ..
         } = self;
         let mut placements: Vec<Vec<usize>> = Vec::new();
         let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), DfsError> {
-            let servers = place_group(alive, stores, blocks.len(), id.0 + g)?;
+            let servers = place_group(health, stores, blocks.len(), id.0 + g)?;
             for (b, block) in blocks.iter().enumerate() {
-                stores[servers[b]].insert((id, g, b), block.clone());
+                stores[servers[b]].insert((id, g, b), StoredBlock::new(block.clone()));
             }
             placements.push(servers);
             Ok(())
@@ -238,7 +462,10 @@ impl<C: ErasureCode> Dfs<C> {
     ///
     /// # Errors
     ///
-    /// [`DfsError::NotFound`] or [`DfsError::DataLoss`].
+    /// [`DfsError::NotFound`], [`DfsError::DataLoss`], or — when the
+    /// shortfall is only transient outage windows —
+    /// [`DfsError::Unavailable`] (retryable; see
+    /// [`Dfs::get_with_retry`]).
     pub fn get(&self, name: &str) -> Result<Vec<u8>, DfsError> {
         let meta = self
             .files
@@ -250,13 +477,60 @@ impl<C: ErasureCode> Dfs<C> {
             let blocks = self.group_availability(meta, g);
             let payload = decoder
                 .next_group(&blocks)
-                .map_err(|_| DfsError::DataLoss {
-                    name: name.to_string(),
-                    group: g,
-                })?;
+                .map_err(|_| self.group_read_error(meta, g))?;
             out.extend_from_slice(&payload);
         }
         Ok(out)
+    }
+
+    /// [`Dfs::get`] with bounded retry: when the read is blocked by a
+    /// transient outage ([`DfsError::Unavailable`]), waits with
+    /// exponential backoff — advancing the logical clock by 1, 2, 4, …
+    /// ticks so outage windows (and any faults scheduled inside the
+    /// wait) actually elapse — and tries again, up to
+    /// [`Dfs::retry_limit`] retries. Returns the bytes and the number
+    /// of attempts made.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dfs::get`]; [`DfsError::Unavailable`] surfaces only once
+    /// the retry budget is exhausted.
+    pub fn get_with_retry(&mut self, name: &str) -> Result<(Vec<u8>, usize), DfsError> {
+        let mut backoff = 1u64;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match self.get(name) {
+                Ok(bytes) => return Ok((bytes, attempts)),
+                Err(e @ DfsError::Unavailable { .. }) => {
+                    if attempts > self.retry_limit {
+                        return Err(e);
+                    }
+                    global().counter("dfs.faults.retries").inc();
+                    self.advance_to(self.clock + backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The error a failed group read should surface: transient-outage
+    /// shortfalls are retryable, true erasures are data loss.
+    fn group_read_error(&self, meta: &FileMeta, group: usize) -> DfsError {
+        let n = self.codec.code().num_blocks();
+        let away = (0..n).any(|b| matches!(self.block_state(meta, group, b), BlockState::Away));
+        if away {
+            DfsError::Unavailable {
+                name: meta.name.clone(),
+                group,
+            }
+        } else {
+            DfsError::DataLoss {
+                name: meta.name.clone(),
+                group,
+            }
+        }
     }
 
     fn group_availability<'a>(&'a self, meta: &FileMeta, group: usize) -> Vec<Option<&'a [u8]>> {
@@ -264,15 +538,43 @@ impl<C: ErasureCode> Dfs<C> {
         (0..n)
             .map(|b| {
                 let server = meta.placements[group][b];
-                if self.alive[server] {
-                    self.stores[server]
-                        .get(&(meta.id, group, b))
-                        .map(Vec::as_slice)
-                } else {
-                    None
+                if !self.health[server].is_up() {
+                    return None;
+                }
+                match self.stores[server].get(&(meta.id, group, b)) {
+                    Some(sb) if sb.is_intact() => Some(sb.bytes.as_slice()),
+                    Some(_) => {
+                        // Silent corruption caught by the checksum: the
+                        // block is treated as erased and routed around.
+                        global().counter("dfs.faults.corruptions_detected").inc();
+                        None
+                    }
+                    None => None,
                 }
             })
             .collect()
+    }
+
+    fn block_state(&self, meta: &FileMeta, group: usize, block: usize) -> BlockState {
+        let server = meta.placements[group][block];
+        let key = (meta.id, group, block);
+        match self.health[server] {
+            ServerHealth::Down => BlockState::Lost,
+            ServerHealth::Unavailable { .. } => {
+                // The store is unreachable, so the checksum cannot be
+                // verified either; optimistically Away — if the block
+                // comes back corrupt, the next read demotes it to Lost.
+                if self.stores[server].contains_key(&key) {
+                    BlockState::Away
+                } else {
+                    BlockState::Lost
+                }
+            }
+            ServerHealth::Up => match self.stores[server].get(&key) {
+                Some(sb) if sb.is_intact() => BlockState::Present,
+                _ => BlockState::Lost,
+            },
+        }
     }
 
     /// Marks a server failed; its blocks become unavailable (and are
@@ -284,8 +586,9 @@ impl<C: ErasureCode> Dfs<C> {
     ///
     /// Panics if `server` is out of range.
     pub fn fail_server(&mut self, server: usize) {
-        assert!(server < self.alive.len(), "no server {server}");
-        self.alive[server] = false;
+        assert!(server < self.health.len(), "no server {server}");
+        global().counter("dfs.faults.crashes").inc();
+        self.health[server] = ServerHealth::Down;
         self.stores[server].clear();
     }
 
@@ -296,13 +599,169 @@ impl<C: ErasureCode> Dfs<C> {
     ///
     /// Panics if `server` is out of range.
     pub fn revive_server(&mut self, server: usize) {
-        assert!(server < self.alive.len(), "no server {server}");
-        self.alive[server] = true;
+        assert!(server < self.health.len(), "no server {server}");
+        self.health[server] = ServerHealth::Up;
+    }
+
+    /// Starts a transient outage: the server keeps its blocks but
+    /// answers nothing until `ticks` ticks from now have elapsed on the
+    /// logical clock. No-op on a crashed server; overlapping outages
+    /// keep the later deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn begin_outage(&mut self, server: usize, ticks: u64) {
+        assert!(server < self.health.len(), "no server {server}");
+        let until = self.clock + ticks;
+        match self.health[server] {
+            ServerHealth::Down => {}
+            ServerHealth::Unavailable { until: old } => {
+                self.health[server] = ServerHealth::Unavailable {
+                    until: old.max(until),
+                };
+            }
+            ServerHealth::Up => {
+                global().counter("dfs.faults.outages").inc();
+                self.health[server] = ServerHealth::Unavailable { until };
+            }
+        }
+    }
+
+    /// Flips one byte of one stored block on (or near) `server` without
+    /// touching its recorded checksum — silent corruption as a disk
+    /// would produce it. The victim block is chosen deterministically
+    /// from `salt`; if the server is not up or stores nothing, the next
+    /// up server (cyclically) is used so seeded plans always land their
+    /// corruption. Returns the corrupted block's key, or `None` if no
+    /// server holds any block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn corrupt_block(&mut self, server: usize, salt: u64) -> Option<(FileId, usize, usize)> {
+        assert!(server < self.health.len(), "no server {server}");
+        let n = self.health.len();
+        for off in 0..n {
+            let s = (server + off) % n;
+            if !self.health[s].is_up() || self.stores[s].is_empty() {
+                continue;
+            }
+            let mut keys: Vec<(FileId, usize, usize)> = self.stores[s].keys().copied().collect();
+            keys.sort_unstable();
+            let key = keys[salt as usize % keys.len()];
+            let block = self.stores[s].get_mut(&key).expect("key just listed");
+            let pos = salt as usize % block.bytes.len().max(1);
+            if let Some(byte) = block.bytes.get_mut(pos) {
+                *byte ^= 0xA5;
+                global().counter("dfs.faults.corruptions_injected").inc();
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Flips the first byte of one specific stored block (silent
+    /// corruption, targeted — the test-friendly sibling of
+    /// [`Dfs::corrupt_block`]). Returns whether a block was hit.
+    pub fn corrupt_stored(&mut self, name: &str, group: usize, block: usize) -> bool {
+        let Some(meta) = self.files.get(name) else {
+            return false;
+        };
+        let (id, server) = (meta.id, meta.placements[group][block]);
+        match self.stores[server].get_mut(&(id, group, block)) {
+            Some(sb) if !sb.bytes.is_empty() => {
+                sb.bytes[0] ^= 0xA5;
+                global().counter("dfs.faults.corruptions_injected").inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Queues a fault schedule against the logical clock. Events fire
+    /// as [`Dfs::advance_to`] passes their tick; scheduling twice
+    /// merges the plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event targets a server out of range.
+    pub fn schedule(&mut self, plan: &FaultPlan) {
+        for e in plan.events() {
+            assert!(
+                e.fault.server() < self.health.len(),
+                "fault targets server {} of {}",
+                e.fault.server(),
+                self.health.len()
+            );
+            self.pending.push(*e);
+        }
+        self.pending.sort_by_key(|e| e.at);
+    }
+
+    /// Moves the logical clock forward to `tick` (never backward),
+    /// applying every scheduled fault whose time has come and ending
+    /// every outage window that has elapsed. Returns the number of
+    /// faults applied.
+    pub fn advance_to(&mut self, tick: u64) -> usize {
+        if tick > self.clock {
+            self.clock = tick;
+        }
+        let due = self
+            .pending
+            .iter()
+            .take_while(|e| e.at <= self.clock)
+            .count();
+        let events: Vec<TimedFault> = self.pending.drain(..due).collect();
+        for e in &events {
+            self.apply_fault(e);
+        }
+        for h in &mut self.health {
+            if let ServerHealth::Unavailable { until } = *h {
+                if until <= self.clock {
+                    *h = ServerHealth::Up;
+                    global().counter("dfs.faults.outages_ended").inc();
+                }
+            }
+        }
+        events.len()
+    }
+
+    fn apply_fault(&mut self, event: &TimedFault) {
+        match event.fault {
+            Fault::Crash { server } => self.fail_server(server),
+            Fault::Outage { server, ticks } => {
+                // The window runs from the event's own tick, not from
+                // wherever the clock has jumped to.
+                let until = event.at + ticks;
+                match self.health[server] {
+                    ServerHealth::Down => {}
+                    ServerHealth::Unavailable { until: old } => {
+                        self.health[server] = ServerHealth::Unavailable {
+                            until: old.max(until),
+                        };
+                    }
+                    ServerHealth::Up => {
+                        global().counter("dfs.faults.outages").inc();
+                        self.health[server] = ServerHealth::Unavailable { until };
+                    }
+                }
+            }
+            Fault::Corrupt { server } => {
+                self.corrupt_block(server, event.at.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+            Fault::Slow { server, multiplier } => {
+                global().counter("dfs.faults.slowdowns").inc();
+                self.set_slow(server, multiplier);
+            }
+        }
     }
 
     /// Rebuilds every lost block onto live servers: per block, the cheap
     /// repair plan when all its sources survive, otherwise a full group
-    /// decode + re-encode. Placements are updated.
+    /// decode + re-encode. Placements are updated. Groups whose rebuild
+    /// would need data that is only transiently away are left for the
+    /// repair queue ([`Dfs::scan_endangered`] / [`Dfs::drain_repairs`]).
     ///
     /// # Errors
     ///
@@ -321,31 +780,145 @@ impl<C: ErasureCode> Dfs<C> {
         Ok(summary)
     }
 
+    /// Walks every group, enqueueing each one with lost blocks into the
+    /// repair queue — most endangered first, keyed by *survival margin*
+    /// (CRC-intact blocks on up servers, minus the `k` the code needs
+    /// to decode). Already-queued groups are not duplicated. Returns
+    /// the number of groups enqueued.
+    pub fn scan_endangered(&mut self) -> usize {
+        let n = self.codec.code().num_blocks();
+        let k = self.codec.code().num_data_blocks() as i64;
+        let metas: Vec<FileMeta> = self.files.values().cloned().collect();
+        let mut added = 0;
+        for meta in &metas {
+            for g in 0..meta.manifest.num_groups {
+                if self.queue.contains(meta.id, g) {
+                    continue;
+                }
+                let states: Vec<BlockState> =
+                    (0..n).map(|b| self.block_state(meta, g, b)).collect();
+                if !states.contains(&BlockState::Lost) {
+                    continue;
+                }
+                // A Lost block whose server is up and still holds an
+                // entry was lost to a failed checksum, not a crash: the
+                // scan detected silent corruption. (Counted here, on
+                // first discovery, rather than in `block_state`, which
+                // re-runs every scan.)
+                for (b, state) in states.iter().enumerate() {
+                    let server = meta.placements[g][b];
+                    if *state == BlockState::Lost
+                        && self.health[server].is_up()
+                        && self.stores[server].contains_key(&(meta.id, g, b))
+                    {
+                        global().counter("dfs.faults.corruptions_detected").inc();
+                    }
+                }
+                let survivors = states.iter().filter(|&&s| s == BlockState::Present).count() as i64;
+                if self.queue.push(meta.id, &meta.name, g, survivors - k, 0) {
+                    global().counter("dfs.repair_queue.enqueued").inc();
+                    added += 1;
+                }
+            }
+        }
+        global()
+            .gauge("dfs.repair_queue.depth")
+            .set(self.queue.len() as i64);
+        added
+    }
+
+    /// Number of groups currently waiting in the repair queue.
+    pub fn repair_queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains up to `max_groups` entries from the repair queue, most
+    /// endangered first. Entries blocked by a transient outage are
+    /// requeued (up to [`Dfs::retry_limit`] times each, then dropped
+    /// for a later scan to rediscover); each entry is processed at most
+    /// once per call, so a fully blocked queue cannot spin.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotEnoughServers`] when replacement servers run out.
+    pub fn drain_repairs(&mut self, max_groups: usize) -> Result<DrainReport, DfsError> {
+        let mut report = DrainReport::default();
+        let mut processed = 0;
+        let mut requeue: Vec<crate::repair_queue::QueuedRepair> = Vec::new();
+        while processed < max_groups {
+            let Some(entry) = self.queue.pop() else { break };
+            processed += 1;
+            let Some(meta) = self.files.get(&entry.name).cloned() else {
+                continue;
+            };
+            let mut summary = RepairSummary::default();
+            let outcome = self.repair_group(&meta, entry.group, &mut summary)?;
+            report.summary.merge(&summary);
+            match outcome {
+                RepairGroupOutcome::Clean => {
+                    global().counter("dfs.repair_queue.drained").inc();
+                }
+                RepairGroupOutcome::Repaired => {
+                    global().counter("dfs.repair_queue.drained").inc();
+                    report.repaired_groups += 1;
+                }
+                RepairGroupOutcome::Blocked => {
+                    if entry.attempts + 1 > self.retry_limit {
+                        global().counter("dfs.repair_queue.abandoned").inc();
+                        report.abandoned += 1;
+                    } else {
+                        global().counter("dfs.repair_queue.requeued").inc();
+                        report.requeued += 1;
+                        requeue.push(entry);
+                    }
+                }
+                RepairGroupOutcome::Unrecoverable => {
+                    global().counter("dfs.repair_queue.drained").inc();
+                    report.unrecoverable += 1;
+                }
+            }
+        }
+        for entry in requeue {
+            self.queue.push(
+                entry.file,
+                &entry.name,
+                entry.group,
+                entry.margin,
+                entry.attempts + 1,
+            );
+        }
+        global()
+            .gauge("dfs.repair_queue.depth")
+            .set(self.queue.len() as i64);
+        Ok(report)
+    }
+
     fn repair_group(
         &mut self,
         meta: &FileMeta,
         group: usize,
         summary: &mut RepairSummary,
-    ) -> Result<(), DfsError> {
+    ) -> Result<RepairGroupOutcome, DfsError> {
         let code_blocks = self.codec.code().num_blocks();
+        let states: Vec<BlockState> = (0..code_blocks)
+            .map(|b| self.block_state(meta, group, b))
+            .collect();
         let lost: Vec<usize> = (0..code_blocks)
-            .filter(|&b| {
-                let server = meta.placements[group][b];
-                !self.alive[server] || !self.stores[server].contains_key(&(meta.id, group, b))
-            })
+            .filter(|&b| states[b] == BlockState::Lost)
             .collect();
         if lost.is_empty() {
-            return Ok(());
+            return Ok(RepairGroupOutcome::Clean);
         }
+        let away = states.contains(&BlockState::Away);
 
-        // Choose replacement servers: live, not already hosting a block
+        // Choose replacement servers: up, not already hosting a block
         // of this group, emptiest first.
         let hosting: Vec<usize> = (0..code_blocks)
             .filter(|&b| !lost.contains(&b))
             .map(|b| meta.placements[group][b])
             .collect();
-        let mut candidates: Vec<usize> = (0..self.alive.len())
-            .filter(|&s| self.alive[s] && !hosting.contains(&s))
+        let mut candidates: Vec<usize> = (0..self.health.len())
+            .filter(|&s| self.health[s].is_up() && !hosting.contains(&s))
             .collect();
         candidates.sort_by_key(|&s| self.stores[s].len());
         if candidates.len() < lost.len() {
@@ -357,14 +930,20 @@ impl<C: ErasureCode> Dfs<C> {
         for (i, &b) in lost.iter().enumerate() {
             let replacement = candidates[i];
             let plan = self.codec.code().repair_plan(b)?;
-            let plan_ok = plan.sources().iter().all(|&s| !lost.contains(&s));
+            let plan_ok = plan
+                .sources()
+                .iter()
+                .all(|&s| states[s] == BlockState::Present);
             let rebuilt = if plan_ok {
                 let sources: Vec<(usize, &[u8])> = plan
                     .sources()
                     .iter()
                     .map(|&s| {
                         let server = meta.placements[group][s];
-                        (s, self.stores[server][&(meta.id, group, s)].as_slice())
+                        (
+                            s,
+                            self.stores[server][&(meta.id, group, s)].bytes.as_slice(),
+                        )
                     })
                     .collect();
                 summary.bytes_read += sources.iter().map(|(_, d)| d.len()).sum::<usize>();
@@ -380,22 +959,32 @@ impl<C: ErasureCode> Dfs<C> {
                                 * self.codec.code().block_len();
                             decoded_group = Some(self.codec.code().encode(&message)?);
                         }
+                        Err(_) if away => {
+                            // Not enough *present* blocks, but some are
+                            // only transiently away: retry once the
+                            // outage window ends instead of declaring
+                            // data loss.
+                            return Ok(RepairGroupOutcome::Blocked);
+                        }
                         Err(_) => {
                             summary.unrecoverable_groups += 1;
-                            return Ok(());
+                            return Ok(RepairGroupOutcome::Unrecoverable);
                         }
                     }
                 }
                 summary.repaired_via_decode += 1;
                 decoded_group.as_ref().expect("just decoded")[b].clone()
             };
-            self.stores[replacement].insert((meta.id, group, b), rebuilt);
+            // A corrupted block leaves a stale entry on its old (up)
+            // server; drop it so only the verified rebuild survives.
+            self.stores[meta.placements[group][b]].remove(&(meta.id, group, b));
+            self.stores[replacement].insert((meta.id, group, b), StoredBlock::new(rebuilt));
             self.files
                 .get_mut(&meta.name)
                 .expect("file exists")
                 .placements[group][b] = replacement;
         }
-        Ok(())
+        Ok(RepairGroupOutcome::Repaired)
     }
 
     /// Per-file health report.
@@ -431,17 +1020,17 @@ impl<C: ErasureCode> Dfs<C> {
     }
 }
 
-/// Chooses `num_blocks` distinct live servers, rotating with `salt` and
+/// Chooses `num_blocks` distinct up servers, rotating with `salt` and
 /// preferring emptier servers for balance. A free function (not a
 /// method) so [`Dfs::put`]'s streaming sink can place groups while the
 /// encoder borrows the code.
 fn place_group<V>(
-    alive: &[bool],
+    health: &[ServerHealth],
     stores: &[HashMap<(FileId, usize, usize), V>],
     num_blocks: usize,
     salt: usize,
 ) -> Result<Vec<usize>, DfsError> {
-    let mut live: Vec<usize> = (0..alive.len()).filter(|&s| alive[s]).collect();
+    let mut live: Vec<usize> = (0..health.len()).filter(|&s| health[s].is_up()).collect();
     if live.len() < num_blocks {
         return Err(DfsError::NotEnoughServers);
     }
@@ -449,7 +1038,7 @@ fn place_group<V>(
     live.sort_by_key(|&s| {
         (
             stores[s].len(),
-            (s + alive.len() - salt % alive.len()) % alive.len(),
+            (s + health.len() - salt % health.len()) % health.len(),
         )
     });
     live.truncate(num_blocks);
@@ -473,43 +1062,107 @@ where
 {
     /// Degraded-aware range read of `len` bytes at `offset`, with byte
     /// accounting (requires the code to expose its
-    /// [`LinearCode`](galloper_erasure::LinearCode)).
+    /// [`LinearCode`](galloper_erasure::LinearCode)). The returned
+    /// [`ReadStats`] sum the per-group reads; `bytes_read` always
+    /// equals `stripes_read * stripe_size()`.
     ///
     /// # Errors
     ///
-    /// [`DfsError::NotFound`], [`DfsError::OutOfRange`], or
-    /// [`DfsError::DataLoss`].
-    pub fn read_range(&self, name: &str, offset: usize, len: usize) -> Result<Vec<u8>, DfsError> {
+    /// [`DfsError::NotFound`], [`DfsError::OutOfRange`],
+    /// [`DfsError::DataLoss`], or [`DfsError::Unavailable`] (see
+    /// [`Dfs::get`]).
+    pub fn read_range_stats(
+        &self,
+        name: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, ReadStats), DfsError> {
         let meta = self
             .files
             .get(name)
             .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
-        if offset + len > meta.manifest.object_len {
+        // Mirror of the erasure-level guard: `offset + len` must not
+        // wrap around `usize` and sneak past the length check.
+        let end = offset.checked_add(len).ok_or(DfsError::OutOfRange {
+            end: usize::MAX,
+            len: meta.manifest.object_len,
+        })?;
+        if end > meta.manifest.object_len {
             return Err(DfsError::OutOfRange {
-                end: offset + len,
+                end,
                 len: meta.manifest.object_len,
             });
         }
         let msg = self.codec.code().message_len();
         let mut out = Vec::with_capacity(len);
+        let mut stats = ReadStats {
+            stripes_read: 0,
+            bytes_read: 0,
+            degraded: false,
+            full_decode: false,
+        };
         let mut pos = offset;
         while out.len() < len {
             let group = pos / msg;
             let within = pos % msg;
             let take = (msg - within).min(len - out.len());
             let avail = self.group_availability(meta, group);
-            let (bytes, _) = self
+            let (bytes, group_stats) = self
                 .codec
                 .code()
                 .as_linear_code()
                 .read_range(within, take, &avail)
-                .map_err(|_| DfsError::DataLoss {
-                    name: name.to_string(),
-                    group,
-                })?;
+                .map_err(|_| self.group_read_error(meta, group))?;
             out.extend_from_slice(&bytes);
+            stats.stripes_read += group_stats.stripes_read;
+            stats.bytes_read += group_stats.bytes_read;
+            stats.degraded |= group_stats.degraded;
+            stats.full_decode |= group_stats.full_decode;
             pos += take;
         }
-        Ok(out)
+        Ok((out, stats))
+    }
+
+    /// [`Dfs::read_range_stats`] without the accounting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dfs::read_range_stats`].
+    pub fn read_range(&self, name: &str, offset: usize, len: usize) -> Result<Vec<u8>, DfsError> {
+        self.read_range_stats(name, offset, len)
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// [`Dfs::read_range`] with the same bounded retry-with-backoff as
+    /// [`Dfs::get_with_retry`]. Returns the bytes and the number of
+    /// attempts made.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dfs::read_range`]; [`DfsError::Unavailable`] surfaces only
+    /// once the retry budget is exhausted.
+    pub fn read_range_with_retry(
+        &mut self,
+        name: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, usize), DfsError> {
+        let mut backoff = 1u64;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match self.read_range(name, offset, len) {
+                Ok(bytes) => return Ok((bytes, attempts)),
+                Err(e @ DfsError::Unavailable { .. }) => {
+                    if attempts > self.retry_limit {
+                        return Err(e);
+                    }
+                    global().counter("dfs.faults.retries").inc();
+                    self.advance_to(self.clock + backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }

@@ -16,6 +16,26 @@
 //!   accounting of bytes read (the paper's disk-I/O metric);
 //! * [`Dfs::fsck`] — per-file health report.
 //!
+//! Beyond clean crashes, the DFS models *messy* failures and heals
+//! itself through them — the regime where locally repairable codes earn
+//! their keep:
+//!
+//! * [`FaultPlan`] — a deterministic, seedable schedule of crashes,
+//!   transient outage windows, stragglers, and silent block corruption,
+//!   driven by a logical clock ([`Dfs::schedule`] /
+//!   [`Dfs::advance_to`]);
+//! * per-block CRC-32 checksums ([`crc32`]) stamped at write time and
+//!   verified on every read, so corruption surfaces as an erasure and
+//!   is routed around, never returned;
+//! * [`Dfs::get_with_retry`] / [`Dfs::read_range_with_retry`] — bounded
+//!   retry-with-backoff across transient outage windows;
+//! * [`Dfs::scan_endangered`] / [`Dfs::drain_repairs`] — a background
+//!   repair queue that rebuilds the most-endangered groups (fewest
+//!   surviving blocks above the decode threshold) first.
+//!
+//! Everything is observable through the `dfs.faults.*` and
+//! `dfs.repair_queue.*` metrics in the global `galloper-obs` registry.
+//!
 //! The type is generic over the code, so Reed–Solomon, Pyramid, Carousel,
 //! and Galloper files can live in DFS instances side by side and their
 //! repair bills compared — see the `tests/` of this crate and the
@@ -24,9 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crc;
+pub mod faults;
 mod fs;
 mod health;
+mod repair_queue;
 
-pub use fs::{Dfs, DfsError, FileId, RepairSummary};
-pub use galloper_erasure::AsLinearCode;
+pub use crc::crc32;
+pub use faults::{Fault, FaultPlan, FaultPlanConfig, TimedFault};
+pub use fs::{Dfs, DfsError, DrainReport, FileId, RepairSummary, ServerHealth};
+pub use galloper_erasure::{AsLinearCode, ErasureCode};
 pub use health::{FileHealth, FsckReport, GroupHealth};

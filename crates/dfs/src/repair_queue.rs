@@ -1,0 +1,138 @@
+//! The background repair queue: most-endangered groups first.
+//!
+//! Each entry is one degraded coding group, keyed by its *survival
+//! margin* — surviving blocks minus the decode threshold `k`. A group at
+//! margin 0 is one more failure away from data loss and drains before a
+//! group that can still shrug off two, ties broken FIFO so equally
+//! endangered groups make progress in discovery order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::FileId;
+
+/// One queued repair: a degraded group and how endangered it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedRepair {
+    /// Surviving blocks minus the decode threshold; lower is more
+    /// urgent, negative means already unrecoverable.
+    pub margin: i64,
+    /// FIFO tie-breaker (enqueue order).
+    seq: u64,
+    /// The file the group belongs to.
+    pub file: FileId,
+    /// The file's name (kept here so draining needs no id lookup).
+    pub name: String,
+    /// The group index within the file.
+    pub group: usize,
+    /// How many times this entry has been popped and put back because a
+    /// transient outage blocked the repair.
+    pub attempts: usize,
+}
+
+impl Ord for QueuedRepair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.margin, self.seq).cmp(&(other.margin, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedRepair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of degraded groups, fewest-survivors-first.
+#[derive(Debug, Default)]
+pub struct RepairQueue {
+    heap: BinaryHeap<Reverse<QueuedRepair>>,
+    queued: HashSet<(FileId, usize)>,
+    seq: u64,
+}
+
+impl RepairQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RepairQueue::default()
+    }
+
+    /// Enqueues a group unless it is already queued; returns whether it
+    /// was inserted.
+    pub fn push(
+        &mut self,
+        file: FileId,
+        name: &str,
+        group: usize,
+        margin: i64,
+        attempts: usize,
+    ) -> bool {
+        if !self.queued.insert((file, group)) {
+            return false;
+        }
+        self.heap.push(Reverse(QueuedRepair {
+            margin,
+            seq: self.seq,
+            file,
+            name: name.to_string(),
+            group,
+            attempts,
+        }));
+        self.seq += 1;
+        true
+    }
+
+    /// Removes and returns the most endangered group, if any.
+    pub fn pop(&mut self) -> Option<QueuedRepair> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.queued.remove(&(entry.file, entry.group));
+        Some(entry)
+    }
+
+    /// Whether the group is currently queued.
+    pub fn contains(&self, file: FileId, group: usize) -> bool {
+        self.queued.contains(&(file, group))
+    }
+
+    /// Number of queued groups.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: usize) -> FileId {
+        FileId::test_only(n)
+    }
+
+    #[test]
+    fn pops_lowest_margin_first_then_fifo() {
+        let mut q = RepairQueue::new();
+        assert!(q.push(id(0), "a", 0, 2, 0));
+        assert!(q.push(id(0), "a", 1, 0, 0));
+        assert!(q.push(id(1), "b", 0, 0, 0));
+        assert!(q.push(id(1), "b", 1, 1, 0));
+        let order: Vec<(usize, i64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.group, e.margin))
+            .collect();
+        // Margin 0 entries first in enqueue order, then 1, then 2.
+        assert_eq!(order, vec![(1, 0), (0, 0), (1, 1), (0, 2)]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn deduplicates_queued_groups() {
+        let mut q = RepairQueue::new();
+        assert!(q.push(id(3), "f", 7, 1, 0));
+        assert!(!q.push(id(3), "f", 7, 0, 0), "same group requeued");
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(id(3), 7));
+        let e = q.pop().unwrap();
+        assert_eq!((e.group, e.margin), (7, 1));
+        assert!(!q.contains(id(3), 7));
+        // After popping, the group may be queued again (requeue path).
+        assert!(q.push(id(3), "f", 7, 0, e.attempts + 1));
+    }
+}

@@ -12,6 +12,7 @@
 //! itself unavailable does the read fall back to a full decode.
 
 use crate::{CodeError, ErasureCode, LinearCode};
+use galloper_linalg::Matrix;
 
 /// Accounting for one range read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +57,17 @@ impl LinearCode {
                 return Err(CodeError::BlockSizeMismatch);
             }
         }
-        if offset + len > self.message_len() {
+        // `offset + len` must not wrap: `read_range(usize::MAX, 2, ..)`
+        // would otherwise pass validation and panic deep in slicing.
+        let end = offset
+            .checked_add(len)
+            .ok_or(CodeError::InvalidDataLength {
+                got: usize::MAX,
+                multiple_of: self.message_len(),
+            })?;
+        if end > self.message_len() {
             return Err(CodeError::InvalidDataLength {
-                got: offset + len,
+                got: end,
                 multiple_of: self.message_len(),
             });
         }
@@ -83,6 +92,11 @@ impl LinearCode {
         let mut touched: std::collections::HashSet<(usize, usize)> =
             std::collections::HashSet::new();
         let mut degraded = false;
+        // A lost block is recovered stripe by stripe, and a range can
+        // cover every stripe of that block — fetch the (cloned) repair
+        // plan and matrix once per lost home block, not once per stripe.
+        let mut recovery_cache: std::collections::HashMap<usize, (crate::RepairPlan, &Matrix)> =
+            std::collections::HashMap::new();
 
         for s in first..=last {
             let (home, pos) = layout
@@ -96,13 +110,17 @@ impl LinearCode {
             degraded = true;
             // Recover via the home block's repair matrix: stored stripe
             // `pos` = repair_matrix(home).row(pos) · (source stripes).
-            let plan = self.repair_plan(home)?;
+            let (plan, rm) = match recovery_cache.entry(home) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((self.repair_plan(home)?, self.repair_matrix(home)))
+                }
+            };
             let sources = plan.sources();
             if sources.iter().any(|&src| blocks[src].is_none()) {
                 // A source is down as well: fall back to full decode.
                 return self.read_range_via_decode(offset, len, blocks, touched.len());
             }
-            let rm = self.repair_matrix(home);
             let row = rm.row(pos);
             let big_n = self.stripes_per_block();
             let mut stripe = vec![0u8; ss];
@@ -145,17 +163,18 @@ impl LinearCode {
     ) -> Result<(Vec<u8>, ReadStats), CodeError> {
         let decoded = self.decode(blocks)?;
         let available_blocks = blocks.iter().flatten().count();
+        // Conservative accounting: a full decode reads kN stripes from
+        // survivors (clamped to what actually survives, plus whatever was
+        // fetched before the fallback). Deriving bytes from the same
+        // stripe count keeps `bytes_read == stripes_read * stripe_size()`.
+        let stripes_read = already_read
+            + (self.num_data_blocks() * self.stripes_per_block())
+                .min(available_blocks * self.stripes_per_block());
         Ok((
             decoded[offset..offset + len].to_vec(),
             ReadStats {
-                // Conservative accounting: a full decode reads kN stripes
-                // from survivors (plus whatever was fetched before the
-                // fallback).
-                stripes_read: already_read
-                    + (self.num_data_blocks() * self.stripes_per_block())
-                        .min(available_blocks * self.stripes_per_block()),
-                bytes_read: (already_read + self.num_data_blocks() * self.stripes_per_block())
-                    * self.stripe_size(),
+                stripes_read,
+                bytes_read: stripes_read * self.stripe_size(),
                 degraded: true,
                 full_decode: true,
             },
@@ -260,6 +279,10 @@ mod tests {
         let (out, stats) = code.read_range(0, 8, &avail).unwrap();
         assert_eq!(out, &data[0..8]);
         assert!(stats.full_decode);
+        // The two stats must stay consistent even when fewer than k
+        // blocks' worth of survivors exist.
+        assert_eq!(stats.bytes_read, stats.stripes_read * code.stripe_size());
+        assert_eq!(stats.stripes_read, 2 * code.stripes_per_block());
     }
 
     #[test]
@@ -279,6 +302,16 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(stats.bytes_read, 0);
         assert!(code.read_range(10, 10, &avail).is_err(), "past the message");
+        // Ranges whose end wraps around usize must be rejected, not
+        // validated via the wrapped sum.
+        assert!(matches!(
+            code.read_range(usize::MAX, 2, &avail),
+            Err(crate::CodeError::InvalidDataLength { .. })
+        ));
+        assert!(matches!(
+            code.read_range(2, usize::MAX, &avail),
+            Err(crate::CodeError::InvalidDataLength { .. })
+        ));
     }
 
     #[test]

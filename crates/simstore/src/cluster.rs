@@ -120,6 +120,12 @@ impl Placement {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     servers: Vec<ServerSpec>,
+    /// Per-server rate multiplier applied to *every* resource of the
+    /// server (disk, net, cpu) — the straggler/slow-server model fault
+    /// injection uses, as opposed to `cpu_factor` which throttles
+    /// processing only. 1.0 everywhere unless
+    /// [`Cluster::set_rate_multiplier`] was called.
+    multipliers: Vec<f64>,
 }
 
 impl Cluster {
@@ -141,7 +147,37 @@ impl Cluster {
                 "server {i} has a non-positive rate or zero slots"
             );
         }
-        Cluster { servers }
+        let multipliers = vec![1.0; servers.len()];
+        Cluster {
+            servers,
+            multipliers,
+        }
+    }
+
+    /// Makes `server` serve every resource at `multiplier` × its spec
+    /// rate — below 1.0 it is a straggler, 1.0 restores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or `multiplier <= 0` (the
+    /// engine needs strictly positive rates; model a dead server by
+    /// omitting its activities instead).
+    pub fn set_rate_multiplier(&mut self, server: usize, multiplier: f64) {
+        assert!(server < self.servers.len(), "no server {server}");
+        assert!(
+            multiplier > 0.0 && multiplier.is_finite(),
+            "rate multiplier must be positive and finite"
+        );
+        self.multipliers[server] = multiplier;
+    }
+
+    /// The server's current rate multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn rate_multiplier(&self, server: usize) -> f64 {
+        self.multipliers[server]
     }
 
     /// `n` identical servers.
@@ -191,11 +227,12 @@ impl Cluster {
     pub fn simulate(&self, graph: &ActivityGraph) -> RunResult {
         let rates = |server: usize, kind: ResourceKind| -> f64 {
             let s = &self.servers[server];
+            let m = self.multipliers[server];
             match kind {
-                ResourceKind::DiskRead => s.disk_read_mbps,
-                ResourceKind::DiskWrite => s.disk_write_mbps,
-                ResourceKind::Net => s.net_mbps,
-                ResourceKind::Cpu => s.effective_cpu_mbps(),
+                ResourceKind::DiskRead => s.disk_read_mbps * m,
+                ResourceKind::DiskWrite => s.disk_write_mbps * m,
+                ResourceKind::Net => s.net_mbps * m,
+                ResourceKind::Cpu => s.effective_cpu_mbps() * m,
                 // Slots and timers use explicit durations.
                 ResourceKind::Slot | ResourceKind::Timer => 1.0,
             }
@@ -240,6 +277,32 @@ mod tests {
         let r = cluster.simulate(&g);
         assert_eq!(r.finish_secs(fast), 1.0);
         assert_eq!(r.finish_secs(slow), 2.0);
+    }
+
+    #[test]
+    fn rate_multiplier_slows_every_resource() {
+        let mut cluster = Cluster::homogeneous(2, ServerSpec::default());
+        cluster.set_rate_multiplier(1, 0.5);
+        assert_eq!(cluster.rate_multiplier(0), 1.0);
+        assert_eq!(cluster.rate_multiplier(1), 0.5);
+        let mut g = ActivityGraph::new();
+        let normal = g.add(0, ResourceKind::DiskRead, Work::Megabytes(150.0), &[]);
+        let straggler = g.add(1, ResourceKind::DiskRead, Work::Megabytes(150.0), &[]);
+        let r = cluster.simulate(&g);
+        // Halving the rate doubles the duration.
+        assert_eq!(r.finish_secs(normal), 1.0);
+        assert_eq!(r.finish_secs(straggler), 2.0);
+        // Restoring the multiplier restores the timing.
+        cluster.set_rate_multiplier(1, 1.0);
+        let r = cluster.simulate(&g);
+        assert_eq!(r.finish_secs(straggler), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rate_multiplier_rejects_zero() {
+        let mut cluster = Cluster::homogeneous(1, ServerSpec::default());
+        cluster.set_rate_multiplier(0, 0.0);
     }
 
     #[test]

@@ -23,6 +23,14 @@ cargo test -q --release --workspace
 echo "==> full workspace tests (GALLOPER_KERNEL=scalar)"
 GALLOPER_KERNEL=scalar cargo test -q --release --workspace
 
+# The chaos soak (tests/chaos.rs) already ran above on its default
+# seed; re-run it on a second pinned schedule under both kernel
+# backends so CI always exercises one alternate fault trajectory.
+echo "==> chaos soak (pinned seed, auto + scalar kernels)"
+GALLOPER_FAULT_SEED=2147483647 cargo test -q --release --test chaos
+GALLOPER_FAULT_SEED=2147483647 GALLOPER_KERNEL=scalar \
+  cargo test -q --release --test chaos
+
 echo "==> miri: gf256 kernel differential suite"
 if cargo +nightly miri --version >/dev/null 2>&1; then
   cargo +nightly miri test -p galloper-gf --test kernel_differential

@@ -37,7 +37,7 @@ pub mod codes {
     pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
     pub use galloper_erasure::{
         BlockRole, CodeError, ConstructionError, DataLayout, ErasureCode, LinearCode, ObjectCodec,
-        ObjectManifest, RepairPlan,
+        ObjectManifest, ReadStats, RepairPlan,
     };
     pub use galloper_pyramid::Pyramid;
     pub use galloper_rs::ReedSolomon;

@@ -90,6 +90,45 @@ fn locally_repairable_codes_recover_faster_and_cheaper() {
 }
 
 #[test]
+fn fsck_repairs_an_encoded_directory_end_to_end() {
+    // The operator's recovery path: encode to disk, suffer a mix of
+    // missing and truncated block files, run `galloper fsck --repair`,
+    // and get back a byte-identical, fully healthy directory.
+    use galloper_cli::{decode_file, encode_file, fsck, CodeSpec};
+    use std::fs;
+
+    let dir = std::env::temp_dir().join(format!("galloper-e2e-fsck-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("input.bin");
+    let data = sample(120_000);
+    fs::write(&input, &data).unwrap();
+
+    let out = dir.join("encoded");
+    encode_file(&input, &out, &CodeSpec::galloper(4, 2, 1, 2048)).unwrap();
+
+    // Damage within tolerance: one block gone, another truncated.
+    fs::remove_file(out.join("block_0.bin")).unwrap();
+    fs::write(out.join("block_5.bin"), b"torn write").unwrap();
+
+    let (report, healthy) = fsck(&out, false).unwrap();
+    assert!(!healthy, "report-only fsck must flag the damage: {report}");
+
+    let (report, healthy) = fsck(&out, true).unwrap();
+    assert!(healthy, "{report}");
+    assert!(report.contains("fully healthy"), "{report}");
+
+    let restored = dir.join("restored.bin");
+    decode_file(&out, &restored).unwrap();
+    assert_eq!(fs::read(&restored).unwrap(), data);
+    // A second pass finds nothing to do.
+    let (report, healthy) = fsck(&out, true).unwrap();
+    assert!(healthy);
+    assert!(!report.contains("rebuilt"), "{report}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn multi_failure_recovery_via_decode() {
     // Two servers die: beyond single-block repair, so recover through a
     // full decode and re-encode, then verify every rebuilt block.

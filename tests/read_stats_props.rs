@@ -1,0 +1,114 @@
+//! Property tests for the degraded-read accounting invariant: whenever a
+//! range read succeeds, `bytes_read` is exactly `stripes_read` stripes'
+//! worth — no matter the code family, which blocks are erased, or where
+//! the range falls. This pins the contract the DFS repair-bill metrics
+//! and the paper's disk-I/O comparisons are built on.
+
+use galloper_suite::codes::{Carousel, ErasureCode, Galloper, LinearCode, Pyramid, ReedSolomon};
+use galloper_testkit::{run_cases, TestRng};
+
+fn families() -> Vec<(&'static str, LinearCode)> {
+    vec![
+        (
+            "rs",
+            ReedSolomon::new(4, 2, 256).unwrap().as_linear().clone(),
+        ),
+        (
+            "pyramid",
+            Pyramid::new(4, 2, 1, 256).unwrap().as_linear().clone(),
+        ),
+        (
+            "carousel",
+            Carousel::new(4, 2, 128).unwrap().as_linear().clone(),
+        ),
+        (
+            "galloper",
+            Galloper::uniform(4, 2, 1, 128).unwrap().as_linear().clone(),
+        ),
+    ]
+}
+
+#[test]
+fn bytes_read_is_stripes_read_times_stripe_size_everywhere() {
+    let families = families();
+    run_cases(60, 0x5EED_57A7, |rng| {
+        for (name, code) in &families {
+            let n = code.num_blocks();
+            let data: Vec<u8> = rng.bytes(code.message_len());
+            let blocks = code.encode(&data).unwrap();
+
+            // Anything from a healthy read to more erasures than the
+            // code tolerates — undecodable cases must error, not lie.
+            let take = rng.usize_in(0, n + 1);
+            let erased = rng.sample_indices(n, take);
+            let avail: Vec<Option<&[u8]>> = blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (!erased.contains(&i)).then_some(b.as_slice()))
+                .collect();
+
+            let offset = rng.usize_in(0, code.message_len());
+            let len = rng.usize_in(0, code.message_len() - offset + 1);
+            match code.read_range(offset, len, &avail) {
+                Ok((bytes, stats)) => {
+                    assert_eq!(
+                        bytes,
+                        &data[offset..offset + len],
+                        "{name} erased={erased:?} {offset}+{len}: wrong bytes"
+                    );
+                    assert_eq!(
+                        stats.bytes_read,
+                        stats.stripes_read * code.stripe_size(),
+                        "{name} erased={erased:?} {offset}+{len}: \
+                         accounting out of step (degraded={} full_decode={})",
+                        stats.degraded,
+                        stats.full_decode
+                    );
+                    assert!(
+                        stats.bytes_read >= len,
+                        "{name}: read fewer bytes than returned"
+                    );
+                    if erased.is_empty() {
+                        assert!(!stats.degraded, "{name}: healthy read marked degraded");
+                        assert!(!stats.full_decode);
+                    }
+                }
+                Err(_) => {
+                    // Only acceptable when blocks actually are missing.
+                    assert!(
+                        !erased.is_empty(),
+                        "{name}: healthy read must not fail ({offset}+{len})"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn corruption_detected_by_crc_roundtrips_through_repair() {
+    // A flipped byte inside a stored block must never reach a reader:
+    // the DFS CRC check reclassifies the block as an erasure and the
+    // codes decode around it, for every family.
+    use galloper_suite::dfs::Dfs;
+    let mut rng = TestRng::new(0xC0DE_C0DE);
+    let data = rng.bytes(17_000);
+
+    fn check<C: galloper_suite::dfs::ErasureCode>(code: C, data: &[u8]) {
+        let mut dfs = Dfs::new(10, code);
+        dfs.put("obj", data).unwrap();
+        for group in 0..2 {
+            assert!(dfs.corrupt_stored("obj", group, group + 1));
+        }
+        assert_eq!(dfs.get("obj").unwrap(), data, "corruption leaked");
+        dfs.scan_endangered();
+        dfs.drain_repairs(usize::MAX).unwrap();
+        assert!(dfs.fsck().all_healthy());
+        assert_eq!(dfs.get("obj").unwrap(), data);
+    }
+
+    check(ReedSolomon::new(4, 2, 256).unwrap(), &data);
+    check(Pyramid::new(4, 2, 1, 256).unwrap(), &data);
+    check(Carousel::new(4, 2, 128).unwrap(), &data);
+    check(Galloper::uniform(4, 2, 1, 128).unwrap(), &data);
+}
