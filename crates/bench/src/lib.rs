@@ -69,22 +69,66 @@ pub fn json_out_dir_from(args: impl IntoIterator<Item = String>) -> Option<PathB
 /// stderr rather than aborting the benchmark run.
 ///
 /// Every object document is stamped with a `kernel_backend` field naming
-/// the active GF(2⁸) kernel backend (`scalar`/`swar`/`simd`), so results
+/// the active GF(2⁸) kernel backend (`scalar`/`swar`/`simd`) — kept at
+/// the top level for older tooling — plus a [`bench_env`] block (git
+/// revision, kernel backend, worker-pool width, timestamp), so results
 /// gathered on different machines — or under a `GALLOPER_KERNEL`
-/// override — stay attributable.
+/// override — stay attributable and `galloper bench-diff` can refuse to
+/// compare apples to oranges.
 pub fn emit_json(name: &str, doc: &Json) {
     let Some(dir) = json_out_dir() else { return };
-    let doc = match doc {
-        Json::Obj(_) if doc.get("kernel_backend").is_none() => doc
-            .clone()
-            .field("kernel_backend", galloper_gf::kernel::active().name()),
-        _ => doc.clone(),
-    };
+    let mut doc = doc.clone();
+    if matches!(doc, Json::Obj(_)) {
+        if doc.get("kernel_backend").is_none() {
+            doc = doc.field("kernel_backend", galloper_gf::kernel::active().name());
+        }
+        if doc.get("bench_env").is_none() {
+            doc = doc.field("bench_env", bench_env());
+        }
+    }
     let path = dir.join(format!("BENCH_{name}.json"));
     match galloper_obs::write_json(&path, &doc) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+}
+
+/// The provenance block stamped into every `BENCH_*.json`: which source
+/// revision, kernel backend, and worker-pool width produced the
+/// numbers, and when. `git_rev` degrades to `"unknown"` outside a git
+/// checkout.
+pub fn bench_env() -> Json {
+    Json::object()
+        .field("git_rev", git_rev().as_str())
+        .field("kernel_backend", galloper_gf::kernel::active().name())
+        .field(
+            "pool_threads",
+            galloper_linalg::pool::global_pool().max_threads() as u64,
+        )
+        .field("timestamp", unix_timestamp())
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` when git or the
+/// repository is unavailable (results must still be writable from a
+/// source tarball).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Reads a positive float from the environment, falling back to `default`.
@@ -140,6 +184,16 @@ mod tests {
     fn env_helpers_fall_back() {
         assert_eq!(env_f64("GALLOPER_BENCH_DOES_NOT_EXIST", 4.5), 4.5);
         assert_eq!(env_usize("GALLOPER_BENCH_DOES_NOT_EXIST", 20), 20);
+    }
+
+    #[test]
+    fn bench_env_has_provenance_fields() {
+        let env = bench_env();
+        for key in ["git_rev", "kernel_backend", "pool_threads", "timestamp"] {
+            assert!(env.get(key).is_some(), "bench_env missing {key}");
+        }
+        // The block must survive the snapshot parser CI uses.
+        assert!(galloper_obs::json::parse(&env.render()).is_ok());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! galloper fsck    <dir> [--repair]
 //! galloper inspect <dir>
 //! galloper weights -k 4 -l 2 -g 1 --perfs 1.0,1.0,1.0,0.4,0.4,0.4,1.0
+//! galloper bench-diff <baseline.json> <new.json> [--check] [--threshold PCT]
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -23,6 +24,12 @@ fn main() -> ExitCode {
     galloper_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().cloned().unwrap_or_default();
+    // bench-diff has its own argument shape (two JSON paths, its own
+    // flags, a distinct exit code for regressions), so it bypasses the
+    // generic option parser and the metrics snapshot.
+    if command == "bench-diff" {
+        return run_bench_diff(&args[1..]);
+    }
     let result = run(&args);
     // Snapshot the metrics the command produced (gf kernel byte counts,
     // erasure.<family>.* operation counters, timer histograms) even when
@@ -35,6 +42,49 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Compares two `BENCH_*.json` runs; with `--check`, exits with code 2
+/// when a gated metric regressed beyond the threshold (default 5%).
+/// With a single file argument, the baseline is looked up by file name
+/// under `$GALLOPER_BENCH_BASELINE`.
+fn run_bench_diff(args: &[String]) -> ExitCode {
+    let baseline_dir = std::env::var("GALLOPER_BENCH_BASELINE").ok();
+    let parsed = match galloper_cli::benchdiff::parse_args(args, baseline_dir.as_deref()) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match galloper_cli::benchdiff::check_files(&parsed.baseline, &parsed.new, parsed.threshold) {
+        Ok((report, regressions)) => {
+            print!("{report}");
+            if regressions > 0 {
+                eprintln!(
+                    "bench-diff: {regressions} regression(s) beyond the {:.1}% threshold ({} vs {})",
+                    parsed.threshold * 100.0,
+                    parsed.baseline.display(),
+                    parsed.new.display(),
+                );
+                if parsed.check {
+                    return ExitCode::from(2);
+                }
+            } else {
+                println!(
+                    "bench-diff: no regressions beyond the {:.1}% threshold",
+                    parsed.threshold * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -80,6 +130,9 @@ const USAGE: &str = "usage:
   galloper check   <dir>
   galloper fsck    <dir> [--repair]
   galloper weights -k K -l L -g G --perfs P1,P2,...
+  galloper bench-diff <baseline.json> <new.json> [--check] [--threshold PCT]
+                   (or: bench-diff <new.json> with GALLOPER_BENCH_BASELINE=DIR;
+                    --check exits 2 when a gated metric regresses > PCT, default 5)
 global flags:
   --json[=DIR]     write galloper_metrics.json (kernel/erasure counters)
                    into DIR (default .); GALLOPER_JSON_OUT=DIR does the same";

@@ -195,13 +195,22 @@ pub type BoxedCode = Box<dyn ErasureCode + Send + Sync>;
 ///
 /// Every code is wrapped in [`Observed`] with its family name, so all
 /// operations feed the `erasure.<family>.*` metrics that benchmarks and
-/// the CLI's `--json` snapshot at exit.
+/// the CLI's `--json` snapshot at exit. Each construction bumps the
+/// `codes.build.<family>` counter and, inside an active operation,
+/// opens a `codes.build` span so Gaussian-elimination-heavy
+/// constructions show up in request traces.
 ///
 /// # Errors
 ///
 /// [`BuildError`] when the family is unknown or its parameters are
 /// invalid.
 pub fn build_code(spec: &CodeSpec) -> Result<BoxedCode, BuildError> {
+    let _span = galloper_obs::op::current()
+        .is_active()
+        .then(|| galloper_obs::op::span("codes.build", "codes"));
+    galloper_obs::global()
+        .counter(&format!("codes.build.{}", spec.family))
+        .inc();
     match spec.family.as_str() {
         "rs" => Ok(Box::new(Observed::new(
             "rs",

@@ -1,12 +1,13 @@
 //! The [`Dfs`] state machine: namespace, block store, failures, repair.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use galloper_erasure::stream::{StreamError, StripeDecoder, StripeEncoder};
 use galloper_erasure::{
     AsLinearCode, CodeError, ErasureCode, ObjectCodec, ObjectManifest, ReadStats,
 };
-use galloper_obs::global;
+use galloper_obs::{global, op, Histogram, OpContext};
 
 use crate::crc::crc32;
 use crate::faults::{self, Fault, FaultPlan, TimedFault};
@@ -413,6 +414,19 @@ impl<C: ErasureCode> Dfs<C> {
     /// [`DfsError::AlreadyExists`] for duplicate names; coding errors are
     /// impossible here but propagated defensively.
     pub fn put(&mut self, name: &str, data: &[u8]) -> Result<FileId, DfsError> {
+        let mut scope = OpScope::new("dfs.put", "put", name, "dfs.op.put_us");
+        scope.report.bytes_in = data.len() as u64;
+        let res = self.put_inner(name, data, &mut scope.report);
+        scope.finish(res.is_ok());
+        res
+    }
+
+    fn put_inner(
+        &mut self,
+        name: &str,
+        data: &[u8],
+        report: &mut op::OpReport,
+    ) -> Result<FileId, DfsError> {
         if self.files.contains_key(name) {
             return Err(DfsError::AlreadyExists(name.to_string()));
         }
@@ -430,9 +444,12 @@ impl<C: ErasureCode> Dfs<C> {
             ..
         } = self;
         let mut placements: Vec<Vec<usize>> = Vec::new();
+        let mut bytes_stored = 0u64;
         let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), DfsError> {
             let servers = place_group(health, stores, blocks.len(), id.0 + g)?;
             for (b, block) in blocks.iter().enumerate() {
+                block_bytes_hist().record(block.len() as u64);
+                bytes_stored += block.len() as u64;
                 stores[servers[b]].insert((id, g, b), StoredBlock::new(block.clone()));
             }
             placements.push(servers);
@@ -441,6 +458,9 @@ impl<C: ErasureCode> Dfs<C> {
         let mut encoder = StripeEncoder::new(codec.code(), sink);
         encoder.push(data).map_err(put_error)?;
         let (manifest, _) = encoder.finish().map_err(put_error)?;
+        global().counter("dfs.bytes_written").add(bytes_stored);
+        report.bytes_out = bytes_stored;
+        report.stripes = manifest.num_groups as u64;
         self.next_id += 1;
         self.files.insert(
             name.to_string(),
@@ -467,6 +487,26 @@ impl<C: ErasureCode> Dfs<C> {
     /// [`DfsError::Unavailable`] (retryable; see
     /// [`Dfs::get_with_retry`]).
     pub fn get(&self, name: &str) -> Result<Vec<u8>, DfsError> {
+        let mut scope = OpScope::new("dfs.get", "get", name, "dfs.op.get_us");
+        let mut degraded = Vec::new();
+        let res = self.get_inner(name, &mut scope.report, &mut degraded);
+        scope.finish(res.is_ok());
+        res
+    }
+
+    /// The body of [`Dfs::get`], accumulating accounting into `report`
+    /// and the indices of groups that needed a degraded decode into
+    /// `degraded` (for read-triggered repair; see
+    /// [`Dfs::get_with_retry`]). The `dfs.bytes_read` /
+    /// `dfs.degraded_reads` counters move in lockstep with the report
+    /// fields, so an op-log line can be cross-checked against the
+    /// registry.
+    fn get_inner(
+        &self,
+        name: &str,
+        report: &mut op::OpReport,
+        degraded: &mut Vec<usize>,
+    ) -> Result<Vec<u8>, DfsError> {
         let meta = self
             .files
             .get(name)
@@ -475,9 +515,22 @@ impl<C: ErasureCode> Dfs<C> {
         let mut out = Vec::with_capacity(meta.manifest.object_len);
         for g in 0..meta.manifest.num_groups {
             let blocks = self.group_availability(meta, g);
-            let payload = decoder
-                .next_group(&blocks)
-                .map_err(|_| self.group_read_error(meta, g))?;
+            let present: u64 = blocks.iter().flatten().map(|b| b.len() as u64).sum();
+            global().counter("dfs.bytes_read").add(present);
+            report.bytes_in += present;
+            let lost = blocks.iter().filter(|b| b.is_none()).count();
+            let payload = if lost > 0 {
+                global().counter("dfs.degraded_reads").inc();
+                report.degraded_reads += 1;
+                degraded.push(g);
+                let _span = op::span("dfs.degraded_decode", "dfs");
+                decoder.next_group(&blocks)
+            } else {
+                decoder.next_group(&blocks)
+            }
+            .map_err(|_| self.group_read_error(meta, g))?;
+            report.stripes += 1;
+            report.bytes_out += payload.len() as u64;
             out.extend_from_slice(&payload);
         }
         Ok(out)
@@ -496,21 +549,44 @@ impl<C: ErasureCode> Dfs<C> {
     /// As [`Dfs::get`]; [`DfsError::Unavailable`] surfaces only once
     /// the retry budget is exhausted.
     pub fn get_with_retry(&mut self, name: &str) -> Result<(Vec<u8>, usize), DfsError> {
+        let mut scope = OpScope::new(
+            "dfs.get_with_retry",
+            "get_with_retry",
+            name,
+            "dfs.op.get_with_retry_us",
+        );
         let mut backoff = 1u64;
         let mut attempts = 0usize;
+        let mut degraded = Vec::new();
         loop {
             attempts += 1;
-            match self.get(name) {
-                Ok(bytes) => return Ok((bytes, attempts)),
+            degraded.clear();
+            match self.get_inner(name, &mut scope.report, &mut degraded) {
+                Ok(bytes) => {
+                    // Read-triggered repair: groups this read had to
+                    // decode around are enqueued under this operation's
+                    // context, so the eventual rebuild traces as part
+                    // of the read that noticed the damage.
+                    scope.report.repair_triggers +=
+                        self.enqueue_degraded(name, &degraded, scope.span.context()) as u64;
+                    scope.finish(true);
+                    return Ok((bytes, attempts));
+                }
                 Err(e @ DfsError::Unavailable { .. }) => {
                     if attempts > self.retry_limit {
+                        scope.finish(false);
                         return Err(e);
                     }
                     global().counter("dfs.faults.retries").inc();
+                    scope.report.retries += 1;
+                    let _wait = op::span("dfs.retry", "dfs");
                     self.advance_to(self.clock + backoff);
                     backoff = backoff.saturating_mul(2);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    scope.finish(false);
+                    return Err(e);
+                }
             }
         }
     }
@@ -769,6 +845,17 @@ impl<C: ErasureCode> Dfs<C> {
     /// Unrecoverable groups are *counted*, not errors — `fsck` reports
     /// them.
     pub fn repair(&mut self) -> Result<RepairSummary, DfsError> {
+        let mut scope = OpScope::new("dfs.repair", "repair", "*", "dfs.op.repair_us");
+        let res = self.repair_inner();
+        if let Ok(s) = &res {
+            scope.report.bytes_in = s.bytes_read as u64;
+            scope.report.repair_triggers = (s.repaired_locally + s.repaired_via_decode) as u64;
+        }
+        scope.finish(res.is_ok());
+        res
+    }
+
+    fn repair_inner(&mut self) -> Result<RepairSummary, DfsError> {
         let mut summary = RepairSummary::default();
         let names: Vec<String> = self.files.keys().cloned().collect();
         for name in names {
@@ -815,7 +902,10 @@ impl<C: ErasureCode> Dfs<C> {
                     }
                 }
                 let survivors = states.iter().filter(|&&s| s == BlockState::Present).count() as i64;
-                if self.queue.push(meta.id, &meta.name, g, survivors - k, 0) {
+                if self
+                    .queue
+                    .push(meta.id, &meta.name, g, survivors - k, 0, op::current())
+                {
                     global().counter("dfs.repair_queue.enqueued").inc();
                     added += 1;
                 }
@@ -830,6 +920,42 @@ impl<C: ErasureCode> Dfs<C> {
     /// Number of groups currently waiting in the repair queue.
     pub fn repair_queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Enqueues each listed group for background repair with `origin`
+    /// as its causal context (read-triggered repair). Returns how many
+    /// groups were newly enqueued.
+    fn enqueue_degraded(&mut self, name: &str, groups: &[usize], origin: OpContext) -> usize {
+        if groups.is_empty() {
+            return 0;
+        }
+        let Some(meta) = self.files.get(name).cloned() else {
+            return 0;
+        };
+        let n = self.codec.code().num_blocks();
+        let k = self.codec.code().num_data_blocks() as i64;
+        let mut added = 0;
+        for &g in groups {
+            if self.queue.contains(meta.id, g) {
+                continue;
+            }
+            let survivors = (0..n)
+                .filter(|&b| self.block_state(&meta, g, b) == BlockState::Present)
+                .count() as i64;
+            if self
+                .queue
+                .push(meta.id, &meta.name, g, survivors - k, 0, origin)
+            {
+                global().counter("dfs.repair_queue.enqueued").inc();
+                added += 1;
+            }
+        }
+        if added > 0 {
+            global()
+                .gauge("dfs.repair_queue.depth")
+                .set(self.queue.len() as i64);
+        }
+        added
     }
 
     /// Drains up to `max_groups` entries from the repair queue, most
@@ -852,7 +978,12 @@ impl<C: ErasureCode> Dfs<C> {
                 continue;
             };
             let mut summary = RepairSummary::default();
-            let outcome = self.repair_group(&meta, entry.group, &mut summary)?;
+            // Run the rebuild inside the context of the operation that
+            // enqueued it (if any), so its spans join that op's tree.
+            let outcome = {
+                let _origin = op::install(entry.origin);
+                self.repair_group(&meta, entry.group, &mut summary)?
+            };
             report.summary.merge(&summary);
             match outcome {
                 RepairGroupOutcome::Clean => {
@@ -885,6 +1016,7 @@ impl<C: ErasureCode> Dfs<C> {
                 entry.group,
                 entry.margin,
                 entry.attempts + 1,
+                entry.origin,
             );
         }
         global()
@@ -909,6 +1041,11 @@ impl<C: ErasureCode> Dfs<C> {
         if lost.is_empty() {
             return Ok(RepairGroupOutcome::Clean);
         }
+        // A child of whichever operation the rebuild runs under — the
+        // read that enqueued it, or a `Dfs::repair` pass.
+        let _span = op::current()
+            .is_active()
+            .then(|| op::span("dfs.repair_group", "dfs"));
         let away = states.contains(&BlockState::Away);
 
         // Choose replacement servers: up, not already hosting a block
@@ -989,6 +1126,20 @@ impl<C: ErasureCode> Dfs<C> {
 
     /// Per-file health report.
     pub fn fsck(&self) -> FsckReport {
+        let mut scope = OpScope::new("dfs.fsck", "fsck", "*", "dfs.op.fsck_us");
+        let report = self.fsck_inner();
+        scope.report.stripes = report.files.iter().map(|f| f.groups.len()).sum::<usize>() as u64;
+        scope.report.degraded_reads = report
+            .files
+            .iter()
+            .flat_map(|f| &f.groups)
+            .filter(|g| !matches!(g, GroupHealth::Healthy))
+            .count() as u64;
+        scope.finish(true);
+        report
+    }
+
+    fn fsck_inner(&self) -> FsckReport {
         let mut files: Vec<FileHealth> = self
             .files
             .values()
@@ -1018,6 +1169,54 @@ impl<C: ErasureCode> Dfs<C> {
         files.sort_by(|a, b| a.name.cmp(&b.name));
         FsckReport { files }
     }
+}
+
+/// Per-operation instrumentation for one top-level DFS entry point.
+///
+/// Opening the scope opens an [`op::span`] — which either starts a new
+/// operation or joins the caller's — and installs its context for the
+/// duration, so every span recorded below (stream groups, pool tasks,
+/// kernel dispatch, repairs) hangs off this operation. `finish` stamps
+/// the wall time into the op's latency histogram and, when this scope
+/// started the operation and an op log is open, emits the
+/// [`op::OpReport`] line with queue/compute time attributed by worker
+/// threads.
+struct OpScope {
+    span: op::OpSpan,
+    tracker: Option<op::OpTracker>,
+    hist: &'static str,
+    report: op::OpReport,
+}
+
+impl OpScope {
+    fn new(span_name: &'static str, kind: &'static str, key: &str, hist: &'static str) -> OpScope {
+        let span = op::span(span_name, "dfs");
+        let tracker = (span.is_root() && op::op_log_enabled()).then(|| op::track(span.op()));
+        let report = op::OpReport::new(span.op(), kind, key);
+        OpScope {
+            span,
+            tracker,
+            hist,
+            report,
+        }
+    }
+
+    fn finish(mut self, ok: bool) {
+        self.report.ok = ok;
+        self.report.wall_us = self.span.elapsed_us();
+        global().histogram(self.hist).record(self.report.wall_us);
+        if let Some(t) = &self.tracker {
+            self.report.queue_us = t.accum().queue_us();
+            self.report.compute_us = t.accum().compute_us();
+            self.report.emit();
+        }
+    }
+}
+
+/// Block sizes written to the store, recorded once per stored block.
+fn block_bytes_hist() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| global().histogram("dfs.store.block_bytes"))
 }
 
 /// Chooses `num_blocks` distinct up servers, rotating with `salt` and
@@ -1077,6 +1276,19 @@ where
         offset: usize,
         len: usize,
     ) -> Result<(Vec<u8>, ReadStats), DfsError> {
+        let mut scope = OpScope::new("dfs.read_range", "read_range", name, "dfs.op.read_range_us");
+        let res = self.read_range_inner(name, offset, len, &mut scope.report);
+        scope.finish(res.is_ok());
+        res
+    }
+
+    fn read_range_inner(
+        &self,
+        name: &str,
+        offset: usize,
+        len: usize,
+        report: &mut op::OpReport,
+    ) -> Result<(Vec<u8>, ReadStats), DfsError> {
         let meta = self
             .files
             .get(name)
@@ -1114,6 +1326,16 @@ where
                 .read_range(within, take, &avail)
                 .map_err(|_| self.group_read_error(meta, group))?;
             out.extend_from_slice(&bytes);
+            global()
+                .counter("dfs.bytes_read")
+                .add(group_stats.bytes_read as u64);
+            report.bytes_in += group_stats.bytes_read as u64;
+            report.stripes += group_stats.stripes_read as u64;
+            report.bytes_out += bytes.len() as u64;
+            if group_stats.degraded {
+                global().counter("dfs.degraded_reads").inc();
+                report.degraded_reads += 1;
+            }
             stats.stripes_read += group_stats.stripes_read;
             stats.bytes_read += group_stats.bytes_read;
             stats.degraded |= group_stats.degraded;
@@ -1147,21 +1369,36 @@ where
         offset: usize,
         len: usize,
     ) -> Result<(Vec<u8>, usize), DfsError> {
+        let mut scope = OpScope::new(
+            "dfs.read_range_with_retry",
+            "read_range_with_retry",
+            name,
+            "dfs.op.read_range_with_retry_us",
+        );
         let mut backoff = 1u64;
         let mut attempts = 0usize;
         loop {
             attempts += 1;
-            match self.read_range(name, offset, len) {
-                Ok(bytes) => return Ok((bytes, attempts)),
+            match self.read_range_inner(name, offset, len, &mut scope.report) {
+                Ok((bytes, _)) => {
+                    scope.finish(true);
+                    return Ok((bytes, attempts));
+                }
                 Err(e @ DfsError::Unavailable { .. }) => {
                     if attempts > self.retry_limit {
+                        scope.finish(false);
                         return Err(e);
                     }
                     global().counter("dfs.faults.retries").inc();
+                    scope.report.retries += 1;
+                    let _wait = op::span("dfs.retry", "dfs");
                     self.advance_to(self.clock + backoff);
                     backoff = backoff.saturating_mul(2);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    scope.finish(false);
+                    return Err(e);
+                }
             }
         }
     }

@@ -33,8 +33,18 @@
 //!   repair queue that rebuilds the most-endangered groups (fewest
 //!   surviving blocks above the decode threshold) first.
 //!
-//! Everything is observable through the `dfs.faults.*` and
-//! `dfs.repair_queue.*` metrics in the global `galloper-obs` registry.
+//! Everything is observable through the global `galloper-obs` registry:
+//! the `dfs.faults.*` and `dfs.repair_queue.*` counters, byte-flow
+//! counters (`dfs.bytes_read`, `dfs.bytes_written`,
+//! `dfs.degraded_reads`), and per-op latency histograms
+//! (`dfs.op.*_us`, `dfs.store.block_bytes`). Every top-level entry
+//! point also opens a request-scoped span (`dfs.put`, `dfs.get`,
+//! `dfs.get_with_retry`, ...), so with tracing on, a degraded read —
+//! including its retries, degraded decodes, and the repairs it
+//! triggers — renders as one connected tree in the Chrome trace; and
+//! with `GALLOPER_OP_LOG` set, each top-level operation emits a
+//! structured JSON report line (bytes, stripes, retries, degraded
+//! reads, repair triggers, wall/queue/compute time).
 //!
 //! The type is generic over the code, so Reed–Solomon, Pyramid, Carousel,
 //! and Galloper files can live in DFS instances side by side and their

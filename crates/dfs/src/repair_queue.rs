@@ -9,6 +9,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+use galloper_obs::OpContext;
+
 use crate::FileId;
 
 /// One queued repair: a degraded group and how endangered it is.
@@ -28,6 +30,10 @@ pub struct QueuedRepair {
     /// How many times this entry has been popped and put back because a
     /// transient outage blocked the repair.
     pub attempts: usize,
+    /// The operation that noticed the damage ([`OpContext::NONE`] for
+    /// background scans). The drain installs it around the rebuild so
+    /// repair spans trace as part of the read that triggered them.
+    pub origin: OpContext,
 }
 
 impl Ord for QueuedRepair {
@@ -65,6 +71,7 @@ impl RepairQueue {
         group: usize,
         margin: i64,
         attempts: usize,
+        origin: OpContext,
     ) -> bool {
         if !self.queued.insert((file, group)) {
             return false;
@@ -76,6 +83,7 @@ impl RepairQueue {
             name: name.to_string(),
             group,
             attempts,
+            origin,
         }));
         self.seq += 1;
         true
@@ -110,10 +118,10 @@ mod tests {
     #[test]
     fn pops_lowest_margin_first_then_fifo() {
         let mut q = RepairQueue::new();
-        assert!(q.push(id(0), "a", 0, 2, 0));
-        assert!(q.push(id(0), "a", 1, 0, 0));
-        assert!(q.push(id(1), "b", 0, 0, 0));
-        assert!(q.push(id(1), "b", 1, 1, 0));
+        assert!(q.push(id(0), "a", 0, 2, 0, OpContext::NONE));
+        assert!(q.push(id(0), "a", 1, 0, 0, OpContext::NONE));
+        assert!(q.push(id(1), "b", 0, 0, 0, OpContext::NONE));
+        assert!(q.push(id(1), "b", 1, 1, 0, OpContext::NONE));
         let order: Vec<(usize, i64)> = std::iter::from_fn(|| q.pop())
             .map(|e| (e.group, e.margin))
             .collect();
@@ -125,14 +133,17 @@ mod tests {
     #[test]
     fn deduplicates_queued_groups() {
         let mut q = RepairQueue::new();
-        assert!(q.push(id(3), "f", 7, 1, 0));
-        assert!(!q.push(id(3), "f", 7, 0, 0), "same group requeued");
+        assert!(q.push(id(3), "f", 7, 1, 0, OpContext::NONE));
+        assert!(
+            !q.push(id(3), "f", 7, 0, 0, OpContext::NONE),
+            "same group requeued"
+        );
         assert_eq!(q.len(), 1);
         assert!(q.contains(id(3), 7));
         let e = q.pop().unwrap();
         assert_eq!((e.group, e.margin), (7, 1));
         assert!(!q.contains(id(3), 7));
         // After popping, the group may be queued again (requeue path).
-        assert!(q.push(id(3), "f", 7, 0, e.attempts + 1));
+        assert!(q.push(id(3), "f", 7, 0, e.attempts + 1, OpContext::NONE));
     }
 }

@@ -30,16 +30,39 @@
 //! | metric | kind | meaning |
 //! |---|---|---|
 //! | `stream.groups` | counter | coding groups pushed through any driver |
+//! | `stream.group_us` | histogram | per-group codec latency (encode, decode, or reconstruct) |
 //! | `stream.pool.alloc` | counter | buffers newly allocated by pools |
 //! | `stream.pool.reuse` | counter | buffer checkouts served from a pool's free list |
 //! | `stream.pool.resident_bytes` | gauge | bytes currently held by live pools |
 //! | `stream.pool.resident_peak_bytes` | gauge | high-water mark of the above |
+//!
+//! When a request-scoped operation is active (see [`galloper_obs::op`]),
+//! each group additionally records a child span
+//! (`stream.encode_group` / `stream.decode_group` /
+//! `stream.reconstruct_group`) so a whole object's codec work hangs off
+//! the originating DFS operation in the trace.
 
-use galloper_obs::{counter, global};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use galloper_obs::{counter, global, op, Histogram};
 
 use crate::{CodeError, ErasureCode, ObjectManifest, RepairPlan};
 
 use core::fmt;
+
+/// The shared per-group latency histogram, cached so per-group cost is
+/// an atomic bump, not a registry lookup.
+fn group_hist() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| global().histogram("stream.group_us"))
+}
+
+/// A per-group child span when an operation is active; `None` otherwise
+/// so standalone codec runs don't mint operation ids.
+fn group_span(name: &'static str) -> Option<op::OpSpan> {
+    op::current().is_active().then(|| op::span(name, "stream"))
+}
 
 /// A small free-list of equally sized byte buffers.
 ///
@@ -223,7 +246,10 @@ fn encode_batch_serial<C: ErasureCode>(
     outs: &mut [Vec<Vec<u8>>],
 ) -> Result<(), CodeError> {
     for (msg, blocks) in batch.iter().zip(outs.iter_mut()) {
+        let _span = group_span("stream.encode_group");
+        let t0 = Instant::now();
         code.encode_into(msg, blocks)?;
+        group_hist().record(t0.elapsed().as_micros() as u64);
     }
     Ok(())
 }
@@ -247,7 +273,10 @@ fn encode_batch_parallel<C: ErasureCode + Sync>(
         .zip(results.iter_mut())
         .map(|((msg, blocks), slot)| {
             Box::new(move || {
+                let _span = group_span("stream.encode_group");
+                let t0 = Instant::now();
                 *slot = code.encode_into(msg, blocks);
+                group_hist().record(t0.elapsed().as_micros() as u64);
             }) as galloper_linalg::pool::ScopedTask<'_>
         })
         .collect();
@@ -516,7 +545,10 @@ impl<'c, C: ErasureCode> StripeDecoder<'c, C> {
                 expected: self.num_groups,
             });
         }
+        let _span = group_span("stream.decode_group");
+        let t0 = Instant::now();
         let mut payload = self.code.decode(blocks)?;
+        group_hist().record(t0.elapsed().as_micros() as u64);
         counter!("stream.groups", 1);
         let take = payload.len().min(self.object_len - self.emitted);
         payload.truncate(take);
@@ -594,7 +626,10 @@ impl<'c, C: ErasureCode> StripeReconstructor<'c, C> {
                 expected: self.num_groups,
             });
         }
+        let _span = group_span("stream.reconstruct_group");
+        let t0 = Instant::now();
         let rebuilt = self.code.reconstruct(self.plan.target(), sources)?;
+        group_hist().record(t0.elapsed().as_micros() as u64);
         counter!("stream.groups", 1);
         self.done += 1;
         Ok(rebuilt)

@@ -23,7 +23,10 @@
 //! historical per-call accounting without paying one atomic add per
 //! row×column×tile.
 
+use std::time::Instant;
+
 use galloper_gf::{kernel, slice};
+use galloper_obs::op;
 
 use crate::pool::global_pool;
 use crate::Matrix;
@@ -75,7 +78,28 @@ pub fn apply(matrix: &Matrix, inputs: &[&[u8]]) -> Vec<Vec<u8>> {
 pub fn apply_into(matrix: &Matrix, inputs: &[&[u8]], outputs: &mut [&mut [u8]]) {
     let stripe_len = check_shapes(matrix, inputs, outputs);
     record_accounting(matrix, stripe_len);
+    let _span = kernel_span();
+    let t0 = Instant::now();
     apply_rows_blocked(matrix, 0, inputs, outputs, stripe_len);
+    attribute_compute(t0);
+}
+
+/// A `linalg.apply` child span when an operation is active — the leaf
+/// of the request tree, sitting directly above kernel dispatch. Skipped
+/// outside any operation so standalone math doesn't mint op ids.
+fn kernel_span() -> Option<op::OpSpan> {
+    op::current()
+        .is_active()
+        .then(|| op::span("linalg.apply", "linalg"))
+}
+
+/// Attributes the elapsed time since `t0` as coding compute to the
+/// calling thread's current operation (no-op outside one).
+fn attribute_compute(t0: Instant) {
+    let ctx = op::current();
+    if ctx.is_active() {
+        op::add_compute_us(ctx.op, t0.elapsed().as_micros() as u64);
+    }
 }
 
 /// Multi-threaded [`apply`]: output rows are distributed over the
@@ -124,9 +148,13 @@ pub fn apply_parallel_into(
     let stripe_len = check_shapes(matrix, inputs, outputs);
     if threads <= 1 || matrix.rows() <= 1 || matrix.rows() * stripe_len <= PARALLEL_CUTOFF_BYTES {
         record_accounting(matrix, stripe_len);
-        return apply_rows_blocked(matrix, 0, inputs, outputs, stripe_len);
+        let _span = kernel_span();
+        let t0 = Instant::now();
+        apply_rows_blocked(matrix, 0, inputs, outputs, stripe_len);
+        return attribute_compute(t0);
     }
     record_accounting(matrix, stripe_len);
+    let _span = kernel_span();
     let tasks = threads.min(matrix.rows());
     let rows_per_task = matrix.rows().div_ceil(tasks);
     let jobs: Vec<crate::pool::ScopedTask<'_>> = outputs
@@ -135,7 +163,11 @@ pub fn apply_parallel_into(
         .map(|(chunk_idx, chunk)| {
             let base = chunk_idx * rows_per_task;
             Box::new(move || {
+                // Each task attributes its own compute: the worker pool
+                // installed the submitting operation's context here.
+                let t0 = Instant::now();
                 apply_rows_blocked(matrix, base, inputs, chunk, stripe_len);
+                attribute_compute(t0);
             }) as crate::pool::ScopedTask<'_>
         })
         .collect();

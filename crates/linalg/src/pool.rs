@@ -33,13 +33,25 @@
 //! | `linalg.pool.tasks` | counter | tasks submitted through any pool |
 //! | `linalg.pool.threads_spawned` | counter | worker threads ever created (stays ≤ cap per pool: the proof there is no per-call spawning) |
 //! | `linalg.pool.threads` | gauge | live worker threads |
+//! | `linalg.pool.queue_wait_us` | histogram | per-task wait between enqueue and first execution |
+//!
+//! # Operation context
+//!
+//! `run` captures the submitting thread's [`galloper_obs::OpContext`]
+//! at enqueue time and installs it around each task, so spans recorded
+//! inside pool tasks (and their queue waits) attribute to the operation
+//! that submitted them even though an unrelated worker thread executes
+//! them. When tracing is enabled and an operation is active, each task
+//! additionally records a `pool.task` span — a cross-thread child that
+//! the Chrome exporter links back to the submitter with a flow arrow.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
 
-use galloper_obs::{counter, global};
+use galloper_obs::{counter, global, op, Histogram};
 
 /// A borrowed unit of work for [`WorkerPool::run`]: any closure that can
 /// move to another thread for the duration of the call.
@@ -178,6 +190,7 @@ impl WorkerPool {
         counter!("linalg.pool.tasks", n);
         self.ensure_workers(n.min(self.max_threads));
         let latch = Arc::new(Latch::new(n));
+        let ctx = op::current();
         {
             let mut st = self.shared.state.lock().unwrap();
             for task in tasks {
@@ -193,7 +206,15 @@ impl WorkerPool {
                 #[allow(unsafe_code)]
                 let task: Job = unsafe { std::mem::transmute::<ScopedTask<'_>, Job>(task) };
                 let latch = Arc::clone(&latch);
+                let enqueued = Instant::now();
                 st.queue.push_back(Box::new(move || {
+                    let wait_us = enqueued.elapsed().as_micros() as u64;
+                    queue_wait_hist().record(wait_us);
+                    op::add_queue_us(ctx.op, wait_us);
+                    // Run inside the submitter's operation context so
+                    // nested spans/metrics attribute correctly.
+                    let _ctx = op::install(ctx);
+                    let _span = ctx.is_active().then(|| op::span("pool.task", "pool"));
                     let panicked = catch_unwind(AssertUnwindSafe(task)).is_err();
                     latch.complete(panicked);
                 }));
@@ -243,6 +264,13 @@ impl Drop for WorkerPool {
         }
         global().gauge("linalg.pool.threads").add(-(joined as i64));
     }
+}
+
+/// The shared queue-wait histogram, cached so per-task cost is one
+/// atomic bump instead of a registry lookup.
+fn queue_wait_hist() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| global().histogram("linalg.pool.queue_wait_us"))
 }
 
 fn worker_loop(shared: &Shared) {
@@ -392,6 +420,38 @@ mod tests {
             3,
             "non-panicking tasks still ran to completion"
         );
+    }
+
+    #[test]
+    fn tasks_inherit_the_submitters_op_context() {
+        let pool = WorkerPool::new(2);
+        let root = op::span("pool.test.op", "test");
+        let expect = root.op();
+        let waits_before = queue_wait_hist().count();
+        let seen: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let tasks: Vec<ScopedTask<'_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    seen.lock().unwrap().push(op::current().op);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        drop(root);
+        assert_eq!(*seen.lock().unwrap(), vec![expect; 4]);
+        assert_eq!(
+            queue_wait_hist().count() - waits_before,
+            4,
+            "one queue-wait sample per pooled task"
+        );
+        // The context did not leak into the worker threads' idle state.
+        let idle: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        pool.run(
+            (0..4)
+                .map(|_| Box::new(|| idle.lock().unwrap().push(op::current().op)) as ScopedTask<'_>)
+                .collect(),
+        );
+        assert_eq!(*idle.lock().unwrap(), vec![0; 4]);
     }
 
     #[test]

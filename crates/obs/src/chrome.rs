@@ -84,6 +84,36 @@ impl ChromeTrace {
         );
     }
 
+    /// Adds a flow-start (`ph:"s"`) event. Flow events with the same
+    /// `id` draw an arrow between tracks in the viewer — record the
+    /// start on the producing thread and the end (see
+    /// [`flow_end`](Self::flow_end)) on the consuming one.
+    pub fn flow_start(&mut self, name: &str, cat: &str, id: u64, pid: u64, tid: u64, ts_us: u64) {
+        self.flow("s", name, cat, id, pid, tid, ts_us);
+    }
+
+    /// Adds a flow-end (`ph:"f"`, binding to the enclosing slice) event
+    /// closing the arrow opened by [`flow_start`](Self::flow_start).
+    pub fn flow_end(&mut self, name: &str, cat: &str, id: u64, pid: u64, tid: u64, ts_us: u64) {
+        self.flow("f", name, cat, id, pid, tid, ts_us);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn flow(&mut self, ph: &str, name: &str, cat: &str, id: u64, pid: u64, tid: u64, ts_us: u64) {
+        let mut e = Json::object()
+            .field("name", name)
+            .field("cat", cat)
+            .field("ph", ph)
+            .field("id", id)
+            .field("ts", ts_us)
+            .field("pid", pid)
+            .field("tid", tid);
+        if ph == "f" {
+            e = e.field("bp", "e");
+        }
+        self.events.push(e);
+    }
+
     /// Adds an instant (`ph:"i"`) event.
     pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64) {
         self.events.push(
@@ -134,6 +164,22 @@ mod tests {
         assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(10.0));
         assert_eq!(events[2].get("dur").unwrap().as_f64(), Some(5.0));
         assert_eq!(events[3].get("ph").unwrap().as_str(), Some("i"));
+    }
+
+    #[test]
+    fn flow_events_pair_by_id() {
+        let mut t = ChromeTrace::new();
+        t.flow_start("op", "flow", 9, 0, 1, 100);
+        t.flow_end("op", "flow", 9, 0, 2, 100);
+        let json = t.into_json();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(events[1].get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(
+            events[0].get("id").unwrap().as_f64(),
+            events[1].get("id").unwrap().as_f64()
+        );
     }
 
     #[test]

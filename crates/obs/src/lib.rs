@@ -4,9 +4,14 @@
 //! no `serde`, no `tracing`, no `metrics` crates. Three layers:
 //!
 //! * [`metrics`] — a global registry of atomic [`Counter`]s,
-//!   [`Gauge`]s, and fixed-bucket [`Histogram`]s, plus named scoped
+//!   [`Gauge`]s, and log-linear HDR-style [`Histogram`]s with
+//!   quantile queries and mergeable snapshots, plus named scoped
 //!   timers. Hot paths use the [`counter!`] macro (one relaxed
 //!   `fetch_add` in steady state).
+//! * [`op`] — request-scoped causal tracing: an [`op::OpContext`]
+//!   carried in a thread-local and installed into worker threads, so
+//!   every span names the operation that caused it, plus per-op
+//!   [`op::OpReport`] JSON lines.
 //! * [`trace`] — a bounded ring buffer of spans and instant events,
 //!   disabled by default (recording while off is one atomic load).
 //! * [`json`] / [`chrome`] — a hand-rolled JSON value tree with a
@@ -19,6 +24,10 @@
 //!   machine-readable `BENCH_*.json` / snapshot files.
 //! * `GALLOPER_TRACE` — set to `1`/`true` to enable the global trace
 //!   ring from process start (see [`init_from_env`]).
+//! * `GALLOPER_TRACE_CAP` — capacity of the global trace ring
+//!   (default 65 536 events; read once, at first use).
+//! * `GALLOPER_OP_LOG` — file path; when set, every top-level DFS
+//!   operation appends one [`op::OpReport`] JSON line there.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,23 +35,39 @@
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod op;
 pub mod trace;
 
 pub use chrome::ChromeTrace;
 pub use json::Json;
-pub use metrics::{global, Counter, Gauge, Histogram, Registry, ScopedTimer, DEFAULT_BUCKETS};
+pub use metrics::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, ScopedTimer};
+pub use op::{OpContext, OpReport, OpSpan};
 pub use trace::{global_trace, SpanGuard, TraceEvent, TraceRing};
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Applies `GALLOPER_TRACE` (enables the global trace ring when set to
-/// `1`/`true`/`on`). Call once near the top of `main`; safe to call
-/// repeatedly.
+/// `1`/`true`/`on`) and `GALLOPER_OP_LOG` (opens the named file in
+/// append mode as the op-report log). Call once near the top of
+/// `main`; safe to call repeatedly.
 pub fn init_from_env() {
     if let Ok(v) = std::env::var("GALLOPER_TRACE") {
         let on = matches!(v.trim(), "1" | "true" | "on");
         global_trace().set_enabled(on);
+    }
+    if let Ok(path) = std::env::var("GALLOPER_OP_LOG") {
+        let path = path.trim();
+        if !path.is_empty() && !op::op_log_enabled() {
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(f) => op::set_op_log(Some(Box::new(f))),
+                Err(e) => eprintln!("galloper-obs: cannot open GALLOPER_OP_LOG {path}: {e}"),
+            }
+        }
     }
 }
 

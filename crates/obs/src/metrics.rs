@@ -1,11 +1,11 @@
 //! A global, thread-safe metrics registry.
 //!
-//! Counters and gauges are single atomics; histograms are fixed-bucket
-//! atomic arrays. Hot paths (the GF(2^8) kernels) go through the
-//! [`counter!`](crate::counter) macro, which caches the `Arc<Counter>`
-//! in a per-call-site static so steady-state cost is one relaxed
-//! `fetch_add` — the registry's `Mutex` is only taken on first use and
-//! when snapshotting.
+//! Counters and gauges are single atomics; histograms are log-linear
+//! HDR-style atomic bucket arrays with quantile queries. Hot paths (the
+//! GF(2^8) kernels) go through the [`counter!`](crate::counter) macro,
+//! which caches the `Arc<Counter>` in a per-call-site static so
+//! steady-state cost is one relaxed `fetch_add` — the registry's
+//! `Mutex` is only taken on first use and when snapshotting.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -62,54 +62,88 @@ impl Gauge {
     }
 }
 
-/// Default histogram bucket bounds: powers of four from 1 to 4^15,
-/// which spans 1 µs .. ~18 min when recording microseconds and
-/// 1 B .. ~1 GiB when recording bytes.
-pub const DEFAULT_BUCKETS: [u64; 16] = [
-    1,
-    4,
-    16,
-    64,
-    256,
-    1_024,
-    4_096,
-    16_384,
-    65_536,
-    262_144,
-    1_048_576,
-    4_194_304,
-    16_777_216,
-    67_108_864,
-    268_435_456,
-    1_073_741_824,
-];
+/// Sub-bucket resolution: each power-of-two octave above [`SUB`] splits
+/// into `SUB` linear sub-buckets, bounding relative quantile error at
+/// `1 / (2 * SUB)` ≈ 0.39 % — comfortably inside the 1 % target.
+const SUB_BITS: u32 = 7;
+/// Number of linear sub-buckets per octave (and the exact range: every
+/// value below `SUB` gets its own bucket).
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves covered above the exact range. Shift 0..OCTAVES ⇒ the
+/// largest bucketed value is `(2 * SUB << (OCTAVES - 1)) - 1` ≈ 2⁴⁰
+/// (~13 days in µs, ~1 TiB in bytes); larger samples land in the
+/// overflow bucket but still update `count`, `sum`, and `max` exactly.
+const OCTAVES: usize = 33;
+/// Total bucket count (exact range + octaves).
+const BUCKET_COUNT: usize = SUB + OCTAVES * SUB;
 
-/// A fixed-bucket histogram of `u64` samples.
+/// Bucket index for a sample, or `None` when it overflows the range.
+#[inline]
+fn bucket_index(v: u64) -> Option<usize> {
+    if v < SUB as u64 {
+        return Some(v as usize);
+    }
+    let high = 63 - v.leading_zeros(); // >= SUB_BITS here
+    let shift = high - SUB_BITS;
+    if shift as usize >= OCTAVES {
+        return None;
+    }
+    Some(SUB + shift as usize * SUB + ((v >> shift) as usize - SUB))
+}
+
+/// Representative value (bucket midpoint) for a bucket index; the exact
+/// value for buckets below [`SUB`].
+fn bucket_value(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let shift = ((i - SUB) / SUB) as u32;
+    let offset = ((i - SUB) % SUB) as u64;
+    let lo = (SUB as u64 + offset) << shift;
+    lo + ((1u64 << shift) >> 1)
+}
+
+/// Inclusive `[lo, hi]` value range covered by a bucket index.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i < SUB {
+        return (i as u64, i as u64);
+    }
+    let shift = ((i - SUB) / SUB) as u32;
+    let offset = ((i - SUB) % SUB) as u64;
+    let lo = (SUB as u64 + offset) << shift;
+    (lo, lo + (1u64 << shift) - 1)
+}
+
+/// A log-linear HDR-style histogram of `u64` samples.
 ///
-/// `buckets[i]` counts samples `<= bounds[i]`; one extra overflow bucket
-/// counts the rest. `sum` and `count` are exact regardless of bucketing.
+/// Values below the sub-bucket resolution (128) are recorded exactly;
+/// above that, each power-of-two octave splits into 128 linear
+/// sub-buckets, so
+/// [`quantile`](Histogram::quantile) answers carry at most
+/// `1/(2·SUB)` ≈ 0.4 % relative error. `count`, `sum`, and `max` are
+/// exact regardless of bucketing; samples beyond ~2⁴⁰ go to an
+/// overflow bucket.
 #[derive(Debug)]
 pub struct Histogram {
-    bounds: Vec<u64>,
     buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
 
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
 impl Histogram {
-    fn new(bounds: &[u64]) -> Histogram {
-        assert!(
-            !bounds.is_empty(),
-            "histogram needs at least one bucket bound"
-        );
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "histogram bounds must be strictly increasing"
-        );
+    /// An empty histogram.
+    pub fn new() -> Histogram {
         Histogram {
-            bounds: bounds.to_vec(),
-            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -118,8 +152,10 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        let idx = self.bounds.partition_point(|&b| b < v);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        match bucket_index(v) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
@@ -140,6 +176,13 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Number of samples that exceeded the bucketed range (~2⁴⁰); they
+    /// still count toward `count`/`sum`/`max` but blur quantiles above
+    /// their rank.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
     /// Mean sample, or 0.0 if empty.
     pub fn mean(&self) -> f64 {
         let n = self.count();
@@ -150,27 +193,157 @@ impl Histogram {
         }
     }
 
-    fn snapshot(&self) -> Json {
+    /// The `q`-quantile (`q` in `[0, 1]`) of recorded samples, within
+    /// ~0.4 % relative error. Live-recording races can skew the answer
+    /// by the in-flight samples; take a [`snapshot`](Histogram::snapshot)
+    /// for consistent reads.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the bucket array, mergeable with other
+    /// snapshots and queryable for quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        self.snapshot().to_json()
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s state. Snapshots from different
+/// histograms (or different machines, via JSON) merge losslessly
+/// because every histogram shares the same fixed bucket layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKET_COUNT],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples beyond the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean sample, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and
+    /// associative, so shard-local histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), within ~0.4 % relative
+    /// error; 0 when empty. `q >= 1` returns the exact max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // The max is exact and always tighter than the top
+                // bucket's midpoint.
+                return bucket_value(i).min(self.max);
+            }
+        }
+        // Rank falls among overflow samples: the best bound we have is
+        // the exact max.
+        self.max
+    }
+
+    /// JSON form: exact aggregates, headline quantiles, and the
+    /// non-empty buckets as `{lo, hi, count}` ranges.
+    pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
-            .bounds
+            .buckets
             .iter()
-            .map(|b| Json::Uint(*b))
-            .zip(self.buckets.iter())
-            .map(|(bound, count)| {
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_range(i);
                 Json::object()
-                    .field("le", bound)
-                    .field("count", count.load(Ordering::Relaxed))
+                    .field("lo", lo)
+                    .field("hi", hi)
+                    .field("count", c)
             })
             .collect();
         Json::object()
-            .field("count", self.count())
-            .field("sum", self.sum())
-            .field("max", self.max())
+            .field("count", self.count)
+            .field("sum", self.sum)
+            .field("max", self.max)
             .field("mean", self.mean())
-            .field(
-                "overflow",
-                self.buckets[self.bounds.len()].load(Ordering::Relaxed),
-            )
+            .field("overflow", self.overflow)
+            .field("p50", self.quantile(0.50))
+            .field("p90", self.quantile(0.90))
+            .field("p99", self.quantile(0.99))
+            .field("p999", self.quantile(0.999))
             .field("buckets", Json::Arr(buckets))
     }
 }
@@ -202,19 +375,12 @@ impl Registry {
         map.entry(name.to_string()).or_default().clone()
     }
 
-    /// The histogram named `name` with [`DEFAULT_BUCKETS`], created on
-    /// first use.
+    /// The histogram named `name`, created on first use. All histograms
+    /// share the fixed log-linear bucket layout, so their snapshots are
+    /// mutually mergeable.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        self.histogram_with(name, &DEFAULT_BUCKETS)
-    }
-
-    /// The histogram named `name`; `bounds` applies only on creation
-    /// (an existing histogram keeps its original buckets).
-    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
         let mut map = self.histograms.lock().unwrap();
-        map.entry(name.to_string())
-            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
-            .clone()
+        map.entry(name.to_string()).or_default().clone()
     }
 
     /// Starts a scoped timer that records elapsed microseconds into the
@@ -228,7 +394,11 @@ impl Registry {
         }
     }
 
-    /// A point-in-time JSON snapshot of every metric, sorted by name.
+    /// A point-in-time JSON snapshot of every metric, sorted by name,
+    /// plus the global trace ring's health (buffered/dropped counts) so
+    /// a truncated trace is never silently read as complete. Prints a
+    /// one-line stderr warning (once per process) when trace events
+    /// have been dropped.
     pub fn snapshot(&self) -> Json {
         let counters: Vec<(String, Json)> = self
             .counters
@@ -244,17 +414,35 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), Json::Int(v.get())))
             .collect();
+        let mut histogram_overflow = 0u64;
         let histograms: Vec<(String, Json)> = self
             .histograms
             .lock()
             .unwrap()
             .iter()
-            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .map(|(k, v)| {
+                histogram_overflow += v.overflow();
+                (k.clone(), v.to_json())
+            })
             .collect();
+        let ring = crate::trace::global_trace();
+        let dropped = ring.dropped();
+        if dropped > 0 {
+            warn_dropped_once(dropped);
+        }
         Json::object()
             .field("counters", Json::Obj(counters))
             .field("gauges", Json::Obj(gauges))
             .field("histograms", Json::Obj(histograms))
+            .field("histogram_overflow", histogram_overflow)
+            .field(
+                "trace",
+                Json::object()
+                    .field("enabled", ring.is_enabled())
+                    .field("buffered", ring.len() as u64)
+                    .field("capacity", ring.capacity() as u64)
+                    .field("dropped", dropped),
+            )
     }
 
     /// Removes every metric. Registered `Arc`s held by callers (including
@@ -266,6 +454,18 @@ impl Registry {
         self.gauges.lock().unwrap().clear();
         self.histograms.lock().unwrap().clear();
     }
+}
+
+/// One stderr line, once per process, so a truncated trace export is
+/// never mistaken for a complete one.
+fn warn_dropped_once(dropped: u64) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "galloper-obs: trace ring dropped {dropped} event(s); \
+             raise GALLOPER_TRACE_CAP for a complete trace"
+        );
+    });
 }
 
 /// The process-wide registry.
@@ -344,27 +544,85 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_stats() {
-        let r = Registry::new();
-        let h = r.histogram_with("h", &[10, 100]);
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB as u64);
+        for v in [0u64, 1, 63, 127] {
+            let snap = h.snapshot();
+            assert_eq!(snap.buckets[v as usize], 1, "bucket for {v}");
+        }
+        // Quantiles on exact buckets are exact.
+        assert_eq!(h.quantile(0.5), 63);
+    }
+
+    #[test]
+    fn bucket_index_and_range_agree() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1000,
+            65_535,
+            1 << 20,
+            (1 << 40) - 1,
+        ] {
+            let i = bucket_index(v).expect("in range");
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}]");
+            let mid = bucket_value(i);
+            assert!(lo <= mid && mid <= hi);
+        }
+        assert!(bucket_index(1 << 40).is_none());
+        assert!(bucket_index(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn quantile_relative_error_is_small() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= 0.01, "q={q}: got {got}, exact {exact}, rel {rel}");
+        }
+        assert_eq!(h.quantile(1.0), 100_000);
+    }
+
+    #[test]
+    fn overflow_counts_and_quantile_fallback() {
+        let h = Histogram::new();
         h.record(5);
-        h.record(10); // le 10 (inclusive bound)
-        h.record(50);
-        h.record(1000); // overflow
-        assert_eq!(h.count(), 4);
-        assert_eq!(h.sum(), 1065);
-        assert_eq!(h.max(), 1000);
-        let snap = h.snapshot();
-        let buckets = snap.get("buckets").unwrap().as_array().unwrap();
-        assert_eq!(buckets[0].get("count").unwrap().as_f64(), Some(2.0));
-        assert_eq!(buckets[1].get("count").unwrap().as_f64(), Some(1.0));
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), u64::MAX / 2);
+        // The overflowing sample's rank resolves to the exact max.
+        assert_eq!(h.quantile(0.99), u64::MAX / 2);
+        let snap = h.snapshot().to_json();
         assert_eq!(snap.get("overflow").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn histogram_rejects_unsorted_bounds() {
-        Histogram::new(&[10, 10]);
+    fn snapshots_merge_losslessly() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 { &a } else { &b }.record(v * 37);
+            whole.record(v * 37);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
     }
 
     #[test]
@@ -378,6 +636,24 @@ mod tests {
         };
         let names: Vec<&str> = counters.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(names, ["a", "b"]);
+        assert!(snap.get("trace").unwrap().get("dropped").is_some());
+    }
+
+    #[test]
+    fn snapshot_json_reports_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hj = snap.get("histograms").unwrap().get("h").unwrap();
+        let p99 = hj.get("p99").unwrap().as_f64().unwrap();
+        assert!((p99 - 9_900.0).abs() / 9_900.0 <= 0.01, "p99 {p99}");
+        // The whole snapshot survives a render→parse round trip (parse
+        // reads non-negative integers as `Int`, so compare re-renders).
+        let parsed = crate::json::parse(&snap.render()).unwrap();
+        assert_eq!(parsed.render(), snap.render());
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! counter increments, so tracing can stay on in hot code without
 //! unbounded memory growth. Disabled by default — recording is a single
 //! relaxed atomic load when off.
+//!
+//! Events carry the recording operation's `(op, span, parent)` ids
+//! (see [`crate::op`]); the Chrome exporter renders same-thread spans
+//! as nesting and cross-thread parentage as flow arrows, so one
+//! request shows up as one connected tree.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -26,6 +31,12 @@ pub struct TraceEvent {
     pub dur_us: u64,
     /// Originating thread, as a small dense id.
     pub tid: u64,
+    /// Operation id this event belongs to (0 = none).
+    pub op: u64,
+    /// This event's span id (0 = none).
+    pub span: u64,
+    /// Parent span id (0 = root or none).
+    pub parent: u64,
 }
 
 #[derive(Debug, Default)]
@@ -74,32 +85,70 @@ impl TraceRing {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    /// Records a span that started at `start` and ran `dur_us`.
+    /// Records a span that started at `start` and ran `dur_us`, tagged
+    /// with the calling thread's current operation context (the span
+    /// gets a fresh id and hangs off the context's current span).
     pub fn record_span(&self, name: &str, cat: &str, start: Instant, dur_us: u64) {
         if !self.is_enabled() {
             return;
         }
-        let ts_us = start.duration_since(self.epoch).as_micros() as u64;
+        let ctx = crate::op::current();
+        let span = if ctx.is_active() {
+            crate::op::next_span_id()
+        } else {
+            0
+        };
+        self.record_span_full(name, cat, start, dur_us, ctx.op, span, ctx.span);
+    }
+
+    /// Records a span with explicit `(op, span, parent)` ids — used by
+    /// [`crate::op::OpSpan`], which allocates its span id at open time
+    /// so children observed the right parent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_full(
+        &self,
+        name: &str,
+        cat: &str,
+        start: Instant,
+        dur_us: u64,
+        op: u64,
+        span: u64,
+        parent: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts_us = start
+            .checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_micros() as u64);
         self.push(TraceEvent {
             name: name.to_string(),
             cat: cat.to_string(),
             ts_us,
             dur_us,
             tid: current_tid(),
+            op,
+            span,
+            parent,
         });
     }
 
-    /// Records an instant event at the current time.
+    /// Records an instant event at the current time, tagged with the
+    /// calling thread's current operation context.
     pub fn record_instant(&self, name: &str, cat: &str) {
         if !self.is_enabled() {
             return;
         }
+        let ctx = crate::op::current();
         self.push(TraceEvent {
             name: name.to_string(),
             cat: cat.to_string(),
             ts_us: self.now_us(),
             dur_us: 0,
             tid: current_tid(),
+            op: ctx.op,
+            span: 0,
+            parent: ctx.span,
         });
     }
 
@@ -134,6 +183,21 @@ impl TraceRing {
         out
     }
 
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of events the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of events overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
@@ -149,12 +213,41 @@ impl TraceRing {
 
     /// Exports buffered events as a Chrome `trace_event` JSON document
     /// (load in Perfetto or `chrome://tracing`). All events share pid 0;
-    /// tid is the recording thread.
+    /// tid is the recording thread. Events recorded inside an operation
+    /// carry `args: {op, span, parent}`; when a child span ran on a
+    /// different thread than its parent, a flow arrow (`ph:"s"`/`"f"`)
+    /// links the two tracks so the operation reads as one tree.
     pub fn to_chrome_trace(&self) -> Json {
+        let events = self.events();
         let mut trace = ChromeTrace::new();
         trace.name_process(0, "galloper");
-        for e in self.events() {
-            trace.complete(&e.name, &e.cat, 0, e.tid, e.ts_us, e.dur_us);
+        // Where each span ran, so children can point arrows at parents.
+        let mut span_home: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+        for e in &events {
+            if e.span != 0 {
+                span_home.insert(e.span, (e.tid, e.ts_us));
+            }
+        }
+        for e in &events {
+            if e.op == 0 {
+                trace.complete(&e.name, &e.cat, 0, e.tid, e.ts_us, e.dur_us);
+                continue;
+            }
+            let args = Json::object()
+                .field("op", e.op)
+                .field("span", e.span)
+                .field("parent", e.parent);
+            trace.complete_with_args(&e.name, &e.cat, 0, e.tid, e.ts_us, e.dur_us, args);
+            if e.parent != 0 && e.span != 0 {
+                if let Some(&(ptid, pts)) = span_home.get(&e.parent) {
+                    if ptid != e.tid {
+                        // Pair id = child span id (unique per arrow).
+                        let ts = e.ts_us.max(pts);
+                        trace.flow_start("op", "flow", e.span, 0, ptid, ts);
+                        trace.flow_end("op", "flow", e.span, 0, e.tid, ts);
+                    }
+                }
+            }
         }
         trace.into_json()
     }
@@ -177,11 +270,19 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
-/// The process-wide trace ring (capacity 65 536 events, disabled until
-/// [`TraceRing::set_enabled`] is called).
+/// The process-wide trace ring, disabled until
+/// [`TraceRing::set_enabled`] is called. Capacity defaults to 65 536
+/// events; `GALLOPER_TRACE_CAP` (read once, at first use) overrides it.
 pub fn global_trace() -> &'static TraceRing {
     static GLOBAL: OnceLock<TraceRing> = OnceLock::new();
-    GLOBAL.get_or_init(|| TraceRing::with_capacity(65_536))
+    GLOBAL.get_or_init(|| {
+        let cap = std::env::var("GALLOPER_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(65_536);
+        TraceRing::with_capacity(cap)
+    })
 }
 
 /// A small dense id for the current thread (first thread to ask gets 0).
@@ -206,6 +307,7 @@ mod tests {
             let _s = ring.span("y", "test");
         }
         assert!(ring.events().is_empty());
+        assert!(ring.is_empty());
     }
 
     #[test]
@@ -231,6 +333,8 @@ mod tests {
         let names: Vec<String> = ring.events().into_iter().map(|e| e.name).collect();
         assert_eq!(names, ["e2", "e3", "e4"]);
         assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
         ring.clear();
         assert!(ring.events().is_empty());
         assert_eq!(ring.dropped(), 0);
@@ -245,5 +349,40 @@ mod tests {
         let events = json.get("traceEvents").unwrap().as_array().unwrap();
         // Process-name metadata + one complete event.
         assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn contextful_events_carry_op_args() {
+        let ring = TraceRing::with_capacity(8);
+        ring.set_enabled(true);
+        ring.record_span_full("child", "test", Instant::now(), 5, 42, 2, 1);
+        let events = ring.events();
+        assert_eq!((events[0].op, events[0].span, events[0].parent), (42, 2, 1));
+        let json = ring.to_chrome_trace();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        let args = events[1].get("args").unwrap();
+        assert_eq!(args.get("op").unwrap().as_f64(), Some(42.0));
+        assert_eq!(args.get("parent").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn cross_thread_children_get_flow_arrows() {
+        let ring = TraceRing::with_capacity(16);
+        ring.set_enabled(true);
+        // Parent on this thread; child recorded from another thread.
+        ring.record_span_full("parent", "test", Instant::now(), 10, 7, 1, 0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                ring.record_span_full("child", "test", Instant::now(), 5, 7, 2, 1);
+            });
+        });
+        let json = ring.to_chrome_trace();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert!(phases.contains(&"s"), "missing flow start: {phases:?}");
+        assert!(phases.contains(&"f"), "missing flow end: {phases:?}");
     }
 }

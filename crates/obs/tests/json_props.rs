@@ -1,0 +1,159 @@
+//! Round-trip and error-path coverage for `galloper_obs::json` — the
+//! layer every metrics snapshot, op report, trace export, and
+//! `BENCH_*.json` file funnels through.
+//!
+//! The property test generates *parse-normalized* trees: `parse`
+//! returns `Int` for anything that fits `i64` and only builds `Float`
+//! from non-integral text, so the generator emits exactly those
+//! variants and the round-trip can assert full structural equality,
+//! not just render equality.
+
+use galloper_obs::json::{parse, Json};
+use galloper_testkit::{run_cases, TestRng};
+
+// --- escapes and unicode ---------------------------------------------------
+
+#[test]
+fn escape_round_trips() {
+    let cases = [
+        "plain",
+        "quote\"backslash\\slash/",
+        "newline\ntab\tcr\r",
+        "control\u{1}\u{1f}chars",
+        "",
+    ];
+    for s in cases {
+        let rendered = Json::Str(s.to_string()).render();
+        assert_eq!(
+            parse(&rendered).unwrap(),
+            Json::Str(s.to_string()),
+            "round-trip of {s:?} via {rendered}"
+        );
+    }
+}
+
+#[test]
+fn control_characters_render_as_u_escapes() {
+    assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    assert_eq!(Json::Str("\n".into()).render(), "\"\\n\"");
+}
+
+#[test]
+fn unicode_round_trips() {
+    let s = "héllo ☃ 日本語 😀 mixed";
+    let rendered = Json::Str(s.into()).render();
+    assert_eq!(parse(&rendered).unwrap(), Json::Str(s.into()));
+    // Explicit \u escapes decode to the same characters.
+    assert_eq!(parse(r#""Aé☃""#).unwrap(), Json::Str("Aé☃".into()));
+}
+
+#[test]
+fn nested_structures_round_trip() {
+    let doc = Json::object()
+        .field("name", "fig8")
+        .field("empty_obj", Json::object())
+        .field("empty_arr", Json::Arr(vec![]))
+        .field(
+            "rows",
+            Json::Arr(vec![
+                Json::object().field("k", 4u64).field("gbps", 1.5),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Int(-3)]),
+            ]),
+        );
+    let rendered = doc.render();
+    let back = parse(&rendered).unwrap();
+    // Variants may normalize (Uint -> Int), so compare renderings.
+    assert_eq!(back.render(), rendered);
+    assert_eq!(back.get("rows").unwrap().as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn non_finite_floats_parse_back_as_null() {
+    // JSON has no NaN/Inf; the writer deliberately degrades to null.
+    let doc = Json::Arr(vec![Json::Float(f64::NAN), Json::Float(f64::INFINITY)]);
+    assert_eq!(
+        parse(&doc.render()).unwrap(),
+        Json::Arr(vec![Json::Null, Json::Null])
+    );
+}
+
+// --- error paths -----------------------------------------------------------
+
+#[test]
+fn parse_errors_name_the_problem() {
+    let err = |s: &str| parse(s).unwrap_err();
+    assert!(
+        err("{} trailing").contains("trailing input"),
+        "{}",
+        err("{} trailing")
+    );
+    assert!(err("\"open").contains("unterminated string"));
+    assert!(err(r#""\q""#).contains("bad escape"));
+    assert!(err(r#""\ud800""#).contains("bad \\u code point"));
+    assert!(err(r#""\u00g1""#).contains("bad \\u escape"));
+    assert!(err("{\"a\" 1}").contains("expected ':'") || err("{\"a\" 1}").contains("expected"));
+    assert!(err("[1 2]").contains("expected ',' or ']'"));
+    assert!(err("{\"a\":1 \"b\":2}").contains("expected ',' or '}'"));
+    assert!(err("tru").contains("bad literal"));
+    assert!(err("").contains("unexpected end of input"));
+    assert!(err("+-+").contains("bad number"));
+}
+
+// --- property test ---------------------------------------------------------
+
+/// A random parse-normalized JSON tree: scalars `parse` can reproduce
+/// variant-for-variant, nested to a bounded depth.
+fn gen_json(rng: &mut TestRng, depth: usize) -> Json {
+    let kinds = if depth == 0 { 6 } else { 8 };
+    match rng.usize_in(0, kinds) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 0),
+        // Any i64 (negative included) parses back as Int.
+        2 => Json::Int(rng.next_u64() as i64),
+        // Only values above i64::MAX survive as Uint.
+        3 => Json::Uint(i64::MAX as u64 + 1 + (rng.next_u64() >> 1)),
+        // A non-integral float renders with a '.' and parses as Float.
+        4 => Json::Float(rng.usize_in(0, 2_000_000) as f64 - 1_000_000.0 + 0.5),
+        5 => Json::Str(gen_string(rng)),
+        6 => {
+            let n = rng.usize_in(0, 4);
+            Json::Arr((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.usize_in(0, 4);
+            let mut obj = Json::object();
+            for i in 0..n {
+                // Index-suffixed keys keep fields distinguishable even
+                // when the random prefix collides.
+                obj = obj.field(
+                    &format!("{}_{i}", gen_string(rng)),
+                    gen_json(rng, depth - 1),
+                );
+            }
+            obj
+        }
+    }
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{1}', 'é', '☃', '日', '😀',
+    ];
+    let n = rng.usize_in(0, 8);
+    (0..n)
+        .map(|_| ALPHABET[rng.usize_in(0, ALPHABET.len())])
+        .collect()
+}
+
+#[test]
+fn parse_of_render_is_identity() {
+    run_cases(300, 0x9A50_4D1F, |rng| {
+        let tree = gen_json(rng, 3);
+        let rendered = tree.render();
+        let back = parse(&rendered)
+            .unwrap_or_else(|e| panic!("generated JSON must parse: {e}\n{rendered}"));
+        assert_eq!(back, tree, "parse(render(x)) != x for {rendered}");
+        // And rendering is a fixpoint.
+        assert_eq!(back.render(), rendered);
+    });
+}

@@ -1,0 +1,159 @@
+//! Quantile-math contract for the log-linear histogram: accuracy
+//! against exactly computed quantiles, merge associativity across
+//! shards, and correctness under concurrent recording — the properties
+//! the `dfs.op.*_us` latency numbers in every benchmark JSON rest on.
+
+use std::sync::Arc;
+use std::thread;
+
+use galloper_obs::{Histogram, HistogramSnapshot};
+use galloper_testkit::{run_cases, TestRng};
+
+/// The exact `q`-quantile of a sample set, by sorting (ceil-rank, the
+/// same convention the histogram uses).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Log-uniform samples spanning microseconds to tens of seconds — the
+/// span real `*_us` latency distributions cover.
+fn latency_samples(rng: &mut TestRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let magnitude = rng.f64_in(0.0, 7.5); // 10^0 .. 10^7.5 us
+            10f64.powf(magnitude) as u64
+        })
+        .collect()
+}
+
+#[test]
+fn quantiles_track_exact_values_within_one_percent() {
+    run_cases(40, 0x0055_AA77, |rng| {
+        let n = rng.usize_in(100, 20_000);
+        let mut samples = latency_samples(rng, n);
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&samples, q);
+            let approx = snap.quantile(q);
+            let err = (approx as f64 - exact as f64).abs() / (exact as f64).max(1.0);
+            assert!(
+                err <= 0.01,
+                "p{q}: approx {approx} vs exact {exact} ({:.3}% error, n={n})",
+                err * 100.0
+            );
+        }
+        assert_eq!(snap.quantile(1.0), *samples.last().unwrap());
+        assert_eq!(snap.count(), n as u64);
+        assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+    });
+}
+
+#[test]
+fn small_values_are_exact() {
+    // Values below the sub-bucket resolution get a bucket each: no
+    // approximation at all in the range most queue waits live in.
+    let h = Histogram::default();
+    for v in 0..100u64 {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    // Ceil-rank convention: the q-quantile of 0..=99 is sorted[⌈100q⌉-1].
+    assert_eq!(snap.quantile(0.5), 49);
+    assert_eq!(snap.quantile(0.01), 0);
+    assert_eq!(snap.quantile(0.99), 98);
+    assert_eq!(snap.quantile(1.0), 99);
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    run_cases(40, 0x00C3_D2E1, |rng| {
+        let shards: Vec<HistogramSnapshot> = (0..3)
+            .map(|_| {
+                let h = Histogram::default();
+                let n = rng.usize_in(1, 2_000);
+                for s in latency_samples(rng, n) {
+                    h.record(s);
+                }
+                h.snapshot()
+            })
+            .collect();
+
+        // (a + b) + c
+        let mut left = shards[0].clone();
+        left.merge(&shards[1]);
+        left.merge(&shards[2]);
+        // a + (b + c), built in the opposite order.
+        let mut right = shards[2].clone();
+        right.merge(&shards[1]);
+        right.merge(&shards[0]);
+
+        assert_eq!(left, right, "merge order must not matter");
+
+        // Merging shards is the same as one histogram seeing it all.
+        let total: u64 = shards.iter().map(|s| s.count()).sum();
+        assert_eq!(left.count(), total);
+        assert_eq!(left.sum(), shards.iter().map(|s| s.sum()).sum::<u64>());
+        assert_eq!(left.max(), shards.iter().map(|s| s.max()).max().unwrap());
+    });
+}
+
+#[test]
+fn merged_shards_equal_one_histogram_over_all_samples() {
+    let mut rng = TestRng::new(0xFEED_F00D);
+    let all = latency_samples(&mut rng, 9_000);
+    let whole = Histogram::default();
+    let mut merged = HistogramSnapshot::empty();
+    for chunk in all.chunks(3_000) {
+        let shard = Histogram::default();
+        for &s in chunk {
+            whole.record(s);
+            shard.record(s);
+        }
+        merged.merge(&shard.snapshot());
+    }
+    assert_eq!(merged, whole.snapshot());
+}
+
+#[test]
+fn concurrent_recording_loses_nothing_and_quantiles_stay_sane() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let h = Arc::new(Histogram::default());
+    let mut all: Vec<u64> = Vec::with_capacity(THREADS * PER_THREAD);
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let samples = latency_samples(&mut TestRng::new(0xBEEF + t as u64), PER_THREAD);
+        all.extend_from_slice(&samples);
+        let h = Arc::clone(&h);
+        handles.push(thread::spawn(move || {
+            for s in samples {
+                h.record(s);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    all.sort_unstable();
+    let snap = h.snapshot();
+    assert_eq!(snap.count() as usize, THREADS * PER_THREAD);
+    assert_eq!(snap.sum(), all.iter().sum::<u64>());
+    assert_eq!(snap.max(), *all.last().unwrap());
+    for q in [0.5, 0.99, 0.999] {
+        let exact = exact_quantile(&all, q);
+        let approx = snap.quantile(q);
+        let err = (approx as f64 - exact as f64).abs() / (exact as f64).max(1.0);
+        assert!(
+            err <= 0.01,
+            "p{q} under contention: {approx} vs {exact} ({:.3}%)",
+            err * 100.0
+        );
+    }
+}

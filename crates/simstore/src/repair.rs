@@ -2,6 +2,7 @@
 //! cluster, with failure injection.
 
 use galloper_erasure::RepairPlan;
+use galloper_obs::{global, op};
 
 use crate::engine::{ActivityGraph, ResourceKind, Work};
 use crate::{Cluster, Placement};
@@ -35,14 +36,27 @@ pub fn simulate_repair(
     block_size_mb: f64,
     replacement: usize,
 ) -> RepairOutcome {
+    let _span = op::current()
+        .is_active()
+        .then(|| op::span("simstore.repair", "simstore"));
     let mut graph = ActivityGraph::new();
     let ids = add_repair_activities(&mut graph, placement, plan, block_size_mb, replacement, &[]);
     let run = cluster.simulate(&graph);
-    RepairOutcome {
+    let outcome = RepairOutcome {
         completion_secs: run.finish_secs(ids.write),
         disk_read_mb: run.total_disk_read_megabytes(),
         network_mb: run.net_megabytes(replacement),
-    }
+    };
+    // Simulated quantities feed the same registry the real code paths
+    // report into: completion in simulated µs, disk I/O in bytes.
+    global().counter("simstore.repairs").inc();
+    global()
+        .histogram("simstore.repair.sim_us")
+        .record((outcome.completion_secs * 1e6) as u64);
+    global()
+        .histogram("simstore.repair.disk_read_bytes")
+        .record((outcome.disk_read_mb * 1024.0 * 1024.0) as u64);
+    outcome
 }
 
 /// Handles into the repair sub-graph, for composing larger scenarios.

@@ -31,6 +31,23 @@ GALLOPER_FAULT_SEED=2147483647 cargo test -q --release --test chaos
 GALLOPER_FAULT_SEED=2147483647 GALLOPER_KERNEL=scalar \
   cargo test -q --release --test chaos
 
+# Bench-regression gate: re-run the short pinned-seed benches with the
+# exact configuration that produced results/baselines/ and fail on any
+# gated-metric regression (simulated times, disk I/O, data loss).
+# Machine-dependent wall-clock numbers are reported but never gated.
+echo "==> bench-regression gate (galloper bench-diff --check)"
+cargo build --release -p galloper-bench -p galloper-cli --bins
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+GALLOPER_FAULT_SEED=2147483647 GALLOPER_CHAOS_TICKS=120 GALLOPER_OBJECT_KB=48 \
+  GALLOPER_JSON_OUT="$BENCH_TMP" ./target/release/chaos >/dev/null
+GALLOPER_BLOCK_MB=0.5 GALLOPER_REPS=3 \
+  GALLOPER_JSON_OUT="$BENCH_TMP" ./target/release/fig8 >/dev/null
+for bench in BENCH_chaos.json BENCH_fig8.json; do
+  GALLOPER_BENCH_BASELINE=results/baselines \
+    ./target/release/galloper bench-diff "$BENCH_TMP/$bench" --check
+done
+
 echo "==> miri: gf256 kernel differential suite"
 if cargo +nightly miri --version >/dev/null 2>&1; then
   cargo +nightly miri test -p galloper-gf --test kernel_differential
