@@ -69,13 +69,14 @@ pub fn classify(key: &str) -> Class {
         // Run configuration and provenance.
         "seed" | "ticks" | "reps" | "block_mb" | "object_kb" | "buffer_bytes" | "servers"
         | "events" | "fan_in" | "k" | "r" | "l" | "g" | "n" | "kernel_backend"
-        | "active_backend" | "bench_env" | "git_rev" | "timestamp" | "pool_threads" => Class::Skip,
+        | "active_backend" | "bench_env" | "git_rev" | "timestamp" | "pool_threads" | "clients"
+        | "rate_target" | "seconds" | "objects" | "object_bytes" | "gateway" => Class::Skip,
         // Raw histogram bucket arrays are pure timing noise bucket by
         // bucket; the summary quantiles next to them carry the signal.
         "buckets" => Class::Skip,
         // Deterministic simulated/behavioral results: lower is better.
         "simulated_secs" | "completion_secs" | "disk_read_mb" | "repair_bytes_read"
-        | "data_loss" | "unrecoverable" => Class::Gate(Direction::LowerIsBetter),
+        | "data_loss" | "unrecoverable" | "byte_errors" => Class::Gate(Direction::LowerIsBetter),
         // Throughput and efficiency figures: higher is better.
         "gbps" | "xor_gbps" => Class::Gate(Direction::HigherIsBetter),
         k if k.ends_with("_read_mb") => Class::Gate(Direction::LowerIsBetter),

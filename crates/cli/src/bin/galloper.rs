@@ -10,6 +10,10 @@
 //! galloper inspect <dir>
 //! galloper weights -k 4 -l 2 -g 1 --perfs 1.0,1.0,1.0,0.4,0.4,0.4,1.0
 //! galloper bench-diff <baseline.json> <new.json> [--check] [--threshold PCT]
+//! galloper serve   [--daemons 3] [--root DIR] [--listen ADDR]
+//! galloper daemon  --root DIR [--listen ADDR]
+//! galloper net-put <gateway-addr> <name> <file>
+//! galloper net-get <gateway-addr> <name> <output>
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -133,6 +137,14 @@ const USAGE: &str = "usage:
   galloper bench-diff <baseline.json> <new.json> [--check] [--threshold PCT]
                    (or: bench-diff <new.json> with GALLOPER_BENCH_BASELINE=DIR;
                     --check exits 2 when a gated metric regresses > PCT, default 5)
+  galloper serve   [--daemons N] [--root DIR] [--listen ADDR] [--family F ...]
+                   (spawns N storage daemons + a gateway; handshake lines
+                    GALLOPER_DAEMON_PID / GALLOPER_DAEMON_LISTENING /
+                    GALLOPER_GATEWAY_LISTENING on stdout; GALLOPER_LISTEN and
+                    GALLOPER_MAX_INFLIGHT env are honored)
+  galloper daemon  --root DIR [--listen ADDR]
+  galloper net-put <gateway-addr> <name> <file>
+  galloper net-get <gateway-addr> <name> <output>
 global flags:
   --json[=DIR]     write galloper_metrics.json (kernel/erasure counters)
                    into DIR (default .); GALLOPER_JSON_OUT=DIR does the same";
@@ -140,6 +152,9 @@ global flags:
 struct Options {
     positional: Vec<String>,
     family: String,
+    /// Whether `--family` was given explicitly (serve picks a default
+    /// code sized to the daemon count otherwise).
+    family_set: bool,
     k: usize,
     l: usize,
     g: usize,
@@ -147,12 +162,16 @@ struct Options {
     resolution: Option<usize>,
     perfs: Option<Vec<f64>>,
     repair: bool,
+    daemons: usize,
+    root: Option<PathBuf>,
+    listen: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         positional: Vec::new(),
         family: "galloper".into(),
+        family_set: false,
         k: 4,
         l: 2,
         g: 1,
@@ -160,6 +179,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         resolution: None,
         perfs: None,
         repair: false,
+        daemons: 3,
+        root: None,
+        listen: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -170,7 +192,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--json" => {}
             s if s.starts_with("--json=") => {}
             "--repair" => o.repair = true,
-            "--family" => o.family = value("--family")?.clone(),
+            "--family" => {
+                o.family = value("--family")?.clone();
+                o.family_set = true;
+            }
+            "--daemons" => {
+                o.daemons = value("--daemons")?
+                    .parse()
+                    .map_err(|_| "--daemons must be a number")?
+            }
+            "--root" => o.root = Some(PathBuf::from(value("--root")?)),
+            "--listen" => o.listen = Some(value("--listen")?.clone()),
             "-k" => o.k = value("-k")?.parse().map_err(|_| "-k must be a number")?,
             "-l" => o.l = value("-l")?.parse().map_err(|_| "-l must be a number")?,
             "-g" => o.g = value("-g")?.parse().map_err(|_| "-g must be a number")?,
@@ -282,6 +314,42 @@ fn run(args: &[String]) -> Result<(), String> {
             let alloc = StripeAllocation::from_weights(params, &weights, resolution)
                 .map_err(|e| e.to_string())?;
             println!("stripe counts at N = {resolution}: {:?}", alloc.counts());
+            Ok(())
+        }
+        "daemon" => {
+            let root = o.root.clone().ok_or("daemon needs --root <dir>")?;
+            let listen = galloper_cli::serve::resolve_listen(o.listen.as_deref());
+            galloper_cli::serve::run_daemon(&root, &listen)
+        }
+        "serve" => {
+            let root = o
+                .root
+                .clone()
+                .unwrap_or_else(galloper_cli::serve::default_root);
+            let listen = galloper_cli::serve::resolve_listen(o.listen.as_deref());
+            // Without an explicit --family, size a plain RS code to the
+            // daemon count; with one, the user's spec must fit.
+            let spec = if o.family_set {
+                make_spec(&o)?
+            } else {
+                galloper_cli::serve::default_serve_spec(o.daemons, o.stripe_size)?
+            };
+            galloper_cli::serve::run_serve(o.daemons, &root, &listen, &spec)
+        }
+        "net-put" => {
+            let [addr, name, file] = o.positional.as_slice() else {
+                return Err("net-put needs <gateway-addr> <name> <file>".into());
+            };
+            let len = galloper_cli::serve::net_put(addr, name, Path::new(file))?;
+            println!("put {len} bytes as '{name}' via {addr}");
+            Ok(())
+        }
+        "net-get" => {
+            let [addr, name, output] = o.positional.as_slice() else {
+                return Err("net-get needs <gateway-addr> <name> <output>".into());
+            };
+            let len = galloper_cli::serve::net_get(addr, name, Path::new(output))?;
+            println!("got {len} bytes of '{name}' into {output}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),

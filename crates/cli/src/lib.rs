@@ -19,6 +19,7 @@
 pub mod benchdiff;
 mod manifest;
 mod ops;
+pub mod serve;
 
 pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
 pub use manifest::{Manifest, ManifestError};

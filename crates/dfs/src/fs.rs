@@ -9,9 +9,9 @@ use galloper_erasure::{
 };
 use galloper_obs::{global, op, Histogram, OpContext};
 
-use crate::crc::crc32;
 use crate::faults::{self, Fault, FaultPlan, TimedFault};
 use crate::repair_queue::RepairQueue;
+use crate::store::{BlockGet, BlockKey, BlockStore, MemStore, StoreError};
 use crate::{FileHealth, FsckReport, GroupHealth};
 
 use core::fmt;
@@ -41,7 +41,7 @@ pub enum DfsError {
     /// A group cannot be read *right now* because servers are in a
     /// transient outage window — the data is intact and will return.
     /// Retryable, unlike [`DfsError::DataLoss`]; see
-    /// [`Dfs::get_with_retry`].
+    /// [`ReadOptions::with_retries`].
     Unavailable {
         /// The file.
         name: String,
@@ -54,6 +54,10 @@ pub enum DfsError {
     Code(CodeError),
     /// A server index is out of range.
     NoSuchServer(usize),
+    /// A block store failed outright (I/O error, unreachable daemon).
+    /// Read paths route around store failures like erasures; this
+    /// surfaces only when a *write* cannot be completed.
+    Store(StoreError),
 }
 
 impl fmt::Display for DfsError {
@@ -78,6 +82,7 @@ impl fmt::Display for DfsError {
             }
             DfsError::Code(e) => write!(f, "coding failure: {e}"),
             DfsError::NoSuchServer(s) => write!(f, "no server {s}"),
+            DfsError::Store(e) => write!(f, "block store failure: {e}"),
         }
     }
 }
@@ -86,6 +91,7 @@ impl std::error::Error for DfsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DfsError::Code(e) => Some(e),
+            DfsError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +100,12 @@ impl std::error::Error for DfsError {
 impl From<CodeError> for DfsError {
     fn from(e: CodeError) -> Self {
         DfsError::Code(e)
+    }
+}
+
+impl From<StoreError> for DfsError {
+    fn from(e: StoreError) -> Self {
+        DfsError::Store(e)
     }
 }
 
@@ -131,26 +143,6 @@ impl ServerHealth {
     }
 }
 
-/// One stored block plus the checksum computed when it was written.
-/// Verified on every read: a block whose bytes no longer match its CRC
-/// is treated as erased and routed around, exactly like a lost block.
-#[derive(Debug, Clone)]
-struct StoredBlock {
-    bytes: Vec<u8>,
-    crc: u32,
-}
-
-impl StoredBlock {
-    fn new(bytes: Vec<u8>) -> Self {
-        let crc = crc32(&bytes);
-        StoredBlock { bytes, crc }
-    }
-
-    fn is_intact(&self) -> bool {
-        crc32(&self.bytes) == self.crc
-    }
-}
-
 /// Where one block of a group stands right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BlockState {
@@ -164,7 +156,7 @@ enum BlockState {
     Lost,
 }
 
-/// What one [`Dfs::repair_group`] pass accomplished.
+/// What one `repair_group` pass accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RepairGroupOutcome {
     /// Nothing was lost.
@@ -228,9 +220,97 @@ pub struct DrainReport {
     pub summary: RepairSummary,
 }
 
+/// What to read and how hard to try: the single configuration for
+/// [`Dfs::read`], replacing the historical `get` / `get_with_retry` /
+/// `read_range*` method family.
+///
+/// ```
+/// use galloper_dfs::ReadOptions;
+///
+/// let whole_file = ReadOptions::full();
+/// let first_kb = ReadOptions::range(0, 1024);
+/// let patient = ReadOptions::full().with_retries(5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct ReadOptions {
+    /// First byte to read.
+    pub offset: usize,
+    /// Bytes to read; `None` means through the end of the file.
+    pub len: Option<usize>,
+    /// Retry budget across transient outage windows ([`None`] = fail
+    /// fast on [`DfsError::Unavailable`]). Each retry advances the
+    /// logical clock with exponential backoff so outage windows
+    /// actually elapse.
+    pub retries: Option<usize>,
+}
+
+impl ReadOptions {
+    /// Read the whole file, failing fast on transient outages.
+    pub fn full() -> ReadOptions {
+        ReadOptions::default()
+    }
+
+    /// Read `len` bytes starting at `offset`.
+    pub fn range(offset: usize, len: usize) -> ReadOptions {
+        ReadOptions {
+            offset,
+            len: Some(len),
+            ..ReadOptions::default()
+        }
+    }
+
+    /// Sets the retry budget across transient outage windows.
+    #[must_use]
+    pub fn with_retries(mut self, retries: usize) -> ReadOptions {
+        self.retries = Some(retries);
+        self
+    }
+}
+
+/// Per-read accounting returned by [`Dfs::read`] — one shape for every
+/// read, where the historical API returned bare bytes, `(bytes,
+/// attempts)` tuples, or `(bytes, ReadStats)` pairs depending on the
+/// method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct ReadReport {
+    /// Attempts made (`1` when no retry was needed).
+    pub attempts: usize,
+    /// Retries taken across transient outage windows.
+    pub retries: usize,
+    /// Coding stripes (groups) touched, summed over attempts.
+    pub stripes_read: usize,
+    /// Bytes pulled from block stores, summed over attempts.
+    pub bytes_read: usize,
+    /// Groups that needed a degraded decode, summed over attempts.
+    pub degraded_reads: usize,
+    /// Background repairs this read enqueued for the groups it had to
+    /// decode around (only when a retry budget was given — fail-fast
+    /// reads never mutate the queue).
+    pub repairs_queued: usize,
+}
+
+/// A completed [`Dfs::read`]: the bytes plus the read's accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ReadOutcome {
+    /// The requested bytes.
+    pub bytes: Vec<u8>,
+    /// What it took to produce them.
+    pub stats: ReadReport,
+}
+
 /// An in-memory erasure-coded distributed file system.
 ///
 /// See the [crate docs](crate) for the lifecycle overview.
+///
+/// `Dfs` is generic over its [`BlockStore`] backend: [`MemStore`] (the
+/// default — deterministic, in-process, what every chaos test drives),
+/// [`DiskStore`](crate::DiskStore) (one block per file under a root
+/// directory), or `galloper-net`'s `RemoteStore` (blocks live on
+/// remote daemons reached over TCP). The coding, placement, fault, and
+/// repair logic is identical across backends.
 ///
 /// # Examples
 ///
@@ -278,15 +358,15 @@ pub struct DrainReport {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct Dfs<C> {
+pub struct Dfs<C, S = MemStore> {
     codec: ObjectCodec<C>,
     health: Vec<ServerHealth>,
     /// Per-server service-rate multiplier (1.0 = nominal, < 1 =
     /// straggler). Not consulted by the in-memory data path; it feeds
     /// the simstore timing model (see `Cluster::set_rate_multiplier`).
     slow: Vec<f64>,
-    /// `stores[server][(file, group, block)] = block + checksum`.
-    stores: Vec<HashMap<(FileId, usize, usize), StoredBlock>>,
+    /// One block store per server.
+    stores: Vec<S>,
     files: HashMap<String, FileMeta>,
     next_id: usize,
     /// Logical clock, advanced by [`Dfs::advance_to`]; outage windows
@@ -299,8 +379,8 @@ pub struct Dfs<C> {
 }
 
 impl<C: ErasureCode> Dfs<C> {
-    /// Creates a DFS over `num_servers` empty servers using `code` for
-    /// every file.
+    /// Creates a DFS over `num_servers` empty in-memory servers using
+    /// `code` for every file.
     ///
     /// The retry budget for transient outages defaults to
     /// `GALLOPER_REPAIR_RETRIES` (or 5); see [`Dfs::set_retry_limit`].
@@ -310,15 +390,31 @@ impl<C: ErasureCode> Dfs<C> {
     /// Panics if `num_servers` is smaller than the code's block count
     /// (blocks of one group must land on distinct servers).
     pub fn new(num_servers: usize, code: C) -> Self {
+        Dfs::with_stores((0..num_servers).map(|_| MemStore::new()).collect(), code)
+    }
+}
+
+impl<C: ErasureCode, S: BlockStore> Dfs<C, S> {
+    /// Creates a DFS whose servers are the given block stores — one
+    /// server per store. This is how a gateway runs the same coding,
+    /// placement, and repair logic over remote daemons
+    /// (`galloper-net`'s `RemoteStore`) or local directories
+    /// ([`DiskStore`](crate::DiskStore)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer stores than the code's block count are given.
+    pub fn with_stores(stores: Vec<S>, code: C) -> Self {
         assert!(
-            num_servers >= code.num_blocks(),
+            stores.len() >= code.num_blocks(),
             "need at least one server per block of a group"
         );
+        let n = stores.len();
         Dfs {
             codec: ObjectCodec::new(code),
-            health: vec![ServerHealth::Up; num_servers],
-            slow: vec![1.0; num_servers],
-            stores: (0..num_servers).map(|_| HashMap::new()).collect(),
+            health: vec![ServerHealth::Up; n],
+            slow: vec![1.0; n],
+            stores,
             files: HashMap::new(),
             next_id: 0,
             clock: 0,
@@ -404,15 +500,26 @@ impl<C: ErasureCode> Dfs<C> {
     ///
     /// Panics if `server` is out of range.
     pub fn blocks_on(&self, server: usize) -> usize {
-        self.stores[server].len()
+        self.stores[server].block_count()
+    }
+
+    /// Direct access to one server's block store (health probes,
+    /// backend-specific inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn store(&self, server: usize) -> &S {
+        &self.stores[server]
     }
 
     /// Stores a file.
     ///
     /// # Errors
     ///
-    /// [`DfsError::AlreadyExists`] for duplicate names; coding errors are
-    /// impossible here but propagated defensively.
+    /// [`DfsError::AlreadyExists`] for duplicate names;
+    /// [`DfsError::Store`] when a block store rejects a write; coding
+    /// errors are impossible here but propagated defensively.
     pub fn put(&mut self, name: &str, data: &[u8]) -> Result<FileId, DfsError> {
         let mut scope = OpScope::new("dfs.put", "put", name, "dfs.op.put_us");
         scope.report.bytes_in = data.len() as u64;
@@ -450,7 +557,7 @@ impl<C: ErasureCode> Dfs<C> {
             for (b, block) in blocks.iter().enumerate() {
                 block_bytes_hist().record(block.len() as u64);
                 bytes_stored += block.len() as u64;
-                stores[servers[b]].insert((id, g, b), StoredBlock::new(block.clone()));
+                stores[servers[b]].put_block(BlockKey::new(id.0 as u64, g, b), block)?;
             }
             placements.push(servers);
             Ok(())
@@ -476,16 +583,16 @@ impl<C: ErasureCode> Dfs<C> {
 
     /// Reads a whole file, tolerating lost blocks (degraded read).
     ///
-    /// Groups stream through a [`StripeDecoder`], which hands back
-    /// exactly the object bytes each group carries (tail padding never
-    /// surfaces).
+    /// Thin shim over the read core, kept for one release: new code
+    /// should call [`Dfs::read`] with [`ReadOptions::full`], which also
+    /// returns the read's accounting.
     ///
     /// # Errors
     ///
     /// [`DfsError::NotFound`], [`DfsError::DataLoss`], or — when the
     /// shortfall is only transient outage windows —
     /// [`DfsError::Unavailable`] (retryable; see
-    /// [`Dfs::get_with_retry`]).
+    /// [`ReadOptions::with_retries`]).
     pub fn get(&self, name: &str) -> Result<Vec<u8>, DfsError> {
         let mut scope = OpScope::new("dfs.get", "get", name, "dfs.op.get_us");
         let mut degraded = Vec::new();
@@ -494,13 +601,12 @@ impl<C: ErasureCode> Dfs<C> {
         res
     }
 
-    /// The body of [`Dfs::get`], accumulating accounting into `report`
-    /// and the indices of groups that needed a degraded decode into
-    /// `degraded` (for read-triggered repair; see
-    /// [`Dfs::get_with_retry`]). The `dfs.bytes_read` /
-    /// `dfs.degraded_reads` counters move in lockstep with the report
-    /// fields, so an op-log line can be cross-checked against the
-    /// registry.
+    /// The body of full-file reads, accumulating accounting into
+    /// `report` and the indices of groups that needed a degraded decode
+    /// into `degraded` (for read-triggered repair). The
+    /// `dfs.bytes_read` / `dfs.degraded_reads` counters move in
+    /// lockstep with the report fields, so an op-log line can be
+    /// cross-checked against the registry.
     fn get_inner(
         &self,
         name: &str,
@@ -519,14 +625,15 @@ impl<C: ErasureCode> Dfs<C> {
             global().counter("dfs.bytes_read").add(present);
             report.bytes_in += present;
             let lost = blocks.iter().filter(|b| b.is_none()).count();
+            let refs: Vec<Option<&[u8]>> = blocks.iter().map(|b| b.as_deref()).collect();
             let payload = if lost > 0 {
                 global().counter("dfs.degraded_reads").inc();
                 report.degraded_reads += 1;
                 degraded.push(g);
                 let _span = op::span("dfs.degraded_decode", "dfs");
-                decoder.next_group(&blocks)
+                decoder.next_group(&refs)
             } else {
-                decoder.next_group(&blocks)
+                decoder.next_group(&refs)
             }
             .map_err(|_| self.group_read_error(meta, g))?;
             report.stripes += 1;
@@ -536,44 +643,86 @@ impl<C: ErasureCode> Dfs<C> {
         Ok(out)
     }
 
-    /// [`Dfs::get`] with bounded retry: when the read is blocked by a
-    /// transient outage ([`DfsError::Unavailable`]), waits with
-    /// exponential backoff — advancing the logical clock by 1, 2, 4, …
-    /// ticks so outage windows (and any faults scheduled inside the
-    /// wait) actually elapse — and tries again, up to
-    /// [`Dfs::retry_limit`] retries. Returns the bytes and the number
-    /// of attempts made.
+    /// [`Dfs::get`] with bounded retry across transient outages.
+    ///
+    /// Thin shim over the read core, kept for one release: new code
+    /// should call [`Dfs::read`] with
+    /// `ReadOptions::full().with_retries(n)` — the returned
+    /// [`ReadOutcome::stats`] carries what this tuple's second element
+    /// reported, and more.
     ///
     /// # Errors
     ///
     /// As [`Dfs::get`]; [`DfsError::Unavailable`] surfaces only once
     /// the retry budget is exhausted.
     pub fn get_with_retry(&mut self, name: &str) -> Result<(Vec<u8>, usize), DfsError> {
-        let mut scope = OpScope::new(
+        let opts = ReadOptions::full().with_retries(self.retry_limit);
+        self.read_loop(
+            name,
+            opts,
             "dfs.get_with_retry",
             "get_with_retry",
-            name,
             "dfs.op.get_with_retry_us",
-        );
+            |dfs, name, _opts, report, degraded| dfs.get_inner(name, report, degraded),
+        )
+        .map(|o| (o.bytes, o.stats.attempts))
+    }
+
+    /// The read core: retry loop, accounting, read-triggered repair.
+    /// The span/kind/histogram names are parameters so the deprecated
+    /// shims keep their historical trace and metric names; `attempt`
+    /// supplies the single-attempt body (whole-file streaming decode or
+    /// the linear-code range path), letting the loop itself stay
+    /// available to every code family.
+    fn read_loop(
+        &mut self,
+        name: &str,
+        opts: ReadOptions,
+        span_name: &'static str,
+        kind: &'static str,
+        hist: &'static str,
+        attempt: impl Fn(
+            &Self,
+            &str,
+            &ReadOptions,
+            &mut op::OpReport,
+            &mut Vec<usize>,
+        ) -> Result<Vec<u8>, DfsError>,
+    ) -> Result<ReadOutcome, DfsError> {
+        let mut scope = OpScope::new(span_name, kind, name, hist);
+        let budget = opts.retries.unwrap_or(0);
         let mut backoff = 1u64;
         let mut attempts = 0usize;
         let mut degraded = Vec::new();
         loop {
             attempts += 1;
             degraded.clear();
-            match self.get_inner(name, &mut scope.report, &mut degraded) {
+            match attempt(self, name, &opts, &mut scope.report, &mut degraded) {
                 Ok(bytes) => {
                     // Read-triggered repair: groups this read had to
                     // decode around are enqueued under this operation's
                     // context, so the eventual rebuild traces as part
-                    // of the read that noticed the damage.
-                    scope.report.repair_triggers +=
-                        self.enqueue_degraded(name, &degraded, scope.span.context()) as u64;
+                    // of the read that noticed the damage. Fail-fast
+                    // reads (no retry budget) stay read-only.
+                    let repairs_queued = if opts.retries.is_some() {
+                        self.enqueue_degraded(name, &degraded, scope.span.context())
+                    } else {
+                        0
+                    };
+                    scope.report.repair_triggers += repairs_queued as u64;
+                    let stats = ReadReport {
+                        attempts,
+                        retries: scope.report.retries as usize,
+                        stripes_read: scope.report.stripes as usize,
+                        bytes_read: scope.report.bytes_in as usize,
+                        degraded_reads: scope.report.degraded_reads as usize,
+                        repairs_queued,
+                    };
                     scope.finish(true);
-                    return Ok((bytes, attempts));
+                    return Ok(ReadOutcome { bytes, stats });
                 }
                 Err(e @ DfsError::Unavailable { .. }) => {
-                    if attempts > self.retry_limit {
+                    if attempts > budget {
                         scope.finish(false);
                         return Err(e);
                     }
@@ -609,7 +758,12 @@ impl<C: ErasureCode> Dfs<C> {
         }
     }
 
-    fn group_availability<'a>(&'a self, meta: &FileMeta, group: usize) -> Vec<Option<&'a [u8]>> {
+    /// What each block of the group currently reads as, through the
+    /// [`BlockStore`] boundary: `None` for anything that cannot be used
+    /// — down or unreachable server, missing entry, failed checksum.
+    /// Store-level failures count as erasures, never as errors: routing
+    /// reads around a dead daemon is exactly the degraded-read path.
+    fn group_availability(&self, meta: &FileMeta, group: usize) -> Vec<Option<Vec<u8>>> {
         let n = self.codec.code().num_blocks();
         (0..n)
             .map(|b| {
@@ -617,15 +771,19 @@ impl<C: ErasureCode> Dfs<C> {
                 if !self.health[server].is_up() {
                     return None;
                 }
-                match self.stores[server].get(&(meta.id, group, b)) {
-                    Some(sb) if sb.is_intact() => Some(sb.bytes.as_slice()),
-                    Some(_) => {
+                match self.stores[server].get_block(BlockKey::new(meta.id.0 as u64, group, b)) {
+                    Ok(BlockGet::Ok(bytes)) => Some(bytes),
+                    Ok(BlockGet::Corrupt) => {
                         // Silent corruption caught by the checksum: the
                         // block is treated as erased and routed around.
                         global().counter("dfs.faults.corruptions_detected").inc();
                         None
                     }
-                    None => None,
+                    Ok(BlockGet::Missing) => None,
+                    Err(_) => {
+                        global().counter("dfs.faults.store_errors").inc();
+                        None
+                    }
                 }
             })
             .collect()
@@ -633,21 +791,21 @@ impl<C: ErasureCode> Dfs<C> {
 
     fn block_state(&self, meta: &FileMeta, group: usize, block: usize) -> BlockState {
         let server = meta.placements[group][block];
-        let key = (meta.id, group, block);
+        let key = BlockKey::new(meta.id.0 as u64, group, block);
         match self.health[server] {
             ServerHealth::Down => BlockState::Lost,
             ServerHealth::Unavailable { .. } => {
                 // The store is unreachable, so the checksum cannot be
                 // verified either; optimistically Away — if the block
                 // comes back corrupt, the next read demotes it to Lost.
-                if self.stores[server].contains_key(&key) {
+                if self.stores[server].contains_block(key) {
                     BlockState::Away
                 } else {
                     BlockState::Lost
                 }
             }
-            ServerHealth::Up => match self.stores[server].get(&key) {
-                Some(sb) if sb.is_intact() => BlockState::Present,
+            ServerHealth::Up => match self.stores[server].get_block(key) {
+                Ok(BlockGet::Ok(_)) => BlockState::Present,
                 _ => BlockState::Lost,
             },
         }
@@ -665,7 +823,7 @@ impl<C: ErasureCode> Dfs<C> {
         assert!(server < self.health.len(), "no server {server}");
         global().counter("dfs.faults.crashes").inc();
         self.health[server] = ServerHealth::Down;
-        self.stores[server].clear();
+        self.stores[server].wipe();
     }
 
     /// Brings a failed server back as an empty machine (its old blocks
@@ -720,18 +878,22 @@ impl<C: ErasureCode> Dfs<C> {
         let n = self.health.len();
         for off in 0..n {
             let s = (server + off) % n;
-            if !self.health[s].is_up() || self.stores[s].is_empty() {
+            if !self.health[s].is_up() || self.stores[s].block_count() == 0 {
                 continue;
             }
-            let mut keys: Vec<(FileId, usize, usize)> = self.stores[s].keys().copied().collect();
+            let mut keys = match self.stores[s].scan_blocks() {
+                Ok(keys) if !keys.is_empty() => keys,
+                _ => continue,
+            };
             keys.sort_unstable();
             let key = keys[salt as usize % keys.len()];
-            let block = self.stores[s].get_mut(&key).expect("key just listed");
-            let pos = salt as usize % block.bytes.len().max(1);
-            if let Some(byte) = block.bytes.get_mut(pos) {
-                *byte ^= 0xA5;
+            if self.stores[s].flip_byte(key, salt as usize) {
                 global().counter("dfs.faults.corruptions_injected").inc();
-                return Some(key);
+                return Some((
+                    FileId(key.file as usize),
+                    key.group as usize,
+                    key.block as usize,
+                ));
             }
         }
         None
@@ -745,13 +907,11 @@ impl<C: ErasureCode> Dfs<C> {
             return false;
         };
         let (id, server) = (meta.id, meta.placements[group][block]);
-        match self.stores[server].get_mut(&(id, group, block)) {
-            Some(sb) if !sb.bytes.is_empty() => {
-                sb.bytes[0] ^= 0xA5;
-                global().counter("dfs.faults.corruptions_injected").inc();
-                true
-            }
-            _ => false,
+        if self.stores[server].flip_byte(BlockKey::new(id.0 as u64, group, block), 0) {
+            global().counter("dfs.faults.corruptions_injected").inc();
+            true
+        } else {
+            false
         }
     }
 
@@ -896,7 +1056,7 @@ impl<C: ErasureCode> Dfs<C> {
                     let server = meta.placements[g][b];
                     if *state == BlockState::Lost
                         && self.health[server].is_up()
-                        && self.stores[server].contains_key(&(meta.id, g, b))
+                        && self.stores[server].contains_block(BlockKey::new(meta.id.0 as u64, g, b))
                     {
                         global().counter("dfs.faults.corruptions_detected").inc();
                     }
@@ -1057,7 +1217,7 @@ impl<C: ErasureCode> Dfs<C> {
         let mut candidates: Vec<usize> = (0..self.health.len())
             .filter(|&s| self.health[s].is_up() && !hosting.contains(&s))
             .collect();
-        candidates.sort_by_key(|&s| self.stores[s].len());
+        candidates.sort_by_key(|&s| self.stores[s].block_count());
         if candidates.len() < lost.len() {
             return Err(DfsError::NotEnoughServers);
         }
@@ -1072,50 +1232,72 @@ impl<C: ErasureCode> Dfs<C> {
                 .iter()
                 .all(|&s| states[s] == BlockState::Present);
             let rebuilt = if plan_ok {
-                let sources: Vec<(usize, &[u8])> = plan
+                let fetched: Vec<(usize, Vec<u8>)> = plan
                     .sources()
                     .iter()
-                    .map(|&s| {
+                    .filter_map(|&s| {
                         let server = meta.placements[group][s];
-                        (
+                        match self.stores[server].get_block(BlockKey::new(
+                            meta.id.0 as u64,
+                            group,
                             s,
-                            self.stores[server][&(meta.id, group, s)].bytes.as_slice(),
-                        )
+                        )) {
+                            Ok(BlockGet::Ok(bytes)) => Some((s, bytes)),
+                            _ => None,
+                        }
                     })
                     .collect();
-                summary.bytes_read += sources.iter().map(|(_, d)| d.len()).sum::<usize>();
-                summary.repaired_locally += 1;
-                self.codec.code().reconstruct(b, &sources)?
+                if fetched.len() < plan.sources().len() {
+                    // A source vanished between the state scan and the
+                    // fetch (a remote store raced or went away): fall
+                    // through to the full-decode path below.
+                    None
+                } else {
+                    summary.bytes_read += fetched.iter().map(|(_, d)| d.len()).sum::<usize>();
+                    summary.repaired_locally += 1;
+                    let sources: Vec<(usize, &[u8])> =
+                        fetched.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+                    Some(self.codec.code().reconstruct(b, &sources)?)
+                }
             } else {
-                if decoded_group.is_none() {
-                    let avail = self.group_availability(meta, group);
-                    let readable = avail.iter().filter(|a| a.is_some()).count();
-                    match self.codec.code().decode(&avail) {
-                        Ok(message) => {
-                            summary.bytes_read += readable.min(self.codec.code().num_data_blocks())
-                                * self.codec.code().block_len();
-                            decoded_group = Some(self.codec.code().encode(&message)?);
-                        }
-                        Err(_) if away => {
-                            // Not enough *present* blocks, but some are
-                            // only transiently away: retry once the
-                            // outage window ends instead of declaring
-                            // data loss.
-                            return Ok(RepairGroupOutcome::Blocked);
-                        }
-                        Err(_) => {
-                            summary.unrecoverable_groups += 1;
-                            return Ok(RepairGroupOutcome::Unrecoverable);
+                None
+            };
+            let rebuilt = match rebuilt {
+                Some(bytes) => bytes,
+                None => {
+                    if decoded_group.is_none() {
+                        let avail = self.group_availability(meta, group);
+                        let refs: Vec<Option<&[u8]>> = avail.iter().map(|a| a.as_deref()).collect();
+                        let readable = refs.iter().filter(|a| a.is_some()).count();
+                        match self.codec.code().decode(&refs) {
+                            Ok(message) => {
+                                summary.bytes_read += readable
+                                    .min(self.codec.code().num_data_blocks())
+                                    * self.codec.code().block_len();
+                                decoded_group = Some(self.codec.code().encode(&message)?);
+                            }
+                            Err(_) if away => {
+                                // Not enough *present* blocks, but some are
+                                // only transiently away: retry once the
+                                // outage window ends instead of declaring
+                                // data loss.
+                                return Ok(RepairGroupOutcome::Blocked);
+                            }
+                            Err(_) => {
+                                summary.unrecoverable_groups += 1;
+                                return Ok(RepairGroupOutcome::Unrecoverable);
+                            }
                         }
                     }
+                    summary.repaired_via_decode += 1;
+                    decoded_group.as_ref().expect("just decoded")[b].clone()
                 }
-                summary.repaired_via_decode += 1;
-                decoded_group.as_ref().expect("just decoded")[b].clone()
             };
             // A corrupted block leaves a stale entry on its old (up)
             // server; drop it so only the verified rebuild survives.
-            self.stores[meta.placements[group][b]].remove(&(meta.id, group, b));
-            self.stores[replacement].insert((meta.id, group, b), StoredBlock::new(rebuilt));
+            let key = BlockKey::new(meta.id.0 as u64, group, b);
+            let _ = self.stores[meta.placements[group][b]].delete_block(key);
+            self.stores[replacement].put_block(key, &rebuilt)?;
             self.files
                 .get_mut(&meta.name)
                 .expect("file exists")
@@ -1223,9 +1405,9 @@ fn block_bytes_hist() -> &'static Arc<Histogram> {
 /// preferring emptier servers for balance. A free function (not a
 /// method) so [`Dfs::put`]'s streaming sink can place groups while the
 /// encoder borrows the code.
-fn place_group<V>(
+fn place_group<S: BlockStore>(
     health: &[ServerHealth],
-    stores: &[HashMap<(FileId, usize, usize), V>],
+    stores: &[S],
     num_blocks: usize,
     salt: usize,
 ) -> Result<Vec<usize>, DfsError> {
@@ -1236,7 +1418,7 @@ fn place_group<V>(
     // Emptiest-first, tie-broken by a rotating offset for spread.
     live.sort_by_key(|&s| {
         (
-            stores[s].len(),
+            stores[s].block_count(),
             (s + health.len() - salt % health.len()) % health.len(),
         )
     });
@@ -1255,15 +1437,82 @@ fn put_error(e: StreamError<DfsError>) -> DfsError {
     }
 }
 
-impl<C> Dfs<C>
+impl<C, S> Dfs<C, S>
 where
     C: ErasureCode + AsLinearCode,
+    S: BlockStore,
 {
+    /// The unified read entry point: whole-file or range reads,
+    /// optional retry across transient outage windows, one
+    /// [`ReadOutcome`] shape back — this replaces the historical
+    /// `get` / `get_with_retry` / `read_range` / `read_range_stats` /
+    /// `read_range_with_retry` method family, whose shims now route
+    /// here.
+    ///
+    /// Reads that carry a retry budget also enqueue background repairs
+    /// for every group they had to decode around (read-triggered
+    /// repair) under this read's trace context; fail-fast reads stay
+    /// read-only.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`], [`DfsError::OutOfRange`],
+    /// [`DfsError::DataLoss`], or [`DfsError::Unavailable`] once any
+    /// retry budget is exhausted.
+    pub fn read(&mut self, name: &str, opts: ReadOptions) -> Result<ReadOutcome, DfsError> {
+        self.read_loop(
+            name,
+            opts,
+            "dfs.read",
+            "read",
+            "dfs.op.read_us",
+            Self::read_once,
+        )
+    }
+
+    /// One read attempt: whole-file reads stream through the group
+    /// decoder; everything else goes through the linear-code range
+    /// path. Both collect the groups that needed a degraded decode
+    /// into `degraded`.
+    fn read_once(
+        &self,
+        name: &str,
+        opts: &ReadOptions,
+        report: &mut op::OpReport,
+        degraded: &mut Vec<usize>,
+    ) -> Result<Vec<u8>, DfsError> {
+        match opts.len {
+            None if opts.offset == 0 => self.get_inner(name, report, degraded),
+            _ => {
+                let object_len = self
+                    .files
+                    .get(name)
+                    .ok_or_else(|| DfsError::NotFound(name.to_string()))?
+                    .manifest
+                    .object_len;
+                let len = match opts.len {
+                    Some(len) => len,
+                    None => object_len
+                        .checked_sub(opts.offset)
+                        .ok_or(DfsError::OutOfRange {
+                            end: opts.offset,
+                            len: object_len,
+                        })?,
+                };
+                self.read_range_impl(name, opts.offset, len, report, degraded)
+                    .map(|(bytes, _)| bytes)
+            }
+        }
+    }
+
     /// Degraded-aware range read of `len` bytes at `offset`, with byte
     /// accounting (requires the code to expose its
-    /// [`LinearCode`](galloper_erasure::LinearCode)). The returned
-    /// [`ReadStats`] sum the per-group reads; `bytes_read` always
-    /// equals `stripes_read * stripe_size()`.
+    /// [`LinearCode`](galloper_erasure::LinearCode)).
+    ///
+    /// Thin shim over the read core, kept for one release: new code
+    /// should call [`Dfs::read`] with [`ReadOptions::range`]. The
+    /// returned [`ReadStats`] sum the per-group reads; `bytes_read`
+    /// always equals `stripes_read * stripe_size()`.
     ///
     /// # Errors
     ///
@@ -1277,17 +1526,19 @@ where
         len: usize,
     ) -> Result<(Vec<u8>, ReadStats), DfsError> {
         let mut scope = OpScope::new("dfs.read_range", "read_range", name, "dfs.op.read_range_us");
-        let res = self.read_range_inner(name, offset, len, &mut scope.report);
+        let mut degraded = Vec::new();
+        let res = self.read_range_impl(name, offset, len, &mut scope.report, &mut degraded);
         scope.finish(res.is_ok());
         res
     }
 
-    fn read_range_inner(
+    fn read_range_impl(
         &self,
         name: &str,
         offset: usize,
         len: usize,
         report: &mut op::OpReport,
+        degraded: &mut Vec<usize>,
     ) -> Result<(Vec<u8>, ReadStats), DfsError> {
         let meta = self
             .files
@@ -1319,11 +1570,12 @@ where
             let within = pos % msg;
             let take = (msg - within).min(len - out.len());
             let avail = self.group_availability(meta, group);
+            let refs: Vec<Option<&[u8]>> = avail.iter().map(|a| a.as_deref()).collect();
             let (bytes, group_stats) = self
                 .codec
                 .code()
                 .as_linear_code()
-                .read_range(within, take, &avail)
+                .read_range(within, take, &refs)
                 .map_err(|_| self.group_read_error(meta, group))?;
             out.extend_from_slice(&bytes);
             global()
@@ -1335,6 +1587,7 @@ where
             if group_stats.degraded {
                 global().counter("dfs.degraded_reads").inc();
                 report.degraded_reads += 1;
+                degraded.push(group);
             }
             stats.stripes_read += group_stats.stripes_read;
             stats.bytes_read += group_stats.bytes_read;
@@ -1346,6 +1599,9 @@ where
     }
 
     /// [`Dfs::read_range_stats`] without the accounting.
+    ///
+    /// Thin shim, kept for one release: new code should call
+    /// [`Dfs::read`] with [`ReadOptions::range`].
     ///
     /// # Errors
     ///
@@ -1359,6 +1615,10 @@ where
     /// [`Dfs::get_with_retry`]. Returns the bytes and the number of
     /// attempts made.
     ///
+    /// Thin shim over the read core, kept for one release: new code
+    /// should call [`Dfs::read`] with
+    /// `ReadOptions::range(offset, len).with_retries(n)`.
+    ///
     /// # Errors
     ///
     /// As [`Dfs::read_range`]; [`DfsError::Unavailable`] surfaces only
@@ -1369,37 +1629,15 @@ where
         offset: usize,
         len: usize,
     ) -> Result<(Vec<u8>, usize), DfsError> {
-        let mut scope = OpScope::new(
+        let opts = ReadOptions::range(offset, len).with_retries(self.retry_limit);
+        self.read_loop(
+            name,
+            opts,
             "dfs.read_range_with_retry",
             "read_range_with_retry",
-            name,
             "dfs.op.read_range_with_retry_us",
-        );
-        let mut backoff = 1u64;
-        let mut attempts = 0usize;
-        loop {
-            attempts += 1;
-            match self.read_range_inner(name, offset, len, &mut scope.report) {
-                Ok((bytes, _)) => {
-                    scope.finish(true);
-                    return Ok((bytes, attempts));
-                }
-                Err(e @ DfsError::Unavailable { .. }) => {
-                    if attempts > self.retry_limit {
-                        scope.finish(false);
-                        return Err(e);
-                    }
-                    global().counter("dfs.faults.retries").inc();
-                    scope.report.retries += 1;
-                    let _wait = op::span("dfs.retry", "dfs");
-                    self.advance_to(self.clock + backoff);
-                    backoff = backoff.saturating_mul(2);
-                }
-                Err(e) => {
-                    scope.finish(false);
-                    return Err(e);
-                }
-            }
-        }
+            Self::read_once,
+        )
+        .map(|o| (o.bytes, o.stats.attempts))
     }
 }

@@ -7,8 +7,9 @@
 //!
 //! * [`Dfs::put`] — encode and place (round-robin rotated per group so
 //!   load balances across servers);
-//! * [`Dfs::get`] / [`Dfs::read_range`] — degraded-aware reads that use
-//!   whatever blocks are on live servers;
+//! * [`Dfs::read`] — the unified degraded-aware read entry point
+//!   ([`ReadOptions`] in, [`ReadOutcome`] out), with [`Dfs::get`] /
+//!   [`Dfs::read_range`] kept as thin compatibility shims;
 //! * [`Dfs::fail_server`] — failure injection (blocks on the server are
 //!   lost);
 //! * [`Dfs::repair`] — rebuild every lost block, preferring each block's
@@ -50,6 +51,13 @@
 //! and Galloper files can live in DFS instances side by side and their
 //! repair bills compared — see the `tests/` of this crate and the
 //! repository's `examples/`.
+//!
+//! Storage itself sits behind the [`BlockStore`] trait ([`store`]):
+//! the default [`MemStore`] keeps every test and simulation
+//! deterministic and in-process, [`DiskStore`] persists one block per
+//! file under a root directory (what `galloper` storage daemons
+//! serve), and `galloper-net` adds a `RemoteStore` client so the same
+//! `Dfs` logic runs a networked cluster.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,9 +67,14 @@ pub mod faults;
 mod fs;
 mod health;
 mod repair_queue;
+pub mod store;
 
 pub use crc::crc32;
 pub use faults::{Fault, FaultPlan, FaultPlanConfig, TimedFault};
-pub use fs::{Dfs, DfsError, DrainReport, FileId, RepairSummary, ServerHealth};
+pub use fs::{
+    Dfs, DfsError, DrainReport, FileId, ReadOptions, ReadOutcome, ReadReport, RepairSummary,
+    ServerHealth,
+};
 pub use galloper_erasure::{AsLinearCode, ErasureCode};
 pub use health::{FileHealth, FsckReport, GroupHealth};
+pub use store::{BlockGet, BlockKey, BlockStore, DiskStore, MemStore, StoreError, StoreHealth};

@@ -1,0 +1,113 @@
+//! A blocking request/response connection over one [`TcpStream`].
+//!
+//! The protocol is strictly half-duplex per connection: one side sends
+//! a request frame, the other answers with exactly one response frame.
+//! That single-outstanding-request discipline *is* the per-connection
+//! backpressure — a client cannot queue a second request into the
+//! server until its first answer has been drained off the socket.
+//! Concurrency comes from opening more connections, which the
+//! gateway's admission queue bounds globally.
+
+use std::io::BufWriter;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{ProtocolError, Request, Response};
+
+/// One framed, half-duplex protocol connection.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    /// Wraps an accepted or connected stream. `TCP_NODELAY` is set
+    /// (request/response traffic is latency-bound, and every frame is
+    /// flushed whole); failures to set it are ignored.
+    pub fn new(stream: TcpStream) -> Conn {
+        let _ = stream.set_nodelay(true);
+        Conn { stream }
+    }
+
+    /// Connects to `addr` within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] on refusal, timeout, or address parse
+    /// failure.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Conn, ProtocolError> {
+        let sockaddr = addr
+            .parse()
+            .map_err(|_| ProtocolError::Malformed("unparseable socket address"))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        Ok(Conn::new(stream))
+    }
+
+    /// Sets (or clears, with `None`) the blocking-read timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] if the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ProtocolError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on frame or socket failure.
+    pub fn send_request(&mut self, req: &Request) -> Result<(), ProtocolError> {
+        let mut w = BufWriter::new(&self.stream);
+        write_frame(&mut w, &req.encode())?;
+        use std::io::Write as _;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Receives one request frame (server side).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on frame, socket, or decode failure; a clean
+    /// peer disconnect surfaces as
+    /// [`std::io::ErrorKind::UnexpectedEof`] inside
+    /// [`ProtocolError::Io`].
+    pub fn recv_request(&mut self) -> Result<Request, ProtocolError> {
+        Request::decode(&read_frame(&mut self.stream)?)
+    }
+
+    /// Sends one response frame (server side).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on frame or socket failure.
+    pub fn send_response(&mut self, resp: &Response) -> Result<(), ProtocolError> {
+        let mut w = BufWriter::new(&self.stream);
+        write_frame(&mut w, &resp.encode())?;
+        use std::io::Write as _;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Receives one response frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Conn::recv_request`].
+    pub fn recv_response(&mut self) -> Result<Response, ProtocolError> {
+        Response::decode(&read_frame(&mut self.stream)?)
+    }
+
+    /// One full request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// As [`Conn::send_request`] / [`Conn::recv_response`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        self.send_request(req)?;
+        self.recv_response()
+    }
+}

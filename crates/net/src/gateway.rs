@@ -1,0 +1,338 @@
+//! The gateway: object-plane TCP service in front of a [`Dfs`].
+//!
+//! Clients speak the gateway plane of [`proto`](crate::proto)
+//! (`PutObject` / `GetObject` / `Ping`); the gateway runs the full
+//! erasure-coding pipeline against its block stores — normally
+//! [`RemoteStore`](crate::RemoteStore) clients for a set of storage
+//! daemons — and streams the result back. Reads share the `Dfs` read
+//! lock and run concurrently; writes serialize on the write lock.
+//!
+//! ## Admission control
+//!
+//! Total in-flight requests are bounded by a counting semaphore of
+//! `max_inflight` slots (`GALLOPER_MAX_INFLIGHT`, default
+//! [`DEFAULT_MAX_INFLIGHT`]). A request that cannot take a slot within
+//! [`ADMISSION_TIMEOUT`] is answered with a typed
+//! [`ErrorKind::Busy`] refusal instead of queueing unboundedly — the
+//! client sees fast, classed pushback and can retry with backoff.
+//! Combined with the one-outstanding-request-per-connection discipline
+//! of [`Conn`](crate::Conn), this bounds both queue depth and memory:
+//! at most `max_inflight` requests hold decode buffers, and each
+//! connection holds at most one frame in flight.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+use galloper_dfs::{BlockStore, Dfs, DfsError, ErasureCode};
+use galloper_obs::global;
+
+use crate::frame::FrameReader;
+use crate::proto::{ErrorKind, ProtocolError, Request, Response};
+
+/// Default admission-queue width.
+pub const DEFAULT_MAX_INFLIGHT: usize = 256;
+
+/// How long a request may wait for an admission slot before being
+/// refused with [`ErrorKind::Busy`].
+pub const ADMISSION_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How often a blocked worker wakes to check for shutdown.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Reads `GALLOPER_MAX_INFLIGHT` (falling back to
+/// [`DEFAULT_MAX_INFLIGHT`]); malformed values warn on stderr.
+pub fn max_inflight_from_env() -> usize {
+    match std::env::var("GALLOPER_MAX_INFLIGHT") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "warning: GALLOPER_MAX_INFLIGHT='{s}' is not a positive integer; \
+                     using {DEFAULT_MAX_INFLIGHT}"
+                );
+                DEFAULT_MAX_INFLIGHT
+            }
+        },
+        Err(_) => DEFAULT_MAX_INFLIGHT,
+    }
+}
+
+/// A counting semaphore over `Mutex` + `Condvar` (std has none).
+#[derive(Debug)]
+struct Admission {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Admission {
+    fn new(slots: usize) -> Admission {
+        Admission {
+            free: Mutex::new(slots),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes a slot, waiting at most `timeout`. Returns whether a slot
+    /// was acquired.
+    fn acquire(&self, timeout: Duration) -> bool {
+        let guard = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut guard, result) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |free| *free == 0)
+            .unwrap_or_else(|e| e.into_inner());
+        if result.timed_out() && *guard == 0 {
+            return false;
+        }
+        *guard -= 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut guard = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        *guard += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// The wire failure class for a [`DfsError`] — the stable mapping the
+/// gateway stamps into `Err` frames.
+pub fn kind_of_dfs(e: &DfsError) -> ErrorKind {
+    match e {
+        DfsError::NotFound(_) => ErrorKind::NotFound,
+        DfsError::AlreadyExists(_) => ErrorKind::AlreadyExists,
+        DfsError::OutOfRange { .. } => ErrorKind::OutOfRange,
+        DfsError::DataLoss { .. } => ErrorKind::DataLoss,
+        DfsError::Unavailable { .. } => ErrorKind::Unavailable,
+        DfsError::NotEnoughServers => ErrorKind::NotEnoughServers,
+        DfsError::Code(_) => ErrorKind::Code,
+        DfsError::NoSuchServer(_) => ErrorKind::Unknown,
+        DfsError::Store(_) => ErrorKind::Store,
+        _ => ErrorKind::Unknown,
+    }
+}
+
+/// A running gateway (see [`Gateway::spawn`]).
+#[derive(Debug)]
+pub struct GatewayHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Arc<AtomicUsize>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The gateway's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the gateway (idempotent; also runs on drop).
+    pub fn kill(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while self.workers.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for GatewayHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The object-plane server.
+pub struct Gateway;
+
+impl Gateway {
+    /// Serves `dfs` on `listener` from background threads with
+    /// `max_inflight` admission slots, returning immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] if the listener's local address cannot be
+    /// read.
+    pub fn spawn<C, S>(
+        listener: TcpListener,
+        dfs: Dfs<C, S>,
+        max_inflight: usize,
+    ) -> Result<GatewayHandle, ProtocolError>
+    where
+        C: ErasureCode + Send + Sync + 'static,
+        S: BlockStore + Send + Sync + 'static,
+    {
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = Arc::new(AtomicUsize::new(0));
+        let dfs = Arc::new(RwLock::new(dfs));
+        let admission = Arc::new(Admission::new(max_inflight.max(1)));
+        global()
+            .gauge("net.gateway.max_inflight")
+            .set(max_inflight.max(1) as i64);
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let workers = Arc::clone(&workers);
+            thread::Builder::new()
+                .name(format!("gateway-accept-{addr}"))
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        global().counter("net.gateway.connections").inc();
+                        let shutdown = Arc::clone(&shutdown);
+                        let conn_workers = Arc::clone(&workers);
+                        let dfs = Arc::clone(&dfs);
+                        let admission = Arc::clone(&admission);
+                        workers.fetch_add(1, Ordering::SeqCst);
+                        let spawned =
+                            thread::Builder::new()
+                                .name("gateway-conn".into())
+                                .spawn(move || {
+                                    serve_conn(stream, &dfs, &admission, &shutdown);
+                                    conn_workers.fetch_sub(1, Ordering::SeqCst);
+                                });
+                        if spawned.is_err() {
+                            workers.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                })?
+        };
+        Ok(GatewayHandle {
+            addr,
+            shutdown,
+            workers,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Dispatches one object-plane request against the `Dfs`. Block-plane
+/// requests are refused with a typed error: a gateway is not a daemon.
+fn handle_object_request<C, S>(dfs: &RwLock<Dfs<C, S>>, req: Request) -> Response
+where
+    C: ErasureCode,
+    S: BlockStore,
+{
+    match req {
+        Request::PutObject { name, bytes } => {
+            let mut d = dfs.write().unwrap_or_else(|e| e.into_inner());
+            match d.put(&name, &bytes) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Err {
+                    kind: kind_of_dfs(&e),
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::GetObject { name } => {
+            let d = dfs.read().unwrap_or_else(|e| e.into_inner());
+            match d.get(&name) {
+                Ok(bytes) => Response::Blob(bytes),
+                Err(e) => Response::Err {
+                    kind: kind_of_dfs(&e),
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Ping => Response::Ok,
+        _ => Response::Err {
+            kind: ErrorKind::Protocol,
+            message: "block-plane request sent to the gateway".into(),
+        },
+    }
+}
+
+/// Drives one client connection; same frame-reassembly/poll shape as
+/// the daemon's loop, plus admission control per request.
+fn serve_conn<C, S>(
+    mut stream: TcpStream,
+    dfs: &RwLock<Dfs<C, S>>,
+    admission: &Admission,
+    shutdown: &AtomicBool,
+) where
+    C: ErasureCode,
+    S: BlockStore,
+{
+    use std::io::Read as _;
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut frames = FrameReader::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        while let Some(payload) = frames.pop() {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let req = match Request::decode(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    global().counter("net.gateway.protocol_errors").inc();
+                    let _ = respond(
+                        &mut stream,
+                        &Response::Err {
+                            kind: ErrorKind::Protocol,
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            };
+            global().counter("net.gateway.requests").inc();
+            let resp = if admission.acquire(ADMISSION_TIMEOUT) {
+                let resp = handle_object_request(dfs, req);
+                admission.release();
+                resp
+            } else {
+                global().counter("net.gateway.busy_rejections").inc();
+                Response::Err {
+                    kind: ErrorKind::Busy,
+                    message: "admission queue full; retry with backoff".into(),
+                }
+            };
+            if respond(&mut stream, &resp).is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                if let Err(e) = frames.push(&chunk[..n]) {
+                    global().counter("net.gateway.protocol_errors").inc();
+                    let _ = respond(
+                        &mut stream,
+                        &Response::Err {
+                            kind: ErrorKind::Protocol,
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, resp: &Response) -> Result<(), ProtocolError> {
+    crate::frame::write_frame(stream, &resp.encode())
+}

@@ -1,0 +1,571 @@
+//! Message types and their binary encoding.
+//!
+//! One tag byte selects the message, followed by a fixed field layout
+//! (little-endian integers, `u32`-length-prefixed byte strings). Two
+//! planes share the codec:
+//!
+//! * the **daemon plane** — block-granular operations a gateway (or
+//!   repair process) issues against one storage daemon, keyed by
+//!   [`BlockKey`];
+//! * the **gateway plane** — object-granular operations a client
+//!   issues against the gateway, keyed by object name.
+//!
+//! Error responses carry a stable numeric [`ErrorKind`] so clients can
+//! dispatch on failure class without parsing prose, plus a free-form
+//! message for humans.
+
+use core::fmt;
+
+use galloper_dfs::BlockKey;
+
+/// Errors from decoding (or framing) wire data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A frame's announced length exceeds [`MAX_FRAME`](crate::frame::MAX_FRAME).
+    Oversize {
+        /// Announced payload length.
+        len: u64,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+    /// The payload's tag byte names no known message.
+    UnknownTag(u8),
+    /// The payload was shorter than its layout requires, or a field
+    /// failed validation (what, specifically, is in the message).
+    Malformed(&'static str),
+    /// A well-formed message arrived where a different plane or
+    /// direction was expected (e.g. a request on a response channel).
+    Unexpected(&'static str),
+    /// Transport failure underneath the codec.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::Unexpected(what) => write!(f, "unexpected message: {what}"),
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Stable failure classes carried in [`Response::Err`] frames. The
+/// numeric codes are wire-stable: they never change meaning, and
+/// unknown codes decode to [`ErrorKind::Unknown`] so old clients
+/// survive new servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// No such object or block.
+    NotFound,
+    /// Object already exists.
+    AlreadyExists,
+    /// Requested range exceeds the object.
+    OutOfRange,
+    /// Too many blocks lost; the object is unrecoverable.
+    DataLoss,
+    /// Transiently unavailable; retry later.
+    Unavailable,
+    /// Not enough live servers for placement.
+    NotEnoughServers,
+    /// Erasure-coding failure.
+    Code,
+    /// Block-store failure (I/O, unreachable daemon).
+    Store,
+    /// The peer sent something the protocol forbids.
+    Protocol,
+    /// The server's admission queue is full; back off and retry.
+    Busy,
+    /// Server-side I/O failure outside the store path.
+    Io,
+    /// Anything else (including codes minted by newer servers).
+    Unknown,
+}
+
+impl ErrorKind {
+    /// The wire-stable numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorKind::NotFound => 1,
+            ErrorKind::AlreadyExists => 2,
+            ErrorKind::OutOfRange => 3,
+            ErrorKind::DataLoss => 4,
+            ErrorKind::Unavailable => 5,
+            ErrorKind::NotEnoughServers => 6,
+            ErrorKind::Code => 7,
+            ErrorKind::Store => 8,
+            ErrorKind::Protocol => 9,
+            ErrorKind::Busy => 10,
+            ErrorKind::Io => 11,
+            ErrorKind::Unknown => u16::MAX,
+        }
+    }
+
+    /// Decodes a wire code (total: unknown codes map to
+    /// [`ErrorKind::Unknown`]).
+    pub fn from_code(code: u16) -> ErrorKind {
+        match code {
+            1 => ErrorKind::NotFound,
+            2 => ErrorKind::AlreadyExists,
+            3 => ErrorKind::OutOfRange,
+            4 => ErrorKind::DataLoss,
+            5 => ErrorKind::Unavailable,
+            6 => ErrorKind::NotEnoughServers,
+            7 => ErrorKind::Code,
+            8 => ErrorKind::Store,
+            9 => ErrorKind::Protocol,
+            10 => ErrorKind::Busy,
+            11 => ErrorKind::Io,
+            _ => ErrorKind::Unknown,
+        }
+    }
+
+    /// Whether retrying the same request later can reasonably succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Unavailable | ErrorKind::Busy | ErrorKind::Store | ErrorKind::Io
+        )
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::AlreadyExists => "already-exists",
+            ErrorKind::OutOfRange => "out-of-range",
+            ErrorKind::DataLoss => "data-loss",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::NotEnoughServers => "not-enough-servers",
+            ErrorKind::Code => "code",
+            ErrorKind::Store => "store",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Io => "io",
+            ErrorKind::Unknown => "unknown",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A request frame (either plane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    // Daemon plane: block-granular, issued by gateways.
+    /// Store (or overwrite) one coded block.
+    PutBlock {
+        /// Which block.
+        key: BlockKey,
+        /// Its bytes.
+        bytes: Vec<u8>,
+    },
+    /// Fetch one coded block.
+    GetBlock {
+        /// Which block.
+        key: BlockKey,
+    },
+    /// Drop one coded block.
+    DeleteBlock {
+        /// Which block.
+        key: BlockKey,
+    },
+    /// List every block the daemon holds.
+    ScanBlocks,
+    /// Health probe: block/byte counts.
+    Probe,
+    /// Drop every block (server decommission / crash simulation).
+    Wipe,
+    // Gateway plane: object-granular, issued by clients.
+    /// Encode and store an object under a name.
+    PutObject {
+        /// Object name.
+        name: String,
+        /// Object payload.
+        bytes: Vec<u8>,
+    },
+    /// Read a whole object back (degraded-tolerant).
+    GetObject {
+        /// Object name.
+        name: String,
+    },
+    /// Liveness check; answered with [`Response::Ok`].
+    Ping,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Success with nothing to return.
+    Ok,
+    /// Success carrying an object payload.
+    Blob(Vec<u8>),
+    /// A block read: present and checksum-clean.
+    Block(Vec<u8>),
+    /// A block read: present but failed its checksum.
+    Corrupt,
+    /// A block read: no such block.
+    Missing,
+    /// A delete: whether the block existed.
+    Deleted(bool),
+    /// A scan: every key the daemon holds.
+    Keys(Vec<BlockKey>),
+    /// A probe: blocks and payload bytes held.
+    Health {
+        /// Blocks held.
+        blocks: u64,
+        /// Payload bytes held.
+        bytes: u64,
+    },
+    /// Failure, classed by a wire-stable [`ErrorKind`].
+    Err {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail (never required for dispatch).
+        message: String,
+    },
+}
+
+// Tag bytes. Requests live below 0x80, responses above — a misdirected
+// frame is caught by tag range before field decoding runs.
+const T_PUT_BLOCK: u8 = 0x01;
+const T_GET_BLOCK: u8 = 0x02;
+const T_DELETE_BLOCK: u8 = 0x03;
+const T_SCAN_BLOCKS: u8 = 0x04;
+const T_PROBE: u8 = 0x05;
+const T_WIPE: u8 = 0x06;
+const T_PUT_OBJECT: u8 = 0x10;
+const T_GET_OBJECT: u8 = 0x11;
+const T_PING: u8 = 0x12;
+const T_OK: u8 = 0x81;
+const T_BLOB: u8 = 0x82;
+const T_BLOCK: u8 = 0x83;
+const T_CORRUPT: u8 = 0x84;
+const T_MISSING: u8 = 0x85;
+const T_DELETED: u8 = 0x86;
+const T_KEYS: u8 = 0x87;
+const T_HEALTH: u8 = 0x88;
+const T_ERR: u8 = 0x90;
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Writer {
+        Writer { out: vec![tag] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.out.extend_from_slice(v);
+    }
+
+    fn key(&mut self, key: BlockKey) {
+        self.u64(key.file);
+        self.u32(key.group);
+        self.u32(key.block);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < n {
+            return Err(ProtocolError::Malformed(what));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtocolError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, ProtocolError> {
+        String::from_utf8(self.bytes(what)?).map_err(|_| ProtocolError::Malformed(what))
+    }
+
+    fn key(&mut self, what: &'static str) -> Result<BlockKey, ProtocolError> {
+        let file = self.u64(what)?;
+        let group = self.u32(what)? as usize;
+        let block = self.u32(what)? as usize;
+        Ok(BlockKey::new(file, group, block))
+    }
+
+    fn finish(self, what: &'static str) -> Result<(), ProtocolError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(what))
+        }
+    }
+}
+
+impl Request {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::PutBlock { key, bytes } => {
+                let mut w = Writer::new(T_PUT_BLOCK);
+                w.key(*key);
+                w.bytes(bytes);
+                w.out
+            }
+            Request::GetBlock { key } => {
+                let mut w = Writer::new(T_GET_BLOCK);
+                w.key(*key);
+                w.out
+            }
+            Request::DeleteBlock { key } => {
+                let mut w = Writer::new(T_DELETE_BLOCK);
+                w.key(*key);
+                w.out
+            }
+            Request::ScanBlocks => Writer::new(T_SCAN_BLOCKS).out,
+            Request::Probe => Writer::new(T_PROBE).out,
+            Request::Wipe => Writer::new(T_WIPE).out,
+            Request::PutObject { name, bytes } => {
+                let mut w = Writer::new(T_PUT_OBJECT);
+                w.bytes(name.as_bytes());
+                w.bytes(bytes);
+                w.out
+            }
+            Request::GetObject { name } => {
+                let mut w = Writer::new(T_GET_OBJECT);
+                w.bytes(name.as_bytes());
+                w.out
+            }
+            Request::Ping => Writer::new(T_PING).out,
+        }
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncated/overlong layouts,
+    /// [`ProtocolError::UnknownTag`] on an unassigned tag,
+    /// [`ProtocolError::Unexpected`] when a *response* tag arrives.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = Reader { buf: payload };
+        let tag = r.u8("empty request frame")?;
+        let req = match tag {
+            T_PUT_BLOCK => Request::PutBlock {
+                key: r.key("put-block key")?,
+                bytes: r.bytes("put-block bytes")?,
+            },
+            T_GET_BLOCK => Request::GetBlock {
+                key: r.key("get-block key")?,
+            },
+            T_DELETE_BLOCK => Request::DeleteBlock {
+                key: r.key("delete-block key")?,
+            },
+            T_SCAN_BLOCKS => Request::ScanBlocks,
+            T_PROBE => Request::Probe,
+            T_WIPE => Request::Wipe,
+            T_PUT_OBJECT => Request::PutObject {
+                name: r.string("put-object name")?,
+                bytes: r.bytes("put-object bytes")?,
+            },
+            T_GET_OBJECT => Request::GetObject {
+                name: r.string("get-object name")?,
+            },
+            T_PING => Request::Ping,
+            t if t >= 0x80 => return Err(ProtocolError::Unexpected("response tag in request")),
+            t => return Err(ProtocolError::UnknownTag(t)),
+        };
+        r.finish("trailing bytes after request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok => Writer::new(T_OK).out,
+            Response::Blob(bytes) => {
+                let mut w = Writer::new(T_BLOB);
+                w.bytes(bytes);
+                w.out
+            }
+            Response::Block(bytes) => {
+                let mut w = Writer::new(T_BLOCK);
+                w.bytes(bytes);
+                w.out
+            }
+            Response::Corrupt => Writer::new(T_CORRUPT).out,
+            Response::Missing => Writer::new(T_MISSING).out,
+            Response::Deleted(existed) => {
+                let mut w = Writer::new(T_DELETED);
+                w.u8(u8::from(*existed));
+                w.out
+            }
+            Response::Keys(keys) => {
+                let mut w = Writer::new(T_KEYS);
+                w.u32(keys.len() as u32);
+                for k in keys {
+                    w.key(*k);
+                }
+                w.out
+            }
+            Response::Health { blocks, bytes } => {
+                let mut w = Writer::new(T_HEALTH);
+                w.u64(*blocks);
+                w.u64(*bytes);
+                w.out
+            }
+            Response::Err { kind, message } => {
+                let mut w = Writer::new(T_ERR);
+                w.u16(kind.code());
+                w.bytes(message.as_bytes());
+                w.out
+            }
+        }
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`], with [`ProtocolError::Unexpected`] for a
+    /// *request* tag.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = Reader { buf: payload };
+        let tag = r.u8("empty response frame")?;
+        let resp = match tag {
+            T_OK => Response::Ok,
+            T_BLOB => Response::Blob(r.bytes("blob bytes")?),
+            T_BLOCK => Response::Block(r.bytes("block bytes")?),
+            T_CORRUPT => Response::Corrupt,
+            T_MISSING => Response::Missing,
+            T_DELETED => Response::Deleted(r.u8("deleted flag")? != 0),
+            T_KEYS => {
+                let n = r.u32("key count")? as usize;
+                // Bound before allocating: each key is 16 bytes on the
+                // wire, so the count can be sanity-checked against the
+                // remaining payload.
+                if n > r.buf.len() / 16 {
+                    return Err(ProtocolError::Malformed("key count exceeds payload"));
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(r.key("scan key")?);
+                }
+                Response::Keys(keys)
+            }
+            T_HEALTH => Response::Health {
+                blocks: r.u64("health blocks")?,
+                bytes: r.u64("health bytes")?,
+            },
+            T_ERR => Response::Err {
+                kind: ErrorKind::from_code(r.u16("error kind")?),
+                message: r.string("error message")?,
+            },
+            t if t < 0x80 => return Err(ProtocolError::Unexpected("request tag in response")),
+            t => return Err(ProtocolError::UnknownTag(t)),
+        };
+        r.finish("trailing bytes after response")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_kinds_roundtrip_and_unknowns_are_total() {
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::AlreadyExists,
+            ErrorKind::OutOfRange,
+            ErrorKind::DataLoss,
+            ErrorKind::Unavailable,
+            ErrorKind::NotEnoughServers,
+            ErrorKind::Code,
+            ErrorKind::Store,
+            ErrorKind::Protocol,
+            ErrorKind::Busy,
+            ErrorKind::Io,
+        ] {
+            assert_eq!(ErrorKind::from_code(kind.code()), kind);
+        }
+        assert_eq!(ErrorKind::from_code(999), ErrorKind::Unknown);
+    }
+
+    #[test]
+    fn plane_confusion_is_detected() {
+        let req = Request::Ping.encode();
+        assert!(matches!(
+            Response::decode(&req),
+            Err(ProtocolError::Unexpected(_))
+        ));
+        let resp = Response::Ok.encode();
+        assert!(matches!(
+            Request::decode(&resp),
+            Err(ProtocolError::Unexpected(_))
+        ));
+    }
+}

@@ -48,6 +48,53 @@ for bench in BENCH_chaos.json BENCH_fig8.json; do
     ./target/release/galloper bench-diff "$BENCH_TMP/$bench" --check
 done
 
+# Networked-store smoke: a real 3-daemon + gateway cluster on
+# loopback. Put an object, read it back byte-exact, kill -9 one
+# daemon (a genuine machine loss — its PID comes from the serve
+# handshake), and require the degraded read to still be byte-exact.
+echo "==> serve smoke (3 daemons + gateway, kill one, degraded get)"
+cargo build --release -p galloper-cli -p galloper-loadgen --bins
+SERVE_TMP="$(mktemp -d)"
+SERVE_LOG="$SERVE_TMP/serve.log"
+./target/release/galloper serve --daemons 3 --root "$SERVE_TMP/data" \
+  >"$SERVE_LOG" 2>"$SERVE_TMP/serve.err" &
+SERVE_PID=$!
+cleanup_serve() {
+  kill "$SERVE_PID" 2>/dev/null || true
+  awk '/^GALLOPER_DAEMON_PID /{print $3}' "$SERVE_LOG" 2>/dev/null \
+    | xargs -r kill -9 2>/dev/null || true
+  rm -rf "$SERVE_TMP" "$BENCH_TMP"
+}
+trap cleanup_serve EXIT
+for _ in $(seq 1 100); do
+  grep -q GALLOPER_GATEWAY_LISTENING "$SERVE_LOG" 2>/dev/null && break
+  sleep 0.2
+done
+GATEWAY="$(awk '/^GALLOPER_GATEWAY_LISTENING /{print $2}' "$SERVE_LOG")"
+[ -n "$GATEWAY" ] || { echo "serve smoke: gateway never came up"; cat "$SERVE_TMP/serve.err"; exit 1; }
+head -c 300000 /dev/urandom >"$SERVE_TMP/obj.bin"
+./target/release/galloper net-put "$GATEWAY" smoke "$SERVE_TMP/obj.bin"
+./target/release/galloper net-get "$GATEWAY" smoke "$SERVE_TMP/back.bin"
+cmp "$SERVE_TMP/obj.bin" "$SERVE_TMP/back.bin"
+
+# Short loadgen pass against the healthy cluster (writes need every
+# daemon; only reads survive a loss), gated like every other bench:
+# byte_errors is a lower-is-better gate in bench-diff.
+echo "==> loadgen gate (BENCH_serve.json vs baseline)"
+GALLOPER_JSON_OUT="$SERVE_TMP" ./target/release/galloper-loadgen \
+  --gateway "$GATEWAY" --clients 64 --rate 400 --seconds 3 \
+  --objects 8 --object-bytes 16384 >/dev/null
+GALLOPER_BENCH_BASELINE=results/baselines \
+  ./target/release/galloper bench-diff "$SERVE_TMP/BENCH_serve.json" --check
+
+# Machine loss mid-service: the degraded read must stay byte-exact.
+KILLED="$(awk '/^GALLOPER_DAEMON_PID 1 /{print $3}' "$SERVE_LOG")"
+kill -9 "$KILLED"
+./target/release/galloper net-get "$GATEWAY" smoke "$SERVE_TMP/degraded.bin"
+cmp "$SERVE_TMP/obj.bin" "$SERVE_TMP/degraded.bin"
+echo "serve smoke: byte-exact, degraded read survived daemon kill"
+kill "$SERVE_PID" 2>/dev/null || true
+
 echo "==> miri: gf256 kernel differential suite"
 if cargo +nightly miri --version >/dev/null 2>&1; then
   cargo +nightly miri test -p galloper-gf --test kernel_differential

@@ -1,0 +1,149 @@
+//! The unified error surface: one [`Error`] wrapping every failure a
+//! whole-system caller can hit, with intact [`source`] chains and a
+//! stable wire classification.
+//!
+//! The individual crates keep their own precise error enums
+//! ([`DfsError`], [`CliError`], [`ProtocolError`], …) — callers working
+//! against one subsystem should match on those. This type exists for
+//! the outermost layer (examples, integration tests, service `main`s)
+//! where failures from several subsystems converge: every constituent
+//! error converts in with `?`, `source()` walks back to the original,
+//! and [`Error::kind`] maps any of them onto the same stable
+//! [`ErrorKind`] codes the network protocol stamps into `Err` frames —
+//! so an in-process failure and its remote twin classify identically.
+//!
+//! [`source`]: std::error::Error::source
+
+use std::fmt;
+
+use galloper_cli::CliError;
+use galloper_codes::BuildError;
+use galloper_dfs::{DfsError, StoreError};
+use galloper_erasure::{CodeError, ConstructionError};
+use galloper_net::{kind_of_dfs, ErrorKind, ProtocolError};
+
+/// Any failure from the Galloper stack, one layer deep: coding,
+/// construction, file-system, store, CLI file operations, network
+/// protocol, or raw I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A distributed-file-system operation failed.
+    Dfs(DfsError),
+    /// A block-store backend failed.
+    Store(StoreError),
+    /// A CLI file operation (encode/decode/repair/fsck) failed.
+    Cli(CliError),
+    /// A code spec could not be built into a code.
+    Build(BuildError),
+    /// A code construction was mathematically invalid.
+    Construction(ConstructionError),
+    /// An encode/decode/repair failed.
+    Code(CodeError),
+    /// Wire-protocol framing or encoding failed.
+    Protocol(ProtocolError),
+    /// Raw I/O outside any of the layers above.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Dfs(e) => write!(f, "dfs: {e}"),
+            Error::Store(e) => write!(f, "store: {e}"),
+            Error::Cli(e) => write!(f, "cli: {e}"),
+            Error::Build(e) => write!(f, "code spec: {e}"),
+            Error::Construction(e) => write!(f, "construction: {e}"),
+            Error::Code(e) => write!(f, "coding: {e}"),
+            Error::Protocol(e) => write!(f, "protocol: {e}"),
+            Error::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dfs(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Cli(e) => Some(e),
+            Error::Build(e) => Some(e),
+            Error::Construction(e) => Some(e),
+            Error::Code(e) => Some(e),
+            Error::Protocol(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl Error {
+    /// The stable wire classification of this error — the same
+    /// [`ErrorKind`] a gateway would stamp into an `Err` frame for the
+    /// equivalent remote failure, so retry policies can treat local
+    /// and remote errors uniformly (see
+    /// [`ErrorKind::is_retryable`]).
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Dfs(e) => kind_of_dfs(e),
+            Error::Store(_) => ErrorKind::Store,
+            Error::Cli(e) => match e {
+                CliError::Io(_) => ErrorKind::Io,
+                CliError::Code(_) | CliError::Spec(_) => ErrorKind::Code,
+                CliError::CorruptBlock { .. } | CliError::MissingSources(_) => ErrorKind::DataLoss,
+                _ => ErrorKind::Unknown,
+            },
+            Error::Build(_) | Error::Construction(_) | Error::Code(_) => ErrorKind::Code,
+            Error::Protocol(ProtocolError::Io(_)) => ErrorKind::Io,
+            Error::Protocol(_) => ErrorKind::Protocol,
+            Error::Io(_) => ErrorKind::Io,
+        }
+    }
+}
+
+impl From<DfsError> for Error {
+    fn from(e: DfsError) -> Error {
+        Error::Dfs(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Error {
+        Error::Store(e)
+    }
+}
+
+impl From<CliError> for Error {
+    fn from(e: CliError) -> Error {
+        Error::Cli(e)
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Error {
+        Error::Build(e)
+    }
+}
+
+impl From<ConstructionError> for Error {
+    fn from(e: ConstructionError) -> Error {
+        Error::Construction(e)
+    }
+}
+
+impl From<CodeError> for Error {
+    fn from(e: CodeError) -> Error {
+        Error::Code(e)
+    }
+}
+
+impl From<ProtocolError> for Error {
+    fn from(e: ProtocolError) -> Error {
+        Error::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}

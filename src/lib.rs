@@ -4,6 +4,9 @@
 //! * [`codes`] — the four erasure-code families.
 //! * [`field`] / [`linalg`] / [`lp`] — the mathematical substrates.
 //! * [`sim`] — the storage-cluster and MapReduce simulators.
+//! * [`net`] — the networked object store (daemons, gateway, protocol).
+//! * [`Error`] — the unified error surface over all of the above, with
+//!   a stable wire classification ([`Error::kind`]).
 //!
 //! Downstream users should normally depend on the individual crates
 //! (`galloper`, `galloper-rs`, …); this crate exists so the repository's
@@ -11,6 +14,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod error;
+
+pub use error::Error;
 
 /// GF(2⁸) arithmetic (re-export of `galloper-gf`).
 pub mod field {
@@ -51,6 +58,18 @@ pub mod stream {
 /// The erasure-coded distributed file system.
 pub mod dfs {
     pub use galloper_dfs::*;
+}
+
+/// The networked object store: wire protocol, storage daemon, gateway,
+/// and remote block-store client (re-export of `galloper-net`).
+pub mod net {
+    pub use galloper_net::*;
+}
+
+/// CLI file operations and benchmark diffing (re-export of
+/// `galloper-cli`).
+pub mod cli {
+    pub use galloper_cli::*;
 }
 
 /// The cluster and MapReduce simulators.

@@ -1,0 +1,115 @@
+//! The unified error surface: conversions from every layer, intact
+//! `source()` chains, and wire-stable `kind()` classification that
+//! round-trips through the protocol's u16 codes.
+
+use std::error::Error as StdError;
+
+use galloper_suite::codes::{build_code, CodeSpec};
+use galloper_suite::dfs::{Dfs, DfsError, StoreError};
+use galloper_suite::net::{ErrorKind, ProtocolError, Response};
+use galloper_suite::Error;
+
+fn demo_dfs() -> Dfs<galloper_suite::codes::BoxedCode> {
+    Dfs::new(4, build_code(&CodeSpec::rs(2, 1, 512)).expect("code"))
+}
+
+/// A helper that exercises `?`-conversion from each layer.
+fn fails_with_dfs() -> Result<(), Error> {
+    let dfs = demo_dfs();
+    dfs.get("missing")?;
+    Ok(())
+}
+
+fn fails_with_protocol() -> Result<(), Error> {
+    Response::decode(&[0x7F, 1, 2, 3])?;
+    Ok(())
+}
+
+fn fails_with_build() -> Result<(), Error> {
+    build_code(&CodeSpec {
+        family: "no-such-family".into(),
+        k: 2,
+        l: 0,
+        g: 1,
+        resolution: 1,
+        stripe_size: 512,
+        counts: Vec::new(),
+    })?;
+    Ok(())
+}
+
+#[test]
+fn question_mark_converts_every_layer() {
+    assert!(matches!(fails_with_dfs(), Err(Error::Dfs(_))));
+    assert!(matches!(fails_with_protocol(), Err(Error::Protocol(_))));
+    assert!(matches!(fails_with_build(), Err(Error::Build(_))));
+}
+
+#[test]
+fn source_chain_reaches_the_original_error() {
+    let err = fails_with_dfs().unwrap_err();
+    let source = err.source().expect("wrapped errors expose a source");
+    let dfs_err = source
+        .downcast_ref::<DfsError>()
+        .expect("source is the original DfsError");
+    assert!(matches!(dfs_err, DfsError::NotFound(_)));
+    // Display includes the layer prefix and the underlying message.
+    let rendered = err.to_string();
+    assert!(rendered.starts_with("dfs: "), "got {rendered:?}");
+    assert!(rendered.contains("missing"), "got {rendered:?}");
+}
+
+#[test]
+fn kinds_are_wire_stable() {
+    // Local failures classify exactly as their remote twins would.
+    assert_eq!(fails_with_dfs().unwrap_err().kind(), ErrorKind::NotFound);
+    assert_eq!(
+        fails_with_protocol().unwrap_err().kind(),
+        ErrorKind::Protocol
+    );
+    assert_eq!(fails_with_build().unwrap_err().kind(), ErrorKind::Code);
+    assert_eq!(
+        Error::from(StoreError::Unreachable("127.0.0.1:1".into())).kind(),
+        ErrorKind::Store
+    );
+    assert_eq!(
+        Error::from(std::io::Error::other("disk on fire")).kind(),
+        ErrorKind::Io
+    );
+    // Protocol transport failures classify as I/O, not as protocol
+    // violations — the peer did nothing wrong.
+    assert_eq!(
+        Error::from(ProtocolError::Io(std::io::Error::other("reset"))).kind(),
+        ErrorKind::Io
+    );
+}
+
+#[test]
+fn kind_codes_roundtrip_through_the_wire() {
+    for err in [
+        fails_with_dfs().unwrap_err(),
+        fails_with_protocol().unwrap_err(),
+        fails_with_build().unwrap_err(),
+    ] {
+        let kind = err.kind();
+        assert_eq!(ErrorKind::from_code(kind.code()), kind);
+    }
+}
+
+#[test]
+fn retryability_follows_the_wire_classification() {
+    // NotFound is terminal; a transient outage beyond tolerance is
+    // worth retrying. The unified surface agrees with the protocol.
+    let mut dfs = demo_dfs();
+    dfs.put("obj", &[7u8; 2048]).expect("put");
+    for server in 0..4 {
+        dfs.begin_outage(server, 10);
+    }
+    let err = Error::from(dfs.get("obj").unwrap_err());
+    assert!(
+        err.kind().is_retryable(),
+        "outage beyond tolerance mid-read should classify retryable, got {:?}",
+        err.kind()
+    );
+    assert!(!fails_with_dfs().unwrap_err().kind().is_retryable());
+}
