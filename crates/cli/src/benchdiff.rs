@@ -77,6 +77,13 @@ pub fn classify(key: &str) -> Class {
         // Deterministic simulated/behavioral results: lower is better.
         "simulated_secs" | "completion_secs" | "disk_read_mb" | "repair_bytes_read"
         | "data_loss" | "unrecoverable" | "byte_errors" => Class::Gate(Direction::LowerIsBetter),
+        // Observability-plane correctness: scrape failures and the
+        // server-vs-client request-accounting mismatch must never grow.
+        "scrape_errors" | "count_mismatch" | "daemons_unreachable" => {
+            Class::Gate(Direction::LowerIsBetter)
+        }
+        // Scrape-summary configuration/capability flags: not signal.
+        "supported" | "before_ok" | "after_ok" | "daemons_total" | "interval_ms" => Class::Skip,
         // Throughput and efficiency figures: higher is better.
         "gbps" | "xor_gbps" => Class::Gate(Direction::HigherIsBetter),
         k if k.ends_with("_read_mb") => Class::Gate(Direction::LowerIsBetter),
@@ -498,6 +505,46 @@ mod tests {
         let faster = doc(2.0, 12.0, 100.0); // +20% gbps
         assert_eq!(diff(&base, &slower).regressions(0.05).len(), 2);
         assert!(diff(&base, &faster).regressions(0.05).is_empty());
+    }
+
+    #[test]
+    fn scrape_summary_keys_gate_skip_and_inform_as_designed() {
+        // Correctness counters gate downward...
+        for key in ["scrape_errors", "count_mismatch", "daemons_unreachable"] {
+            assert_eq!(
+                classify(key),
+                Class::Gate(Direction::LowerIsBetter),
+                "{key}"
+            );
+        }
+        // ...capability/config flags are skipped entirely...
+        for key in [
+            "supported",
+            "before_ok",
+            "after_ok",
+            "daemons_total",
+            "interval_ms",
+        ] {
+            assert_eq!(classify(key), Class::Skip, "{key}");
+        }
+        // ...and the raw deltas show up info-only until promoted.
+        for key in [
+            "daemons_reachable",
+            "gateway_get_count_delta",
+            "expected_get_responses",
+        ] {
+            assert_eq!(classify(key), Class::Info, "{key}");
+        }
+    }
+
+    #[test]
+    fn a_new_scrape_error_fails_the_gate_even_from_zero() {
+        let clean =
+            doc(2.0, 10.0, 100.0).field("scrape", Json::object().field("scrape_errors", 0u64));
+        let dirty =
+            doc(2.0, 10.0, 100.0).field("scrape", Json::object().field("scrape_errors", 2u64));
+        let report = diff(&clean, &dirty);
+        assert_eq!(report.regressions(0.05).len(), 1, "{report:?}");
     }
 
     #[test]

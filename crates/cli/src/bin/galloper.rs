@@ -14,6 +14,8 @@
 //! galloper daemon  --root DIR [--listen ADDR]
 //! galloper net-put <gateway-addr> <name> <file>
 //! galloper net-get <gateway-addr> <name> <output>
+//! galloper stat    <gateway-addr> [--json] [--require-healthy] [--trace FILE]
+//! galloper top     <gateway-addr> [--interval-ms N] [--iterations N]
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -33,6 +35,11 @@ fn main() -> ExitCode {
     // generic option parser and the metrics snapshot.
     if command == "bench-diff" {
         return run_bench_diff(&args[1..]);
+    }
+    // stat/top also have their own shape: their `--json` means "print
+    // the raw stats document", not the global metrics-snapshot flag.
+    if command == "stat" || command == "top" {
+        return run_stat_or_top(&command, &args[1..]);
     }
     let result = run(&args);
     // Snapshot the metrics the command produced (gf kernel byte counts,
@@ -94,6 +101,61 @@ fn run_bench_diff(args: &[String]) -> ExitCode {
     }
 }
 
+/// `galloper stat <gateway> [--json] [--require-healthy] [--trace FILE]`
+/// and `galloper top <gateway> [--interval-ms N] [--iterations N]`:
+/// live cluster introspection through one gateway socket.
+fn run_stat_or_top(command: &str, args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut json = false;
+    let mut require_healthy = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut iterations: Option<u64> = None;
+    let mut it = args.iter();
+    let parsed = loop {
+        let Some(arg) = it.next() else {
+            break Ok(());
+        };
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--require-healthy" => require_healthy = true,
+            "--trace" => match value("--trace") {
+                Ok(v) => trace = Some(PathBuf::from(v)),
+                Err(e) => break Err(e),
+            },
+            "--interval-ms" => match value("--interval-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => interval_ms = n,
+                _ => break Err("--interval-ms must be a number".into()),
+            },
+            "--iterations" => match value("--iterations").map(|v| v.parse()) {
+                Ok(Ok(n)) => iterations = Some(n),
+                _ => break Err("--iterations must be a number".into()),
+            },
+            other if other.starts_with('-') => break Err(format!("unknown flag {other}")),
+            other if addr.is_none() => addr = Some(other.to_string()),
+            _ => break Err(format!("{command} takes one gateway address")),
+        }
+    };
+    let result = parsed.and_then(|()| {
+        let addr = addr.ok_or_else(|| format!("{command} needs <gateway-addr>"))?;
+        if command == "stat" {
+            galloper_cli::stat::run_stat(&addr, json, require_healthy, trace.as_deref())
+        } else {
+            galloper_cli::stat::run_top(&addr, interval_ms, iterations)
+        }
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Writes `galloper_metrics.json` into the `--json` / `GALLOPER_JSON_OUT`
 /// directory, if one was requested. No-op otherwise.
 fn write_metrics(command: &str, ok: bool) {
@@ -145,6 +207,13 @@ const USAGE: &str = "usage:
   galloper daemon  --root DIR [--listen ADDR]
   galloper net-put <gateway-addr> <name> <file>
   galloper net-get <gateway-addr> <name> <output>
+  galloper stat    <gateway-addr> [--json] [--require-healthy] [--trace FILE]
+                   (one-shot cluster stats via the gateway's scraper;
+                    --require-healthy exits nonzero unless every daemon
+                    answered the latest scrape with zero errors; --trace
+                    writes the merged cross-process Chrome trace)
+  galloper top     <gateway-addr> [--interval-ms N] [--iterations N]
+                   (refreshing per-daemon latency/inflight table)
 global flags:
   --json[=DIR]     write galloper_metrics.json (kernel/erasure counters)
                    into DIR (default .); GALLOPER_JSON_OUT=DIR does the same";

@@ -20,6 +20,7 @@ pub mod benchdiff;
 mod manifest;
 mod ops;
 pub mod serve;
+pub mod stat;
 
 pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
 pub use manifest::{Manifest, ManifestError};

@@ -31,7 +31,9 @@ use std::time::Duration;
 
 use galloper_codes::{build_code, CodeSpec};
 use galloper_dfs::{Dfs, DiskStore};
-use galloper_net::{max_inflight_from_env, Conn, Daemon, Gateway, RemoteStore, Request, Response};
+use galloper_net::{
+    max_inflight_from_env, Conn, Daemon, Gateway, RemoteStore, Request, Response, Scraper,
+};
 
 /// Client-side timeout for `net-put` / `net-get` and the gateway's
 /// daemon connections. Generous: a put of a large object against cold
@@ -178,17 +180,28 @@ pub fn run_serve(daemons: usize, root: &Path, listen: &str, spec: &CodeSpec) -> 
     let addr = listener
         .local_addr()
         .map_err(|e| format!("serve: no gateway addr: {e}"))?;
-    let gateway = Gateway::spawn(listener, dfs, max_inflight_from_env())
-        .map_err(|e| format!("serve: gateway failed: {e}"))?;
+    // The scraper polls every daemon on `GALLOPER_SCRAPE_MS` and the
+    // gateway serves its merged cluster view through `Stats` — this is
+    // what `galloper stat` / `galloper top` read.
+    let scraper = std::sync::Arc::new(Scraper::from_env(
+        children.iter().map(|c| c.addr.clone()).collect(),
+    ));
+    let gateway = Gateway::spawn_with_scraper(
+        listener,
+        dfs,
+        max_inflight_from_env(),
+        Some(std::sync::Arc::clone(&scraper)),
+    )
+    .map_err(|e| format!("serve: gateway failed: {e}"))?;
     println!("GALLOPER_GATEWAY_LISTENING {addr}");
-    // Serve until killed. The gateway runs on background threads; this
-    // thread only keeps the process (and the children's parenthood)
-    // alive.
+    // Serve until killed. The gateway and scraper run on background
+    // threads; this thread only keeps the process (and the children's
+    // parenthood) alive.
     loop {
         std::thread::park();
         // Spurious unparks are allowed by the std contract; nothing to
         // do but keep holding the gateway.
-        let _ = &gateway;
+        let _ = (&gateway, &scraper);
     }
 }
 

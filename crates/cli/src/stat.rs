@@ -1,0 +1,485 @@
+//! Live cluster introspection behind `galloper stat` and
+//! `galloper top`.
+//!
+//! Both commands speak to a single gateway socket: the gateway's
+//! `Stats` response carries its own registry export plus the attached
+//! scraper's merged cluster view, so one request sees every daemon.
+//! `stat` renders one snapshot (or the raw JSON document with
+//! `--json`, which is what CI greps and the load generator consumes);
+//! `top` redraws the same table on an interval. With `--trace FILE`,
+//! `stat` additionally stitches the gateway's and every reachable
+//! daemon's buffered trace events into one Chrome trace, aligning each
+//! process's private microsecond epoch with the per-node clock offsets
+//! the scraper measured, and drawing flow arrows across process
+//! boundaries where a span's parent lives in another process.
+
+use std::path::Path;
+use std::time::Duration;
+
+use galloper_net::{Conn, Request, Response};
+use galloper_obs::chrome::ChromeTrace;
+use galloper_obs::{json, HistogramSnapshot, Json, RegistrySnapshot};
+
+/// Dial/read timeout for one stats fetch.
+const STAT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Fetches and parses the stats document from the service at `addr`
+/// (a gateway for the cluster view; a bare daemon answers too).
+///
+/// # Errors
+///
+/// A rendered message on connect/transport failure, a non-stats
+/// response, or an unparseable document.
+pub fn fetch_stats(addr: &str) -> Result<Json, String> {
+    let mut conn =
+        Conn::connect(addr, STAT_TIMEOUT).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    conn.set_read_timeout(Some(STAT_TIMEOUT))
+        .map_err(|e| format!("cannot set timeout: {e}"))?;
+    let bytes = match conn
+        .call(&Request::Stats)
+        .map_err(|e| format!("stats call failed: {e}"))?
+    {
+        Response::Stats(bytes) => bytes,
+        Response::Err { kind, message } => {
+            return Err(format!("stats refused ({kind}): {message}"))
+        }
+        other => return Err(format!("unexpected stats response: {other:?}")),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| "stats document is not UTF-8".to_string())?;
+    json::parse(&text).map_err(|e| format!("stats document unparseable: {e}"))
+}
+
+/// One-shot introspection. `json` prints the raw document; otherwise a
+/// human table. `require_healthy` turns an unhealthy cluster (scraper
+/// disabled, any daemon unreachable, or any scrape error) into a
+/// nonzero exit. `trace_out` writes the merged cross-process Chrome
+/// trace.
+///
+/// # Errors
+///
+/// A rendered message on fetch failure, an unwritable trace path, or —
+/// under `require_healthy` — an unhealthy cluster.
+pub fn run_stat(
+    addr: &str,
+    json: bool,
+    require_healthy: bool,
+    trace_out: Option<&Path>,
+) -> Result<(), String> {
+    let doc = fetch_stats(addr)?;
+    let text = if json {
+        format!("{}\n", doc.render())
+    } else {
+        render_table(addr, &doc)
+    };
+    // A broken pipe (`stat --json | grep -q` exits at first match) is
+    // not an error, but it must not short-circuit the health check —
+    // the exit code is the whole point of `--require-healthy`.
+    let _ = emit(&text);
+    if let Some(path) = trace_out {
+        let events = write_merged_trace(&doc, path)?;
+        eprintln!("wrote {events} trace events to {}", path.display());
+    }
+    if require_healthy {
+        check_healthy(&doc)?;
+    }
+    Ok(())
+}
+
+/// Refreshing table: redraws every `interval_ms` until killed (or for
+/// `iterations` rounds when given, which is what tests use). A failed
+/// fetch is displayed and retried, not fatal — `top` is most useful
+/// while a cluster is misbehaving.
+///
+/// # Errors
+///
+/// A rendered message only when the *first* fetch fails, so a typo'd
+/// address fails fast instead of looping on garbage.
+pub fn run_top(addr: &str, interval_ms: u64, iterations: Option<u64>) -> Result<(), String> {
+    let mut round: u64 = 0;
+    loop {
+        let frame = match fetch_stats(addr) {
+            Ok(doc) => {
+                // Clear screen + home, then the same table as `stat`.
+                format!(
+                    "\x1b[2J\x1b[H{}refreshing every {interval_ms}ms — Ctrl-C to quit\n",
+                    render_table(addr, &doc)
+                )
+            }
+            Err(e) if round == 0 => return Err(e),
+            Err(e) => {
+                format!("\x1b[2J\x1b[Hgalloper top {addr}: fetch failed: {e} (retrying)\n")
+            }
+        };
+        if emit(&frame).is_err() {
+            // Downstream (`head`, a closed terminal) went away.
+            return Ok(());
+        }
+        round += 1;
+        if let Some(n) = iterations {
+            if round >= n {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// Writes `text` to stdout, surfacing the error instead of panicking —
+/// `stat | head` must exit cleanly on the resulting broken pipe, which
+/// `println!` would turn into a panic.
+fn emit(text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    out.write_all(text.as_bytes())?;
+    out.flush()
+}
+
+/// Fails unless the scraper is attached, every daemon was reachable in
+/// the latest view, and no scrape errors have occurred.
+fn check_healthy(doc: &Json) -> Result<(), String> {
+    let scrape = doc
+        .get("scrape")
+        .ok_or("stats document has no scrape section")?;
+    if scrape.get("enabled") != Some(&Json::Bool(true)) {
+        return Err("cluster scraping is not enabled on this gateway".into());
+    }
+    let total = scrape
+        .get("daemons_total")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let reachable = scrape
+        .get("daemons_reachable")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let errors = scrape.get("errors").and_then(Json::as_u64).unwrap_or(0);
+    if total == 0 {
+        return Err("scraper watches no daemons".into());
+    }
+    if reachable < total {
+        return Err(format!("only {reachable}/{total} daemons reachable"));
+    }
+    if errors > 0 {
+        return Err(format!("{errors} scrape error(s) recorded"));
+    }
+    Ok(())
+}
+
+fn fmt_bytes(n: u64) -> String {
+    if n >= 1 << 30 {
+        format!("{:.1}GiB", n as f64 / (1u64 << 30) as f64)
+    } else if n >= 1 << 20 {
+        format!("{:.1}MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1}KiB", n as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{n}B")
+    }
+}
+
+fn fmt_uptime(ms: u64) -> String {
+    if ms >= 60_000 {
+        format!("{}m{}s", ms / 60_000, (ms % 60_000) / 1000)
+    } else {
+        format!("{:.1}s", ms as f64 / 1000.0)
+    }
+}
+
+/// Pulls a histogram out of a parsed registry export.
+fn hist<'a>(snap: &'a RegistrySnapshot, name: &str) -> Option<&'a HistogramSnapshot> {
+    snap.histogram(name)
+}
+
+fn hist_cell(snap: &RegistrySnapshot, name: &str) -> String {
+    match hist(snap, name) {
+        Some(h) if h.count() > 0 => format!(
+            "n={} p50={}us p99={}us",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.99)
+        ),
+        _ => "n=0".into(),
+    }
+}
+
+/// Renders the human `stat` / `top` table from a gateway stats doc.
+/// Degrades gracefully on a daemon's doc (no scrape section).
+fn render_table(addr: &str, doc: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let role = doc.get("role").and_then(Json::as_str).unwrap_or("?");
+    let uptime = doc.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(out, "{role} {addr}  up {}", fmt_uptime(uptime));
+    if let Some(Ok(snap)) = doc.get("metrics").map(RegistrySnapshot::from_json) {
+        let _ = writeln!(
+            out,
+            "  requests {}  busy-rejected {}  protocol-errors {}  inflight {}",
+            snap.counter(&format!("net.{role}.requests")),
+            snap.counter("net.gateway.busy_rejections"),
+            snap.counter(&format!("net.{role}.protocol_errors")),
+            snap.gauge(&format!("net.{role}.inflight")),
+        );
+        if role == "gateway" {
+            let _ = writeln!(out, "  get   {}", hist_cell(&snap, "net.gateway.get_us"));
+            let _ = writeln!(out, "  put   {}", hist_cell(&snap, "net.gateway.put_us"));
+            let _ = writeln!(
+                out,
+                "  admission wait {}",
+                hist_cell(&snap, "net.gateway.admission_wait_us")
+            );
+        }
+    }
+    let Some(scrape) = doc.get("scrape") else {
+        return out;
+    };
+    if scrape.get("enabled") != Some(&Json::Bool(true)) {
+        let _ = writeln!(out, "cluster: scraping disabled");
+        return out;
+    }
+    let total = scrape
+        .get("daemons_total")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let reachable = scrape
+        .get("daemons_reachable")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "cluster: {reachable}/{total} daemons reachable  (ticks {}, scrape errors {}, \
+         unreachable polls {})",
+        scrape.get("ticks").and_then(Json::as_u64).unwrap_or(0),
+        scrape.get("errors").and_then(Json::as_u64).unwrap_or(0),
+        scrape
+            .get("unreachable_polls")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+    let _ = writeln!(
+        out,
+        "  {:<21} {:<5} {:>7} {:>9} {:>7} {:>8} {:>8} {:>8} {:>5} {:>5}",
+        "ADDR", "STATE", "BLOCKS", "BYTES", "UP", "REQS", "P50us", "P99us", "INFL", "ERRS"
+    );
+    let nodes = scrape
+        .get("latest")
+        .and_then(|l| l.get("nodes"))
+        .and_then(Json::as_array);
+    for node in nodes.into_iter().flatten() {
+        let naddr = node.get("addr").and_then(Json::as_str).unwrap_or("?");
+        if node.get("reachable") != Some(&Json::Bool(true)) {
+            let why = node.get("error").and_then(Json::as_str).unwrap_or("?");
+            let _ = writeln!(out, "  {naddr:<21} DOWN  ({why})");
+            continue;
+        }
+        let stats = node.get("stats");
+        let field = |name: &str| -> u64 {
+            stats
+                .and_then(|s| s.get(name))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let snap = stats
+            .and_then(|s| s.get("metrics"))
+            .map(RegistrySnapshot::from_json)
+            .and_then(Result::ok)
+            .unwrap_or_default();
+        let (p50, p99) = hist(&snap, "net.daemon.request_us")
+            .map_or((0, 0), |h| (h.quantile(0.5), h.quantile(0.99)));
+        let _ = writeln!(
+            out,
+            "  {:<21} {:<5} {:>7} {:>9} {:>7} {:>8} {:>8} {:>8} {:>5} {:>5}",
+            naddr,
+            "up",
+            field("blocks"),
+            fmt_bytes(field("bytes")),
+            fmt_uptime(field("uptime_ms")),
+            snap.counter("net.daemon.requests"),
+            p50,
+            p99,
+            snap.gauge("net.daemon.inflight"),
+            snap.counter("net.daemon.protocol_errors"),
+        );
+    }
+    out
+}
+
+/// Extracts a process's trace events (`doc["trace"]`) into the merged
+/// Chrome trace under `pid`, shifting timestamps by `offset_us` onto
+/// the gateway's clock. Returns `(events, span locations)` for flow
+/// stitching.
+fn add_process_events(
+    chrome: &mut ChromeTrace,
+    doc: &Json,
+    pid: u64,
+    offset_us: i64,
+    spans: &mut std::collections::HashMap<u64, (u64, u64, u64)>,
+    parents: &mut Vec<(u64, u64, u64, u64)>,
+) -> usize {
+    let Some(events) = doc.get("trace").and_then(Json::as_array) else {
+        return 0;
+    };
+    let mut n = 0;
+    for ev in events {
+        let Ok(ev) = galloper_obs::TraceEvent::from_json(ev) else {
+            continue;
+        };
+        let ts = ev.ts_us.saturating_add_signed(offset_us);
+        chrome.complete_with_args(
+            &ev.name,
+            &ev.cat,
+            pid,
+            ev.tid,
+            ts,
+            ev.dur_us,
+            Json::object()
+                .field("op", format!("{:#x}", ev.op))
+                .field("span", format!("{:#x}", ev.span))
+                .field("parent", format!("{:#x}", ev.parent)),
+        );
+        if ev.span != 0 {
+            spans.insert(ev.span, (pid, ev.tid, ts));
+        }
+        if ev.parent != 0 {
+            parents.push((ev.parent, pid, ev.tid, ts));
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Builds the merged multi-process Chrome trace from a gateway stats
+/// doc and writes it to `path`. The gateway's events land under pid 1;
+/// each daemon's under pid 2+i, timestamp-aligned via the scraper's
+/// measured clock offsets. Requires the cluster to run with
+/// `GALLOPER_TRACE=1` — without buffered events this writes an empty
+/// trace and says so.
+///
+/// # Errors
+///
+/// A rendered message when the file cannot be written.
+fn write_merged_trace(doc: &Json, path: &Path) -> Result<usize, String> {
+    let mut chrome = ChromeTrace::new();
+    let mut spans = std::collections::HashMap::new();
+    let mut parents = Vec::new();
+    chrome.name_process(1, "gateway");
+    let mut total = add_process_events(&mut chrome, doc, 1, 0, &mut spans, &mut parents);
+    let nodes = doc
+        .get("scrape")
+        .and_then(|s| s.get("latest"))
+        .and_then(|l| l.get("nodes"))
+        .and_then(Json::as_array);
+    for (i, node) in nodes.into_iter().flatten().enumerate() {
+        let pid = 2 + i as u64;
+        let addr = node.get("addr").and_then(Json::as_str).unwrap_or("?");
+        chrome.name_process(pid, &format!("daemon {addr}"));
+        let offset = node.get("offset_us").and_then(Json::as_i64).unwrap_or(0);
+        if let Some(stats) = node.get("stats") {
+            total += add_process_events(&mut chrome, stats, pid, offset, &mut spans, &mut parents);
+        }
+    }
+    // Draw an arrow wherever a span's parent was recorded by another
+    // process — those are exactly the request frames that carried a
+    // trace context across the wire.
+    for (i, (parent, pid, tid, ts)) in parents.iter().enumerate() {
+        if let Some(&(ppid, ptid, pts)) = spans.get(parent) {
+            if ppid != *pid {
+                let id = 0x1000_0000 + i as u64;
+                chrome.flow_start("rpc", "net", id, ppid, ptid, pts.min(*ts));
+                chrome.flow_end("rpc", "net", id, *pid, *tid, *ts);
+            }
+        }
+    }
+    if total == 0 {
+        eprintln!(
+            "warning: no trace events in the stats document — run the cluster with \
+             GALLOPER_TRACE=1 to buffer spans"
+        );
+    }
+    galloper_obs::write_json(path, &chrome.into_json()).map_err(|e| e.to_string())?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_check_reads_the_scrape_section() {
+        let mk = |enabled: bool, total: u64, reachable: u64, errors: u64| {
+            Json::object().field(
+                "scrape",
+                Json::object()
+                    .field("enabled", enabled)
+                    .field("daemons_total", total)
+                    .field("daemons_reachable", reachable)
+                    .field("errors", errors),
+            )
+        };
+        assert!(check_healthy(&mk(true, 3, 3, 0)).is_ok());
+        assert!(check_healthy(&mk(false, 3, 3, 0)).is_err());
+        assert!(check_healthy(&mk(true, 3, 2, 0)).is_err());
+        assert!(check_healthy(&mk(true, 3, 3, 1)).is_err());
+        assert!(check_healthy(&mk(true, 0, 0, 0)).is_err());
+        assert!(check_healthy(&Json::object()).is_err());
+    }
+
+    #[test]
+    fn table_renders_reachable_and_dead_nodes() {
+        let doc = json::parse(
+            r#"{"role":"gateway","uptime_ms":1500,
+                "metrics":{"counters":{"net.gateway.requests":7},"gauges":{},"histograms":{}},
+                "scrape":{"enabled":true,"daemons_total":2,"daemons_reachable":1,
+                          "ticks":4,"errors":0,"unreachable_polls":3,
+                          "latest":{"nodes":[
+                            {"addr":"127.0.0.1:9","reachable":false,"error":"refused","offset_us":0},
+                            {"addr":"127.0.0.1:8","reachable":true,"offset_us":0,
+                             "stats":{"blocks":5,"bytes":2048,"uptime_ms":900,
+                                      "metrics":{"counters":{"net.daemon.requests":11},
+                                                 "gauges":{},"histograms":{}}}}]}}}"#,
+        )
+        .expect("doc");
+        let table = render_table("127.0.0.1:7", &doc);
+        assert!(table.contains("1/2 daemons reachable"), "{table}");
+        assert!(table.contains("DOWN  (refused)"), "{table}");
+        assert!(table.contains("127.0.0.1:8"), "{table}");
+        assert!(table.contains("2.0KiB"), "{table}");
+    }
+
+    #[test]
+    fn merged_trace_aligns_clocks_and_bridges_processes() {
+        let doc = json::parse(
+            r#"{"role":"gateway",
+                "trace":[{"name":"gateway.request","cat":"net","ts_us":100,"dur_us":50,
+                          "tid":1,"op":9,"span":21,"parent":0}],
+                "scrape":{"enabled":true,"latest":{"nodes":[
+                  {"addr":"d0","reachable":true,"offset_us":1000,
+                   "stats":{"trace":[{"name":"daemon.request","cat":"net","ts_us":10,
+                                      "dur_us":5,"tid":1,"op":9,"span":22,"parent":21}]}}]}}}"#,
+        )
+        .expect("doc");
+        let dir = std::env::temp_dir().join(format!("galloper-stat-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.json");
+        let n = write_merged_trace(&doc, &path).expect("write");
+        assert_eq!(n, 2);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let trace = json::parse(&text).expect("chrome json");
+        let events = trace
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("events");
+        // The daemon event landed on the gateway clock: 10 + 1000.
+        let daemon = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("daemon.request"))
+            .expect("daemon event");
+        assert_eq!(daemon.get("ts").and_then(Json::as_u64), Some(1010));
+        assert_eq!(daemon.get("pid").and_then(Json::as_u64), Some(2));
+        // And the cross-process parent produced a flow arrow pair.
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert!(phases.contains(&"s") && phases.contains(&"f"), "{phases:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

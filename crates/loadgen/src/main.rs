@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use galloper_net::{Conn, ErrorKind, Request, Response};
-use galloper_obs::{global, Json};
+use galloper_obs::{global, Json, RegistrySnapshot};
 
 /// Fixed seed base so every run (and the verifying reader) derives the
 /// same per-object payloads.
@@ -162,6 +162,30 @@ fn object_name(i: usize) -> String {
     format!("loadgen/obj{i}")
 }
 
+/// Fetches and parses the gateway's stats document, or `None` when the
+/// gateway predates the stats protocol (it answers a typed refusal) or
+/// the fetch fails — the run proceeds either way, it just loses the
+/// server-side cross-check.
+fn fetch_gateway_stats(addr: &str) -> Option<Json> {
+    let mut conn = Conn::connect(addr, CLIENT_TIMEOUT).ok()?;
+    conn.set_read_timeout(Some(CLIENT_TIMEOUT)).ok()?;
+    match conn.call(&Request::Stats).ok()? {
+        Response::Stats(bytes) => galloper_obs::json::parse(&String::from_utf8(bytes).ok()?).ok(),
+        _ => None,
+    }
+}
+
+/// The gateway's admitted-GET count from a stats document (the
+/// `net.gateway.get_us` histogram counts exactly the admitted,
+/// answered `GetObject` requests).
+fn gateway_get_count(doc: &Json) -> Option<u64> {
+    let snap = RegistrySnapshot::from_json(doc.get("metrics")?).ok()?;
+    Some(
+        snap.histogram("net.gateway.get_us")
+            .map_or(0, |h| h.count()),
+    )
+}
+
 /// The scheduled arrival offset of the `j`-th request of client `c`
 /// out of `clients`, at `rate` requests/second total: arrivals are
 /// interleaved round-robin, so the aggregate stream is uniform at
@@ -195,6 +219,15 @@ fn run(cfg: &Config) -> ExitCode {
         cfg.objects * cfg.object_bytes
     );
 
+    // Snapshot the gateway's own counters around the measured window,
+    // so the server-side GET histogram delta can be checked against
+    // the client-side response count — an end-to-end accounting gate
+    // across the wire.
+    let stats_before = fetch_gateway_stats(&cfg.gateway);
+    if stats_before.is_none() {
+        eprintln!("loadgen: gateway stats unavailable; skipping server-side cross-check");
+    }
+
     // Phase 2: the measured open-loop run.
     let counters = Arc::new(Counters::default());
     let hist = global().histogram("loadgen.get_us");
@@ -216,6 +249,7 @@ fn run(cfg: &Config) -> ExitCode {
         let _ = w.join();
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let stats_after = fetch_gateway_stats(&cfg.gateway);
 
     // Phase 3: report.
     let requests = counters.requests.load(Ordering::Relaxed);
@@ -223,6 +257,41 @@ fn run(cfg: &Config) -> ExitCode {
     let ok_bytes = counters.ok_bytes.load(Ordering::Relaxed);
     let byte_errors = counters.byte_errors.load(Ordering::Relaxed);
     let throughput_gb_s = ok_bytes as f64 / elapsed / 1e9;
+    let transport_errors = counters.transport_errors.load(Ordering::Relaxed);
+    // The gateway's GET histogram counts admitted, answered requests;
+    // the client saw `ok + byte_errors + error_responses` non-busy
+    // responses. With clean transport those must match exactly — any
+    // difference means requests were double-counted or lost. A lost
+    // connection makes the accounting legitimately ambiguous (the
+    // server may have answered into a dead socket), so the gate only
+    // arms on transport-clean runs with stats from both fetches.
+    let expected_gets = ok + byte_errors + counters.error_responses.load(Ordering::Relaxed);
+    let get_delta = match (&stats_before, &stats_after) {
+        (Some(b), Some(a)) => match (gateway_get_count(b), gateway_get_count(a)) {
+            (Some(b), Some(a)) => Some(a.saturating_sub(b)),
+            _ => None,
+        },
+        _ => None,
+    };
+    let count_mismatch =
+        matches!(get_delta, Some(d) if transport_errors == 0 && d != expected_gets);
+    let scrape_after = stats_after.as_ref().and_then(|d| d.get("scrape"));
+    let scrape_field = |name: &str| -> u64 {
+        scrape_after
+            .and_then(|s| s.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let scrape_doc = Json::object()
+        .field("supported", u64::from(get_delta.is_some()))
+        .field("before_ok", u64::from(stats_before.is_some()))
+        .field("after_ok", u64::from(stats_after.is_some()))
+        .field("gateway_get_count_delta", get_delta.unwrap_or(0))
+        .field("expected_get_responses", expected_gets)
+        .field("count_mismatch", u64::from(count_mismatch))
+        .field("daemons_total", scrape_field("daemons_total"))
+        .field("daemons_reachable", scrape_field("daemons_reachable"))
+        .field("scrape_errors", scrape_field("errors"));
     let doc = Json::object()
         .field("fig", "serve")
         .field("gateway", cfg.gateway.as_str())
@@ -245,11 +314,9 @@ fn run(cfg: &Config) -> ExitCode {
             "error_responses",
             counters.error_responses.load(Ordering::Relaxed),
         )
-        .field(
-            "transport_errors",
-            counters.transport_errors.load(Ordering::Relaxed),
-        )
+        .field("transport_errors", transport_errors)
         .field("reconnects", counters.reconnects.load(Ordering::Relaxed))
+        .field("scrape", scrape_doc)
         .field("latency_p50_us", hist.quantile(0.50))
         .field("latency_p99_us", hist.quantile(0.99))
         .field("latency_p999_us", hist.quantile(0.999))
@@ -272,6 +339,14 @@ fn run(cfg: &Config) -> ExitCode {
     if byte_errors > 0 {
         eprintln!("loadgen: FAILED — {byte_errors} responses did not match the expected payload");
         return ExitCode::from(2);
+    }
+    if count_mismatch {
+        eprintln!(
+            "loadgen: FAILED — gateway counted {} GETs but clients saw {expected_gets} \
+             responses on clean transport",
+            get_delta.unwrap_or(0)
+        );
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }

@@ -13,7 +13,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{ProtocolError, Request, Response};
+use crate::proto::{ProtocolError, Request, Response, TraceContext};
 
 /// One framed, half-duplex protocol connection.
 #[derive(Debug)]
@@ -54,20 +54,32 @@ impl Conn {
         Ok(())
     }
 
-    /// Sends one request frame.
+    /// Sends one request frame. When the calling thread has an
+    /// operation in progress (see `galloper_obs::op`), its context is
+    /// stamped onto the frame as a trailing extension, so the server's
+    /// spans join this request's trace tree — distributed trace
+    /// propagation costs one thread-local read here and nothing when
+    /// no operation is active.
     ///
     /// # Errors
     ///
     /// [`ProtocolError`] on frame or socket failure.
     pub fn send_request(&mut self, req: &Request) -> Result<(), ProtocolError> {
+        let ctx = galloper_obs::op::current();
+        let ctx = ctx.is_active().then_some(TraceContext {
+            op: ctx.op,
+            span: ctx.span,
+        });
         let mut w = BufWriter::new(&self.stream);
-        write_frame(&mut w, &req.encode())?;
+        write_frame(&mut w, &req.encode_with_ctx(ctx))?;
         use std::io::Write as _;
         w.flush()?;
         Ok(())
     }
 
-    /// Receives one request frame (server side).
+    /// Receives one request frame (server side), dropping any trace
+    /// context; servers that propagate context use
+    /// [`recv_request_with_ctx`](Conn::recv_request_with_ctx).
     ///
     /// # Errors
     ///
@@ -77,6 +89,18 @@ impl Conn {
     /// [`ProtocolError::Io`].
     pub fn recv_request(&mut self) -> Result<Request, ProtocolError> {
         Request::decode(&read_frame(&mut self.stream)?)
+    }
+
+    /// Receives one request frame along with its optional
+    /// [`TraceContext`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Conn::recv_request`].
+    pub fn recv_request_with_ctx(
+        &mut self,
+    ) -> Result<(Request, Option<TraceContext>), ProtocolError> {
+        Request::decode_with_ctx(&read_frame(&mut self.stream)?)
     }
 
     /// Sends one response frame (server side).

@@ -15,18 +15,70 @@
 
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use galloper_dfs::{BlockGet, BlockStore};
-use galloper_obs::global;
+use galloper_obs::{global, global_trace, op, Json};
 
 use crate::frame::FrameReader;
-use crate::proto::{ErrorKind, ProtocolError, Request, Response};
+use crate::proto::{ErrorKind, NodeVitals, ProtocolError, Request, Response, PROTO_VERSION};
 
 /// How often a blocked worker wakes to check for shutdown.
 const POLL: Duration = Duration::from_millis(100);
+
+/// When this process started serving (first daemon spawn/run). Vitals
+/// report uptime relative to it; a process that never served reports
+/// uptime from its first stats/probe instead, which is the same thing
+/// for every real topology (serving starts immediately).
+fn service_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Milliseconds since [`service_start`].
+pub(crate) fn service_uptime_ms() -> u64 {
+    service_start().elapsed().as_millis() as u64
+}
+
+/// This node's wire vitals.
+pub(crate) fn node_vitals() -> NodeVitals {
+    NodeVitals {
+        version: PROTO_VERSION,
+        uptime_ms: service_uptime_ms(),
+    }
+}
+
+/// Builds the daemon's stats document: vitals, store health, the full
+/// registry export, and (when tracing is on) the buffered trace events
+/// — everything a scraper needs to merge this node into a cluster view
+/// and stitch its spans into cross-process traces. `now_us` is this
+/// process's trace-ring clock at build time, so consumers can align
+/// per-process epochs.
+pub fn node_stats_doc<S: BlockStore>(store: &RwLock<S>) -> Json {
+    let (blocks, bytes) = {
+        let s = store.read().unwrap_or_else(|e| e.into_inner());
+        match s.probe() {
+            Ok(h) => (h.blocks, h.bytes),
+            Err(_) => (0, 0),
+        }
+    };
+    let ring = global_trace();
+    let mut doc = Json::object()
+        .field("role", "daemon")
+        .field("version", PROTO_VERSION)
+        .field("uptime_ms", service_uptime_ms())
+        .field("now_us", ring.now_us())
+        .field("blocks", blocks)
+        .field("bytes", bytes)
+        .field("metrics", global().export().to_json());
+    if ring.is_enabled() {
+        let events: Vec<Json> = ring.events().iter().map(|e| e.to_json()).collect();
+        doc = doc.field("trace", Json::Arr(events));
+    }
+    doc
+}
 
 /// Answers one daemon-plane request against the store. Shared with the
 /// CLI's foreground `galloper daemon` loop.
@@ -80,6 +132,7 @@ pub fn handle_block_request<S: BlockStore>(store: &RwLock<S>, req: &Request) -> 
                 Ok(h) => Response::Health {
                     blocks: h.blocks,
                     bytes: h.bytes,
+                    vitals: Some(node_vitals()),
                 },
                 Err(e) => Response::Err {
                     kind: ErrorKind::Store,
@@ -87,6 +140,7 @@ pub fn handle_block_request<S: BlockStore>(store: &RwLock<S>, req: &Request) -> 
                 },
             }
         }
+        Request::Stats => Response::Stats(node_stats_doc(store).render().into_bytes()),
         Request::Wipe => {
             let mut s = store.write().unwrap_or_else(|e| e.into_inner());
             s.wipe();
@@ -154,6 +208,7 @@ impl Daemon {
     where
         S: BlockStore + Send + Sync + 'static,
     {
+        service_start();
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = Arc::new(AtomicUsize::new(0));
@@ -206,6 +261,7 @@ impl Daemon {
     where
         S: BlockStore + Send + Sync + 'static,
     {
+        service_start();
         let shutdown = Arc::new(AtomicBool::new(false));
         let store = Arc::new(RwLock::new(store));
         for stream in listener.incoming() {
@@ -228,7 +284,18 @@ impl Daemon {
 /// reads, so the shutdown flag is polled every [`POLL`] without ever
 /// losing bytes to a timeout that fires mid-frame (a plain `read_exact`
 /// under a read timeout would desynchronize the stream there).
-fn serve_conn<S: BlockStore>(mut stream: TcpStream, store: &RwLock<S>, shutdown: &AtomicBool) {
+fn serve_conn<S: BlockStore>(stream: TcpStream, store: &RwLock<S>, shutdown: &AtomicBool) {
+    let conns = global().gauge("net.daemon.open_connections");
+    conns.add(1);
+    serve_conn_inner(stream, store, shutdown);
+    conns.add(-1);
+}
+
+fn serve_conn_inner<S: BlockStore>(
+    mut stream: TcpStream,
+    store: &RwLock<S>,
+    shutdown: &AtomicBool,
+) {
     use std::io::Read as _;
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(POLL)).is_err() {
@@ -246,8 +313,8 @@ fn serve_conn<S: BlockStore>(mut stream: TcpStream, store: &RwLock<S>, shutdown:
                 // machine, which never answers.
                 return;
             }
-            let req = match Request::decode(&payload) {
-                Ok(req) => req,
+            let (req, ctx) = match Request::decode_with_ctx(&payload) {
+                Ok(decoded) => decoded,
                 Err(e) => {
                     // Malformed/unknown traffic: answer with a typed
                     // refusal, then drop the connection —
@@ -259,7 +326,28 @@ fn serve_conn<S: BlockStore>(mut stream: TcpStream, store: &RwLock<S>, shutdown:
                 }
             };
             global().counter("net.daemon.requests").inc();
-            let resp = handle_block_request(store, &req);
+            let resp = {
+                // Adopt the client's operation context (if it sent
+                // one), so the span below — and everything the store
+                // records under it — joins the originating request's
+                // trace tree instead of starting a disconnected op.
+                let _ctx = ctx.map(|c| {
+                    op::install(op::OpContext {
+                        op: c.op,
+                        span: c.span,
+                    })
+                });
+                let _span = op::span("daemon.request", "net");
+                let inflight = global().gauge("net.daemon.inflight");
+                inflight.add(1);
+                let started = Instant::now();
+                let resp = handle_block_request(store, &req);
+                global()
+                    .histogram("net.daemon.request_us")
+                    .record(started.elapsed().as_micros() as u64);
+                inflight.add(-1);
+                resp
+            };
             if respond(&mut stream, &resp).is_err() {
                 return;
             }

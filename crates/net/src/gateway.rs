@@ -24,13 +24,15 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use galloper_dfs::{BlockStore, Dfs, DfsError, ErasureCode};
-use galloper_obs::global;
+use galloper_obs::{global, global_trace, op, Json};
 
+use crate::daemon::service_uptime_ms;
 use crate::frame::FrameReader;
-use crate::proto::{ErrorKind, ProtocolError, Request, Response};
+use crate::proto::{ErrorKind, ProtocolError, Request, Response, PROTO_VERSION};
+use crate::scrape::Scraper;
 
 /// Default admission-queue width.
 pub const DEFAULT_MAX_INFLIGHT: usize = 256;
@@ -169,7 +171,30 @@ impl Gateway {
         C: ErasureCode + Send + Sync + 'static,
         S: BlockStore + Send + Sync + 'static,
     {
+        Gateway::spawn_with_scraper(listener, dfs, max_inflight, None)
+    }
+
+    /// As [`Gateway::spawn`], but with an optional [`Scraper`] whose
+    /// cluster view the gateway embeds in its `Stats` responses — this
+    /// is what makes `galloper stat <gateway>` see the whole cluster
+    /// through one socket.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::spawn`].
+    pub fn spawn_with_scraper<C, S>(
+        listener: TcpListener,
+        dfs: Dfs<C, S>,
+        max_inflight: usize,
+        scraper: Option<Arc<Scraper>>,
+    ) -> Result<GatewayHandle, ProtocolError>
+    where
+        C: ErasureCode + Send + Sync + 'static,
+        S: BlockStore + Send + Sync + 'static,
+    {
         let addr = listener.local_addr()?;
+        // Anchor the uptime epoch before the first request can ask.
+        let _ = service_uptime_ms();
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = Arc::new(AtomicUsize::new(0));
         let dfs = Arc::new(RwLock::new(dfs));
@@ -193,12 +218,13 @@ impl Gateway {
                         let conn_workers = Arc::clone(&workers);
                         let dfs = Arc::clone(&dfs);
                         let admission = Arc::clone(&admission);
+                        let scraper = scraper.clone();
                         workers.fetch_add(1, Ordering::SeqCst);
                         let spawned =
                             thread::Builder::new()
                                 .name("gateway-conn".into())
                                 .spawn(move || {
-                                    serve_conn(stream, &dfs, &admission, &shutdown);
+                                    serve_conn(stream, &dfs, &admission, scraper, &shutdown);
                                     conn_workers.fetch_sub(1, Ordering::SeqCst);
                                 });
                         if spawned.is_err() {
@@ -252,12 +278,47 @@ where
     }
 }
 
+/// Builds the gateway's stats document: vitals, the registry export
+/// (including per-kind request histograms), buffered trace events when
+/// tracing is on, and — when a [`Scraper`] is attached — the whole
+/// cluster's merged view under `"scrape"`. `daemons_reachable` is
+/// stamped at the top level of that section so shell checks can grep
+/// it without walking the structure.
+fn gateway_stats_doc(scraper: Option<&Scraper>) -> Json {
+    let ring = global_trace();
+    let mut doc = Json::object()
+        .field("role", "gateway")
+        .field("version", PROTO_VERSION)
+        .field("uptime_ms", service_uptime_ms())
+        .field("now_us", ring.now_us())
+        .field("metrics", global().export().to_json());
+    if ring.is_enabled() {
+        let events: Vec<Json> = ring.events().iter().map(|e| e.to_json()).collect();
+        doc = doc.field("trace", Json::Arr(events));
+    }
+    let scrape = match scraper {
+        Some(s) => s.status_json(),
+        None => Json::object().field("enabled", false),
+    };
+    doc.field("scrape", scrape)
+}
+
 /// Drives one client connection; same frame-reassembly/poll shape as
 /// the daemon's loop, plus admission control per request.
+///
+/// `Stats` and `Ping` answer *before* admission: introspection must
+/// work precisely when the admission queue is saturated, and neither
+/// touches the `Dfs`. Admitted object requests run under a
+/// `gateway.request` span (joined to the client's trace context when
+/// the frame carried one) and are timed into per-kind histograms —
+/// `net.gateway.get_us` / `net.gateway.put_us` count *only* admitted,
+/// answered requests, which is what makes the loadgen's
+/// responses-vs-histogram-count cross-check exact.
 fn serve_conn<C, S>(
     mut stream: TcpStream,
     dfs: &RwLock<Dfs<C, S>>,
     admission: &Admission,
+    scraper: Option<Arc<Scraper>>,
     shutdown: &AtomicBool,
 ) where
     C: ErasureCode,
@@ -278,8 +339,8 @@ fn serve_conn<C, S>(
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let req = match Request::decode(&payload) {
-                Ok(req) => req,
+            let (req, ctx) = match Request::decode_with_ctx(&payload) {
+                Ok(decoded) => decoded,
                 Err(e) => {
                     global().counter("net.gateway.protocol_errors").inc();
                     let _ = respond(
@@ -293,15 +354,48 @@ fn serve_conn<C, S>(
                 }
             };
             global().counter("net.gateway.requests").inc();
-            let resp = if admission.acquire(ADMISSION_TIMEOUT) {
-                let resp = handle_object_request(dfs, req);
-                admission.release();
-                resp
-            } else {
-                global().counter("net.gateway.busy_rejections").inc();
-                Response::Err {
-                    kind: ErrorKind::Busy,
-                    message: "admission queue full; retry with backoff".into(),
+            let resp = match req {
+                Request::Stats => {
+                    Response::Stats(gateway_stats_doc(scraper.as_deref()).render().into_bytes())
+                }
+                Request::Ping => Response::Ok,
+                req => {
+                    let wait = Instant::now();
+                    if admission.acquire(ADMISSION_TIMEOUT) {
+                        global()
+                            .histogram("net.gateway.admission_wait_us")
+                            .record(wait.elapsed().as_micros() as u64);
+                        let kind = match req {
+                            Request::GetObject { .. } => Some("net.gateway.get_us"),
+                            Request::PutObject { .. } => Some("net.gateway.put_us"),
+                            _ => None,
+                        };
+                        let _ctx = ctx.map(|c| {
+                            op::install(op::OpContext {
+                                op: c.op,
+                                span: c.span,
+                            })
+                        });
+                        let _span = op::span("gateway.request", "net");
+                        let inflight = global().gauge("net.gateway.inflight");
+                        inflight.add(1);
+                        let started = Instant::now();
+                        let resp = handle_object_request(dfs, req);
+                        if let Some(name) = kind {
+                            global()
+                                .histogram(name)
+                                .record(started.elapsed().as_micros() as u64);
+                        }
+                        inflight.add(-1);
+                        admission.release();
+                        resp
+                    } else {
+                        global().counter("net.gateway.busy_rejections").inc();
+                        Response::Err {
+                            kind: ErrorKind::Busy,
+                            message: "admission queue full; retry with backoff".into(),
+                        }
+                    }
                 }
             };
             if respond(&mut stream, &resp).is_err() {

@@ -21,7 +21,12 @@
 //!   `BlockStore`, so a `Dfs` can run over remote daemons unchanged),
 //!   and [`Gateway`] (object-plane service over a whole `Dfs`, with a
 //!   bounded admission queue that answers overload with typed `Busy`
-//!   refusals instead of unbounded queueing).
+//!   refusals instead of unbounded queueing);
+//! * [`scrape`] — the gateway-side [`Scraper`] that polls every
+//!   daemon's `Stats` endpoint and merges the per-node registry
+//!   exports into a bounded time series of cluster views, which the
+//!   gateway serves back through its own `Stats` endpoint (the data
+//!   behind `galloper stat` / `galloper top`).
 //!
 //! The topology `galloper serve` assembles:
 //!
@@ -47,13 +52,20 @@ pub mod frame;
 pub mod gateway;
 pub mod proto;
 mod remote;
+pub mod scrape;
 
 pub use conn::Conn;
-pub use daemon::{Daemon, DaemonHandle};
+pub use daemon::{node_stats_doc, Daemon, DaemonHandle};
 pub use frame::{FrameReader, FRAME_HEADER, MAX_FRAME};
 pub use gateway::{
     kind_of_dfs, max_inflight_from_env, Gateway, GatewayHandle, ADMISSION_TIMEOUT,
     DEFAULT_MAX_INFLIGHT,
 };
-pub use proto::{ErrorKind, ProtocolError, Request, Response};
+pub use proto::{
+    ErrorKind, NodeVitals, ProtocolError, Request, Response, TraceContext, PROTO_VERSION,
+};
 pub use remote::{RemoteStore, DEFAULT_TIMEOUT};
+pub use scrape::{
+    scrape_ms_from_env, stat_ring_from_env, ClusterView, NodeStats, Scraper, DEFAULT_SCRAPE_MS,
+    DEFAULT_STAT_RING,
+};

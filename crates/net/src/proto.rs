@@ -13,10 +13,49 @@
 //! Error responses carry a stable numeric [`ErrorKind`] so clients can
 //! dispatch on failure class without parsing prose, plus a free-form
 //! message for humans.
+//!
+//! ## Optional trailing extensions
+//!
+//! The codec is strict — a decoder consumes exactly the bytes its
+//! layout names and rejects anything left over — which would normally
+//! forbid ever adding a field. New optional data therefore rides in a
+//! *trailing extension section*: after a message's fixed fields, a
+//! single known marker byte ([`EXT_TRACE`] on requests carrying a
+//! [`TraceContext`]; [`EXT_VITALS`] on `Health` responses carrying
+//! [`NodeVitals`]) followed by that extension's fixed layout, ending
+//! the payload. Old peers' frames (no extension) decode with the field
+//! absent; frames with an unknown marker or stray trailing bytes are
+//! still rejected as malformed, so the strict-codec property survives.
 
 use core::fmt;
 
 use galloper_dfs::BlockKey;
+
+/// Protocol revision stamped into [`NodeVitals`]. Bumped when the wire
+/// format gains messages or extensions; peers use it for display and
+/// compatibility diagnostics, never for dispatch.
+pub const PROTO_VERSION: u32 = 2;
+
+/// A request's operation context, carried across the wire so the
+/// server's spans join the client's trace tree (ids are
+/// process-namespaced, see `galloper_obs::op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Operation id minted by the originating client.
+    pub op: u64,
+    /// The client-side span the server's work hangs off.
+    pub span: u64,
+}
+
+/// Node vitals riding on [`Response::Health`] — the heartbeat seed:
+/// a prober learns liveness, version, and age in one round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeVitals {
+    /// The responder's [`PROTO_VERSION`].
+    pub version: u32,
+    /// Milliseconds since the responder started serving.
+    pub uptime_ms: u64,
+}
 
 /// Errors from decoding (or framing) wire data.
 #[derive(Debug)]
@@ -198,6 +237,11 @@ pub enum Request {
     Probe,
     /// Drop every block (server decommission / crash simulation).
     Wipe,
+    /// Observability scrape: a serialized stats document (registry
+    /// export, vitals, buffered trace events). Both planes answer it —
+    /// a daemon reports its own node, the gateway reports the merged
+    /// cluster view.
+    Stats,
     // Gateway plane: object-granular, issued by clients.
     /// Encode and store an object under a name.
     PutObject {
@@ -233,13 +277,20 @@ pub enum Response {
     Deleted(bool),
     /// A scan: every key the daemon holds.
     Keys(Vec<BlockKey>),
-    /// A probe: blocks and payload bytes held.
+    /// A probe: blocks and payload bytes held, plus (from peers at
+    /// [`PROTO_VERSION`] ≥ 2) the node's vitals. `None` means the
+    /// responder predates the extension, not that it is unhealthy.
     Health {
         /// Blocks held.
         blocks: u64,
         /// Payload bytes held.
         bytes: u64,
+        /// Version and uptime; absent from old peers.
+        vitals: Option<NodeVitals>,
     },
+    /// A stats scrape: a JSON document (see [`Request::Stats`]),
+    /// carried as raw bytes so the codec stays layout-only.
+    Stats(Vec<u8>),
     /// Failure, classed by a wire-stable [`ErrorKind`].
     Err {
         /// Failure class.
@@ -257,6 +308,7 @@ const T_DELETE_BLOCK: u8 = 0x03;
 const T_SCAN_BLOCKS: u8 = 0x04;
 const T_PROBE: u8 = 0x05;
 const T_WIPE: u8 = 0x06;
+const T_STATS: u8 = 0x07;
 const T_PUT_OBJECT: u8 = 0x10;
 const T_GET_OBJECT: u8 = 0x11;
 const T_PING: u8 = 0x12;
@@ -268,7 +320,15 @@ const T_MISSING: u8 = 0x85;
 const T_DELETED: u8 = 0x86;
 const T_KEYS: u8 = 0x87;
 const T_HEALTH: u8 = 0x88;
+const T_STATS_R: u8 = 0x89;
 const T_ERR: u8 = 0x90;
+
+/// Trailing-extension marker: a [`TraceContext`] (16 bytes) follows.
+/// Markers live far from the tag ranges so a sliced frame cannot be
+/// misread as an extended one.
+pub const EXT_TRACE: u8 = 0xE1;
+/// Trailing-extension marker: [`NodeVitals`] (12 bytes) follows.
+pub const EXT_VITALS: u8 = 0xE2;
 
 struct Writer {
     out: Vec<u8>,
@@ -360,11 +420,68 @@ impl<'a> Reader<'a> {
             Err(ProtocolError::Malformed(what))
         }
     }
+
+    /// Consumes an optional trailing extension: either the payload
+    /// already ended (`None`), or exactly `marker` + `len` body bytes
+    /// remain (`Some(body)`). Anything else — a wrong marker, a short
+    /// body, bytes after the extension — is malformed, preserving the
+    /// strict-codec guarantee that no frame has unexplained bytes.
+    fn trailing_ext(
+        &mut self,
+        marker: u8,
+        len: usize,
+        what: &'static str,
+    ) -> Result<Option<&'a [u8]>, ProtocolError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        if self.buf[0] != marker || self.buf.len() != 1 + len {
+            return Err(ProtocolError::Malformed(what));
+        }
+        self.buf = &self.buf[1..];
+        Ok(Some(self.take(len, what)?))
+    }
 }
 
 impl Request {
-    /// Encodes into a frame payload.
+    /// A short static name for the request kind, used as span names
+    /// and metric-key suffixes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::PutBlock { .. } => "put_block",
+            Request::GetBlock { .. } => "get_block",
+            Request::DeleteBlock { .. } => "delete_block",
+            Request::ScanBlocks => "scan_blocks",
+            Request::Probe => "probe",
+            Request::Wipe => "wipe",
+            Request::Stats => "stats",
+            Request::PutObject { .. } => "put_object",
+            Request::GetObject { .. } => "get_object",
+            Request::Ping => "ping",
+        }
+    }
+
+    /// Encodes into a frame payload (no trace context).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_ctx(None)
+    }
+
+    /// Encodes into a frame payload, appending `ctx` as a trailing
+    /// [`EXT_TRACE`] extension when present. Old servers reject the
+    /// extended form as malformed, so clients only stamp a context when
+    /// an operation is actually in progress; a context-free frame is
+    /// byte-identical to the PR 7 encoding.
+    pub fn encode_with_ctx(&self, ctx: Option<TraceContext>) -> Vec<u8> {
+        let mut out = self.encode_body();
+        if let Some(ctx) = ctx {
+            out.push(EXT_TRACE);
+            out.extend_from_slice(&ctx.op.to_le_bytes());
+            out.extend_from_slice(&ctx.span.to_le_bytes());
+        }
+        out
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
         match self {
             Request::PutBlock { key, bytes } => {
                 let mut w = Writer::new(T_PUT_BLOCK);
@@ -385,6 +502,7 @@ impl Request {
             Request::ScanBlocks => Writer::new(T_SCAN_BLOCKS).out,
             Request::Probe => Writer::new(T_PROBE).out,
             Request::Wipe => Writer::new(T_WIPE).out,
+            Request::Stats => Writer::new(T_STATS).out,
             Request::PutObject { name, bytes } => {
                 let mut w = Writer::new(T_PUT_OBJECT);
                 w.bytes(name.as_bytes());
@@ -400,14 +518,27 @@ impl Request {
         }
     }
 
-    /// Decodes a frame payload.
+    /// Decodes a frame payload, discarding any trace context.
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::Malformed`] on truncated/overlong layouts,
+    /// As [`Request::decode_with_ctx`].
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        Ok(Self::decode_with_ctx(payload)?.0)
+    }
+
+    /// Decodes a frame payload along with its optional trailing
+    /// [`TraceContext`] (absent on frames from old clients).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncated/overlong layouts or a
+    /// corrupt extension section,
     /// [`ProtocolError::UnknownTag`] on an unassigned tag,
     /// [`ProtocolError::Unexpected`] when a *response* tag arrives.
-    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+    pub fn decode_with_ctx(
+        payload: &[u8],
+    ) -> Result<(Request, Option<TraceContext>), ProtocolError> {
         let mut r = Reader { buf: payload };
         let tag = r.u8("empty request frame")?;
         let req = match tag {
@@ -424,6 +555,7 @@ impl Request {
             T_SCAN_BLOCKS => Request::ScanBlocks,
             T_PROBE => Request::Probe,
             T_WIPE => Request::Wipe,
+            T_STATS => Request::Stats,
             T_PUT_OBJECT => Request::PutObject {
                 name: r.string("put-object name")?,
                 bytes: r.bytes("put-object bytes")?,
@@ -435,8 +567,14 @@ impl Request {
             t if t >= 0x80 => return Err(ProtocolError::Unexpected("response tag in request")),
             t => return Err(ProtocolError::UnknownTag(t)),
         };
+        let ctx = r
+            .trailing_ext(EXT_TRACE, 16, "trailing bytes after request")?
+            .map(|body| TraceContext {
+                op: u64::from_le_bytes(body[..8].try_into().unwrap()),
+                span: u64::from_le_bytes(body[8..].try_into().unwrap()),
+            });
         r.finish("trailing bytes after request")?;
-        Ok(req)
+        Ok((req, ctx))
     }
 }
 
@@ -470,10 +608,24 @@ impl Response {
                 }
                 w.out
             }
-            Response::Health { blocks, bytes } => {
+            Response::Health {
+                blocks,
+                bytes,
+                vitals,
+            } => {
                 let mut w = Writer::new(T_HEALTH);
                 w.u64(*blocks);
                 w.u64(*bytes);
+                if let Some(v) = vitals {
+                    w.u8(EXT_VITALS);
+                    w.u32(v.version);
+                    w.u64(v.uptime_ms);
+                }
+                w.out
+            }
+            Response::Stats(bytes) => {
+                let mut w = Writer::new(T_STATS_R);
+                w.bytes(bytes);
                 w.out
             }
             Response::Err { kind, message } => {
@@ -515,10 +667,22 @@ impl Response {
                 }
                 Response::Keys(keys)
             }
-            T_HEALTH => Response::Health {
-                blocks: r.u64("health blocks")?,
-                bytes: r.u64("health bytes")?,
-            },
+            T_HEALTH => {
+                let blocks = r.u64("health blocks")?;
+                let bytes = r.u64("health bytes")?;
+                let vitals = r
+                    .trailing_ext(EXT_VITALS, 12, "trailing bytes after health")?
+                    .map(|body| NodeVitals {
+                        version: u32::from_le_bytes(body[..4].try_into().unwrap()),
+                        uptime_ms: u64::from_le_bytes(body[4..].try_into().unwrap()),
+                    });
+                Response::Health {
+                    blocks,
+                    bytes,
+                    vitals,
+                }
+            }
+            T_STATS_R => Response::Stats(r.bytes("stats document")?),
             T_ERR => Response::Err {
                 kind: ErrorKind::from_code(r.u16("error kind")?),
                 message: r.string("error message")?,
@@ -553,6 +717,71 @@ mod tests {
             assert_eq!(ErrorKind::from_code(kind.code()), kind);
         }
         assert_eq!(ErrorKind::from_code(999), ErrorKind::Unknown);
+    }
+
+    #[test]
+    fn trace_context_rides_requests_and_old_frames_still_parse() {
+        let ctx = TraceContext {
+            op: 0x1234_5678_9abc_def0,
+            span: 42,
+        };
+        let framed = Request::Ping.encode_with_ctx(Some(ctx));
+        let (req, got) = Request::decode_with_ctx(&framed).unwrap();
+        assert_eq!(req, Request::Ping);
+        assert_eq!(got, Some(ctx));
+        // A PR 7 frame (no extension) parses with no context.
+        let old = Request::Ping.encode();
+        assert_eq!(Request::decode_with_ctx(&old).unwrap().1, None);
+        // Plain decode tolerates (and drops) the context.
+        assert_eq!(Request::decode(&framed).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn corrupt_extension_sections_are_malformed() {
+        let ctx = TraceContext { op: 7, span: 9 };
+        let framed = Request::Probe.encode_with_ctx(Some(ctx));
+        // Truncated extension body.
+        assert!(Request::decode(&framed[..framed.len() - 1]).is_err());
+        // Bytes after the extension.
+        let mut long = framed.clone();
+        long.push(0);
+        assert!(Request::decode(&long).is_err());
+        // Unknown marker where the extension should start.
+        let mut bad = framed;
+        let ext_at = bad.len() - 17;
+        bad[ext_at] = 0x55;
+        assert!(Request::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn health_vitals_roundtrip_and_are_optional() {
+        let with = Response::Health {
+            blocks: 3,
+            bytes: 99,
+            vitals: Some(NodeVitals {
+                version: PROTO_VERSION,
+                uptime_ms: 12_345,
+            }),
+        };
+        assert_eq!(Response::decode(&with.encode()).unwrap(), with);
+        let without = Response::Health {
+            blocks: 3,
+            bytes: 99,
+            vitals: None,
+        };
+        let framed = without.encode();
+        // Byte-identical to the PR 7 layout: tag + two u64s.
+        assert_eq!(framed.len(), 17);
+        assert_eq!(Response::decode(&framed).unwrap(), without);
+    }
+
+    #[test]
+    fn stats_messages_roundtrip() {
+        let req = Request::Stats.encode();
+        assert_eq!(Request::decode(&req).unwrap(), Request::Stats);
+        let doc = br#"{"role":"daemon"}"#.to_vec();
+        let resp = Response::Stats(doc.clone());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]

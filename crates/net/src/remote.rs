@@ -13,7 +13,7 @@
 //! daemon must read: degraded, not failed.
 
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use galloper_dfs::{BlockGet, BlockKey, BlockStore, StoreError, StoreHealth};
 use galloper_obs::global;
@@ -28,13 +28,27 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
 /// the surplus closes on return.
 const POOL_CAP: usize = 64;
 
+/// How long a pooled connection may sit idle before checkout discards
+/// it instead of reusing it. A connection parked through a burst lull
+/// has likely outlived the peer's patience (or a NAT table entry);
+/// redialing is cheaper than inheriting a half-dead socket, and
+/// pruning keeps a post-burst pool from pinning `POOL_CAP` sockets
+/// forever under client churn.
+const POOL_IDLE_TTL: Duration = Duration::from_secs(30);
+
 /// A TCP client for one storage daemon, usable everywhere a
 /// [`BlockStore`] is.
+///
+/// Pool observability: the shared `net.remote.pool_size` gauge tracks
+/// idle connections across *all* remote stores in the process, and
+/// `net.remote.stale_drops` counts connections discarded by the idle
+/// TTL.
 #[derive(Debug)]
 pub struct RemoteStore {
     addr: String,
     timeout: Duration,
-    pool: Mutex<Vec<Conn>>,
+    /// Idle connections with the instant they were parked.
+    pool: Mutex<Vec<(Conn, Instant)>>,
 }
 
 impl RemoteStore {
@@ -70,7 +84,7 @@ impl RemoteStore {
     /// is discarded (not returned to the pool) so later calls redial
     /// from scratch.
     fn call(&self, req: &Request) -> Result<Response, StoreError> {
-        let pooled = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        let pooled = self.checkout();
         let mut conn = match pooled {
             Some(conn) => conn,
             None => {
@@ -86,12 +100,38 @@ impl RemoteStore {
             Ok(resp) => {
                 let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
                 if pool.len() < POOL_CAP {
-                    pool.push(conn);
+                    pool.push((conn, Instant::now()));
+                    global().gauge("net.remote.pool_size").add(1);
                 }
                 Ok(resp)
             }
             Err(e) => Err(self.unreachable(e)),
         }
+    }
+
+    /// Pops the freshest idle connection, first discarding any that
+    /// idled past [`POOL_IDLE_TTL`]. LIFO reuse keeps the hot end of
+    /// the pool warm, so under steady load nothing ever goes stale;
+    /// after a burst the cold tail drains here instead of lingering.
+    fn checkout(&self) -> Option<Conn> {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        // Entries are pushed in return order, so the stale ones are a
+        // prefix of the vec.
+        let stale = pool
+            .iter()
+            .take_while(|(_, parked)| now.duration_since(*parked) > POOL_IDLE_TTL)
+            .count();
+        if stale > 0 {
+            pool.drain(..stale);
+            global().counter("net.remote.stale_drops").add(stale as u64);
+            global().gauge("net.remote.pool_size").add(-(stale as i64));
+        }
+        let conn = pool.pop();
+        if conn.is_some() {
+            global().gauge("net.remote.pool_size").add(-1);
+        }
+        conn.map(|(c, _)| c)
     }
 
     /// Maps a daemon's answer for requests that expect plain success.
@@ -177,7 +217,7 @@ impl BlockStore for RemoteStore {
 
     fn probe(&self) -> Result<StoreHealth, StoreError> {
         match self.call(&Request::Probe)? {
-            Response::Health { blocks, bytes } => Ok(StoreHealth { blocks, bytes }),
+            Response::Health { blocks, bytes, .. } => Ok(StoreHealth { blocks, bytes }),
             Response::Err { kind, message } => Err(self.backend(kind, &message)),
             other => Err(StoreError::Backend(format!(
                 "{}: unexpected response {other:?}",

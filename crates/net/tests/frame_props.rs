@@ -1,10 +1,12 @@
 //! Property tests for the frame codec and message encoding: round-trips
-//! over every message type, rejection of truncated/oversized/garbage
-//! frames, and split-write reassembly under seeded chunkings.
+//! over every message type (with and without trailing trace-context /
+//! vitals extensions), forward/backward compatibility of the optional
+//! extensions, rejection of truncated/oversized/garbage frames, and
+//! split-write reassembly under seeded chunkings.
 
 use galloper_dfs::BlockKey;
 use galloper_net::frame::{write_frame, FrameReader, FRAME_HEADER, MAX_FRAME};
-use galloper_net::{ErrorKind, ProtocolError, Request, Response};
+use galloper_net::{ErrorKind, NodeVitals, ProtocolError, Request, Response, TraceContext};
 use galloper_testkit::{run_cases, TestRng};
 
 fn arbitrary_key(rng: &mut TestRng) -> BlockKey {
@@ -24,7 +26,7 @@ fn arbitrary_name(rng: &mut TestRng) -> String {
 }
 
 fn arbitrary_request(rng: &mut TestRng) -> Request {
-    match rng.usize_in(0, 8) {
+    match rng.usize_in(0, 9) {
         0 => Request::PutBlock {
             key: arbitrary_key(rng),
             bytes: {
@@ -51,12 +53,20 @@ fn arbitrary_request(rng: &mut TestRng) -> Request {
         7 => Request::GetObject {
             name: arbitrary_name(rng),
         },
+        8 => Request::Stats,
         _ => Request::Ping,
     }
 }
 
+fn arbitrary_ctx(rng: &mut TestRng) -> Option<TraceContext> {
+    (rng.u8() & 1 == 1).then(|| TraceContext {
+        op: rng.next_u64(),
+        span: rng.next_u64(),
+    })
+}
+
 fn arbitrary_response(rng: &mut TestRng) -> Response {
-    match rng.usize_in(0, 8) {
+    match rng.usize_in(0, 9) {
         0 => Response::Ok,
         1 => {
             let n = rng.usize_in(0, 4096);
@@ -77,7 +87,15 @@ fn arbitrary_response(rng: &mut TestRng) -> Response {
         7 => Response::Health {
             blocks: rng.next_u64(),
             bytes: rng.next_u64(),
+            vitals: (rng.u8() & 1 == 1).then(|| NodeVitals {
+                version: rng.next_u64() as u32,
+                uptime_ms: rng.next_u64(),
+            }),
         },
+        8 => {
+            let n = rng.usize_in(0, 1024);
+            Response::Stats(rng.bytes(n))
+        }
         _ => Response::Err {
             kind: ErrorKind::from_code(rng.usize_in(0, 20) as u16),
             message: arbitrary_name(rng),
@@ -95,6 +113,57 @@ fn requests_roundtrip() {
 }
 
 #[test]
+fn trace_context_roundtrips_and_context_free_frames_stay_compatible() {
+    run_cases(500, 0x51AB_0011, |rng| {
+        let req = arbitrary_request(rng);
+        let ctx = arbitrary_ctx(rng);
+        // With-context round-trip is exact.
+        let (dreq, dctx) =
+            Request::decode_with_ctx(&req.encode_with_ctx(ctx)).expect("ctx round-trip");
+        assert_eq!(req, dreq);
+        assert_eq!(ctx, dctx);
+        // An old peer's frame (no extension) is byte-identical to the
+        // context-free new encoding, and a new server reads it as
+        // context-absent — forward and backward compatible.
+        assert_eq!(req.encode(), req.encode_with_ctx(None));
+        let (dreq, dctx) = Request::decode_with_ctx(&req.encode()).expect("old frame");
+        assert_eq!(req, dreq);
+        assert_eq!(dctx, None);
+        // A context-oblivious consumer (plain `decode`) still parses a
+        // with-context frame, dropping the extension: propagation is
+        // opt-in for servers, never a flag day.
+        assert_eq!(Request::decode(&req.encode_with_ctx(ctx)).unwrap(), req);
+    });
+}
+
+#[test]
+fn corrupt_trailing_extensions_are_rejected() {
+    run_cases(300, 0x51AB_0012, |rng| {
+        let req = arbitrary_request(rng);
+        let good = req.encode_with_ctx(Some(TraceContext {
+            op: rng.next_u64(),
+            span: rng.next_u64(),
+        }));
+        let base_len = good.len() - 17;
+        // Wrong marker byte.
+        let mut bad = good.clone();
+        bad[base_len] ^= 0xFF;
+        assert!(Request::decode_with_ctx(&bad).is_err(), "wrong marker");
+        // Short extension body (every strict prefix into the ext).
+        for cut in base_len + 1..good.len() {
+            assert!(
+                Request::decode_with_ctx(&good[..cut]).is_err(),
+                "truncated extension"
+            );
+        }
+        // Extra bytes after a complete extension.
+        let mut bad = good;
+        bad.push(rng.u8());
+        assert!(Request::decode_with_ctx(&bad).is_err(), "ext + trailing");
+    });
+}
+
+#[test]
 fn responses_roundtrip() {
     run_cases(500, 0x51AB_0002, |rng| {
         let resp = arbitrary_response(rng);
@@ -107,16 +176,21 @@ fn responses_roundtrip() {
 fn truncated_payloads_are_rejected_not_panicking() {
     run_cases(300, 0x51AB_0003, |rng| {
         let payload = if rng.u8() & 1 == 0 {
-            arbitrary_request(rng).encode()
+            arbitrary_request(rng).encode_with_ctx(arbitrary_ctx(rng))
         } else {
             arbitrary_response(rng).encode()
         };
-        // Every strict prefix must fail cleanly (or, for the zero-arg
-        // messages, only the full payload decodes).
+        // Every strict prefix must fail cleanly (or, where a prefix is
+        // itself a complete message — e.g. the base message under a
+        // trailing extension — decode back to exactly those bytes).
         for cut in 0..payload.len() {
             let prefix = &payload[..cut];
-            if let Ok(r) = Request::decode(prefix) {
-                assert_eq!(r.encode(), prefix, "prefix decoded to a different message");
+            if let Ok((r, ctx)) = Request::decode_with_ctx(prefix) {
+                assert_eq!(
+                    r.encode_with_ctx(ctx),
+                    prefix,
+                    "prefix decoded to a different message"
+                );
             }
             if let Ok(r) = Response::decode(prefix) {
                 assert_eq!(r.encode(), prefix, "prefix decoded to a different message");
@@ -128,11 +202,18 @@ fn truncated_payloads_are_rejected_not_panicking() {
 #[test]
 fn trailing_garbage_is_rejected() {
     run_cases(200, 0x51AB_0004, |rng| {
+        // One appended byte can never form a valid trailing extension
+        // (the shortest is marker + 12 bytes), so both the plain and
+        // the extension-aware decoders must refuse it.
         let mut payload = arbitrary_request(rng).encode();
         payload.push(rng.u8());
         assert!(
             Request::decode(&payload).is_err(),
             "trailing byte must fail"
+        );
+        assert!(
+            Request::decode_with_ctx(&payload).is_err(),
+            "trailing byte must fail with ctx decoding too"
         );
         let mut payload = arbitrary_response(rng).encode();
         payload.push(rng.u8());
@@ -150,9 +231,9 @@ fn garbage_frames_are_rejected() {
         let garbage = rng.bytes(n);
         // Decoding must never panic; success is allowed only if the
         // bytes happen to re-encode identically (i.e. they *are* a
-        // valid message).
-        if let Ok(r) = Request::decode(&garbage) {
-            assert_eq!(r.encode(), garbage);
+        // valid message, possibly carrying a trailing extension).
+        if let Ok((r, ctx)) = Request::decode_with_ctx(&garbage) {
+            assert_eq!(r.encode_with_ctx(ctx), garbage);
         }
         match Response::decode(&garbage) {
             // Unassigned error codes canonicalize to `Unknown`, so an

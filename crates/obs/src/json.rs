@@ -74,6 +74,34 @@ impl Json {
         }
     }
 
+    /// The value as an exact `u64`, when `self` is a non-negative
+    /// integer variant (or a float that is a non-negative integer that
+    /// fits). Unlike [`as_f64`](Json::as_f64) this never rounds, so
+    /// wire snapshots of large counters survive a round trip exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(v) if v >= 0 => Some(v as u64),
+            Json::Uint(v) => Some(v),
+            Json::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `i64`, when `self` is an integer variant
+    /// (or an integral float) that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(v) => Some(v),
+            Json::Uint(v) => i64::try_from(v).ok(),
+            Json::Float(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// The string value if `self` is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -169,6 +197,11 @@ impl From<i64> for Json {
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
         Json::Uint(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Uint(u64::from(v))
     }
 }
 impl From<usize> for Json {

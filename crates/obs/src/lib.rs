@@ -36,12 +36,14 @@ pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod op;
+pub mod snapshot;
 pub mod trace;
 
 pub use chrome::ChromeTrace;
 pub use json::Json;
 pub use metrics::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, ScopedTimer};
 pub use op::{OpContext, OpReport, OpSpan};
+pub use snapshot::RegistrySnapshot;
 pub use trace::{global_trace, SpanGuard, TraceEvent, TraceRing};
 
 use std::io::Write as _;

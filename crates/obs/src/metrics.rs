@@ -346,6 +346,59 @@ impl HistogramSnapshot {
             .field("p999", self.quantile(0.999))
             .field("buckets", Json::Arr(buckets))
     }
+
+    /// Rebuilds a snapshot from its [`to_json`](HistogramSnapshot::to_json)
+    /// form. Every histogram in the workspace shares the same fixed
+    /// bucket layout, so a snapshot serialized on one node
+    /// reconstructs exactly on another — that is what makes cross-node
+    /// histogram merges lossless. Derived fields (`mean`, `p50`…) are
+    /// ignored; bucket `lo` values must be exact bucket boundaries.
+    ///
+    /// # Errors
+    ///
+    /// A rendered message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<HistogramSnapshot, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram snapshot: missing or non-integer '{name}'"))
+        };
+        let mut snap = HistogramSnapshot::empty();
+        snap.count = field("count")?;
+        snap.sum = field("sum")?;
+        snap.max = field("max")?;
+        snap.overflow = field("overflow")?;
+        let buckets = v
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or("histogram snapshot: missing 'buckets' array")?;
+        for b in buckets {
+            let lo = b
+                .get("lo")
+                .and_then(Json::as_u64)
+                .ok_or("histogram snapshot: bucket without integer 'lo'")?;
+            let count = b
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("histogram snapshot: bucket without integer 'count'")?;
+            let i = bucket_index(lo)
+                .ok_or_else(|| format!("histogram snapshot: bucket lo {lo} out of range"))?;
+            if bucket_range(i).0 != lo {
+                return Err(format!(
+                    "histogram snapshot: bucket lo {lo} is not a bucket boundary"
+                ));
+            }
+            snap.buckets[i] += count;
+        }
+        let bucketed: u64 = snap.buckets.iter().sum();
+        if bucketed + snap.overflow != snap.count {
+            return Err(format!(
+                "histogram snapshot: bucket total {} + overflow {} != count {}",
+                bucketed, snap.overflow, snap.count
+            ));
+        }
+        Ok(snap)
+    }
 }
 
 /// A registry of named counters, gauges, and histograms.
@@ -443,6 +496,35 @@ impl Registry {
                     .field("capacity", ring.capacity() as u64)
                     .field("dropped", dropped),
             )
+    }
+
+    /// A point-in-time [`RegistrySnapshot`](crate::RegistrySnapshot)
+    /// of every metric — the wire-friendly form the scrape protocol
+    /// ships between nodes and merges into cluster views.
+    pub fn export(&self) -> crate::snapshot::RegistrySnapshot {
+        crate::snapshot::RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
     }
 
     /// Removes every metric. Registered `Arc`s held by callers (including

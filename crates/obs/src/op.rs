@@ -54,15 +54,27 @@ thread_local! {
 static NEXT_OP: AtomicU64 = AtomicU64::new(1);
 static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 
+/// A per-process namespace for op and span ids: the process id shifted
+/// into the high half. Ids minted on different machines of a cluster
+/// (gateway, daemons) therefore never collide, so a context carried
+/// across the wire and installed in another process still names one
+/// globally-unique operation — the property that lets per-node trace
+/// rings be concatenated into a single connected tree. The low half
+/// gives each process 2³² ids before wrap, far beyond any run here.
+fn id_base() -> u64 {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| (std::process::id() as u64) << 32)
+}
+
 /// The calling thread's current context ([`OpContext::NONE`] outside
 /// any operation).
 pub fn current() -> OpContext {
     CURRENT.with(|c| c.get())
 }
 
-/// A fresh process-unique span id.
+/// A fresh cluster-unique span id (pid-namespaced; see `id_base`).
 pub fn next_span_id() -> u64 {
-    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+    id_base() | (NEXT_SPAN.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF)
 }
 
 /// Installs `ctx` as the calling thread's context until the guard
@@ -98,7 +110,10 @@ pub fn span(name: &'static str, cat: &'static str) -> OpSpan {
     let (op, parent) = if prev.is_active() {
         (prev.op, prev.span)
     } else {
-        (NEXT_OP.fetch_add(1, Ordering::Relaxed), 0)
+        (
+            id_base() | (NEXT_OP.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF),
+            0,
+        )
     };
     let id = next_span_id();
     let guard = install(OpContext { op, span: id });

@@ -1,0 +1,216 @@
+//! Wire-friendly registry snapshots and cross-node merging.
+//!
+//! A [`RegistrySnapshot`] is the frozen, serializable form of a
+//! [`Registry`](crate::Registry): plain maps of counter/gauge values
+//! plus [`HistogramSnapshot`]s. Because every histogram in the
+//! workspace shares one fixed log-linear bucket layout, snapshots taken
+//! on different nodes merge *exactly* — counters and gauges sum,
+//! histogram buckets add element-wise — so a gateway can fold per-node
+//! scrapes into one cluster view whose quantiles are as trustworthy as
+//! any single node's.
+//!
+//! The JSON form is deliberately the same shape as the `counters` /
+//! `gauges` / `histograms` sections of
+//! [`Registry::snapshot`](crate::Registry::snapshot), so existing
+//! tooling that reads `galloper_metrics.json` can read scraped
+//! snapshots unchanged.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+
+/// A frozen, mergeable copy of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> RegistrySnapshot {
+        RegistrySnapshot::default()
+    }
+
+    /// A counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram snapshot, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`: counters and gauges sum, histograms
+    /// merge bucket-wise. Commutative and associative, so per-node
+    /// snapshots can be combined in any order — the merged quantiles
+    /// are exactly those of the union of all nodes' samples.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
+    /// JSON form (the `counters`/`gauges`/`histograms` shape of
+    /// [`Registry::snapshot`](crate::Registry::snapshot)).
+    pub fn to_json(&self) -> Json {
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Uint(*v)))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v)))
+            .collect();
+        let histograms: Vec<(String, Json)> = self
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
+        Json::object()
+            .field("counters", Json::Obj(counters))
+            .field("gauges", Json::Obj(gauges))
+            .field("histograms", Json::Obj(histograms))
+    }
+
+    /// Rebuilds a snapshot from its [`to_json`](RegistrySnapshot::to_json)
+    /// form. Missing sections read as empty (a node running an older
+    /// build may not report all three); malformed entries are errors,
+    /// never silently dropped — a scrape that merged half a node's
+    /// histogram would corrupt the cluster view.
+    ///
+    /// # Errors
+    ///
+    /// A rendered message naming the offending metric.
+    pub fn from_json(v: &Json) -> Result<RegistrySnapshot, String> {
+        let mut snap = RegistrySnapshot::new();
+        if let Some(Json::Obj(fields)) = v.get("counters") {
+            for (name, value) in fields {
+                let value = value
+                    .as_u64()
+                    .ok_or_else(|| format!("counter '{name}' is not a non-negative integer"))?;
+                snap.counters.insert(name.clone(), value);
+            }
+        }
+        if let Some(Json::Obj(fields)) = v.get("gauges") {
+            for (name, value) in fields {
+                let value = value
+                    .as_i64()
+                    .ok_or_else(|| format!("gauge '{name}' is not an integer"))?;
+                snap.gauges.insert(name.clone(), value);
+            }
+        }
+        if let Some(Json::Obj(fields)) = v.get("histograms") {
+            for (name, value) in fields {
+                let h = HistogramSnapshot::from_json(value)
+                    .map_err(|e| format!("histogram '{name}': {e}"))?;
+                snap.histograms.insert(name.clone(), h);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample() -> RegistrySnapshot {
+        let r = Registry::new();
+        r.counter("a.requests").add(7);
+        r.counter("b.bytes").add(1 << 33);
+        r.gauge("inflight").set(-3);
+        let h = r.histogram("lat_us");
+        for v in [0u64, 1, 127, 128, 4096, 1 << 20, u64::MAX / 3] {
+            h.record(v);
+        }
+        r.export()
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let snap = sample();
+        let parsed = crate::json::parse(&snap.to_json().render()).unwrap();
+        let back = RegistrySnapshot::from_json(&parsed).unwrap();
+        assert_eq!(back, snap);
+        // Quantiles survive the trip exactly, including the overflow
+        // sample's fallback to max.
+        let h = back.histogram("lat_us").unwrap();
+        assert_eq!(h.quantile(0.999), snap.histogram("lat_us").unwrap().max());
+    }
+
+    #[test]
+    fn merge_equals_union_of_samples() {
+        let ra = Registry::new();
+        let rb = Registry::new();
+        let whole = Registry::new();
+        for v in 0..500u64 {
+            if v % 2 == 0 { &ra } else { &rb }
+                .histogram("h")
+                .record(v * 91);
+            whole.histogram("h").record(v * 91);
+            if v % 2 == 0 { &ra } else { &rb }.counter("c").inc();
+            whole.counter("c").inc();
+        }
+        let mut merged = ra.export();
+        merged.merge(&rb.export());
+        assert_eq!(merged, whole.export());
+    }
+
+    #[test]
+    fn merge_is_commutative_over_disjoint_names() {
+        let mut a = sample();
+        let mut other = RegistrySnapshot::new();
+        other.counters.insert("only.there".into(), 5);
+        let mut b = other.clone();
+        a.merge(&other);
+        b.merge(&sample());
+        assert_eq!(a, b);
+        assert_eq!(a.counter("only.there"), 5);
+        assert_eq!(a.counter("a.requests"), 7);
+    }
+
+    #[test]
+    fn malformed_histograms_are_rejected_not_skipped() {
+        let doc = crate::json::parse(
+            r#"{"histograms":{"h":{"count":5,"sum":1,"max":1,"overflow":0,"buckets":[]}}}"#,
+        )
+        .unwrap();
+        // count says 5 but the buckets hold 0 samples: inconsistent.
+        assert!(RegistrySnapshot::from_json(&doc).is_err());
+        let doc =
+            crate::json::parse(r#"{"counters":{"c":-2},"gauges":{},"histograms":{}}"#).unwrap();
+        assert!(RegistrySnapshot::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn missing_sections_read_as_empty() {
+        let doc = crate::json::parse("{}").unwrap();
+        let snap = RegistrySnapshot::from_json(&doc).unwrap();
+        assert_eq!(snap, RegistrySnapshot::new());
+        assert_eq!(snap.counter("anything"), 0);
+    }
+}

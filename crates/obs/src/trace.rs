@@ -39,6 +39,53 @@ pub struct TraceEvent {
     pub parent: u64,
 }
 
+impl TraceEvent {
+    /// JSON form, for shipping buffered events across the wire (the
+    /// scrape protocol). Timestamps stay ring-epoch-relative; the
+    /// consumer aligns clocks using the `now_us` each node reports
+    /// alongside its events.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", self.name.as_str())
+            .field("cat", self.cat.as_str())
+            .field("ts_us", self.ts_us)
+            .field("dur_us", self.dur_us)
+            .field("tid", self.tid)
+            .field("op", self.op)
+            .field("span", self.span)
+            .field("parent", self.parent)
+    }
+
+    /// Rebuilds an event from its [`to_json`](TraceEvent::to_json) form.
+    ///
+    /// # Errors
+    ///
+    /// A rendered message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let text = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("trace event: missing or non-string '{name}'"))
+        };
+        let num = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace event: missing or non-integer '{name}'"))
+        };
+        Ok(TraceEvent {
+            name: text("name")?,
+            cat: text("cat")?,
+            ts_us: num("ts_us")?,
+            dur_us: num("dur_us")?,
+            tid: num("tid")?,
+            op: num("op")?,
+            span: num("span")?,
+            parent: num("parent")?,
+        })
+    }
+}
+
 #[derive(Debug, Default)]
 struct RingInner {
     events: Vec<TraceEvent>,

@@ -56,7 +56,7 @@ echo "==> serve smoke (3 daemons + gateway, kill one, degraded get)"
 cargo build --release -p galloper-cli -p galloper-loadgen --bins
 SERVE_TMP="$(mktemp -d)"
 SERVE_LOG="$SERVE_TMP/serve.log"
-./target/release/galloper serve --daemons 3 --root "$SERVE_TMP/data" \
+GALLOPER_SCRAPE_MS=300 ./target/release/galloper serve --daemons 3 --root "$SERVE_TMP/data" \
   >"$SERVE_LOG" 2>"$SERVE_TMP/serve.err" &
 SERVE_PID=$!
 cleanup_serve() {
@@ -87,12 +87,34 @@ GALLOPER_JSON_OUT="$SERVE_TMP" ./target/release/galloper-loadgen \
 GALLOPER_BENCH_BASELINE=results/baselines \
   ./target/release/galloper bench-diff "$SERVE_TMP/BENCH_serve.json" --check
 
+# Observability gate, healthy side: the gateway's scraper must see all
+# three daemons and the merged view must parse as a healthy cluster
+# (--require-healthy exits nonzero on unreachable daemons or scrape
+# errors).
+echo "==> stat gate (scraper sees 3/3 daemons, then 2/3 after kill)"
+./target/release/galloper stat "$GATEWAY" --json --require-healthy \
+  | grep -q '"daemons_reachable":3'
+
 # Machine loss mid-service: the degraded read must stay byte-exact.
 KILLED="$(awk '/^GALLOPER_DAEMON_PID 1 /{print $3}' "$SERVE_LOG")"
 kill -9 "$KILLED"
 ./target/release/galloper net-get "$GATEWAY" smoke "$SERVE_TMP/degraded.bin"
 cmp "$SERVE_TMP/obj.bin" "$SERVE_TMP/degraded.bin"
-echo "serve smoke: byte-exact, degraded read survived daemon kill"
+
+# Observability gate, degraded side: within a few scrape intervals the
+# cluster view must report the killed daemon unreachable (2/3) without
+# the dead node poisoning the merge.
+STAT_DEGRADED=0
+for _ in $(seq 1 50); do
+  if ./target/release/galloper stat "$GATEWAY" --json 2>/dev/null \
+    | grep -q '"daemons_reachable":2'; then
+    STAT_DEGRADED=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$STAT_DEGRADED" = 1 ] || { echo "stat gate: scraper never reported the killed daemon"; exit 1; }
+echo "serve smoke: byte-exact, degraded read survived daemon kill, stat saw the loss"
 kill "$SERVE_PID" 2>/dev/null || true
 
 echo "==> miri: gf256 kernel differential suite"
