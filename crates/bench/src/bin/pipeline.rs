@@ -1,0 +1,279 @@
+//! Stage-by-stage throughput of the zero-copy encode pipeline, against
+//! the raw GF(2⁸) kernel as the speed-of-light reference.
+//!
+//! Measures MB/s for each stage in isolation — `read` (the file into a
+//! page-aligned buffer), `encode` (in-memory streaming encode into a
+//! null sink), `write` (pre-encoded batches through the vectored
+//! [`BlockFileSink`]) — and then the full `encode` command end-to-end
+//! under every `GALLOPER_IO_MODE` ingest strategy. The document's
+//! `gap_x` field compares the best end-to-end rate — converted to the
+//! kernel work it implies (`n - k` full `mul_add` passes per input
+//! byte) — against the raw kernel over the same working-set size:
+//! `1.0x` would mean the file-to-disk pipeline adds zero overhead over
+//! the arithmetic's own ceiling.
+//!
+//! With `--json [DIR]` or `GALLOPER_JSON_OUT` set, writes
+//! `BENCH_pipeline.json` (one row per stage / io_mode, identity fields
+//! `stage` + `io_mode`) for `galloper bench-diff`.
+//!
+//! Knobs: `GALLOPER_PIPELINE_MB` (input file size, default 64),
+//! `GALLOPER_REPS` (timed reps per case, best-of, default 3),
+//! `GALLOPER_STREAM_GROUPS` (encoder concurrency, as for the CLI).
+
+use std::fs;
+use std::hint::black_box;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use galloper::{GalloperParams, StripeAllocation};
+use galloper_bench::{emit_json, env_usize, payload};
+use galloper_cli::{encode_file_with_mode, BlockFileSink, CodeSpec, IoMode};
+use galloper_codes::build_code;
+use galloper_erasure::stream::{AlignedBuf, GroupSink, StripeEncoder};
+use galloper_erasure::ErasureCode;
+use galloper_gf::kernel;
+use galloper_obs::Json;
+
+/// Best (minimum) seconds over `reps` timed runs of `f`, after one
+/// untimed warm-up that faults in buffers, tables, and page cache.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn mbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs
+}
+
+/// The paper's `(4, 2, 1)` Galloper code with ~1 MiB encoded blocks —
+/// the same spec an operator would put in a manifest.
+fn pipeline_spec() -> CodeSpec {
+    let params = GalloperParams::new(4, 2, 1).expect("valid parameters");
+    let n_stripes = StripeAllocation::uniform(params).resolution();
+    let stripe = ((1 << 20) / n_stripes).max(1);
+    CodeSpec::galloper(4, 2, 1, stripe)
+}
+
+/// `read(2)` the whole file into one recycled aligned buffer, 1 MiB at
+/// a time — the pipeline's ingest stage with the encoder removed.
+fn read_stage(input: &Path, reps: usize) -> f64 {
+    let len = fs::metadata(input).expect("input exists").len() as usize;
+    let mut buf = AlignedBuf::zeroed(1 << 20);
+    let secs = best_secs(reps, || {
+        let mut f = fs::File::open(input).expect("open input");
+        loop {
+            match f.read(&mut buf).expect("read input") {
+                0 => break,
+                n => {
+                    black_box(&buf[..n]);
+                }
+            }
+        }
+    });
+    mbps(len, secs)
+}
+
+/// Streaming encode of in-memory data into a null sink — the coding
+/// stage with file I/O removed on both sides.
+fn encode_stage(data: &[u8], spec: &CodeSpec, groups: usize, reps: usize) -> f64 {
+    let code = build_code(spec).expect("valid spec");
+    let message_len = code.message_len();
+    let secs = best_secs(reps, || {
+        let sink = |_g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
+            black_box(blocks.last().map(|b| b.len()));
+            Ok(())
+        };
+        let mut encoder = StripeEncoder::new(&code, sink).with_concurrency(groups);
+        let whole = data.chunks_exact(message_len);
+        let tail = whole.remainder();
+        let msgs: Vec<&[u8]> = whole.collect();
+        encoder.push_messages(&msgs).expect("encode");
+        encoder.push(tail).expect("encode tail");
+        black_box(encoder.finish().expect("finish").0);
+    });
+    mbps(data.len(), secs)
+}
+
+/// Pre-encoded batches through the vectored [`BlockFileSink`] — the
+/// output stage with the encoder removed. Throughput is over the bytes
+/// actually written (blocks, not input).
+fn write_stage(dir: &Path, data: &[u8], spec: &CodeSpec, groups: usize, reps: usize) -> f64 {
+    let code = build_code(spec).expect("valid spec");
+    let message_len = code.message_len();
+    let batches: Vec<Vec<Vec<AlignedBuf>>> = data
+        .chunks_exact(message_len)
+        .map(|msg| code.encode(msg).expect("encode"))
+        .collect::<Vec<_>>()
+        .chunks(groups.max(1))
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|blocks| {
+                    blocks
+                        .iter()
+                        .map(|b| {
+                            let mut a = AlignedBuf::zeroed(b.len());
+                            a.copy_from_slice(b);
+                            a
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let out_bytes: usize = batches
+        .iter()
+        .flatten()
+        .flatten()
+        .map(|b: &AlignedBuf| b.len())
+        .sum();
+    let secs = best_secs(reps, || {
+        let mut sink = BlockFileSink::create(dir, code.num_blocks()).expect("create block files");
+        let mut first = 0;
+        for batch in &batches {
+            sink.batch(first, batch).expect("write batch");
+            first += batch.len();
+        }
+    });
+    mbps(out_bytes, secs)
+}
+
+/// The whole `encode` command, file to block files, under one ingest
+/// mode.
+fn e2e_stage(input: &Path, dir: &Path, spec: &CodeSpec, mode: IoMode, reps: usize) -> f64 {
+    let len = fs::metadata(input).expect("input exists").len() as usize;
+    let secs = best_secs(reps, || {
+        black_box(encode_file_with_mode(input, dir, spec, mode).expect("encode_file"));
+    });
+    mbps(len, secs)
+}
+
+/// Raw `mul_add` throughput of the active kernel backend over a buffer
+/// the size of the benchmark input — the ceiling everything above is
+/// compared to. Matching the working-set size matters: a cache-resident
+/// kernel number would overstate the ceiling for a pipeline that
+/// streams the whole file through DRAM.
+fn kernel_stage(len: usize, reps: usize) -> f64 {
+    let src = payload(len, 3);
+    let mut dst = payload(len, 4);
+    let secs = best_secs(reps, || {
+        kernel::mul_add(93, black_box(&src), black_box(&mut dst));
+    });
+    mbps(len, secs)
+}
+
+/// Where the input file and block files live: `GALLOPER_PIPELINE_DIR`
+/// if set, else `/dev/shm` (tmpfs) when present, else the system temp
+/// dir. On a disk-backed directory, repeated reps dirty pages faster
+/// than writeback drains them and the kernel's dirty-page throttling
+/// turns the run into a disk benchmark; tmpfs keeps the measurement on
+/// the pipeline itself (syscalls, copies, coding) — the part this
+/// codebase controls.
+fn work_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("GALLOPER_PIPELINE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let shm = Path::new("/dev/shm");
+    if shm.is_dir() {
+        return shm.to_path_buf();
+    }
+    std::env::temp_dir()
+}
+
+fn main() {
+    let pipeline_mb = env_usize("GALLOPER_PIPELINE_MB", 64);
+    let reps = env_usize("GALLOPER_REPS", 3);
+    let groups = env_usize("GALLOPER_STREAM_GROUPS", 1);
+    let spec = pipeline_spec();
+    let code = build_code(&spec).expect("valid spec");
+    let message_len = code.message_len();
+
+    let work: PathBuf = work_root().join(format!("galloper-pipeline-{}", std::process::id()));
+    let out_dir = work.join("out");
+    fs::create_dir_all(&out_dir).expect("create work dir");
+    let input = work.join("input.bin");
+    let data = payload(pipeline_mb << 20, 17);
+    fs::write(&input, &data).expect("write input");
+
+    let kernel_mbps = kernel_stage(data.len(), reps);
+    println!(
+        "input: {pipeline_mb} MB   code: galloper(4,2,1) message {message_len} B   \
+         kernel: {} ({:.2} GB/s mul_add)   stream groups: {groups}",
+        kernel::active(),
+        kernel_mbps / 1e3
+    );
+
+    let read_mbps = read_stage(&input, reps);
+    let encode_mbps = encode_stage(&data, &spec, groups, reps);
+    let write_mbps = write_stage(
+        &out_dir,
+        &data[..(4 << 20).min(data.len())],
+        &spec,
+        groups,
+        reps,
+    );
+    println!("  stage read    {read_mbps:>10.0} MB/s");
+    println!("  stage encode  {encode_mbps:>10.0} MB/s");
+    println!("  stage write   {write_mbps:>10.0} MB/s (block bytes)");
+
+    let mut rows: Vec<Json> = vec![
+        Json::object()
+            .field("stage", "read")
+            .field("mbps", read_mbps),
+        Json::object()
+            .field("stage", "encode")
+            .field("mbps", encode_mbps),
+        Json::object()
+            .field("stage", "write")
+            .field("mbps", write_mbps),
+    ];
+
+    let mut modes = vec![IoMode::Read, IoMode::Buffered];
+    if galloper_cli::ingest::mmap_supported() {
+        modes.insert(0, IoMode::Mmap);
+    }
+    let mut best_e2e = 0.0f64;
+    for mode in modes {
+        let e2e = e2e_stage(&input, &out_dir, &spec, mode, reps);
+        best_e2e = best_e2e.max(e2e);
+        println!("  e2e {:<9} {e2e:>10.0} MB/s", mode.as_str());
+        rows.push(
+            Json::object()
+                .field("stage", "e2e")
+                .field("io_mode", mode.as_str())
+                .field("mbps", e2e),
+        );
+    }
+    // Encoding one input byte costs `n - k` full mul_add passes (each
+    // of the parity blocks combines every data block), so an encoder at
+    // X MB/s of input drives the kernel at `(n - k) · X` MB/s. `gap_x`
+    // compares that kernel-work rate to the raw kernel: 1.0x would mean
+    // the pipeline adds zero overhead over the arithmetic itself.
+    let parity_passes = (code.num_blocks() * code.block_len() - message_len) / code.block_len();
+    let gap_x = kernel_mbps / (best_e2e * parity_passes as f64);
+    println!(
+        "end-to-end gap: {gap_x:.2}x off the kernel ceiling (raw kernel {kernel_mbps:.0} MB/s, \
+         best e2e {best_e2e:.0} MB/s x {parity_passes} parity passes)"
+    );
+
+    let doc = Json::object()
+        .field("bench", "pipeline")
+        .field("pipeline_mb", pipeline_mb as u64)
+        .field("file_bytes", data.len() as u64)
+        .field("message_len", message_len as u64)
+        .field("stream_groups", groups as u64)
+        .field("reps", reps as u64)
+        .field("kernel_mul_add_gbps", kernel_mbps / 1e3)
+        .field("gap_x", gap_x)
+        .field("rows", Json::Arr(rows));
+    emit_json("pipeline", &doc);
+
+    let _ = fs::remove_dir_all(&work);
+}

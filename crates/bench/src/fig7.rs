@@ -165,11 +165,12 @@ pub fn stream_times(
                 std::hint::black_box(codec.encode_object(&data).unwrap());
             });
             let stream_secs = time_mean(reps, || {
-                let sink =
-                    |_g: usize, blocks: &[Vec<u8>]| -> Result<(), core::convert::Infallible> {
-                        std::hint::black_box(blocks.last().map(Vec::len));
-                        Ok(())
-                    };
+                let sink = |_g: usize,
+                            blocks: &[galloper_erasure::AlignedBuf]|
+                 -> Result<(), core::convert::Infallible> {
+                    std::hint::black_box(blocks.last().map(|b| b.len()));
+                    Ok(())
+                };
                 let mut encoder =
                     StripeEncoder::new(codec.code(), sink).with_concurrency(concurrency);
                 encoder.push(&data).unwrap();

@@ -1,0 +1,262 @@
+//! File-ingest strategies for the zero-copy encode pipeline.
+//!
+//! `galloper encode` feeds whole coding groups straight from the source
+//! file into the [`StripeEncoder`](galloper_erasure::stream::StripeEncoder)
+//! with no intermediate staging copy. How the source bytes become
+//! message-sized slices is the [`IoMode`], selected by the
+//! `GALLOPER_IO_MODE` environment variable:
+//!
+//! | value | strategy |
+//! |---|---|
+//! | `mmap` (default) | map the file read-only ([`Mmap`]) and encode directly out of the page cache |
+//! | `read` | `read(2)` into one recycled page-aligned buffer, encode out of it |
+//! | `buffered` | the pre-zero-copy path: 1 MiB chunks staged into pooled message buffers |
+//!
+//! `mmap` falls back to `read` automatically when mapping is unavailable
+//! (non-Unix target, empty file, or a filesystem that refuses to map).
+//!
+//! This module owns the crate's only `unsafe` code (crate policy:
+//! `deny(unsafe_code)` with a written safety argument at every allowed
+//! site). The raw `mmap(2)`/`munmap(2)` calls are declared directly —
+//! the workspace deliberately carries no FFI-binding dependency — and
+//! are confined to 64-bit Unix targets where the declared ABI
+//! (`off_t` = `i64`) is correct.
+
+/// How `encode` moves bytes from the source file into the encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Memory-map the input and encode directly from the mapping.
+    Mmap,
+    /// `read(2)` into a recycled page-aligned buffer and encode from it.
+    Read,
+    /// Stage through the encoder's pooled message buffers in 1 MiB
+    /// chunks (the pre-zero-copy behaviour, kept as the comparison
+    /// baseline and for exotic non-seekable inputs).
+    Buffered,
+}
+
+impl IoMode {
+    /// Parses a `GALLOPER_IO_MODE` value.
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "mmap" => Some(IoMode::Mmap),
+            "read" => Some(IoMode::Read),
+            "buffered" => Some(IoMode::Buffered),
+            _ => None,
+        }
+    }
+
+    /// The wire/env name of this mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoMode::Mmap => "mmap",
+            IoMode::Read => "read",
+            IoMode::Buffered => "buffered",
+        }
+    }
+
+    /// The mode selected by `GALLOPER_IO_MODE`, defaulting to [`IoMode::Mmap`]
+    /// where mapping is supported and [`IoMode::Read`] elsewhere.
+    /// Unrecognized values warn to stderr and use the default.
+    pub fn from_env() -> IoMode {
+        let default = if mmap_supported() {
+            IoMode::Mmap
+        } else {
+            IoMode::Read
+        };
+        match std::env::var("GALLOPER_IO_MODE") {
+            Ok(v) => IoMode::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "galloper: GALLOPER_IO_MODE={v:?} is not one of \
+                     mmap|read|buffered; using {}",
+                    default.as_str()
+                );
+                default
+            }),
+            Err(_) => default,
+        }
+    }
+}
+
+/// Whether [`Mmap::map`] can succeed on this target.
+pub fn mmap_supported() -> bool {
+    cfg!(all(unix, target_pointer_width = "64"))
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    //! Read-only private file mappings over raw `mmap(2)`.
+
+    use std::ffi::{c_int, c_void};
+    use std::fs;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+    use std::ptr::NonNull;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    #[allow(unsafe_code)]
+    // SAFETY: these are the C library's own `mmap`/`munmap`, declared with
+    // the 64-bit Unix ABI (`off_t` = `i64`); the enclosing module is
+    // compiled only for such targets. Rust programs on Unix always link
+    // libc, so the symbols resolve without any added dependency.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A read-only, private memory mapping of a whole file.
+    ///
+    /// The mapping's length is captured at `map` time. Like every
+    /// mmap-consuming tool, reads fault in pages lazily from the page
+    /// cache; truncating the file from another process while the map is
+    /// live turns reads past the new end into `SIGBUS` — `encode`
+    /// assumes the input is stable for the duration, the same contract
+    /// `read(2)`-based ingest has for a consistent result.
+    #[derive(Debug)]
+    pub struct Mmap {
+        ptr: NonNull<u8>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only (`PROT_READ`) and `Mmap` uniquely
+    // owns it; concurrent shared reads and cross-thread moves are as safe
+    // as for `&[u8]`/`Box<[u8]>`.
+    #[allow(unsafe_code)]
+    unsafe impl Send for Mmap {}
+    #[allow(unsafe_code)]
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only. Returns `Ok(None)` for an empty file
+        /// (zero-length mappings are invalid).
+        ///
+        /// # Errors
+        ///
+        /// The OS error when the kernel refuses the mapping.
+        #[allow(unsafe_code)]
+        pub fn map(file: &fs::File) -> io::Result<Option<Mmap>> {
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(None);
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::other("file too large to map on this target"))?;
+            // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of `len > 0`
+            // bytes over a valid open fd; we pass a null hint so the
+            // kernel chooses the address. The result is checked against
+            // MAP_FAILED (-1) before use.
+            let raw = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if raw == usize::MAX as *mut c_void {
+                return Err(io::Error::last_os_error());
+            }
+            let ptr = NonNull::new(raw.cast::<u8>())
+                .ok_or_else(|| io::Error::other("mmap returned null"))?;
+            Ok(Some(Mmap { ptr, len }))
+        }
+
+        /// The mapped bytes.
+        #[allow(unsafe_code)]
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes (established in `map`, released only in `drop`), and
+            // file-backed pages are initialized memory.
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        #[allow(unsafe_code)]
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly the region returned by `mmap` in
+            // `map`, at most once. Failure is ignored as in every mmap
+            // wrapper: the only causes are invalid arguments, which the
+            // type's invariants rule out.
+            unsafe {
+                munmap(self.ptr.as_ptr().cast(), self.len);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+pub use sys::Mmap;
+
+/// Stub for targets without mapping support: [`Mmap::map`] always
+/// reports unsupported, and callers fall back to [`IoMode::Read`].
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+#[derive(Debug)]
+pub struct Mmap {}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+impl Mmap {
+    /// Always fails: mapping is unsupported on this target.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::Unsupported`], unconditionally.
+    pub fn map(_file: &std::fs::File) -> std::io::Result<Option<Mmap>> {
+        Err(std::io::Error::from(std::io::ErrorKind::Unsupported))
+    }
+
+    /// The mapped bytes (unreachable on this target).
+    pub fn as_slice(&self) -> &[u8] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    use std::fs;
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    use std::io::Write as _;
+
+    #[test]
+    fn io_mode_parses_and_defaults() {
+        assert_eq!(IoMode::parse("mmap"), Some(IoMode::Mmap));
+        assert_eq!(IoMode::parse("READ"), Some(IoMode::Read));
+        assert_eq!(IoMode::parse("Buffered"), Some(IoMode::Buffered));
+        assert_eq!(IoMode::parse("directio"), None);
+        for mode in [IoMode::Mmap, IoMode::Read, IoMode::Buffered] {
+            assert_eq!(IoMode::parse(mode.as_str()), Some(mode));
+        }
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn mmap_reflects_file_contents_and_handles_empty() {
+        let path = std::env::temp_dir().join(format!("galloper-mmap-{}", std::process::id()));
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(&data).unwrap();
+        drop(f);
+        let f = fs::File::open(&path).unwrap();
+        let map = Mmap::map(&f).unwrap().expect("non-empty file maps");
+        assert_eq!(map.as_slice(), &data[..]);
+        drop(map);
+
+        fs::write(&path, []).unwrap();
+        let f = fs::File::open(&path).unwrap();
+        assert!(Mmap::map(&f).unwrap().is_none(), "empty files do not map");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -13,15 +13,24 @@
 //! these functions, so everything here is unit-testable without spawning
 //! processes.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap-backed file ingest
+// (`ingest::sys`) declares two libc calls and carries a written safety
+// argument at every `#[allow(unsafe_code)]` site, matching the kernel
+// dispatch policy in `galloper-gf`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod benchdiff;
+pub mod ingest;
 mod manifest;
 mod ops;
 pub mod serve;
 pub mod stat;
 
 pub use galloper_codes::{build_code, BoxedCode, BuildError, CodeSpec};
+pub use ingest::IoMode;
 pub use manifest::{Manifest, ManifestError};
-pub use ops::{check, decode_file, encode_file, fsck, inspect, repair_block, CliError};
+pub use ops::{
+    check, decode_file, encode_file, encode_file_with_mode, fsck, inspect, repair_block,
+    BlockFileSink, CliError,
+};

@@ -11,15 +11,34 @@
 //! object's size. `GALLOPER_STREAM_GROUPS=N` overlaps N groups across
 //! threads during encode (default 1: each group's encode already fans
 //! its rows across threads internally).
+//!
+//! Encode runs the zero-copy pipeline: source bytes enter the encoder
+//! straight from a file mapping or a page-aligned read buffer
+//! (`GALLOPER_IO_MODE`, see [`crate::ingest`]), and each batch of
+//! encoded groups leaves through **one vectored write per block file**
+//! ([`BlockFileSink`]). The stages feed the `pipeline.*` metrics:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `pipeline.bytes_in` | counter | source bytes entering encode |
+//! | `pipeline.bytes_out` | counter | encoded bytes written to block files |
+//! | `pipeline.read_us` | histogram | per-batch source read latency (`read`/`buffered` modes) |
+//! | `pipeline.write_us` | histogram | per-batch vectored block-file write latency |
 
 use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use galloper_codes::BuildError;
-use galloper_erasure::stream::{StreamError, StripeDecoder, StripeEncoder, StripeReconstructor};
+use galloper_erasure::stream::{
+    write_all_vectored, AlignedBuf, GroupSink, StreamError, StripeDecoder, StripeEncoder,
+    StripeReconstructor,
+};
 use galloper_erasure::{ErasureCode, ObjectManifest};
+use galloper_obs::{counter, global};
 
+use crate::ingest::{IoMode, Mmap};
 use crate::{build_code, CodeSpec, Manifest, ManifestError};
 
 use core::fmt;
@@ -141,52 +160,178 @@ fn stream_groups() -> usize {
         .unwrap_or(1)
 }
 
-/// Bytes read from the input file per `push` — independent of the code's
-/// message size, so CLI memory stays flat for any code.
+/// Bytes read from the input file per `push` in
+/// [`IoMode::Buffered`] — independent of the code's message size, so
+/// CLI memory stays flat for any code.
 const READ_CHUNK: usize = 1 << 20;
+
+/// A [`GroupSink`] writing each block's bytes to its own file, one
+/// **vectored syscall per block file per batch**: a batch of `B` encoded
+/// groups costs `num_blocks` `writev(2)` calls, not `B × num_blocks`
+/// buffered copies. Feeds `pipeline.bytes_out` / `pipeline.write_us`.
+#[derive(Debug)]
+pub struct BlockFileSink {
+    files: Vec<fs::File>,
+}
+
+impl BlockFileSink {
+    /// A sink appending to `files` (one per block, in block order).
+    pub fn new(files: Vec<fs::File>) -> BlockFileSink {
+        BlockFileSink { files }
+    }
+
+    /// A sink creating `block_<i>.bin` files in `dir` for an `n`-block
+    /// code.
+    ///
+    /// # Errors
+    ///
+    /// Any file-creation failure.
+    pub fn create(dir: &Path, n: usize) -> io::Result<BlockFileSink> {
+        let mut files = Vec::with_capacity(n);
+        for b in 0..n {
+            files.push(fs::File::create(block_path(dir, b))?);
+        }
+        Ok(BlockFileSink::new(files))
+    }
+}
+
+impl GroupSink for BlockFileSink {
+    type Error = io::Error;
+
+    fn group(&mut self, _group: usize, blocks: &[AlignedBuf]) -> Result<(), io::Error> {
+        let t0 = Instant::now();
+        let mut bytes = 0u64;
+        for (file, block) in self.files.iter_mut().zip(blocks) {
+            file.write_all(block)?;
+            bytes += block.len() as u64;
+        }
+        counter!("pipeline.bytes_out", bytes);
+        global()
+            .histogram("pipeline.write_us")
+            .record(t0.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    fn batch(&mut self, _first_group: usize, groups: &[Vec<AlignedBuf>]) -> Result<(), io::Error> {
+        let t0 = Instant::now();
+        let mut bytes = 0u64;
+        for (b, file) in self.files.iter_mut().enumerate() {
+            let mut slices: Vec<IoSlice<'_>> = groups
+                .iter()
+                .map(|blocks| IoSlice::new(&blocks[b]))
+                .collect();
+            bytes += slices.iter().map(|s| s.len() as u64).sum::<u64>();
+            write_all_vectored(file, &mut slices)?;
+        }
+        counter!("pipeline.bytes_out", bytes);
+        global()
+            .histogram("pipeline.write_us")
+            .record(t0.elapsed().as_micros() as u64);
+        Ok(())
+    }
+}
 
 /// Encodes `input` into `out_dir` with the given code, writing one block
 /// file per block and a manifest. Returns the manifest.
 ///
-/// The input streams through a [`StripeEncoder`] one coding group at a
-/// time: block bytes are appended to the block files as each group
-/// completes, and buffers are recycled between groups, so peak memory is
-/// a few coding groups even for arbitrarily large inputs.
+/// The ingest strategy comes from `GALLOPER_IO_MODE` (see
+/// [`crate::ingest::IoMode::from_env`]); everything else is
+/// [`encode_file_with_mode`].
 ///
 /// # Errors
 ///
 /// [`CliError`] on invalid spec, I/O failure, or coding failure.
 pub fn encode_file(input: &Path, out_dir: &Path, spec: &CodeSpec) -> Result<Manifest, CliError> {
+    encode_file_with_mode(input, out_dir, spec, IoMode::from_env())
+}
+
+/// [`encode_file`] with an explicit ingest mode — the entry point for
+/// tests and benchmarks that must pin the mode regardless of the
+/// environment.
+///
+/// The input streams through a [`StripeEncoder`] one coding group at a
+/// time. In `mmap` mode whole messages are encoded directly out of the
+/// file mapping ([`StripeEncoder::push_messages`] — zero staging
+/// copies); `read` mode stages batches through one recycled page-aligned
+/// buffer; `buffered` preserves the original copy-through-the-pool path.
+/// Encoded batches leave through [`BlockFileSink`], one vectored write
+/// per block file. Peak memory is a few coding groups regardless of
+/// input size in every mode.
+///
+/// # Errors
+///
+/// [`CliError`] on invalid spec, I/O failure, or coding failure.
+pub fn encode_file_with_mode(
+    input: &Path,
+    out_dir: &Path,
+    spec: &CodeSpec,
+    mode: IoMode,
+) -> Result<Manifest, CliError> {
     let code = build_code(spec)?;
     fs::create_dir_all(out_dir)?;
-    let n = code.num_blocks();
-    let mut writers = Vec::with_capacity(n);
-    for b in 0..n {
-        writers.push(io::BufWriter::new(fs::File::create(block_path(
-            out_dir, b,
-        ))?));
-    }
-    let sink = |_: usize, blocks: &[Vec<u8>]| -> Result<(), io::Error> {
-        for (writer, block) in writers.iter_mut().zip(blocks) {
-            writer.write_all(block)?;
-        }
-        Ok(())
+    let sink = BlockFileSink::create(out_dir, code.num_blocks())?;
+    let groups = stream_groups();
+    let mut encoder = StripeEncoder::new(&code, sink).with_concurrency(groups);
+    let message_len = code.message_len();
+    let read_hist = global().histogram("pipeline.read_us");
+    let mut file = fs::File::open(input)?;
+
+    // `mmap` silently degrades to `read` where mapping cannot work; the
+    // encoded bytes are identical in every mode.
+    let mode = match mode {
+        IoMode::Mmap if !crate::ingest::mmap_supported() => IoMode::Read,
+        m => m,
     };
-    let mut encoder = StripeEncoder::new(&code, sink).with_concurrency(stream_groups());
-    let mut reader = fs::File::open(input)?;
-    let mut chunk = vec![0u8; READ_CHUNK];
-    loop {
-        let read = reader.read(&mut chunk)?;
-        if read == 0 {
-            break;
+    match mode {
+        IoMode::Mmap => {
+            // `map` returns `None` for an empty file; `finish` below
+            // then emits the single all-zero group.
+            if let Some(map) = Mmap::map(&file)? {
+                let bytes = map.as_slice();
+                counter!("pipeline.bytes_in", bytes.len() as u64);
+                let whole = bytes.chunks_exact(message_len);
+                let tail = whole.remainder();
+                let msgs: Vec<&[u8]> = whole.collect();
+                encoder.push_messages(&msgs)?;
+                encoder.push(tail)?;
+            }
         }
-        encoder.push(&chunk[..read])?;
+        IoMode::Read => {
+            // One aligned buffer holding a whole batch of messages; full
+            // messages encode straight out of it (no per-message copy),
+            // and only the final ragged tail goes through `push`.
+            let mut buf = AlignedBuf::zeroed(message_len.saturating_mul(groups.max(1)));
+            loop {
+                let t0 = Instant::now();
+                let filled = read_full(&mut file, &mut buf)?;
+                read_hist.record(t0.elapsed().as_micros() as u64);
+                if filled == 0 {
+                    break;
+                }
+                counter!("pipeline.bytes_in", filled as u64);
+                let whole = buf[..filled].chunks_exact(message_len);
+                let tail = whole.remainder();
+                let msgs: Vec<&[u8]> = whole.collect();
+                encoder.push_messages(&msgs)?;
+                encoder.push(tail)?;
+            }
+        }
+        IoMode::Buffered => {
+            let mut chunk = vec![0u8; READ_CHUNK];
+            loop {
+                let t0 = Instant::now();
+                let read = file.read(&mut chunk)?;
+                read_hist.record(t0.elapsed().as_micros() as u64);
+                if read == 0 {
+                    break;
+                }
+                counter!("pipeline.bytes_in", read as u64);
+                encoder.push(&chunk[..read])?;
+            }
+        }
     }
-    // `_` drops the returned sink here, releasing its borrow of `writers`.
-    let (object, _) = encoder.finish()?;
-    for mut writer in writers {
-        writer.flush()?;
-    }
+    let (object, sink) = encoder.finish()?;
+    drop(sink);
     let manifest = Manifest {
         spec: spec.clone(),
         object_len: object.object_len,
@@ -194,6 +339,21 @@ pub fn encode_file(input: &Path, out_dir: &Path, spec: &CodeSpec) -> Result<Mani
     };
     fs::write(manifest_path(out_dir), manifest.to_text())?;
     Ok(manifest)
+}
+
+/// Reads until `buf` is full or EOF, returning the bytes read (a short
+/// count only at end of file).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
 }
 
 /// Opens the block file for `block`, verifying its size. Returns `None`

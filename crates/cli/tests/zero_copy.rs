@@ -1,0 +1,123 @@
+//! The zero-copy contract: every ingest mode writes the same bytes.
+//!
+//! `galloper encode` picks between three ingest strategies
+//! (`GALLOPER_IO_MODE`: mmap / read / buffered) that differ in how
+//! source bytes reach the encoder — direct from a file mapping, through
+//! one recycled page-aligned buffer, or via the pre-zero-copy pooled
+//! path. The property this suite pins: the strategy is invisible in the
+//! output. For every code family and input lengths chosen to straddle
+//! the message boundary (empty, one byte, message ± 1, several groups
+//! plus a ragged tail), all modes must produce byte-identical block
+//! files and manifests, and the encoded directory must decode back to
+//! the exact input.
+
+use std::fs;
+use std::path::Path;
+
+use galloper_cli::{build_code, decode_file, encode_file_with_mode, CodeSpec, IoMode};
+use galloper_erasure::ErasureCode;
+use galloper_testkit::TestRng;
+
+fn families() -> Vec<(&'static str, CodeSpec)> {
+    vec![
+        ("rs", CodeSpec::rs(4, 2, 96)),
+        ("pyramid", CodeSpec::pyramid(4, 2, 1, 96)),
+        ("carousel", CodeSpec::carousel(4, 2, 96)),
+        ("galloper", CodeSpec::galloper(4, 2, 1, 96)),
+        ("galloper-asl", CodeSpec::galloper_asl(4, 2, 1, 96)),
+    ]
+}
+
+/// Every file in `dir` as `(name, bytes)`, sorted by name — block files
+/// and the manifest together, so a comparison covers both.
+fn snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .expect("read encoded dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().into_string().expect("utf-8 file name");
+            (name, fs::read(e.path()).expect("read encoded file"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn encode_into(
+    root: &Path,
+    label: &str,
+    input: &Path,
+    spec: &CodeSpec,
+    mode: IoMode,
+) -> Vec<(String, Vec<u8>)> {
+    let dir = root.join(label);
+    encode_file_with_mode(input, &dir, spec, mode).expect("encode");
+    snapshot(&dir)
+}
+
+#[test]
+fn all_io_modes_write_identical_blocks_and_manifest() {
+    let tmp = tempdir("zero-copy-modes");
+    let mut rng = TestRng::new(0xC0DE);
+    for (family, spec) in families() {
+        let message_len = build_code(&spec).expect("valid spec").message_len();
+        for len in [
+            0,
+            1,
+            message_len - 1,
+            message_len,
+            message_len + 1,
+            3 * message_len + 7,
+        ] {
+            let case = tmp.join(format!("{family}-{len}"));
+            fs::create_dir_all(&case).expect("create case dir");
+            let input = case.join("input.bin");
+            let data = rng.bytes(len);
+            fs::write(&input, &data).expect("write input");
+
+            // `buffered` is the pre-zero-copy reference path; the two
+            // zero-copy ingests must be indistinguishable from it.
+            let reference = encode_into(&case, "buffered", &input, &spec, IoMode::Buffered);
+            for mode in [IoMode::Read, IoMode::Mmap] {
+                let got = encode_into(&case, mode.as_str(), &input, &spec, mode);
+                assert_eq!(
+                    got,
+                    reference,
+                    "{family} len={len}: {} output differs from buffered",
+                    mode.as_str()
+                );
+            }
+
+            let back = case.join("decoded.bin");
+            decode_file(&case.join("mmap"), &back).expect("decode");
+            assert_eq!(
+                fs::read(&back).expect("read decoded"),
+                data,
+                "{family} len={len}: decode of zero-copy output is not the input"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn io_mode_env_values_parse_to_the_documented_strategies() {
+    for (value, mode) in [
+        ("mmap", IoMode::Mmap),
+        ("read", IoMode::Read),
+        ("buffered", IoMode::Buffered),
+        ("MMAP", IoMode::Mmap),
+        ("Buffered", IoMode::Buffered),
+    ] {
+        assert_eq!(IoMode::parse(value), Some(mode), "value {value:?}");
+    }
+    assert_eq!(IoMode::parse("o_direct"), None);
+    assert_eq!(IoMode::parse(""), None);
+}
+
+fn tempdir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("galloper-{label}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

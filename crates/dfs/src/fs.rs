@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use galloper_erasure::stream::{StreamError, StripeDecoder, StripeEncoder};
+use galloper_erasure::stream::{AlignedBuf, StreamError, StripeDecoder, StripeEncoder};
 use galloper_erasure::{
     AsLinearCode, CodeError, ErasureCode, ObjectCodec, ObjectManifest, ReadStats,
 };
@@ -552,7 +552,7 @@ impl<C: ErasureCode, S: BlockStore> Dfs<C, S> {
         } = self;
         let mut placements: Vec<Vec<usize>> = Vec::new();
         let mut bytes_stored = 0u64;
-        let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), DfsError> {
+        let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), DfsError> {
             let servers = place_group(health, stores, blocks.len(), id.0 + g)?;
             for (b, block) in blocks.iter().enumerate() {
                 block_bytes_hist().record(block.len() as u64);
@@ -563,7 +563,14 @@ impl<C: ErasureCode, S: BlockStore> Dfs<C, S> {
             Ok(())
         };
         let mut encoder = StripeEncoder::new(codec.code(), sink);
-        encoder.push(data).map_err(put_error)?;
+        // Whole messages encode straight out of `data` (no staging copy);
+        // only the ragged tail is staged and padded.
+        let message_len = codec.code().message_len();
+        let whole = data.chunks_exact(message_len);
+        let tail = whole.remainder();
+        let msgs: Vec<&[u8]> = whole.collect();
+        encoder.push_messages(&msgs).map_err(put_error)?;
+        encoder.push(tail).map_err(put_error)?;
         let (manifest, _) = encoder.finish().map_err(put_error)?;
         global().counter("dfs.bytes_written").add(bytes_stored);
         report.bytes_out = bytes_stored;

@@ -29,8 +29,10 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{IoSlice, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+use galloper_erasure::stream::write_all_vectored;
 
 use crate::crc::crc32;
 
@@ -316,9 +318,14 @@ impl BlockStore for DiskStore {
         let tmp = self.root.join(format!(".tmp-{key}"));
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(&DISK_MAGIC)?;
-            f.write_all(&crc32(bytes).to_le_bytes())?;
-            f.write_all(bytes)?;
+            // Header and payload leave in one vectored syscall: the
+            // payload is never copied into a staging buffer, which is
+            // what keeps networked puts on the zero-copy path.
+            let mut header = [0u8; DISK_HEADER];
+            header[..4].copy_from_slice(&DISK_MAGIC);
+            header[4..].copy_from_slice(&crc32(bytes).to_le_bytes());
+            let mut slices = [IoSlice::new(&header), IoSlice::new(bytes)];
+            write_all_vectored(&mut f, &mut slices)?;
             f.sync_data()?;
         }
         fs::rename(&tmp, &path)?;

@@ -53,30 +53,38 @@ pub trait ErasureCode {
     /// [`CodeError::InvalidDataLength`] if `data.len() != message_len()`.
     fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError>;
 
-    /// Encodes `data` into caller-provided block buffers, resizing each
-    /// buffer to [`ErasureCode::block_len`].
+    /// Encodes `data` into caller-provided block buffers, each exactly
+    /// [`ErasureCode::block_len`] bytes.
     ///
-    /// This is the buffer-recycling entry point used by the streaming
-    /// drivers in [`stream`](crate::stream): callers checkout buffers
-    /// from a [`BufferPool`](crate::stream::BufferPool) and encode coding
-    /// group after coding group with no per-group allocation. The default
-    /// implementation delegates to [`ErasureCode::encode`] and moves the
-    /// resulting blocks into the buffers; [`LinearCode`](crate::LinearCode)
-    /// overrides it to write into the buffers directly.
+    /// This is the zero-copy entry point used by the streaming drivers in
+    /// [`stream`](crate::stream): callers checkout page-aligned buffers
+    /// from an [`AlignedPool`](crate::stream::AlignedPool) and encode
+    /// coding group after coding group with no per-group allocation. The
+    /// buffers are plain mutable byte slices, so any backing storage
+    /// works — pooled aligned buffers, `Vec`s, or views into a larger
+    /// mapping. The default implementation delegates to
+    /// [`ErasureCode::encode`] and copies the resulting blocks into the
+    /// buffers; [`LinearCode`](crate::LinearCode) overrides it to write
+    /// into the buffers directly.
     ///
     /// # Errors
     ///
     /// * [`CodeError::InvalidDataLength`] if `data.len() != message_len()`.
     /// * [`CodeError::WrongBlockCount`] if `blocks.len() != num_blocks()`.
-    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+    /// * [`CodeError::BlockSizeMismatch`] if any buffer is not exactly
+    ///   `block_len()` bytes.
+    fn encode_into(&self, data: &[u8], blocks: &mut [&mut [u8]]) -> Result<(), CodeError> {
         if blocks.len() != self.num_blocks() {
             return Err(CodeError::WrongBlockCount {
                 got: blocks.len(),
                 expected: self.num_blocks(),
             });
         }
+        if blocks.iter().any(|b| b.len() != self.block_len()) {
+            return Err(CodeError::BlockSizeMismatch);
+        }
         for (dst, src) in blocks.iter_mut().zip(self.encode(data)?) {
-            *dst = src;
+            dst.copy_from_slice(&src);
         }
         Ok(())
     }
@@ -156,7 +164,7 @@ impl<T: ErasureCode + ?Sized> ErasureCode for Box<T> {
     fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
         (**self).encode(data)
     }
-    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+    fn encode_into(&self, data: &[u8], blocks: &mut [&mut [u8]]) -> Result<(), CodeError> {
         (**self).encode_into(data, blocks)
     }
     fn decode(&self, blocks: &[Option<&[u8]>]) -> Result<Vec<u8>, CodeError> {
@@ -264,17 +272,28 @@ mod tests {
     #[test]
     fn default_encode_into_fills_buffers() {
         let c = Replica { len: 4 };
-        let mut bufs = vec![vec![0xAA; 9], Vec::new()];
+        let (mut b0, mut b1) = ([0xAAu8; 4], [0u8; 4]);
+        let mut bufs: Vec<&mut [u8]> = vec![&mut b0, &mut b1];
         c.encode_into(b"abcd", &mut bufs).unwrap();
-        assert_eq!(bufs, vec![b"abcd".to_vec(), b"abcd".to_vec()]);
+        assert_eq!(&b0, b"abcd");
+        assert_eq!(&b1, b"abcd");
 
-        let mut wrong = vec![Vec::new()];
+        let mut lone = [0u8; 4];
+        let mut wrong: Vec<&mut [u8]> = vec![&mut lone];
         assert!(matches!(
             c.encode_into(b"abcd", &mut wrong),
             Err(CodeError::WrongBlockCount {
                 got: 1,
                 expected: 2
             })
+        ));
+
+        let mut short = [0u8; 3];
+        let mut long = [0u8; 4];
+        let mut sized: Vec<&mut [u8]> = vec![&mut short, &mut long];
+        assert!(matches!(
+            c.encode_into(b"abcd", &mut sized),
+            Err(CodeError::BlockSizeMismatch)
         ));
     }
 }

@@ -273,12 +273,13 @@ impl ErasureCode for LinearCode {
     }
 
     fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
-        let mut blocks: Vec<Vec<u8>> = (0..self.n).map(|_| Vec::new()).collect();
-        self.encode_into(data, &mut blocks)?;
+        let mut blocks: Vec<Vec<u8>> = (0..self.n).map(|_| vec![0u8; self.block_len()]).collect();
+        let mut views: Vec<&mut [u8]> = blocks.iter_mut().map(|b| b.as_mut_slice()).collect();
+        self.encode_into(data, &mut views)?;
         Ok(blocks)
     }
 
-    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+    fn encode_into(&self, data: &[u8], blocks: &mut [&mut [u8]]) -> Result<(), CodeError> {
         if data.len() != self.message_len() {
             return Err(CodeError::InvalidDataLength {
                 got: data.len(),
@@ -291,13 +292,13 @@ impl ErasureCode for LinearCode {
                 expected: self.n,
             });
         }
+        if blocks.iter().any(|b| b.len() != self.block_len()) {
+            return Err(CodeError::BlockSizeMismatch);
+        }
         let _t = galloper_obs::global().timer("erasure.encode_us");
         counter!("erasure.encode.calls", 1);
         counter!("erasure.encode.bytes", data.len());
         let inputs = self.split_stripes(data);
-        for block in blocks.iter_mut() {
-            block.resize(self.block_len(), 0);
-        }
         // One output slice per generator row: stripe s of block b lives at
         // byte range [s·stripe, (s+1)·stripe) of block b's buffer, so the
         // matrix product writes every block in place with no intermediate
@@ -510,7 +511,7 @@ macro_rules! delegate_erasure_code {
             fn encode_into(
                 &self,
                 data: &[u8],
-                blocks: &mut [Vec<u8>],
+                blocks: &mut [&mut [u8]],
             ) -> Result<(), $crate::CodeError> {
                 self.$field.encode_into(data, blocks)
             }
@@ -581,11 +582,14 @@ mod tests {
         let code = xor_code(4);
         let data = b"abcdefgh";
         let fresh = code.encode(data).unwrap();
-        let mut bufs: Vec<Vec<u8>> = (0..3).map(|_| vec![0xEE; 11]).collect();
-        code.encode_into(data, &mut bufs).unwrap();
+        let mut bufs: Vec<Vec<u8>> = (0..3).map(|_| vec![0xEE; 4]).collect();
+        let mut views: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        code.encode_into(data, &mut views).unwrap();
         assert_eq!(bufs, fresh);
 
-        let mut wrong = vec![Vec::new(); 2];
+        let mut w0 = [0u8; 4];
+        let mut w1 = [0u8; 4];
+        let mut wrong: Vec<&mut [u8]> = vec![&mut w0, &mut w1];
         assert!(matches!(
             code.encode_into(data, &mut wrong),
             Err(CodeError::WrongBlockCount {
@@ -593,9 +597,16 @@ mod tests {
                 expected: 3
             })
         ));
+        let mut views: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
         assert!(matches!(
-            code.encode_into(b"short", &mut bufs),
+            code.encode_into(b"short", &mut views),
             Err(CodeError::InvalidDataLength { .. })
+        ));
+        let mut ragged: Vec<Vec<u8>> = vec![vec![0; 4], vec![0; 4], vec![0; 5]];
+        let mut views: Vec<&mut [u8]> = ragged.iter_mut().map(|b| b.as_mut_slice()).collect();
+        assert!(matches!(
+            code.encode_into(data, &mut views),
+            Err(CodeError::BlockSizeMismatch)
         ));
     }
 

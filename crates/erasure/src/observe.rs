@@ -77,7 +77,7 @@ impl<C: ErasureCode> ErasureCode for Observed<C> {
         self.inner.encode(data)
     }
 
-    fn encode_into(&self, data: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
+    fn encode_into(&self, data: &[u8], blocks: &mut [&mut [u8]]) -> Result<(), CodeError> {
         let _t = global().timer(&self.metric("encode_us"));
         global().counter(&self.metric("encode.calls")).inc();
         global()

@@ -16,10 +16,18 @@
 //! * [`StripeReconstructor`] — rebuild one block of every group from its
 //!   repair plan's sources, group by group.
 //!
-//! Block and message buffers are recycled through a [`BufferPool`], so a
-//! steady-state encode performs **no per-group allocation**: peak codec
-//! memory is `O(one coding group × groups in flight)` regardless of the
-//! object's size. [`StripeEncoder::with_concurrency`] additionally
+//! Block and message buffers are page-aligned [`AlignedBuf`]s recycled
+//! through a size-classed [`AlignedPool`], so a steady-state encode
+//! performs **no per-group allocation**: peak codec memory is
+//! `O(one coding group × groups in flight)` regardless of the object's
+//! size. Callers that already hold whole messages contiguously in memory
+//! (a mapped file, an aligned read buffer) can skip the staging copy
+//! entirely with [`StripeEncoder::push_messages`], which encodes
+//! straight out of the caller's bytes. On the output side, sinks receive
+//! whole batches ([`GroupSink::batch`]) so they can turn a batch of
+//! groups into one vectored write per destination;
+//! [`write_all_vectored`] is the shared syscall loop for doing so.
+//! [`StripeEncoder::with_concurrency`] additionally
 //! overlaps whole groups across the persistent worker pool
 //! ([`galloper_linalg::pool::global_pool`]) — no per-group thread spawns;
 //! each group's encode already fans its output rows across the same pool
@@ -42,6 +50,7 @@
 //! `stream.reconstruct_group`) so a whole object's codec work hangs off
 //! the originating DFS operation in the trace.
 
+use std::io::{self, IoSlice, Write};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -50,6 +59,39 @@ use galloper_obs::{counter, global, op, Histogram};
 use crate::{CodeError, ErasureCode, ObjectManifest, RepairPlan};
 
 use core::fmt;
+
+mod aligned;
+
+pub use aligned::{size_class, AlignedBuf, AlignedPool, PAGE_ALIGN};
+
+/// Writes every byte of `slices` to `w` with as few syscalls as the
+/// writer allows — the shared vectored-write loop for the zero-copy
+/// pipeline (block files, `DiskStore` records, network frames). The
+/// slices are consumed in place.
+///
+/// # Errors
+///
+/// Any error from the writer; a writer that reports `Ok(0)` with bytes
+/// remaining surfaces as [`io::ErrorKind::WriteZero`].
+pub fn write_all_vectored<W: Write + ?Sized>(
+    w: &mut W,
+    slices: &mut [IoSlice<'_>],
+) -> io::Result<()> {
+    // Skip slices that are empty from the start, so an all-empty list
+    // never reaches the writer (whose `Ok(0)` would read as `WriteZero`);
+    // `advance_slices` drops any later empties as it passes them.
+    let skip = slices.iter().take_while(|s| s.is_empty()).count();
+    let mut slices = &mut slices[skip..];
+    while !slices.is_empty() {
+        match w.write_vectored(slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => IoSlice::advance_slices(&mut slices, n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// The shared per-group latency histogram, cached so per-group cost is
 /// an atomic bump, not a registry lookup.
@@ -62,85 +104,6 @@ fn group_hist() -> &'static Arc<Histogram> {
 /// so standalone codec runs don't mint operation ids.
 fn group_span(name: &'static str) -> Option<op::OpSpan> {
     op::current().is_active().then(|| op::span(name, "stream"))
-}
-
-/// A small free-list of equally sized byte buffers.
-///
-/// `checkout` hands out a buffer of exactly `buf_len` bytes — recycled
-/// from the free list when possible, freshly allocated (and counted in
-/// the `stream.pool.*` metrics) otherwise. Recycled buffers keep their
-/// previous contents; every driver in this module overwrites buffers
-/// completely before use.
-#[derive(Debug)]
-pub struct BufferPool {
-    buf_len: usize,
-    free: Vec<Vec<u8>>,
-    allocated: u64,
-    reused: u64,
-}
-
-impl BufferPool {
-    /// An empty pool of `buf_len`-byte buffers.
-    pub fn new(buf_len: usize) -> BufferPool {
-        BufferPool {
-            buf_len,
-            free: Vec::new(),
-            allocated: 0,
-            reused: 0,
-        }
-    }
-
-    /// The fixed size of every buffer this pool manages.
-    pub fn buf_len(&self) -> usize {
-        self.buf_len
-    }
-
-    /// Buffers this pool has allocated over its lifetime — the pool's
-    /// peak residency in units of buffers.
-    pub fn allocated(&self) -> u64 {
-        self.allocated
-    }
-
-    /// Checkouts served from the free list instead of the allocator.
-    pub fn reused(&self) -> u64 {
-        self.reused
-    }
-
-    /// Hands out one `buf_len`-byte buffer (contents unspecified).
-    pub fn checkout(&mut self) -> Vec<u8> {
-        if let Some(buf) = self.free.pop() {
-            self.reused += 1;
-            counter!("stream.pool.reuse", 1);
-            return buf;
-        }
-        self.allocated += 1;
-        counter!("stream.pool.alloc", 1);
-        let resident = global().gauge("stream.pool.resident_bytes");
-        resident.add(self.buf_len as i64);
-        let peak = global().gauge("stream.pool.resident_peak_bytes");
-        let now = resident.get();
-        if now > peak.get() {
-            peak.set(now);
-        }
-        vec![0u8; self.buf_len]
-    }
-
-    /// Returns a buffer to the free list for reuse.
-    ///
-    /// The buffer is resized back to `buf_len` so a caller that shrank it
-    /// (e.g. truncating a tail group) cannot poison later checkouts.
-    pub fn give_back(&mut self, mut buf: Vec<u8>) {
-        buf.resize(self.buf_len, 0);
-        self.free.push(buf);
-    }
-}
-
-impl Drop for BufferPool {
-    fn drop(&mut self) {
-        global()
-            .gauge("stream.pool.resident_bytes")
-            .add(-((self.allocated as i64) * self.buf_len as i64));
-    }
 }
 
 /// Errors from the streaming drivers.
@@ -201,12 +164,12 @@ impl<E> From<CodeError> for StreamError<E> {
 
 /// Receives encoded coding groups, in order, from a [`StripeEncoder`].
 ///
-/// The encoder retains ownership of the block buffers (they return to its
-/// [`BufferPool`] after the call), so a sink that needs the bytes beyond
-/// the call must copy them — typically it writes them to files, sockets,
-/// or a block store instead.
+/// The encoder retains ownership of the block buffers (they return to
+/// its [`AlignedPool`] after the call), so a sink that needs the bytes
+/// beyond the call must copy them — typically it writes them to files,
+/// sockets, or a block store instead.
 ///
-/// Any `FnMut(usize, &[Vec<u8>]) -> Result<(), E>` closure is a sink.
+/// Any `FnMut(usize, &[AlignedBuf]) -> Result<(), E>` closure is a sink.
 pub trait GroupSink {
     /// The sink's failure type (e.g. [`std::io::Error`] for file sinks).
     type Error;
@@ -218,16 +181,32 @@ pub trait GroupSink {
     ///
     /// Any sink-specific failure; the encoder surfaces it as
     /// [`StreamError::Sink`] and stops.
-    fn group(&mut self, group: usize, blocks: &[Vec<u8>]) -> Result<(), Self::Error>;
+    fn group(&mut self, group: usize, blocks: &[AlignedBuf]) -> Result<(), Self::Error>;
+
+    /// Accepts a contiguous batch of groups — `groups[i]` is coding
+    /// group `first_group + i`. The encoder delivers whole batches so a
+    /// sink can coalesce them (e.g. one vectored write per block file
+    /// covering every group in the batch); the default simply calls
+    /// [`GroupSink::group`] once per group.
+    ///
+    /// # Errors
+    ///
+    /// As [`GroupSink::group`].
+    fn batch(&mut self, first_group: usize, groups: &[Vec<AlignedBuf>]) -> Result<(), Self::Error> {
+        for (i, blocks) in groups.iter().enumerate() {
+            self.group(first_group + i, blocks)?;
+        }
+        Ok(())
+    }
 }
 
 impl<F, E> GroupSink for F
 where
-    F: FnMut(usize, &[Vec<u8>]) -> Result<(), E>,
+    F: FnMut(usize, &[AlignedBuf]) -> Result<(), E>,
 {
     type Error = E;
 
-    fn group(&mut self, group: usize, blocks: &[Vec<u8>]) -> Result<(), E> {
+    fn group(&mut self, group: usize, blocks: &[AlignedBuf]) -> Result<(), E> {
         self(group, blocks)
     }
 }
@@ -237,27 +216,39 @@ where
 /// Chosen once at construction: the serial strategy works for any code;
 /// the overlapped strategy (selected by [`StripeEncoder::with_concurrency`])
 /// requires `C: Sync` and encodes the batch's groups on the persistent
-/// [`galloper_linalg::pool::global_pool`] workers.
-type BatchFn<C> = fn(&C, &[Vec<u8>], &mut [Vec<Vec<u8>>]) -> Result<(), CodeError>;
+/// [`galloper_linalg::pool::global_pool`] workers. Messages arrive as
+/// plain byte slices, so the same path serves pooled buffers and
+/// zero-copy views into caller memory ([`StripeEncoder::push_messages`]).
+type BatchFn<C> = fn(&C, &[&[u8]], &mut [Vec<AlignedBuf>]) -> Result<(), CodeError>;
+
+fn encode_one_group<C: ErasureCode>(
+    code: &C,
+    msg: &[u8],
+    blocks: &mut [AlignedBuf],
+) -> Result<(), CodeError> {
+    let _span = group_span("stream.encode_group");
+    let t0 = Instant::now();
+    let mut views: Vec<&mut [u8]> = blocks.iter_mut().map(|b| b.as_mut_slice()).collect();
+    code.encode_into(msg, &mut views)?;
+    group_hist().record(t0.elapsed().as_micros() as u64);
+    Ok(())
+}
 
 fn encode_batch_serial<C: ErasureCode>(
     code: &C,
-    batch: &[Vec<u8>],
-    outs: &mut [Vec<Vec<u8>>],
+    batch: &[&[u8]],
+    outs: &mut [Vec<AlignedBuf>],
 ) -> Result<(), CodeError> {
     for (msg, blocks) in batch.iter().zip(outs.iter_mut()) {
-        let _span = group_span("stream.encode_group");
-        let t0 = Instant::now();
-        code.encode_into(msg, blocks)?;
-        group_hist().record(t0.elapsed().as_micros() as u64);
+        encode_one_group(code, msg, blocks)?;
     }
     Ok(())
 }
 
 fn encode_batch_parallel<C: ErasureCode + Sync>(
     code: &C,
-    batch: &[Vec<u8>],
-    outs: &mut [Vec<Vec<u8>>],
+    batch: &[&[u8]],
+    outs: &mut [Vec<AlignedBuf>],
 ) -> Result<(), CodeError> {
     if batch.len() <= 1 {
         return encode_batch_serial(code, batch, outs);
@@ -273,10 +264,7 @@ fn encode_batch_parallel<C: ErasureCode + Sync>(
         .zip(results.iter_mut())
         .map(|((msg, blocks), slot)| {
             Box::new(move || {
-                let _span = group_span("stream.encode_group");
-                let t0 = Instant::now();
-                *slot = code.encode_into(msg, blocks);
-                group_hist().record(t0.elapsed().as_micros() as u64);
+                *slot = encode_one_group(code, msg, blocks);
             }) as galloper_linalg::pool::ScopedTask<'_>
         })
         .collect();
@@ -289,9 +277,13 @@ fn encode_batch_parallel<C: ErasureCode + Sync>(
 ///
 /// Input arrives via [`StripeEncoder::push`] in chunks of any size; each
 /// time a full message accumulates, the group is encoded into recycled
-/// buffers and handed to the [`GroupSink`]. [`StripeEncoder::finish`]
-/// zero-pads the ragged tail (the one place in the workspace where
-/// padding happens), flushes, and returns the [`ObjectManifest`].
+/// page-aligned buffers and handed to the [`GroupSink`]. Callers that
+/// already hold whole messages contiguously (a memory-mapped file, an
+/// aligned read buffer) should use [`StripeEncoder::push_messages`]
+/// instead, which encodes directly from the caller's bytes — no staging
+/// copy at all. [`StripeEncoder::finish`] zero-pads the ragged tail (the
+/// one place in the workspace where padding happens), flushes, and
+/// returns the [`ObjectManifest`].
 ///
 /// Peak memory is `O(message + codeword)` per group in flight — constant
 /// in the object's length.
@@ -299,13 +291,13 @@ fn encode_batch_parallel<C: ErasureCode + Sync>(
 /// # Examples
 ///
 /// ```
-/// use galloper_erasure::stream::StripeEncoder;
+/// use galloper_erasure::stream::{AlignedBuf, StripeEncoder};
 /// use galloper_rs::ReedSolomon;
 ///
 /// let code = ReedSolomon::new(4, 2, 16)?; // message_len = 64
 /// let mut stored: Vec<Vec<Vec<u8>>> = Vec::new();
-/// let mut enc = StripeEncoder::new(&code, |_, blocks: &[Vec<u8>]| {
-///     stored.push(blocks.to_vec());
+/// let mut enc = StripeEncoder::new(&code, |_, blocks: &[AlignedBuf]| {
+///     stored.push(blocks.iter().map(|b| b.to_vec()).collect());
 ///     Ok::<(), std::convert::Infallible>(())
 /// });
 /// enc.push(&[7u8; 100])?; // not a multiple of 64: tail is padded
@@ -321,11 +313,10 @@ pub struct StripeEncoder<'c, C, S> {
     sink: S,
     batch_fn: BatchFn<C>,
     concurrency: usize,
-    messages: BufferPool,
-    blocks: BufferPool,
-    pending: Option<Vec<u8>>,
+    pool: AlignedPool,
+    pending: Option<AlignedBuf>,
     fill: usize,
-    batch: Vec<Vec<u8>>,
+    batch: Vec<AlignedBuf>,
     object_len: usize,
     groups_emitted: usize,
 }
@@ -339,8 +330,7 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
             sink,
             batch_fn: encode_batch_serial::<C>,
             concurrency: 1,
-            messages: BufferPool::new(code.message_len()),
-            blocks: BufferPool::new(code.block_len()),
+            pool: AlignedPool::new(),
             pending: None,
             fill: 0,
             batch: Vec::new(),
@@ -359,14 +349,10 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
         self.groups_emitted
     }
 
-    /// The pool recycling codeword block buffers (for residency stats).
-    pub fn block_pool(&self) -> &BufferPool {
-        &self.blocks
-    }
-
-    /// The pool recycling message buffers (for residency stats).
-    pub fn message_pool(&self) -> &BufferPool {
-        &self.messages
+    /// The size-classed pool recycling message and block buffers (for
+    /// residency stats).
+    pub fn pool(&self) -> &AlignedPool {
+        &self.pool
     }
 
     /// The sink, for inspection mid-stream.
@@ -376,6 +362,11 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
 
     /// Consumes `data`, emitting every coding group that completes.
     ///
+    /// Bytes are staged into a pooled message buffer until a full
+    /// message accumulates — the right entry point for arbitrary chunk
+    /// boundaries. Message-aligned callers avoid the staging copy with
+    /// [`StripeEncoder::push_messages`].
+    ///
     /// # Errors
     ///
     /// [`StreamError::Code`] or [`StreamError::Sink`]; after an error the
@@ -384,7 +375,7 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
         let msg_len = self.code.message_len();
         while !data.is_empty() {
             if self.pending.is_none() {
-                self.pending = Some(self.messages.checkout());
+                self.pending = Some(self.pool.checkout(msg_len));
             }
             let pending = self.pending.as_mut().expect("just filled");
             let take = (msg_len - self.fill).min(data.len());
@@ -404,6 +395,38 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
         Ok(())
     }
 
+    /// Consumes whole messages — each exactly
+    /// [`message_len`](ErasureCode::message_len) bytes — encoding
+    /// directly from the caller's memory with **no staging copy**: the
+    /// zero-copy ingest path for mapped files and aligned read buffers.
+    ///
+    /// If a partial message is already staged (a preceding [`push`]
+    /// ended mid-message), the messages are staged through the buffered
+    /// path instead to preserve byte order.
+    ///
+    /// [`push`]: StripeEncoder::push
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Code`] (e.g. a slice that is not exactly one
+    /// message long) or [`StreamError::Sink`]; after an error the
+    /// encoder should be dropped.
+    pub fn push_messages(&mut self, messages: &[&[u8]]) -> Result<(), StreamError<S::Error>> {
+        if self.fill > 0 {
+            for msg in messages {
+                self.push(msg)?;
+            }
+            return Ok(());
+        }
+        // Deliver any staged full messages first so groups stay ordered.
+        self.flush()?;
+        for chunk in messages.chunks(self.concurrency.max(1)) {
+            self.encode_batch(chunk)?;
+            self.object_len += chunk.iter().map(|m| m.len()).sum::<usize>();
+        }
+        Ok(())
+    }
+
     /// Zero-pads and emits the ragged tail (an empty object still
     /// occupies one all-zero group, exactly as
     /// [`ObjectCodec::encode_object`](crate::ObjectCodec::encode_object)
@@ -419,7 +442,7 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
         if tail_pending || empty_object {
             let mut pending = match self.pending.take() {
                 Some(buf) => buf,
-                None => self.messages.checkout(),
+                None => self.pool.checkout(self.code.message_len()),
             };
             // The single place tail padding happens: recycled buffers may
             // be dirty, so the unfilled remainder is zeroed here.
@@ -435,38 +458,51 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
         Ok((manifest, self.sink))
     }
 
+    /// Encodes and delivers the staged full messages, returning their
+    /// buffers to the pool.
     fn flush(&mut self) -> Result<(), StreamError<S::Error>> {
         if self.batch.is_empty() {
             return Ok(());
         }
-        let n = self.code.num_blocks();
         let batch = std::mem::take(&mut self.batch);
-        let mut outs: Vec<Vec<Vec<u8>>> = batch
+        let views: Vec<&[u8]> = batch.iter().map(|m| m.as_slice()).collect();
+        let res = self.encode_batch(&views);
+        drop(views);
+        for msg in batch {
+            self.pool.give_back(msg);
+        }
+        res
+    }
+
+    /// Encodes `msgs` (one coding group each) into pooled block buffers
+    /// and delivers them to the sink as one batch.
+    fn encode_batch(&mut self, msgs: &[&[u8]]) -> Result<(), StreamError<S::Error>> {
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        let n = self.code.num_blocks();
+        let block_len = self.code.block_len();
+        let mut outs: Vec<Vec<AlignedBuf>> = msgs
             .iter()
-            .map(|_| (0..n).map(|_| self.blocks.checkout()).collect())
+            .map(|_| (0..n).map(|_| self.pool.checkout(block_len)).collect())
             .collect();
-        let encoded = (self.batch_fn)(self.code, &batch, &mut outs);
-        if let Err(e) = encoded {
-            for blocks in outs {
-                for b in blocks {
-                    self.blocks.give_back(b);
-                }
+        let encoded = (self.batch_fn)(self.code, msgs, &mut outs);
+        let delivered = match encoded {
+            Ok(()) => {
+                counter!("stream.groups", msgs.len());
+                self.sink
+                    .batch(self.groups_emitted, &outs)
+                    .map_err(StreamError::Sink)
             }
-            for msg in batch {
-                self.messages.give_back(msg);
-            }
-            return Err(StreamError::Code(e));
-        }
-        for (msg, blocks) in batch.into_iter().zip(outs) {
-            counter!("stream.groups", 1);
-            let delivered = self.sink.group(self.groups_emitted, &blocks);
+            Err(e) => Err(StreamError::Code(e)),
+        };
+        for blocks in outs {
             for b in blocks {
-                self.blocks.give_back(b);
+                self.pool.give_back(b);
             }
-            self.messages.give_back(msg);
-            delivered.map_err(StreamError::Sink)?;
-            self.groups_emitted += 1;
         }
+        delivered?;
+        self.groups_emitted += msgs.len();
         Ok(())
     }
 }
@@ -682,9 +718,9 @@ mod tests {
         chunk: usize,
     ) -> (ObjectManifest, Vec<Vec<Vec<u8>>>) {
         let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
-        let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), core::convert::Infallible> {
+        let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
             assert_eq!(g, groups.len(), "groups arrive in order");
-            groups.push(blocks.to_vec());
+            groups.push(blocks.iter().map(|b| b.to_vec()).collect());
             Ok(())
         };
         let mut enc = StripeEncoder::new(code, sink).with_concurrency(concurrency);
@@ -717,14 +753,14 @@ mod tests {
     fn pool_residency_is_bounded_by_groups_in_flight() {
         let code = xor_code(4);
         let data: Vec<u8> = (0..800).map(|i| i as u8).collect(); // 100 groups
-        let sink = |_: usize, _: &[Vec<u8>]| -> Result<(), core::convert::Infallible> { Ok(()) };
+        let sink = |_: usize, _: &[AlignedBuf]| -> Result<(), core::convert::Infallible> { Ok(()) };
         let mut enc = StripeEncoder::new(&code, sink);
         enc.push(&data).unwrap();
         // Serial: exactly one message buffer and one codeword's blocks,
-        // ever, despite 100 groups.
-        assert_eq!(enc.message_pool().allocated(), 1);
-        assert_eq!(enc.block_pool().allocated(), code.num_blocks() as u64);
-        assert!(enc.message_pool().reused() >= 98);
+        // ever, despite 100 groups (message and block buffers share the
+        // 4 KiB size class, so the bound is one group's worth of buffers).
+        assert_eq!(enc.pool().allocated(), 1 + code.num_blocks() as u64);
+        assert!(enc.pool().reused() >= 98);
         let (manifest, _) = enc.finish().unwrap();
         assert_eq!(manifest.num_groups, 100);
     }
@@ -733,15 +769,122 @@ mod tests {
     fn concurrent_pool_residency_scales_with_concurrency() {
         let code = xor_code(4);
         let data: Vec<u8> = (0..800).map(|i| (i * 7) as u8).collect();
-        let sink = |_: usize, _: &[Vec<u8>]| -> Result<(), core::convert::Infallible> { Ok(()) };
+        let sink = |_: usize, _: &[AlignedBuf]| -> Result<(), core::convert::Infallible> { Ok(()) };
         let mut enc = StripeEncoder::new(&code, sink).with_concurrency(4);
         enc.push(&data).unwrap();
         let (_, _) = {
             let e = enc;
-            assert!(e.message_pool().allocated() <= 4 + 1);
-            assert!(e.block_pool().allocated() <= (4 + 1) * code.num_blocks() as u64);
+            assert!(e.pool().allocated() <= (4 + 1) * (code.num_blocks() as u64 + 1));
             e.finish().unwrap()
         };
+    }
+
+    #[test]
+    fn push_messages_matches_push_and_skips_staging() {
+        let code = xor_code(4); // message_len = 8
+        let data: Vec<u8> = (0..100).map(|i| (i * 31 + 2) as u8).collect();
+        for concurrency in [1, 3] {
+            let (expect_manifest, expect_groups) = collect_groups(&code, &data, concurrency, 64);
+
+            let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
+            let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
+                assert_eq!(g, groups.len(), "groups arrive in order");
+                groups.push(blocks.iter().map(|b| b.to_vec()).collect());
+                Ok(())
+            };
+            let mut enc = StripeEncoder::new(&code, sink).with_concurrency(concurrency);
+            let whole = data.chunks_exact(8);
+            let tail = whole.remainder();
+            let msgs: Vec<&[u8]> = whole.collect();
+            enc.push_messages(&msgs).unwrap();
+            // Zero-copy ingest: no message-sized staging buffer was ever
+            // checked out, only block buffers.
+            assert!(enc.pool().allocated() <= (concurrency as u64) * code.num_blocks() as u64);
+            enc.push(tail).unwrap();
+            let (manifest, _) = enc.finish().unwrap();
+            assert_eq!(manifest.object_len, expect_manifest.object_len);
+            assert_eq!(manifest.num_groups, expect_manifest.num_groups);
+            assert_eq!(groups, expect_groups, "concurrency={concurrency}");
+        }
+    }
+
+    #[test]
+    fn push_messages_after_partial_push_preserves_order() {
+        let code = xor_code(4); // message_len = 8
+        let data: Vec<u8> = (0..40).map(|i| (i * 3 + 7) as u8).collect();
+        let (expect_manifest, expect_groups) = collect_groups(&code, &data, 1, 40);
+        let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
+        let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
+            assert_eq!(g, groups.len());
+            groups.push(blocks.iter().map(|b| b.to_vec()).collect());
+            Ok(())
+        };
+        let mut enc = StripeEncoder::new(&code, sink);
+        enc.push(&data[..3]).unwrap(); // partial message staged
+        let msgs: Vec<&[u8]> = data[3..35].chunks(8).collect();
+        enc.push_messages(&msgs).unwrap(); // falls back to staging
+        enc.push(&data[35..]).unwrap();
+        let (manifest, _) = enc.finish().unwrap();
+        assert_eq!(manifest.object_len, expect_manifest.object_len);
+        assert_eq!(groups, expect_groups);
+    }
+
+    #[test]
+    fn push_messages_rejects_wrong_length() {
+        let code = xor_code(4);
+        let sink = |_: usize, _: &[AlignedBuf]| -> Result<(), core::convert::Infallible> { Ok(()) };
+        let mut enc = StripeEncoder::new(&code, sink);
+        let err = enc.push_messages(&[&[0u8; 7]]).expect_err("short message");
+        assert!(matches!(
+            err,
+            StreamError::Code(CodeError::InvalidDataLength { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_sink_sees_contiguous_group_runs() {
+        struct BatchSink {
+            batches: Vec<(usize, usize)>,
+            groups: Vec<Vec<Vec<u8>>>,
+        }
+        impl GroupSink for BatchSink {
+            type Error = core::convert::Infallible;
+            fn group(&mut self, group: usize, blocks: &[AlignedBuf]) -> Result<(), Self::Error> {
+                assert_eq!(group, self.groups.len());
+                self.groups
+                    .push(blocks.iter().map(|b| b.to_vec()).collect());
+                Ok(())
+            }
+            fn batch(
+                &mut self,
+                first_group: usize,
+                groups: &[Vec<AlignedBuf>],
+            ) -> Result<(), Self::Error> {
+                self.batches.push((first_group, groups.len()));
+                for (i, blocks) in groups.iter().enumerate() {
+                    self.group(first_group + i, blocks)?;
+                }
+                Ok(())
+            }
+        }
+        let code = xor_code(4);
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect(); // 8 groups
+        let (_, expect_groups) = collect_groups(&code, &data, 1, 64);
+        let sink = BatchSink {
+            batches: Vec::new(),
+            groups: Vec::new(),
+        };
+        let mut enc = StripeEncoder::new(&code, sink).with_concurrency(4);
+        let msgs: Vec<&[u8]> = data.chunks_exact(8).collect();
+        enc.push_messages(&msgs).unwrap();
+        let (manifest, sink) = enc.finish().unwrap();
+        assert_eq!(manifest.num_groups, 8);
+        assert_eq!(sink.groups, expect_groups);
+        assert_eq!(
+            sink.batches,
+            vec![(0, 4), (4, 4)],
+            "whole batches, in order"
+        );
     }
 
     #[test]
@@ -804,7 +947,7 @@ mod tests {
     fn sink_errors_surface_and_buffers_recycle() {
         let code = xor_code(4);
         let mut calls = 0usize;
-        let sink = move |_: usize, _: &[Vec<u8>]| -> Result<(), &'static str> {
+        let sink = move |_: usize, _: &[AlignedBuf]| -> Result<(), &'static str> {
             calls += 1;
             if calls >= 2 {
                 Err("disk full")
@@ -815,6 +958,32 @@ mod tests {
         let mut enc = StripeEncoder::new(&code, sink);
         let err = enc.push(&[9u8; 64]).expect_err("second group must fail");
         assert!(matches!(err, StreamError::Sink("disk full")));
+    }
+
+    #[test]
+    fn write_all_vectored_survives_partial_writes() {
+        /// A writer that accepts at most 3 bytes per call and ignores
+        /// all but the first non-empty slice, like a nearly-full pipe.
+        struct Dribble(Vec<u8>);
+        impl std::io::Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let take = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..take]);
+                Ok(take)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let parts: [&[u8]; 4] = [b"", b"hello ", b"", b"world"];
+        let mut slices: Vec<IoSlice<'_>> = parts.iter().map(|p| IoSlice::new(p)).collect();
+        let mut w = Dribble(Vec::new());
+        write_all_vectored(&mut w, &mut slices).unwrap();
+        assert_eq!(w.0, b"hello world");
+
+        let mut empty: Vec<IoSlice<'_>> = vec![IoSlice::new(b""), IoSlice::new(b"")];
+        write_all_vectored(&mut w, &mut empty).unwrap();
+        assert_eq!(w.0, b"hello world", "all-empty slice lists are a no-op");
     }
 
     #[test]

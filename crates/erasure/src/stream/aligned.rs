@@ -1,0 +1,311 @@
+//! Page-aligned, size-classed buffer pooling for the zero-copy pipeline.
+//!
+//! [`AlignedBuf`] is an owned byte buffer whose storage always starts on
+//! a page boundary ([`PAGE_ALIGN`]) and whose capacity is a power-of-two
+//! size class, so the same buffer can serve any logical length up to its
+//! class. Page alignment is what lets the same buffers flow from file
+//! ingest through the GF kernels to vectored writes without re-copying:
+//! the SIMD kernels never straddle a cache line at a buffer edge, and
+//! aligned buffers keep the door open for `O_DIRECT`-style I/O later.
+//!
+//! [`AlignedPool`] recycles these buffers through per-class free lists.
+//! Because classes are shared (a 4 KiB message and a 4 KiB block draw
+//! from the same list), steady-state streaming performs no allocation at
+//! all, and the pool's residency is bounded by the maximum number of
+//! buffers simultaneously checked out — not by how many distinct sizes
+//! pass through it.
+//!
+//! This is the one module in `galloper-erasure` that uses `unsafe`
+//! (crate policy: `deny(unsafe_code)` with module-scoped allows and a
+//! written safety argument at every site). The invariants are:
+//!
+//! 1. `ptr` is non-null and was returned by `alloc::alloc_zeroed` with
+//!    `Layout::from_size_align(cap, PAGE_ALIGN)`; `Drop` deallocates
+//!    with the *same* layout. An `AlignedBuf` is never constructed from
+//!    foreign memory. (This is also why the type exists at all: handing
+//!    the pointer to `Vec::from_raw_parts` would be undefined behaviour,
+//!    because `Vec`'s destructor assumes the allocation used `Vec`'s own
+//!    layout, whose alignment is 1 for `u8`.)
+//! 2. All `cap` bytes are initialized from the moment of allocation
+//!    (`alloc_zeroed`), so any `len <= cap` yields a valid `&[u8]`.
+//! 3. `len <= cap` always ([`AlignedBuf::set_len`] checks it).
+
+use core::fmt;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+use galloper_obs::{counter, global};
+
+/// Alignment of every [`AlignedBuf`]: one 4 KiB page, the unit the
+/// kernel's page cache and mmap operate in.
+pub const PAGE_ALIGN: usize = 4096;
+
+/// The size class backing a buffer of `len` logical bytes: the smallest
+/// power of two ≥ `len`, floored at one page.
+pub fn size_class(len: usize) -> usize {
+    len.max(1).next_power_of_two().max(PAGE_ALIGN)
+}
+
+/// An owned, page-aligned byte buffer with a power-of-two capacity and
+/// an adjustable logical length.
+///
+/// Dereferences to `[u8]`; all capacity bytes are zero-initialized at
+/// allocation, so growing the logical length via [`AlignedBuf::set_len`]
+/// never exposes uninitialized memory (though recycled pool buffers keep
+/// their previous *contents* — every producer in this module's callers
+/// overwrites buffers completely before handing them on).
+pub struct AlignedBuf {
+    ptr: NonNull<u8>,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: `AlignedBuf` uniquely owns its allocation (no aliasing, no
+// interior mutability); moving that ownership across threads, or reading
+// through `&AlignedBuf` from several threads, is exactly as safe as for
+// `Vec<u8>`.
+#[allow(unsafe_code)]
+unsafe impl Send for AlignedBuf {}
+#[allow(unsafe_code)]
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(cap, PAGE_ALIGN).expect("size class fits a valid layout")
+    }
+
+    /// Allocates a zeroed buffer whose capacity is `len`'s size class
+    /// and whose logical length is `len`.
+    #[allow(unsafe_code)]
+    pub fn zeroed(len: usize) -> AlignedBuf {
+        let cap = size_class(len);
+        let layout = Self::layout(cap);
+        // SAFETY: `cap >= PAGE_ALIGN > 0`, so the layout is non-zero-sized
+        // as `alloc_zeroed` requires.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        AlignedBuf { ptr, len, cap }
+    }
+
+    /// The buffer's logical length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer's capacity — its power-of-two size class.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Sets the logical length (contents beyond the old length are
+    /// whatever the buffer last held — zeros for a fresh allocation).
+    ///
+    /// # Panics
+    ///
+    /// If `len` exceeds the capacity.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= self.cap, "len {len} exceeds capacity {}", self.cap);
+        self.len = len;
+    }
+
+    /// The buffer's bytes.
+    #[allow(unsafe_code)]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: invariants (1)–(3) above — `ptr` is a live allocation of
+        // `cap` zero-initialized-at-birth bytes and `len <= cap`.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The buffer's bytes, mutably.
+    #[allow(unsafe_code)]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as in `as_slice`, plus `&mut self` guarantees
+        // exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        // SAFETY: `ptr` came from `alloc_zeroed` with exactly this layout
+        // (invariant 1) and is dropped at most once.
+        unsafe { dealloc(self.ptr.as_ptr(), Self::layout(self.cap)) }
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl AsRef<[u8]> for AlignedBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("cap", &self.cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &AlignedBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for AlignedBuf {}
+
+/// A size-classed free list of [`AlignedBuf`]s.
+///
+/// `checkout(len)` hands out a buffer of logical length `len`, recycled
+/// from `len`'s size class when possible and freshly allocated (counted
+/// in the `stream.pool.*` metrics) otherwise. Recycled buffers keep
+/// their previous contents; every driver in this module overwrites
+/// buffers completely before use.
+#[derive(Debug, Default)]
+pub struct AlignedPool {
+    free: BTreeMap<usize, Vec<AlignedBuf>>,
+    allocated: u64,
+    reused: u64,
+    resident_bytes: u64,
+}
+
+impl AlignedPool {
+    /// An empty pool.
+    pub fn new() -> AlignedPool {
+        AlignedPool::default()
+    }
+
+    /// Buffers this pool has allocated over its lifetime — its peak
+    /// residency in units of buffers.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Checkouts served from a free list instead of the allocator.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Bytes of capacity this pool has allocated (checked out + free).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Hands out a page-aligned buffer of logical length `len`
+    /// (contents unspecified if recycled, zeroed if fresh).
+    pub fn checkout(&mut self, len: usize) -> AlignedBuf {
+        let class = size_class(len);
+        if let Some(mut buf) = self.free.get_mut(&class).and_then(|v| v.pop()) {
+            self.reused += 1;
+            counter!("stream.pool.reuse", 1);
+            buf.set_len(len);
+            return buf;
+        }
+        self.allocated += 1;
+        self.resident_bytes += class as u64;
+        counter!("stream.pool.alloc", 1);
+        let resident = global().gauge("stream.pool.resident_bytes");
+        resident.add(class as i64);
+        let peak = global().gauge("stream.pool.resident_peak_bytes");
+        let now = resident.get();
+        if now > peak.get() {
+            peak.set(now);
+        }
+        let mut buf = AlignedBuf::zeroed(len);
+        debug_assert_eq!(buf.capacity(), class);
+        buf.set_len(len);
+        buf
+    }
+
+    /// Returns a buffer to its size class's free list for reuse.
+    pub fn give_back(&mut self, buf: AlignedBuf) {
+        self.free.entry(buf.capacity()).or_default().push(buf);
+    }
+}
+
+impl Drop for AlignedPool {
+    fn drop(&mut self) {
+        global()
+            .gauge("stream.pool.resident_bytes")
+            .add(-(self.resident_bytes as i64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_page_aligned_and_size_classed() {
+        for len in [1usize, 7, 4096, 4097, 5000, 1 << 20] {
+            let buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % PAGE_ALIGN, 0);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.capacity(), size_class(len));
+            assert!(buf.iter().all(|&b| b == 0), "fresh buffers are zeroed");
+        }
+        assert_eq!(size_class(0), PAGE_ALIGN);
+        assert_eq!(size_class(4096), 4096);
+        assert_eq!(size_class(4097), 8192);
+    }
+
+    #[test]
+    fn pool_recycles_within_a_class_and_is_bounded() {
+        let mut pool = AlignedPool::new();
+        // 100 checkout/give_back cycles across two lengths sharing one
+        // class (both ≤ 4096) plus one larger class: residency stays at
+        // one buffer per class ever alive at a time.
+        for i in 0..100 {
+            let a = pool.checkout(if i % 2 == 0 { 100 } else { 4096 });
+            let b = pool.checkout(10_000);
+            assert_eq!(b.capacity(), 16384);
+            pool.give_back(a);
+            pool.give_back(b);
+        }
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.reused(), 198);
+        assert_eq!(pool.resident_bytes(), 4096 + 16384);
+    }
+
+    #[test]
+    fn recycled_buffer_adopts_new_length() {
+        let mut pool = AlignedPool::new();
+        let mut a = pool.checkout(4096);
+        a.as_mut_slice().fill(0xEE);
+        pool.give_back(a);
+        let b = pool.checkout(16);
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.as_slice(), &[0xEE; 16], "recycled contents persist");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn set_len_beyond_capacity_panics() {
+        AlignedBuf::zeroed(16).set_len(PAGE_ALIGN + 1);
+    }
+}

@@ -12,10 +12,12 @@
 //!
 //! The backend is chosen **once per process**: the first kernel call (or
 //! call to [`active`]) reads `GALLOPER_KERNEL=scalar|swar|simd`, falls
-//! back to CPU-feature detection (`std::arch::is_x86_feature_detected!` /
-//! NEON on aarch64), and publishes the decision as the `galloper_obs`
-//! gauge `gf.kernel.backend` (the backend's discriminant) so every
-//! metrics snapshot and `BENCH_*.json` records which kernel produced it.
+//! back to a sub-millisecond in-process probe ([`probe_backends`]) that
+//! times every CPU-supported backend and keeps the fastest — never one
+//! measuring slower than the scalar reference — and publishes the
+//! decision as the `galloper_obs` gauge `gf.kernel.backend` (the
+//! backend's discriminant) so every metrics snapshot and `BENCH_*.json`
+//! records which kernel produced it.
 //! An unavailable or misspelled override warns on stderr and falls back
 //! to auto-detection rather than aborting.
 //!
@@ -105,11 +107,13 @@ pub fn available_backends() -> Vec<Backend> {
 /// The process-wide active backend, resolved once on first use.
 ///
 /// Resolution order: a valid and available `GALLOPER_KERNEL` override;
-/// otherwise SIMD when the CPU supports it, else the scalar reference
-/// (measured faster than SWAR for multiplies wherever the 64 KiB product
-/// table is cache-resident — SWAR remains an explicit override for
-/// table-hostile targets and for the differential suite). The choice is
-/// published as the `gf.kernel.backend` gauge.
+/// otherwise a one-shot in-process probe ([`probe_backends`]) that times
+/// every available backend on a cache-sized `mul_add` and keeps the
+/// fastest — with the scalar reference as the floor, so auto-detection
+/// can never select a backend that measures slower than scalar on this
+/// machine (the guarantee that retired the old static preference list
+/// after SWAR benched at 0.37× scalar). The choice is published as the
+/// `gf.kernel.backend` gauge.
 pub fn active() -> Backend {
     static ACTIVE: OnceLock<Backend> = OnceLock::new();
     *ACTIVE.get_or_init(|| {
@@ -145,12 +149,69 @@ fn resolve() -> Backend {
     }
 }
 
-fn auto_detect() -> Backend {
-    if Backend::Simd.is_available() {
-        Backend::Simd
-    } else {
-        Backend::Scalar
+/// Bytes each probe multiplies per rep: big enough that dispatch and
+/// timer overhead vanish, small enough (¼ of a typical L2) that the
+/// probe finishes in well under a millisecond per backend.
+const PROBE_LEN: usize = 64 * 1024;
+/// Timed reps per backend; the minimum over reps is compared, so a
+/// single scheduler preemption cannot mis-rank a backend.
+const PROBE_REPS: usize = 5;
+
+/// Times one `mul_add` sweep over [`PROBE_LEN`] bytes on `backend`,
+/// returning the best of [`PROBE_REPS`] timed reps (after one warm-up
+/// rep that faults in the buffers and the backend's tables).
+fn probe(backend: Backend, src: &[u8], dst: &mut [u8]) -> std::time::Duration {
+    // Three coefficients with different popcounts, so backends whose
+    // cost depends on the bit pattern of `c` (SWAR's ladder) are ranked
+    // on a representative mix.
+    const COEFFS: [u8; 3] = [0x02, 0x53, 0xFE];
+    let mut best = std::time::Duration::MAX;
+    for rep in 0..=PROBE_REPS {
+        let start = std::time::Instant::now();
+        for c in COEFFS {
+            dispatch_mul_add(backend, c, src, dst);
+        }
+        let elapsed = start.elapsed();
+        if rep > 0 && elapsed < best {
+            best = elapsed;
+        }
     }
+    best
+}
+
+/// Times every [available](Backend::is_available) backend and returns
+/// `(backend, best_rep_time)` pairs, scalar first.
+pub fn probe_backends() -> Vec<(Backend, std::time::Duration)> {
+    let src: Vec<u8> = (0..PROBE_LEN).map(|i| (i * 131 + 7) as u8).collect();
+    let mut dst = vec![0u8; PROBE_LEN];
+    available_backends()
+        .into_iter()
+        .map(|b| (b, probe(b, &src, &mut dst)))
+        .collect()
+}
+
+fn auto_detect() -> Backend {
+    // Under miri, wall-clock ranking is meaningless and the probe would
+    // take minutes of interpretation; the scalar reference is the
+    // correct (and only differentially-pinned) choice.
+    if cfg!(miri) {
+        return Backend::Scalar;
+    }
+    let timings = probe_backends();
+    let scalar = timings
+        .iter()
+        .find(|(b, _)| *b == Backend::Scalar)
+        .map(|&(_, t)| t)
+        .unwrap_or(std::time::Duration::MAX);
+    timings
+        .into_iter()
+        // The scalar floor: a backend must measure at least as fast as
+        // scalar here and now, or it is not eligible — no static
+        // preference can reinstate a locally-slow backend.
+        .filter(|&(b, t)| b == Backend::Scalar || t <= scalar)
+        .min_by_key(|&(_, t)| t)
+        .map(|(b, _)| b)
+        .unwrap_or(Backend::Scalar)
 }
 
 /// `dst[i] ^= c · src[i]` — the fused multiply-accumulate, dispatched to
@@ -311,6 +372,37 @@ mod tests {
         assert_eq!(
             galloper_obs::global().gauge("gf.kernel.backend").get(),
             b as i64
+        );
+    }
+
+    /// The auto-detection contract: whatever backend the probe selects
+    /// must not measure slower than scalar when re-probed. Re-probing
+    /// uses fresh min-of-reps timings, so a generous slack absorbs
+    /// run-to-run noise without ever letting a 0.37×-scalar backend
+    /// (the original SWAR regression) through.
+    #[test]
+    #[cfg_attr(miri, ignore = "wall-clock probing is meaningless under miri")]
+    fn auto_detected_backend_is_not_slower_than_scalar() {
+        if std::env::var_os("GALLOPER_KERNEL").is_some() {
+            return; // explicit override voids the auto-detect contract
+        }
+        let chosen = auto_detect();
+        if chosen == Backend::Scalar {
+            return; // the floor itself is trivially eligible
+        }
+        let timings = probe_backends();
+        let time_of = |want: Backend| {
+            timings
+                .iter()
+                .find(|(b, _)| *b == want)
+                .map(|&(_, t)| t)
+                .expect("probed backend present")
+        };
+        let scalar = time_of(Backend::Scalar);
+        let picked = time_of(chosen);
+        assert!(
+            picked <= scalar.saturating_mul(3) / 2,
+            "auto-detected {chosen} re-probed at {picked:?} vs scalar {scalar:?}"
         );
     }
 

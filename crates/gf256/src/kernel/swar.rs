@@ -5,10 +5,13 @@
 //! shift every byte left within its lane, then fold the bytes that
 //! overflowed back in with the reduction constant `0x1D`
 //! (`PRIMITIVE_POLY` minus the `x⁸` term). Multiplication by an
-//! arbitrary constant `c` is then one conditional XOR per set bit of
-//! `c` — at most eight doublings per word, independent of the slice
-//! length. Because the lane masks are position-based, the routine is
-//! endian-agnostic.
+//! arbitrary constant `c` is a fixed ladder of eight doublings with a
+//! **masked** XOR per rung — `acc ^= x & broadcast(bit)` — so the hot
+//! loop carries no data-dependent branch for the predictor to miss on
+//! (the per-bit `if` was where the first cut of this backend lost to
+//! scalar). Two words advance through the ladder together so the
+//! doubling chains overlap instead of serializing. Because the lane
+//! masks are position-based, the routine is endian-agnostic.
 
 use crate::tables::{MUL_TABLE, PRIMITIVE_POLY};
 
@@ -25,29 +28,42 @@ fn mulx_wide(x: u64) -> u64 {
     ((x & !MSB) << 1) ^ (((x & MSB) >> 7) * POLY_LOW)
 }
 
-/// Multiplies every byte lane of `x` by the constant `c`.
+/// Multiplies every byte lane of `N` independent words by the constant
+/// `c`.
+///
+/// The ladder always runs all eight rungs: `wrapping_neg` turns each
+/// bit of `c` into an all-ones or all-zeros mask, so selection is pure
+/// data flow — no data-dependent branch for the predictor to miss on.
+/// All `N` doubling chains step together, so the out-of-order core
+/// overlaps them instead of waiting out one word's serial `mulx_wide`
+/// dependency chain; the bulk routines below run `N = 2`.
 #[inline]
-fn mul_word(mut x: u64, c: u8) -> u64 {
-    let mut acc = if c & 1 != 0 { x } else { 0 };
-    let mut bits = c >> 1;
-    while bits != 0 {
-        x = mulx_wide(x);
-        if bits & 1 != 0 {
-            acc ^= x;
+fn mul_words<const N: usize>(mut x: [u64; N], c: u8) -> [u64; N] {
+    let mut acc = [0u64; N];
+    let mut bits = c;
+    for _ in 0..8 {
+        let keep = u64::from(bits & 1).wrapping_neg();
+        for i in 0..N {
+            acc[i] ^= x[i] & keep;
+            x[i] = mulx_wide(x[i]);
         }
         bits >>= 1;
     }
     acc
 }
 
-/// `dst[i] ^= c · src[i]`, eight bytes per step.
+/// `dst[i] ^= c · src[i]`, sixteen bytes per step.
 pub(super) fn mul_add(c: u8, src: &[u8], dst: &mut [u8]) {
-    let mut d_iter = dst.chunks_exact_mut(8);
-    let mut s_iter = src.chunks_exact(8);
+    let mut d_iter = dst.chunks_exact_mut(16);
+    let mut s_iter = src.chunks_exact(16);
     for (d, s) in (&mut d_iter).zip(&mut s_iter) {
-        let x = u64::from_ne_bytes(s.try_into().unwrap());
-        let dv = u64::from_ne_bytes(d.try_into().unwrap());
-        d.copy_from_slice(&(dv ^ mul_word(x, c)).to_ne_bytes());
+        let x0 = u64::from_ne_bytes(s[..8].try_into().unwrap());
+        let x1 = u64::from_ne_bytes(s[8..].try_into().unwrap());
+        let d0 = u64::from_ne_bytes(d[..8].try_into().unwrap());
+        let d1 = u64::from_ne_bytes(d[8..].try_into().unwrap());
+        let [m0, m1] = mul_words([x0, x1], c);
+        d[..8].copy_from_slice(&(d0 ^ m0).to_ne_bytes());
+        d[8..].copy_from_slice(&(d1 ^ m1).to_ne_bytes());
     }
     let row = &MUL_TABLE[c as usize];
     for (d, s) in d_iter.into_remainder().iter_mut().zip(s_iter.remainder()) {
@@ -55,13 +71,16 @@ pub(super) fn mul_add(c: u8, src: &[u8], dst: &mut [u8]) {
     }
 }
 
-/// `dst[i] = c · src[i]`, eight bytes per step.
+/// `dst[i] = c · src[i]`, sixteen bytes per step.
 pub(super) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
-    let mut d_iter = dst.chunks_exact_mut(8);
-    let mut s_iter = src.chunks_exact(8);
+    let mut d_iter = dst.chunks_exact_mut(16);
+    let mut s_iter = src.chunks_exact(16);
     for (d, s) in (&mut d_iter).zip(&mut s_iter) {
-        let x = u64::from_ne_bytes(s.try_into().unwrap());
-        d.copy_from_slice(&mul_word(x, c).to_ne_bytes());
+        let x0 = u64::from_ne_bytes(s[..8].try_into().unwrap());
+        let x1 = u64::from_ne_bytes(s[8..].try_into().unwrap());
+        let [m0, m1] = mul_words([x0, x1], c);
+        d[..8].copy_from_slice(&m0.to_ne_bytes());
+        d[8..].copy_from_slice(&m1.to_ne_bytes());
     }
     let row = &MUL_TABLE[c as usize];
     for (d, s) in d_iter.into_remainder().iter_mut().zip(s_iter.remainder()) {
@@ -89,15 +108,51 @@ mod tests {
     }
 
     #[test]
-    fn mul_word_matches_table_for_all_coefficients() {
+    fn mul_words_matches_table_for_all_coefficients() {
         let word = u64::from_ne_bytes([0, 1, 2, 0x53, 0x80, 0xAA, 0xFE, 0xFF]);
         for c in 0..=255u8 {
-            let got = mul_word(word, c).to_ne_bytes();
+            let [got] = mul_words([word], c);
             for (lane, byte) in word.to_ne_bytes().into_iter().enumerate() {
                 assert_eq!(
-                    got[lane], MUL_TABLE[c as usize][byte as usize],
+                    got.to_ne_bytes()[lane],
+                    MUL_TABLE[c as usize][byte as usize],
                     "c={c} lane={lane}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_words_lanes_are_independent() {
+        let a = u64::from_ne_bytes([0, 1, 2, 0x53, 0x80, 0xAA, 0xFE, 0xFF]);
+        let b = a.rotate_left(13) ^ 0xDEAD_BEEF;
+        for c in 0..=255u8 {
+            let [wa] = mul_words([a], c);
+            let [wb] = mul_words([b], c);
+            assert_eq!(mul_words([a, b], c), [wa, wb], "c={c}");
+        }
+    }
+
+    #[test]
+    fn sliced_paths_match_table_on_ragged_lengths() {
+        // Lengths straddling the 16-byte fast path and its remainder.
+        for len in [0usize, 1, 7, 15, 16, 17, 31, 48, 61] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for c in [0u8, 1, 2, 0x53, 0xFF] {
+                let row = &MUL_TABLE[c as usize];
+                let mut dst: Vec<u8> = (0..len).map(|i| (i * 5) as u8).collect();
+                let want_add: Vec<u8> = dst
+                    .iter()
+                    .zip(&src)
+                    .map(|(&d, &s)| d ^ row[s as usize])
+                    .collect();
+                mul_add(c, &src, &mut dst);
+                assert_eq!(dst, want_add, "mul_add c={c} len={len}");
+
+                let mut out = vec![0xEEu8; len];
+                mul(c, &src, &mut out);
+                let want: Vec<u8> = src.iter().map(|&s| row[s as usize]).collect();
+                assert_eq!(out, want, "mul c={c} len={len}");
             }
         }
     }

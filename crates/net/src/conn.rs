@@ -8,11 +8,10 @@
 //! Concurrency comes from opening more connections, which the
 //! gateway's admission queue bounds globally.
 
-use std::io::BufWriter;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame_vectored};
 use crate::proto::{ProtocolError, Request, Response, TraceContext};
 
 /// One framed, half-duplex protocol connection.
@@ -70,10 +69,10 @@ impl Conn {
             op: ctx.op,
             span: ctx.span,
         });
-        let mut w = BufWriter::new(&self.stream);
-        write_frame(&mut w, &req.encode_with_ctx(ctx))?;
-        use std::io::Write as _;
-        w.flush()?;
+        // One vectored write puts header + payload on the socket in a
+        // single syscall — no per-call BufWriter allocation, no copy of
+        // the payload into an intermediate buffer, nothing to flush.
+        write_frame_vectored(&mut &self.stream, &req.encode_with_ctx(ctx))?;
         Ok(())
     }
 
@@ -109,10 +108,7 @@ impl Conn {
     ///
     /// [`ProtocolError`] on frame or socket failure.
     pub fn send_response(&mut self, resp: &Response) -> Result<(), ProtocolError> {
-        let mut w = BufWriter::new(&self.stream);
-        write_frame(&mut w, &resp.encode())?;
-        use std::io::Write as _;
-        w.flush()?;
+        write_frame_vectored(&mut &self.stream, &resp.encode())?;
         Ok(())
     }
 

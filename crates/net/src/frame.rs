@@ -11,7 +11,9 @@
 //! (partial writes, coalesced writes) for callers that feed bytes as
 //! they arrive.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
+
+use galloper_erasure::stream::write_all_vectored;
 
 use crate::proto::ProtocolError;
 
@@ -38,6 +40,28 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolErr
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
+    Ok(())
+}
+
+/// Writes one frame as a single vectored write: the 4-byte length
+/// prefix and the payload leave in one `writev(2)` call (continued
+/// through partial writes), so an unbuffered socket sees one syscall
+/// and one TCP segment boundary per frame instead of two `write(2)`s
+/// or an interposed copy through a [`std::io::BufWriter`].
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_frame_vectored(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ProtocolError::Oversize {
+            len: payload.len() as u64,
+            max: MAX_FRAME,
+        });
+    }
+    let header = (payload.len() as u32).to_le_bytes();
+    let mut slices = [IoSlice::new(&header), IoSlice::new(payload)];
+    write_all_vectored(w, &mut slices)?;
     Ok(())
 }
 
@@ -164,6 +188,30 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
         assert_eq!(read_frame(&mut cursor).unwrap(), b"");
         assert!(read_frame(&mut cursor).is_err()); // EOF
+    }
+
+    #[test]
+    fn vectored_writer_produces_identical_wire_bytes() {
+        for payload in [&b""[..], b"x", &[0xABu8; 300][..]] {
+            let mut buffered = Vec::new();
+            write_frame(&mut buffered, payload).unwrap();
+            let mut vectored = Vec::new();
+            write_frame_vectored(&mut vectored, payload).unwrap();
+            assert_eq!(buffered, vectored, "payload len {}", payload.len());
+            let mut cursor = &vectored[..];
+            assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn vectored_writer_rejects_oversize_before_writing() {
+        let mut wire = Vec::new();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(
+            write_frame_vectored(&mut wire, &big),
+            Err(ProtocolError::Oversize { .. })
+        ));
+        assert!(wire.is_empty(), "nothing may reach the wire");
     }
 
     #[test]

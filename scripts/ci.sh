@@ -34,7 +34,8 @@ GALLOPER_FAULT_SEED=2147483647 GALLOPER_KERNEL=scalar \
 # Bench-regression gate: re-run the short pinned-seed benches with the
 # exact configuration that produced results/baselines/ and fail on any
 # gated-metric regression (simulated times, disk I/O, data loss).
-# Machine-dependent wall-clock numbers are reported but never gated.
+# Machine-dependent wall-clock numbers in these two are reported but
+# never gated.
 echo "==> bench-regression gate (galloper bench-diff --check)"
 cargo build --release -p galloper-bench -p galloper-cli --bins
 BENCH_TMP="$(mktemp -d)"
@@ -47,6 +48,18 @@ for bench in BENCH_chaos.json BENCH_fig8.json; do
   GALLOPER_BENCH_BASELINE=results/baselines \
     ./target/release/galloper bench-diff "$BENCH_TMP/$bench" --check
 done
+
+# Zero-copy pipeline gate: quick-mode run (same 16 MB / 3-rep config
+# that produced the committed baseline; the bench defaults its working
+# dir to tmpfs so writeback throttling can't pollute it). Stage and
+# end-to-end MB/s rows ARE gated here — they measure syscall/copy/
+# coding overhead this codebase controls, not disk speed — but with a
+# generous threshold because absolute throughput is machine-sensitive.
+echo "==> zero-copy pipeline gate (BENCH_pipeline.json vs baseline)"
+GALLOPER_PIPELINE_MB=16 GALLOPER_REPS=3 \
+  GALLOPER_JSON_OUT="$BENCH_TMP" ./target/release/pipeline >/dev/null
+GALLOPER_BENCH_BASELINE=results/baselines \
+  ./target/release/galloper bench-diff "$BENCH_TMP/BENCH_pipeline.json" --check --threshold 40
 
 # Networked-store smoke: a real 3-daemon + gateway cluster on
 # loopback. Put an object, read it back byte-exact, kill -9 one

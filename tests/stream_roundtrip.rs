@@ -7,7 +7,7 @@
 //! groups in flight.
 
 use galloper_suite::codes::{build_code, BoxedCode, CodeSpec, ErasureCode, ObjectCodec};
-use galloper_suite::stream::{StripeDecoder, StripeEncoder, StripeReconstructor};
+use galloper_suite::stream::{AlignedBuf, StripeDecoder, StripeEncoder, StripeReconstructor};
 
 /// Deterministic non-trivial payload.
 fn sample(len: usize, seed: u8) -> Vec<u8> {
@@ -35,7 +35,7 @@ fn object_lens(msg: usize) -> Vec<usize> {
 }
 
 /// Streams `data` through a [`StripeEncoder`] in `chunk`-byte pushes and
-/// returns the emitted groups plus the encoder's pool-allocation counts.
+/// returns the emitted groups plus the encoder's pool-allocation count.
 fn stream_encode(
     code: &BoxedCode,
     data: &[u8],
@@ -45,23 +45,21 @@ fn stream_encode(
     galloper_suite::codes::ObjectManifest,
     Vec<Vec<Vec<u8>>>,
     u64,
-    u64,
 ) {
     let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
-    let sink = |g: usize, blocks: &[Vec<u8>]| -> Result<(), core::convert::Infallible> {
+    let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
         assert_eq!(g, groups.len(), "groups must arrive in order");
-        groups.push(blocks.to_vec());
+        groups.push(blocks.iter().map(|b| b.to_vec()).collect());
         Ok(())
     };
     let mut encoder = StripeEncoder::new(code, sink).with_concurrency(concurrency);
     for piece in data.chunks(chunk.max(1)) {
         encoder.push(piece).unwrap();
     }
-    let msg_alloc = encoder.message_pool().allocated();
-    let blk_alloc = encoder.block_pool().allocated();
+    let allocated = encoder.pool().allocated();
     // `_` drops the returned sink here, releasing its borrow of `groups`.
     let (manifest, _) = encoder.finish().unwrap();
-    (manifest, groups, msg_alloc, blk_alloc)
+    (manifest, groups, allocated)
 }
 
 #[test]
@@ -76,7 +74,7 @@ fn streaming_encode_matches_oneshot_for_every_family() {
             let oneshot = codec.encode_object(&data).unwrap();
             for concurrency in [1, 3] {
                 for chunk in [7, msg, usize::MAX] {
-                    let (manifest, groups, _, _) =
+                    let (manifest, groups, _) =
                         stream_encode(&code, &data, chunk.min(len.max(1)), concurrency);
                     assert_eq!(
                         manifest, oneshot.manifest,
@@ -100,7 +98,7 @@ fn streaming_decode_recovers_exact_bytes_with_a_lost_block() {
         let n = code.num_blocks();
         for len in object_lens(msg) {
             let data = sample(len, 5);
-            let (manifest, groups, _, _) = stream_encode(&code, &data, 4096, 2);
+            let (manifest, groups, _) = stream_encode(&code, &data, 4096, 2);
 
             // Stream the groups back with data block 0 missing everywhere.
             let mut decoder = StripeDecoder::new(&code, manifest);
@@ -124,7 +122,7 @@ fn streaming_reconstruct_rebuilds_every_block_groupwise() {
         let code = build_code(&spec).unwrap();
         let msg = code.message_len();
         let data = sample(3 * msg - 7, 9);
-        let (manifest, groups, _, _) = stream_encode(&code, &data, 4096, 1);
+        let (manifest, groups, _) = stream_encode(&code, &data, 4096, 1);
 
         for target in 0..code.num_blocks() {
             let mut rec = StripeReconstructor::new(&code, target, manifest.num_groups).unwrap();
@@ -149,17 +147,14 @@ fn encoder_pools_stay_bounded_by_groups_in_flight() {
         // 20 groups through a serial and a 3-deep concurrent encoder.
         let data = sample(20 * msg, 11);
         for concurrency in [1u64, 3] {
-            let (_, groups, msg_alloc, blk_alloc) =
-                stream_encode(&code, &data, msg, concurrency as usize);
+            let (_, groups, allocated) = stream_encode(&code, &data, msg, concurrency as usize);
             assert_eq!(groups.len(), 20, "{name}");
-            // One message buffer may be pending while a full batch codes.
+            // The unified pool holds at most one batch of message buffers
+            // (plus one pending stage) and one batch of block buffers —
+            // never a number that grows with the 20 groups streamed.
             assert!(
-                msg_alloc <= concurrency + 1,
-                "{name}: {msg_alloc} message buffers at concurrency {concurrency}"
-            );
-            assert!(
-                blk_alloc <= concurrency * n,
-                "{name}: {blk_alloc} block buffers at concurrency {concurrency}"
+                allocated <= concurrency + 1 + concurrency * n,
+                "{name}: {allocated} pooled buffers at concurrency {concurrency}"
             );
         }
     }
