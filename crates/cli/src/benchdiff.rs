@@ -85,6 +85,13 @@ pub fn classify(key: &str) -> Class {
         "scrape_errors" | "count_mismatch" | "daemons_unreachable" => {
             Class::Gate(Direction::LowerIsBetter)
         }
+        // Chunked-transfer correctness: an OutOfRange refusal reaching
+        // a client means the chunked fallback itself broke.
+        "oversize_errors" => Class::Gate(Direction::LowerIsBetter),
+        // Bytes moved over the chunked plane: zero on the default
+        // whole-frame workload, and a chunked workload that suddenly
+        // moves fewer bytes is shedding transfers.
+        "stream_bytes" => Class::Gate(Direction::HigherIsBetter),
         // Scrape-summary configuration/capability flags: not signal.
         "supported" | "before_ok" | "after_ok" | "daemons_total" | "interval_ms" => Class::Skip,
         // Throughput and efficiency figures: higher is better.
@@ -634,6 +641,31 @@ mod tests {
             Class::Gate(Direction::HigherIsBetter)
         );
         assert_eq!(classify("gap_x"), Class::Gate(Direction::LowerIsBetter));
+    }
+
+    #[test]
+    fn chunked_transfer_keys_gate_in_their_directions() {
+        assert_eq!(
+            classify("oversize_errors"),
+            Class::Gate(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            classify("stream_bytes"),
+            Class::Gate(Direction::HigherIsBetter)
+        );
+        // From the seeded zero baseline, any oversize error fails...
+        let clean = Json::object()
+            .field("oversize_errors", 0u64)
+            .field("stream_bytes", 0u64);
+        let broken = Json::object()
+            .field("oversize_errors", 1u64)
+            .field("stream_bytes", 0u64);
+        assert_eq!(diff(&clean, &broken).regressions(0.5).len(), 1);
+        // ...while stream_bytes growing from zero is never a failure.
+        let streaming = Json::object()
+            .field("oversize_errors", 0u64)
+            .field("stream_bytes", 1u64 << 30);
+        assert!(diff(&clean, &streaming).regressions(0.0).is_empty());
     }
 
     #[test]

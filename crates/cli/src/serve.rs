@@ -31,9 +31,7 @@ use std::time::Duration;
 
 use galloper_codes::{build_code, CodeSpec};
 use galloper_dfs::{Dfs, DiskStore};
-use galloper_net::{
-    max_inflight_from_env, Conn, Daemon, Gateway, RemoteStore, Request, Response, Scraper,
-};
+use galloper_net::{max_inflight_from_env, Conn, Daemon, Gateway, RemoteStore, Response, Scraper};
 
 /// Client-side timeout for `net-put` / `net-get` and the gateway's
 /// daemon connections. Generous: a put of a large object against cold
@@ -215,7 +213,10 @@ pub fn default_serve_spec(daemons: usize, stripe_size: usize) -> Result<CodeSpec
     Ok(CodeSpec::rs(daemons - 1, 1, stripe_size))
 }
 
-/// Uploads `file` to the gateway at `addr` as object `name`.
+/// Uploads `file` to the gateway at `addr` as object `name`. Objects
+/// that fit one frame go as a single `PutObject`; larger files stream
+/// chunk by chunk from disk — the client never holds the whole object
+/// in memory, and there is no size ceiling beyond the gateway's.
 ///
 /// # Errors
 ///
@@ -223,24 +224,26 @@ pub fn default_serve_spec(daemons: usize, stripe_size: usize) -> Result<CodeSpec
 /// response (whose stable [`kind`](galloper_net::ErrorKind) is
 /// included).
 pub fn net_put(addr: &str, name: &str, file: &Path) -> Result<usize, String> {
-    let bytes = std::fs::read(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-    let len = bytes.len();
+    let mut reader =
+        std::fs::File::open(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let len = reader
+        .metadata()
+        .map_err(|e| format!("cannot stat {}: {e}", file.display()))?
+        .len();
     let mut conn = Conn::connect(addr, CLIENT_TIMEOUT)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     match conn
-        .call(&Request::PutObject {
-            name: name.to_string(),
-            bytes,
-        })
+        .put_reader(name, len, &mut reader)
         .map_err(|e| format!("put failed: {e}"))?
     {
-        Response::Ok => Ok(len),
+        Response::Ok => Ok(len as usize),
         Response::Err { kind, message } => Err(format!("put refused ({kind}): {message}")),
         other => Err(format!("unexpected put response: {other:?}")),
     }
 }
 
-/// Downloads object `name` from the gateway at `addr` into `output`.
+/// Downloads object `name` from the gateway at `addr` into `output`,
+/// streaming chunk by chunk for objects too large for one frame.
 ///
 /// # Errors
 ///
@@ -249,16 +252,24 @@ pub fn net_put(addr: &str, name: &str, file: &Path) -> Result<usize, String> {
 pub fn net_get(addr: &str, name: &str, output: &Path) -> Result<usize, String> {
     let mut conn = Conn::connect(addr, CLIENT_TIMEOUT)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut out = std::io::BufWriter::new(
+        std::fs::File::create(output)
+            .map_err(|e| format!("cannot write {}: {e}", output.display()))?,
+    );
     match conn
-        .call(&Request::GetObject {
-            name: name.to_string(),
-        })
+        .get_writer(name, &mut out)
         .map_err(|e| format!("get failed: {e}"))?
     {
-        Response::Blob(bytes) => {
-            std::fs::write(output, &bytes)
+        Response::Ok => {
+            use std::io::Write as _;
+            out.flush()
                 .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
-            Ok(bytes.len())
+            let len = out
+                .get_ref()
+                .metadata()
+                .map_err(|e| format!("cannot stat {}: {e}", output.display()))?
+                .len();
+            Ok(len as usize)
         }
         Response::Err { kind, message } => Err(format!("get refused ({kind}): {message}")),
         other => Err(format!("unexpected get response: {other:?}")),

@@ -179,6 +179,17 @@ struct FileMeta {
     placements: Vec<Vec<usize>>,
 }
 
+/// One in-flight chunked upload ([`Dfs::put_begin`] …
+/// [`Dfs::put_commit`]). The file stays invisible to reads until the
+/// commit; `meta.manifest` tracks bytes received and groups stored so
+/// far, and `stage` holds the sub-message remainder awaiting the next
+/// append (always shorter than one message).
+#[derive(Debug)]
+struct OpenPut {
+    meta: FileMeta,
+    stage: Vec<u8>,
+}
+
 /// Accounting for one [`Dfs::repair`] pass — the quantities behind the
 /// paper's Fig. 8 disk-I/O comparison, measured over a whole cluster
 /// incident instead of a single block.
@@ -368,6 +379,9 @@ pub struct Dfs<C, S = MemStore> {
     /// One block store per server.
     stores: Vec<S>,
     files: HashMap<String, FileMeta>,
+    /// Chunked uploads in flight, by name (invisible to reads until
+    /// committed).
+    open_puts: HashMap<String, OpenPut>,
     next_id: usize,
     /// Logical clock, advanced by [`Dfs::advance_to`]; outage windows
     /// and [`FaultPlan`] schedules are expressed in its ticks.
@@ -416,6 +430,7 @@ impl<C: ErasureCode, S: BlockStore> Dfs<C, S> {
             slow: vec![1.0; n],
             stores,
             files: HashMap::new(),
+            open_puts: HashMap::new(),
             next_id: 0,
             clock: 0,
             pending: Vec::new(),
@@ -534,7 +549,7 @@ impl<C: ErasureCode, S: BlockStore> Dfs<C, S> {
         data: &[u8],
         report: &mut op::OpReport,
     ) -> Result<FileId, DfsError> {
-        if self.files.contains_key(name) {
+        if self.files.contains_key(name) || self.open_puts.contains_key(name) {
             return Err(DfsError::AlreadyExists(name.to_string()));
         }
         let id = FileId(self.next_id);
@@ -586,6 +601,250 @@ impl<C: ErasureCode, S: BlockStore> Dfs<C, S> {
             },
         );
         Ok(id)
+    }
+
+    /// Opens a chunked upload: the streaming sibling of [`Dfs::put`]
+    /// for objects that arrive piecewise (a network transfer, a pipe).
+    /// Feed bytes with [`Dfs::put_append`]; the file becomes visible to
+    /// reads only at [`Dfs::put_commit`]. Memory held per open upload
+    /// is one coding group plus a sub-message staging remainder —
+    /// constant in the object's length.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::AlreadyExists`] if a file *or another open upload*
+    /// already claims the name.
+    pub fn put_begin(&mut self, name: &str) -> Result<FileId, DfsError> {
+        if self.files.contains_key(name) || self.open_puts.contains_key(name) {
+            return Err(DfsError::AlreadyExists(name.to_string()));
+        }
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.open_puts.insert(
+            name.to_string(),
+            OpenPut {
+                meta: FileMeta {
+                    id,
+                    name: name.to_string(),
+                    manifest: ObjectManifest {
+                        object_len: 0,
+                        num_groups: 0,
+                    },
+                    placements: Vec::new(),
+                },
+                stage: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Appends bytes to an open upload, encoding and placing every
+    /// coding group that completes (each lands on its servers before
+    /// this returns); at most one sub-message remainder stays staged.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if no upload with this name is open;
+    /// placement/store/coding failures as [`Dfs::put`]. After an error
+    /// the upload should be [`Dfs::put_abort`]ed.
+    pub fn put_append(&mut self, name: &str, data: &[u8]) -> Result<(), DfsError> {
+        let Dfs {
+            codec,
+            health,
+            stores,
+            open_puts,
+            ..
+        } = self;
+        let open = open_puts
+            .get_mut(name)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        let message_len = codec.code().message_len();
+        let whole = (open.stage.len() + data.len()) / message_len * message_len;
+        if whole == 0 {
+            open.stage.extend_from_slice(data);
+            open.meta.manifest.object_len += data.len();
+            return Ok(());
+        }
+        // Bytes of `data` that complete whole messages; the staged
+        // remainder is always shorter than one message, so a nonzero
+        // `whole` consumes all of it.
+        let consume = whole - open.stage.len();
+        let boundary = ((message_len - open.stage.len() % message_len) % message_len).min(consume);
+        let id = open.meta.id;
+        let first_group = open.meta.manifest.num_groups;
+        let mut bytes_stored = 0u64;
+        let num_groups = {
+            let placements = &mut open.meta.placements;
+            let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), DfsError> {
+                let servers = place_group(health, stores, blocks.len(), id.0 + g)?;
+                for (b, block) in blocks.iter().enumerate() {
+                    block_bytes_hist().record(block.len() as u64);
+                    bytes_stored += block.len() as u64;
+                    stores[servers[b]].put_block(BlockKey::new(id.0 as u64, g, b), block)?;
+                }
+                placements.push(servers);
+                Ok(())
+            };
+            let mut encoder = StripeEncoder::new(codec.code(), sink).with_first_group(first_group);
+            // Complete the staged message first, then encode the
+            // remaining whole messages straight out of `data`.
+            encoder.push(&open.stage).map_err(put_error)?;
+            encoder.push(&data[..boundary]).map_err(put_error)?;
+            let msgs: Vec<&[u8]> = data[boundary..consume].chunks_exact(message_len).collect();
+            encoder.push_messages(&msgs).map_err(put_error)?;
+            let (manifest, _) = encoder.finish().map_err(put_error)?;
+            manifest.num_groups
+        };
+        global().counter("dfs.bytes_written").add(bytes_stored);
+        open.meta.manifest.num_groups = num_groups;
+        open.meta.manifest.object_len += data.len();
+        open.stage.clear();
+        open.stage.extend_from_slice(&data[consume..]);
+        Ok(())
+    }
+
+    /// Seals an open upload: pads and stores the ragged tail (an empty
+    /// object still occupies one all-zero group, exactly as
+    /// [`Dfs::put`] would) and publishes the file to readers. Returns
+    /// the id assigned at [`Dfs::put_begin`].
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if no upload with this name is open;
+    /// placement/store/coding failures as [`Dfs::put`] — on error the
+    /// upload is destroyed and its stored blocks are reclaimed
+    /// best-effort.
+    pub fn put_commit(&mut self, name: &str) -> Result<FileId, DfsError> {
+        if !self.open_puts.contains_key(name) {
+            return Err(DfsError::NotFound(name.to_string()));
+        }
+        let res = self.put_commit_inner(name);
+        if res.is_err() {
+            self.put_abort(name);
+        }
+        res
+    }
+
+    fn put_commit_inner(&mut self, name: &str) -> Result<FileId, DfsError> {
+        let Dfs {
+            codec,
+            health,
+            stores,
+            open_puts,
+            files,
+            ..
+        } = self;
+        let open = open_puts.get_mut(name).expect("checked by put_commit");
+        let id = open.meta.id;
+        if !open.stage.is_empty() || open.meta.manifest.object_len == 0 {
+            let first_group = open.meta.manifest.num_groups;
+            let mut bytes_stored = 0u64;
+            let num_groups = {
+                let placements = &mut open.meta.placements;
+                let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), DfsError> {
+                    let servers = place_group(health, stores, blocks.len(), id.0 + g)?;
+                    for (b, block) in blocks.iter().enumerate() {
+                        block_bytes_hist().record(block.len() as u64);
+                        bytes_stored += block.len() as u64;
+                        stores[servers[b]].put_block(BlockKey::new(id.0 as u64, g, b), block)?;
+                    }
+                    placements.push(servers);
+                    Ok(())
+                };
+                let mut encoder =
+                    StripeEncoder::new(codec.code(), sink).with_first_group(first_group);
+                encoder.push(&open.stage).map_err(put_error)?;
+                let (manifest, _) = encoder.finish().map_err(put_error)?;
+                manifest.num_groups
+            };
+            global().counter("dfs.bytes_written").add(bytes_stored);
+            open.meta.manifest.num_groups = num_groups;
+            open.stage.clear();
+        }
+        let open = open_puts.remove(name).expect("still open");
+        files.insert(name.to_string(), open.meta);
+        Ok(id)
+    }
+
+    /// Destroys an open upload, reclaiming its stored blocks
+    /// best-effort (a failed delete on a dead server is ignored — the
+    /// blocks are unreachable garbage, not a correctness hazard).
+    /// Returns whether an upload with this name was open.
+    pub fn put_abort(&mut self, name: &str) -> bool {
+        let Some(open) = self.open_puts.remove(name) else {
+            return false;
+        };
+        for (g, servers) in open.meta.placements.iter().enumerate() {
+            for (b, &server) in servers.iter().enumerate() {
+                let _ =
+                    self.stores[server].delete_block(BlockKey::new(open.meta.id.0 as u64, g, b));
+            }
+        }
+        true
+    }
+
+    /// The committed object's manifest (length and group count) — what
+    /// a chunked read needs to size its windows.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] (an upload still open is not found).
+    pub fn object_manifest(&self, name: &str) -> Result<ObjectManifest, DfsError> {
+        self.files
+            .get(name)
+            .map(|m| m.manifest)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// Decodes one window of a file — up to `max_groups` coding groups
+    /// starting at `first_group` — returning exactly the object bytes
+    /// those groups carry (tail padding already truncated). Degraded
+    /// groups decode through the same routing-around machinery as
+    /// [`Dfs::get`]; memory is one window, not the object.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`], [`DfsError::OutOfRange`] if
+    /// `first_group` is past the file's last group, and per-group
+    /// [`DfsError::DataLoss`] / [`DfsError::Unavailable`] as
+    /// [`Dfs::get`].
+    pub fn read_groups(
+        &self,
+        name: &str,
+        first_group: usize,
+        max_groups: usize,
+    ) -> Result<Vec<u8>, DfsError> {
+        let meta = self
+            .files
+            .get(name)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        if first_group > meta.manifest.num_groups {
+            return Err(DfsError::OutOfRange {
+                end: first_group,
+                len: meta.manifest.num_groups,
+            });
+        }
+        let end = meta
+            .manifest
+            .num_groups
+            .min(first_group.saturating_add(max_groups));
+        let mut decoder = StripeDecoder::new(self.codec.code(), meta.manifest);
+        decoder.seek_group(first_group);
+        let mut out = Vec::new();
+        for g in first_group..end {
+            let blocks = self.group_availability(meta, g);
+            let present: u64 = blocks.iter().flatten().map(|b| b.len() as u64).sum();
+            global().counter("dfs.bytes_read").add(present);
+            if blocks.iter().any(|b| b.is_none()) {
+                global().counter("dfs.degraded_reads").inc();
+            }
+            let refs: Vec<Option<&[u8]>> = blocks.iter().map(|b| b.as_deref()).collect();
+            let payload = decoder
+                .next_group(&refs)
+                .map_err(|_| self.group_read_error(meta, g))?;
+            out.extend_from_slice(&payload);
+        }
+        Ok(out)
     }
 
     /// Reads a whole file, tolerating lost blocks (degraded read).

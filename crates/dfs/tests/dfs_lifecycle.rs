@@ -204,3 +204,105 @@ fn revive_brings_back_capacity_not_data() {
     assert!(dfs.fsck().all_healthy());
     assert_eq!(dfs.get("a").unwrap(), data);
 }
+
+#[test]
+fn chunked_put_matches_oneshot_and_hides_until_commit() {
+    let code = || Galloper::uniform(4, 2, 1, 512).unwrap();
+    // Ragged sizes around group boundaries, fed in awkward chunk sizes.
+    for (len, chunk) in [
+        (0usize, 1usize),
+        (1, 1),
+        (2047, 100),
+        (2048, 512),
+        (50_000, 7_001),
+    ] {
+        let data = random_data(len, len as u64);
+        let mut oneshot = Dfs::new(10, code());
+        oneshot.put("x", &data).unwrap();
+
+        let mut dfs = Dfs::new(10, code());
+        dfs.put_begin("x").unwrap();
+        // Open uploads are invisible to reads and block duplicate names.
+        assert!(matches!(dfs.get("x"), Err(DfsError::NotFound(_))));
+        assert!(matches!(
+            dfs.put("x", b"y"),
+            Err(DfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            dfs.put_begin("x"),
+            Err(DfsError::AlreadyExists(_))
+        ));
+        for piece in data.chunks(chunk.max(1)) {
+            dfs.put_append("x", piece).unwrap();
+        }
+        if data.is_empty() {
+            dfs.put_append("x", &data).unwrap();
+        }
+        dfs.put_commit("x").unwrap();
+        assert_eq!(dfs.get("x").unwrap(), data, "len={len} chunk={chunk}");
+        let manifest = dfs.object_manifest("x").unwrap();
+        assert_eq!(manifest.object_len, len);
+        assert_eq!(
+            manifest.num_groups,
+            oneshot.object_manifest("x").unwrap().num_groups,
+            "len={len}"
+        );
+        // Windowed reads reassemble the object exactly.
+        let mut windowed = Vec::new();
+        let mut g = 0;
+        while g < manifest.num_groups {
+            let w = dfs.read_groups("x", g, 3).unwrap();
+            windowed.extend_from_slice(&w);
+            g += 3;
+        }
+        assert_eq!(windowed, data, "len={len}");
+        assert!(dfs.fsck().all_healthy());
+    }
+}
+
+#[test]
+fn chunked_put_survives_failures_like_oneshot() {
+    let mut dfs = Dfs::new(12, Galloper::uniform(4, 2, 1, 256).unwrap());
+    let data = random_data(60_000, 31);
+    dfs.put_begin("a").unwrap();
+    for piece in data.chunks(9_000) {
+        dfs.put_append("a", piece).unwrap();
+    }
+    dfs.put_commit("a").unwrap();
+    dfs.fail_server(1);
+    dfs.fail_server(6);
+    assert_eq!(dfs.get("a").unwrap(), data, "degraded whole read");
+    let groups = dfs.object_manifest("a").unwrap().num_groups;
+    assert_eq!(dfs.read_groups("a", 0, groups).unwrap(), data);
+    dfs.repair().unwrap();
+    assert!(dfs.fsck().all_healthy());
+}
+
+#[test]
+fn put_abort_reclaims_blocks_and_frees_the_name() {
+    let mut dfs = Dfs::new(10, Galloper::uniform(4, 2, 1, 128).unwrap());
+    let data = random_data(20_000, 5);
+    dfs.put_begin("a").unwrap();
+    dfs.put_append("a", &data).unwrap();
+    let stored: usize = (0..10).map(|s| dfs.blocks_on(s)).sum();
+    assert!(stored > 0, "groups were placed before the abort");
+    assert!(dfs.put_abort("a"));
+    assert!(!dfs.put_abort("a"), "second abort is a no-op");
+    let after: usize = (0..10).map(|s| dfs.blocks_on(s)).sum();
+    assert_eq!(after, 0, "aborted upload leaves no blocks behind");
+    // The name is free again.
+    dfs.put("a", &data).unwrap();
+    assert_eq!(dfs.get("a").unwrap(), data);
+    // Committing or appending to a never-opened name fails cleanly.
+    assert!(matches!(
+        dfs.put_append("b", b"x"),
+        Err(DfsError::NotFound(_))
+    ));
+    assert!(matches!(dfs.put_commit("b"), Err(DfsError::NotFound(_))));
+    // read_groups past the end is OutOfRange.
+    let groups = dfs.object_manifest("a").unwrap().num_groups;
+    assert!(matches!(
+        dfs.read_groups("a", groups + 1, 1),
+        Err(DfsError::OutOfRange { .. })
+    ));
+}

@@ -339,6 +339,20 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
         }
     }
 
+    /// Starts group numbering at `first` instead of 0, so a transfer
+    /// split across several short-lived encoders (one per arriving
+    /// network chunk, say) still delivers globally ordered group ids to
+    /// its sink. The returned manifest's `num_groups` counts from group
+    /// 0 — i.e. it is `first` plus the groups this encoder emitted — but
+    /// its `object_len` covers only the bytes pushed through *this*
+    /// encoder; resuming callers must track the cumulative length
+    /// themselves.
+    #[must_use]
+    pub fn with_first_group(mut self, first: usize) -> Self {
+        self.groups_emitted = first;
+        self
+    }
+
     /// Bytes consumed so far.
     pub fn bytes_consumed(&self) -> usize {
         self.object_len
@@ -438,7 +452,11 @@ impl<'c, C: ErasureCode, S: GroupSink> StripeEncoder<'c, C, S> {
     /// [`StreamError::Code`] or [`StreamError::Sink`].
     pub fn finish(mut self) -> Result<(ObjectManifest, S), StreamError<S::Error>> {
         let tail_pending = self.fill > 0;
-        let empty_object = self.object_len == 0 && self.batch.is_empty();
+        // A resumed encoder (`with_first_group` > 0) that received no
+        // bytes has nothing to pad: only a genuinely empty *object*
+        // earns the single all-zero group.
+        let empty_object =
+            self.object_len == 0 && self.batch.is_empty() && self.groups_emitted == 0;
         if tail_pending || empty_object {
             let mut pending = match self.pending.take() {
                 Some(buf) => buf,
@@ -565,6 +583,16 @@ impl<'c, C: ErasureCode> StripeDecoder<'c, C> {
     /// Whether every group has been decoded.
     pub fn is_done(&self) -> bool {
         self.next_group == self.num_groups
+    }
+
+    /// Repositions the decoder at coding group `group`, as if every
+    /// earlier group had already been decoded — the entry point for
+    /// serving one window of a chunked read without replaying the whole
+    /// object. Tail-padding truncation still works because the bytes
+    /// "already emitted" are recomputed from the group index.
+    pub fn seek_group(&mut self, group: usize) {
+        self.next_group = group.min(self.num_groups);
+        self.emitted = (self.next_group * self.code.message_len()).min(self.object_len);
     }
 
     /// Decodes the next group from its block availability (`None` marks
@@ -906,6 +934,83 @@ mod tests {
         ));
         assert_eq!(dec.finish().unwrap(), 19);
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn resumed_encoders_match_one_continuous_encode() {
+        let code = xor_code(4); // message_len = 8
+        let data: Vec<u8> = (0..100).map(|i| (i * 11 + 3) as u8).collect();
+        let (expect_manifest, expect_groups) = collect_groups(&code, &data, 1, 100);
+
+        // Re-encode the same object through one short-lived encoder per
+        // slice, carrying only whole messages forward (the chunked-put
+        // server path): group ids and bytes must match exactly.
+        let mut groups: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut first_group = 0usize;
+        let mut stage: Vec<u8> = Vec::new();
+        for slice in data.chunks(29) {
+            stage.extend_from_slice(slice);
+            let whole = stage.len() / 8 * 8;
+            let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
+                assert_eq!(g, groups.len(), "global group order survives resume");
+                groups.push(blocks.iter().map(|b| b.to_vec()).collect());
+                Ok(())
+            };
+            let mut enc = StripeEncoder::new(&code, sink).with_first_group(first_group);
+            enc.push(&stage[..whole]).unwrap();
+            let (m, _) = enc.finish().unwrap();
+            assert_eq!(m.num_groups, first_group + whole / 8);
+            first_group = m.num_groups;
+            stage.drain(..whole);
+        }
+        // Commit: pad the ragged tail through one final resumed encoder.
+        let sink = |g: usize, blocks: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
+            assert_eq!(g, groups.len());
+            groups.push(blocks.iter().map(|b| b.to_vec()).collect());
+            Ok(())
+        };
+        let mut enc = StripeEncoder::new(&code, sink).with_first_group(first_group);
+        enc.push(&stage).unwrap();
+        let (m, _) = enc.finish().unwrap();
+        assert_eq!(m.num_groups, expect_manifest.num_groups);
+        assert_eq!(groups, expect_groups);
+    }
+
+    #[test]
+    fn resumed_encoder_finish_without_bytes_emits_nothing() {
+        let code = xor_code(4);
+        let mut called = false;
+        let sink = |_: usize, _: &[AlignedBuf]| -> Result<(), core::convert::Infallible> {
+            called = true;
+            Ok(())
+        };
+        let enc = StripeEncoder::new(&code, sink).with_first_group(5);
+        let (m, _) = enc.finish().unwrap();
+        assert_eq!(m.num_groups, 5, "no spurious zero group on resume");
+        assert!(!called);
+    }
+
+    #[test]
+    fn decoder_seek_group_serves_interior_and_tail_windows() {
+        let code = xor_code(4); // message_len = 8
+        let data: Vec<u8> = (0..19).map(|i| (i * 5 + 1) as u8).collect(); // 3 groups, ragged
+        let (manifest, groups) = collect_groups(&code, &data, 1, 19);
+        for start in 0..groups.len() {
+            let mut dec = StripeDecoder::new(&code, manifest);
+            dec.seek_group(start);
+            assert_eq!(dec.groups_done(), start);
+            let mut out = Vec::new();
+            for blocks in &groups[start..] {
+                let avail: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(b.as_slice())).collect();
+                out.extend_from_slice(&dec.next_group(&avail).unwrap());
+            }
+            assert_eq!(out, &data[(start * 8).min(data.len())..], "start={start}");
+            assert_eq!(dec.finish().unwrap(), 19);
+        }
+        // Seeking past the end clamps: the decoder is simply done.
+        let mut dec = StripeDecoder::new(&code, manifest);
+        dec.seek_group(99);
+        assert!(dec.is_done());
     }
 
     #[test]

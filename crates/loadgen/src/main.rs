@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use galloper_net::{Conn, ErrorKind, Request, Response};
+use galloper_net::{Conn, ErrorKind, Request, Response, WHOLE_OBJECT_MAX};
 use galloper_obs::{global, Json, RegistrySnapshot};
 
 /// Fixed seed base so every run (and the verifying reader) derives the
@@ -68,6 +68,13 @@ struct Counters {
     requests: AtomicU64,
     ok: AtomicU64,
     ok_bytes: AtomicU64,
+    /// Bytes moved over the chunked-transfer plane (objects larger
+    /// than one frame). Zero on the default whole-frame workload.
+    stream_bytes: AtomicU64,
+    /// Typed `OutOfRange` refusals that reached the client — on the
+    /// chunked path that means the fallback itself failed, so any
+    /// nonzero count is a protocol regression.
+    oversize_errors: AtomicU64,
     byte_errors: AtomicU64,
     busy_shed: AtomicU64,
     busy_retries: AtomicU64,
@@ -305,6 +312,14 @@ fn run(cfg: &Config) -> ExitCode {
         .field("achieved_rps", requests as f64 / elapsed)
         .field("throughput_gb_s", throughput_gb_s)
         .field("byte_errors", byte_errors)
+        .field(
+            "stream_bytes",
+            counters.stream_bytes.load(Ordering::Relaxed),
+        )
+        .field(
+            "oversize_errors",
+            counters.oversize_errors.load(Ordering::Relaxed),
+        )
         .field("busy_shed", counters.busy_shed.load(Ordering::Relaxed))
         .field(
             "busy_retries",
@@ -370,11 +385,10 @@ fn preload(cfg: &Config, payloads: &Arc<Vec<Vec<u8>>>) -> Result<(), String> {
                     if i >= payloads.len() {
                         return Ok(());
                     }
+                    // Size-aware: identical PutObject frames for
+                    // objects that fit, chunked streaming beyond.
                     match conn
-                        .call(&Request::PutObject {
-                            name: object_name(i),
-                            bytes: payloads[i].clone(),
-                        })
+                        .put_object(&object_name(i), &payloads[i])
                         .map_err(|e| format!("preload: put {i} failed: {e}"))?
                     {
                         Response::Ok => {}
@@ -440,19 +454,42 @@ fn client_loop(
                     }
                 },
             };
-            match call.call(&Request::GetObject {
-                name: object_name(obj),
-            }) {
+            // Objects that fit one frame keep the exact historical
+            // GetObject exchange (the responses-vs-histogram gate
+            // depends on one admitted GET per response); oversize
+            // objects go through the chunked helper.
+            let chunked = cfg.object_bytes > WHOLE_OBJECT_MAX;
+            let resp = if chunked {
+                call.get_object(&object_name(obj))
+            } else {
+                call.call(&Request::GetObject {
+                    name: object_name(obj),
+                })
+            };
+            match resp {
                 Ok(Response::Blob(bytes)) => {
                     if bytes == payloads[obj] {
                         counters.ok.fetch_add(1, Ordering::Relaxed);
                         counters
                             .ok_bytes
                             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                        if chunked {
+                            counters
+                                .stream_bytes
+                                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                        }
                         hist.record(scheduled.elapsed().as_micros() as u64);
                     } else {
                         counters.byte_errors.fetch_add(1, Ordering::Relaxed);
                     }
+                    break;
+                }
+                Ok(Response::Err {
+                    kind: ErrorKind::OutOfRange,
+                    ..
+                }) => {
+                    counters.oversize_errors.fetch_add(1, Ordering::Relaxed);
+                    counters.error_responses.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
                 Ok(Response::Err {

@@ -147,7 +147,13 @@ pub fn handle_block_request<S: BlockStore>(store: &RwLock<S>, req: &Request) -> 
             Response::Ok
         }
         Request::Ping => Response::Ok,
-        Request::PutObject { .. } | Request::GetObject { .. } => Response::Err {
+        Request::PutObject { .. }
+        | Request::GetObject { .. }
+        | Request::PutStart { .. }
+        | Request::PutChunk { .. }
+        | Request::PutCommit { .. }
+        | Request::GetStart { .. }
+        | Request::GetChunk { .. } => Response::Err {
             kind: ErrorKind::Protocol,
             message: "object-plane request sent to a storage daemon".into(),
         },
@@ -229,6 +235,11 @@ impl Daemon {
                         let conn_workers = Arc::clone(&workers);
                         let store = Arc::clone(&store);
                         workers.fetch_add(1, Ordering::SeqCst);
+                        // Cloned before the spawn: a failed spawn drops
+                        // its closure — and the stream captured in it —
+                        // so this duplicate is the only way to still
+                        // answer the client on that path.
+                        let reply = stream.try_clone();
                         let spawned =
                             thread::Builder::new()
                                 .name("daemon-conn".into())
@@ -238,6 +249,13 @@ impl Daemon {
                                 });
                         if spawned.is_err() {
                             workers.fetch_sub(1, Ordering::SeqCst);
+                            global().counter("net.daemon.spawn_failures").inc();
+                            // Thread exhaustion is transient: tell the
+                            // client to back off and retry instead of
+                            // leaving it an unexplained EOF.
+                            if let Ok(mut s) = reply {
+                                let _ = respond(&mut s, &spawn_refusal());
+                            }
                         }
                     }
                 })?
@@ -372,6 +390,15 @@ fn serve_conn_inner<S: BlockStore>(
             }
             Err(_) => return,
         }
+    }
+}
+
+/// The reply sent when a worker thread cannot be spawned for a freshly
+/// accepted connection — retryable by construction.
+pub(crate) fn spawn_refusal() -> Response {
+    Response::Err {
+        kind: ErrorKind::Busy,
+        message: "worker thread spawn failed; retry with backoff".into(),
     }
 }
 

@@ -12,14 +12,28 @@
 //! Total in-flight requests are bounded by a counting semaphore of
 //! `max_inflight` slots (`GALLOPER_MAX_INFLIGHT`, default
 //! [`DEFAULT_MAX_INFLIGHT`]). A request that cannot take a slot within
-//! [`ADMISSION_TIMEOUT`] is answered with a typed
+//! the admission timeout (`GALLOPER_ADMISSION_MS`, default
+//! [`ADMISSION_TIMEOUT`]) is answered with a typed
 //! [`ErrorKind::Busy`] refusal instead of queueing unboundedly — the
 //! client sees fast, classed pushback and can retry with backoff.
 //! Combined with the one-outstanding-request-per-connection discipline
 //! of [`Conn`](crate::Conn), this bounds both queue depth and memory:
 //! at most `max_inflight` requests hold decode buffers, and each
 //! connection holds at most one frame in flight.
+//!
+//! ## Chunked transfers
+//!
+//! Objects larger than one frame move through the chunked plane
+//! (`PutStart`/`PutChunk`/`PutCommit`, `GetStart`/`GetChunk`). Each
+//! chunk is its own admitted request, so a multi-gigabyte transfer
+//! holds an admission slot only while one chunk is being coded, and
+//! the gateway's buffering per transfer is one chunk plus the
+//! erasure pipeline's coding-group window — never the whole object.
+//! Transfer sessions live on the connection that opened them; a
+//! connection that drops mid-put has its staged upload aborted and
+//! its blocks reclaimed.
 
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -29,7 +43,8 @@ use std::time::{Duration, Instant};
 use galloper_dfs::{BlockStore, Dfs, DfsError, ErasureCode};
 use galloper_obs::{global, global_trace, op, Json};
 
-use crate::daemon::service_uptime_ms;
+use crate::conn::{chunk_bytes_from_env, WHOLE_OBJECT_MAX};
+use crate::daemon::{service_uptime_ms, spawn_refusal};
 use crate::frame::FrameReader;
 use crate::proto::{ErrorKind, ProtocolError, Request, Response, PROTO_VERSION};
 use crate::scrape::Scraper;
@@ -37,12 +52,38 @@ use crate::scrape::Scraper;
 /// Default admission-queue width.
 pub const DEFAULT_MAX_INFLIGHT: usize = 256;
 
-/// How long a request may wait for an admission slot before being
-/// refused with [`ErrorKind::Busy`].
+/// Default for how long a request may wait for an admission slot
+/// before being refused with [`ErrorKind::Busy`]. Overridable via
+/// `GALLOPER_ADMISSION_MS` (see [`admission_timeout_from_env`]).
 pub const ADMISSION_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Open chunked-transfer sessions allowed per connection. The `Conn`
+/// client drives one transfer at a time; a small allowance covers
+/// hand-written clients interleaving a put and a get, while still
+/// bounding what one connection can pin.
+const MAX_STREAM_SESSIONS: usize = 4;
 
 /// How often a blocked worker wakes to check for shutdown.
 const POLL: Duration = Duration::from_millis(100);
+
+/// Reads `GALLOPER_ADMISSION_MS` (falling back to
+/// [`ADMISSION_TIMEOUT`]); malformed values warn on stderr.
+pub fn admission_timeout_from_env() -> Duration {
+    match std::env::var("GALLOPER_ADMISSION_MS") {
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Duration::from_millis(n),
+            _ => {
+                eprintln!(
+                    "warning: GALLOPER_ADMISSION_MS='{s}' is not a positive integer; \
+                     using {}",
+                    ADMISSION_TIMEOUT.as_millis()
+                );
+                ADMISSION_TIMEOUT
+            }
+        },
+        Err(_) => ADMISSION_TIMEOUT,
+    }
+}
 
 /// Reads `GALLOPER_MAX_INFLIGHT` (falling back to
 /// [`DEFAULT_MAX_INFLIGHT`]); malformed values warn on stderr.
@@ -195,6 +236,7 @@ impl Gateway {
         let addr = listener.local_addr()?;
         // Anchor the uptime epoch before the first request can ask.
         let _ = service_uptime_ms();
+        let admission_timeout = admission_timeout_from_env();
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = Arc::new(AtomicUsize::new(0));
         let dfs = Arc::new(RwLock::new(dfs));
@@ -220,15 +262,31 @@ impl Gateway {
                         let admission = Arc::clone(&admission);
                         let scraper = scraper.clone();
                         workers.fetch_add(1, Ordering::SeqCst);
+                        // Cloned before the spawn: a failed spawn
+                        // drops its closure (and the stream with it),
+                        // and the client deserves a typed refusal,
+                        // not a silent hangup.
+                        let reply = stream.try_clone();
                         let spawned =
                             thread::Builder::new()
                                 .name("gateway-conn".into())
                                 .spawn(move || {
-                                    serve_conn(stream, &dfs, &admission, scraper, &shutdown);
+                                    serve_conn(
+                                        stream,
+                                        &dfs,
+                                        &admission,
+                                        admission_timeout,
+                                        scraper,
+                                        &shutdown,
+                                    );
                                     conn_workers.fetch_sub(1, Ordering::SeqCst);
                                 });
                         if spawned.is_err() {
                             workers.fetch_sub(1, Ordering::SeqCst);
+                            global().counter("net.gateway.spawn_failures").inc();
+                            if let Ok(mut s) = reply {
+                                let _ = respond(&mut s, &spawn_refusal());
+                            }
                         }
                     }
                 })?
@@ -262,6 +320,24 @@ where
         }
         Request::GetObject { name } => {
             let d = dfs.read().unwrap_or_else(|e| e.into_inner());
+            // An object too large for one response frame is refused
+            // with a *typed* error rather than a doomed oversize
+            // frame: old clients get a clean failure instead of a
+            // desynced connection, and new clients take exactly this
+            // error as the cue to retry via GetStart/GetChunk.
+            match d.object_manifest(&name) {
+                Ok(m) if m.object_len > WHOLE_OBJECT_MAX => {
+                    global().counter("net.gateway.oversize_refusals").inc();
+                    return Response::Err {
+                        kind: ErrorKind::OutOfRange,
+                        message: format!(
+                            "object is {} bytes, larger than one frame; use chunked transfer",
+                            m.object_len
+                        ),
+                    };
+                }
+                _ => {}
+            }
             match d.get(&name) {
                 Ok(bytes) => Response::Blob(bytes),
                 Err(e) => Response::Err {
@@ -275,6 +351,317 @@ where
             kind: ErrorKind::Protocol,
             message: "block-plane request sent to the gateway".into(),
         },
+    }
+}
+
+fn dfs_err(e: &DfsError) -> Response {
+    Response::Err {
+        kind: kind_of_dfs(e),
+        message: e.to_string(),
+    }
+}
+
+fn stream_protocol_err(message: String) -> Response {
+    Response::Err {
+        kind: ErrorKind::Protocol,
+        message,
+    }
+}
+
+/// One open chunked upload: bytes received so far stream into the
+/// DFS's staged put (`put_begin`/`put_append`), so the gateway never
+/// holds more of the object than the current chunk.
+#[derive(Debug)]
+struct PutSession {
+    name: String,
+    declared_len: u64,
+    received: u64,
+    next_seq: u64,
+}
+
+/// One open chunked download: a cursor over the object's coding
+/// groups; each `GetChunk` decodes the next window of groups.
+#[derive(Debug)]
+struct GetSession {
+    name: String,
+    num_groups: usize,
+    groups_per_chunk: usize,
+    next_group: usize,
+}
+
+/// Chunked-transfer state for one connection. Transfer ids are scoped
+/// to the connection that allocated them; the `net.gateway.stream.inflight`
+/// gauge counts open sessions across all connections.
+#[derive(Debug)]
+struct StreamSessions {
+    next_id: u64,
+    puts: HashMap<u64, PutSession>,
+    gets: HashMap<u64, GetSession>,
+}
+
+impl StreamSessions {
+    fn new() -> StreamSessions {
+        StreamSessions {
+            next_id: 1,
+            puts: HashMap::new(),
+            gets: HashMap::new(),
+        }
+    }
+
+    fn has_room(&self) -> bool {
+        self.puts.len() + self.gets.len() < MAX_STREAM_SESSIONS
+    }
+
+    fn alloc(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        global().gauge("net.gateway.stream.inflight").add(1);
+        id
+    }
+
+    /// Destroys an open upload and reclaims its staged blocks.
+    fn abort_put<C, S>(&mut self, dfs: &RwLock<Dfs<C, S>>, id: u64)
+    where
+        C: ErasureCode,
+        S: BlockStore,
+    {
+        if let Some(sess) = self.puts.remove(&id) {
+            let _ = dfs
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .put_abort(&sess.name);
+            global().counter("net.gateway.stream.aborts").inc();
+            global().gauge("net.gateway.stream.inflight").add(-1);
+        }
+    }
+
+    /// Destroys an open download (no server-side state to reclaim).
+    fn abort_get(&mut self, id: u64) {
+        if self.gets.remove(&id).is_some() {
+            global().counter("net.gateway.stream.aborts").inc();
+            global().gauge("net.gateway.stream.inflight").add(-1);
+        }
+    }
+
+    /// Connection teardown: every open transfer dies with the
+    /// connection, and half-uploaded objects are reclaimed.
+    fn abort_all<C, S>(&mut self, dfs: &RwLock<Dfs<C, S>>)
+    where
+        C: ErasureCode,
+        S: BlockStore,
+    {
+        let puts: Vec<u64> = self.puts.keys().copied().collect();
+        for id in puts {
+            self.abort_put(dfs, id);
+        }
+        let gets: Vec<u64> = self.gets.keys().copied().collect();
+        for id in gets {
+            self.abort_get(id);
+        }
+    }
+}
+
+/// Whether a request belongs to the chunked-transfer plane (and so
+/// needs per-connection session state).
+fn is_stream_request(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::PutStart { .. }
+            | Request::PutChunk { .. }
+            | Request::PutCommit { .. }
+            | Request::GetStart { .. }
+            | Request::GetChunk { .. }
+    )
+}
+
+/// Dispatches one chunked-transfer request. Any typed error destroys
+/// the transfer it names (clients treat errors as transfer-over), so
+/// sessions never outlive a failed exchange.
+fn handle_stream_request<C, S>(
+    dfs: &RwLock<Dfs<C, S>>,
+    sessions: &mut StreamSessions,
+    req: Request,
+) -> Response
+where
+    C: ErasureCode,
+    S: BlockStore,
+{
+    match req {
+        Request::PutStart { name, object_len } => {
+            if !sessions.has_room() {
+                return Response::Err {
+                    kind: ErrorKind::Busy,
+                    message: "too many open transfers on this connection; finish one first".into(),
+                };
+            }
+            let begun = dfs
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .put_begin(&name);
+            match begun {
+                Ok(_) => {
+                    let id = sessions.alloc();
+                    sessions.puts.insert(
+                        id,
+                        PutSession {
+                            name,
+                            declared_len: object_len,
+                            received: 0,
+                            next_seq: 0,
+                        },
+                    );
+                    Response::PutBegun { id }
+                }
+                Err(e) => dfs_err(&e),
+            }
+        }
+        Request::PutChunk { id, seq, bytes } => {
+            let (name, expected_seq, received, declared) = match sessions.puts.get(&id) {
+                Some(s) => (s.name.clone(), s.next_seq, s.received, s.declared_len),
+                None => {
+                    return stream_protocol_err(format!("no open transfer {id} on this connection"))
+                }
+            };
+            if seq != expected_seq {
+                sessions.abort_put(dfs, id);
+                return stream_protocol_err(format!(
+                    "transfer {id}: chunk seq {seq}, expected {expected_seq}"
+                ));
+            }
+            if received + bytes.len() as u64 > declared {
+                sessions.abort_put(dfs, id);
+                return stream_protocol_err(format!(
+                    "transfer {id} overran its declared length of {declared} bytes"
+                ));
+            }
+            let appended = dfs
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .put_append(&name, &bytes);
+            match appended {
+                Ok(()) => {
+                    let s = sessions.puts.get_mut(&id).expect("session checked above");
+                    s.next_seq += 1;
+                    s.received += bytes.len() as u64;
+                    global().counter("net.gateway.stream.chunks_in").inc();
+                    global()
+                        .counter("net.gateway.stream.bytes_in")
+                        .add(bytes.len() as u64);
+                    Response::Ok
+                }
+                Err(e) => {
+                    let resp = dfs_err(&e);
+                    sessions.abort_put(dfs, id);
+                    resp
+                }
+            }
+        }
+        Request::PutCommit { id } => {
+            let Some(sess) = sessions.puts.remove(&id) else {
+                return stream_protocol_err(format!("no open transfer {id} on this connection"));
+            };
+            global().gauge("net.gateway.stream.inflight").add(-1);
+            if sess.received != sess.declared_len {
+                let _ = dfs
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .put_abort(&sess.name);
+                global().counter("net.gateway.stream.aborts").inc();
+                return stream_protocol_err(format!(
+                    "transfer {id} committed after {} of {} declared bytes",
+                    sess.received, sess.declared_len
+                ));
+            }
+            let committed = dfs
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .put_commit(&sess.name);
+            match committed {
+                Ok(_) => Response::Ok,
+                // put_commit reclaims its own blocks on failure.
+                Err(e) => {
+                    global().counter("net.gateway.stream.aborts").inc();
+                    dfs_err(&e)
+                }
+            }
+        }
+        Request::GetStart { name } => {
+            if !sessions.has_room() {
+                return Response::Err {
+                    kind: ErrorKind::Busy,
+                    message: "too many open transfers on this connection; finish one first".into(),
+                };
+            }
+            let d = dfs.read().unwrap_or_else(|e| e.into_inner());
+            let manifest = match d.object_manifest(&name) {
+                Ok(m) => m,
+                Err(e) => return dfs_err(&e),
+            };
+            let message_len = d.code().message_len();
+            drop(d);
+            // Chunks are whole multiples of a coding group's payload,
+            // so each GetChunk decodes a clean window of groups.
+            let groups_per_chunk = (chunk_bytes_from_env() / message_len).max(1);
+            let id = sessions.alloc();
+            sessions.gets.insert(
+                id,
+                GetSession {
+                    name,
+                    num_groups: manifest.num_groups,
+                    groups_per_chunk,
+                    next_group: 0,
+                },
+            );
+            Response::GetBegun {
+                id,
+                object_len: manifest.object_len as u64,
+                chunk_bytes: (groups_per_chunk * message_len) as u64,
+            }
+        }
+        Request::GetChunk { id } => {
+            let (name, next_group, groups_per_chunk, num_groups) = match sessions.gets.get(&id) {
+                Some(s) => (
+                    s.name.clone(),
+                    s.next_group,
+                    s.groups_per_chunk,
+                    s.num_groups,
+                ),
+                None => {
+                    return stream_protocol_err(format!("no open transfer {id} on this connection"))
+                }
+            };
+            let read = dfs.read().unwrap_or_else(|e| e.into_inner()).read_groups(
+                &name,
+                next_group,
+                groups_per_chunk,
+            );
+            match read {
+                Ok(bytes) => {
+                    global().counter("net.gateway.stream.chunks_out").inc();
+                    global()
+                        .counter("net.gateway.stream.bytes_out")
+                        .add(bytes.len() as u64);
+                    let eof = next_group + groups_per_chunk >= num_groups;
+                    if eof {
+                        sessions.gets.remove(&id);
+                        global().gauge("net.gateway.stream.inflight").add(-1);
+                    } else {
+                        sessions
+                            .gets
+                            .get_mut(&id)
+                            .expect("session checked above")
+                            .next_group = next_group + groups_per_chunk;
+                    }
+                    Response::Chunk { id, eof, bytes }
+                }
+                Err(e) => {
+                    let resp = dfs_err(&e);
+                    sessions.abort_get(id);
+                    resp
+                }
+            }
+        }
+        _ => stream_protocol_err("non-stream request routed to the stream handler".into()),
     }
 }
 
@@ -315,11 +702,41 @@ fn gateway_stats_doc(scraper: Option<&Scraper>) -> Json {
 /// answered requests, which is what makes the loadgen's
 /// responses-vs-histogram-count cross-check exact.
 fn serve_conn<C, S>(
+    stream: TcpStream,
+    dfs: &RwLock<Dfs<C, S>>,
+    admission: &Admission,
+    admission_timeout: Duration,
+    scraper: Option<Arc<Scraper>>,
+    shutdown: &AtomicBool,
+) where
+    C: ErasureCode,
+    S: BlockStore,
+{
+    let mut sessions = StreamSessions::new();
+    conn_loop(
+        stream,
+        dfs,
+        admission,
+        admission_timeout,
+        scraper,
+        shutdown,
+        &mut sessions,
+    );
+    // However the connection ended — clean close, transport error,
+    // shutdown — its open transfers die with it, and half-uploaded
+    // objects have their staged blocks reclaimed.
+    sessions.abort_all(dfs);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conn_loop<C, S>(
     mut stream: TcpStream,
     dfs: &RwLock<Dfs<C, S>>,
     admission: &Admission,
+    admission_timeout: Duration,
     scraper: Option<Arc<Scraper>>,
     shutdown: &AtomicBool,
+    sessions: &mut StreamSessions,
 ) where
     C: ErasureCode,
     S: BlockStore,
@@ -361,7 +778,7 @@ fn serve_conn<C, S>(
                 Request::Ping => Response::Ok,
                 req => {
                     let wait = Instant::now();
-                    if admission.acquire(ADMISSION_TIMEOUT) {
+                    if admission.acquire(admission_timeout) {
                         global()
                             .histogram("net.gateway.admission_wait_us")
                             .record(wait.elapsed().as_micros() as u64);
@@ -380,7 +797,11 @@ fn serve_conn<C, S>(
                         let inflight = global().gauge("net.gateway.inflight");
                         inflight.add(1);
                         let started = Instant::now();
-                        let resp = handle_object_request(dfs, req);
+                        let resp = if is_stream_request(&req) {
+                            handle_stream_request(dfs, sessions, req)
+                        } else {
+                            handle_object_request(dfs, req)
+                        };
                         if let Some(name) = kind {
                             global()
                                 .histogram(name)
@@ -391,6 +812,17 @@ fn serve_conn<C, S>(
                         resp
                     } else {
                         global().counter("net.gateway.busy_rejections").inc();
+                        // A refused chunk strands its transfer (the
+                        // client treats any typed error as
+                        // transfer-over), so destroy the session
+                        // rather than leak it until conn close.
+                        match &req {
+                            Request::PutChunk { id, .. } | Request::PutCommit { id } => {
+                                sessions.abort_put(dfs, *id);
+                            }
+                            Request::GetChunk { id } => sessions.abort_get(*id),
+                            _ => {}
+                        }
                         Response::Err {
                             kind: ErrorKind::Busy,
                             message: "admission queue full; retry with backoff".into(),

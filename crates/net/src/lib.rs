@@ -54,12 +54,12 @@ pub mod proto;
 mod remote;
 pub mod scrape;
 
-pub use conn::Conn;
+pub use conn::{chunk_bytes_from_env, Conn, DEFAULT_CHUNK_BYTES, WHOLE_OBJECT_MAX};
 pub use daemon::{node_stats_doc, Daemon, DaemonHandle};
 pub use frame::{FrameReader, FRAME_HEADER, MAX_FRAME};
 pub use gateway::{
-    kind_of_dfs, max_inflight_from_env, Gateway, GatewayHandle, ADMISSION_TIMEOUT,
-    DEFAULT_MAX_INFLIGHT,
+    admission_timeout_from_env, kind_of_dfs, max_inflight_from_env, Gateway, GatewayHandle,
+    ADMISSION_TIMEOUT, DEFAULT_MAX_INFLIGHT,
 };
 pub use proto::{
     ErrorKind, NodeVitals, ProtocolError, Request, Response, TraceContext, PROTO_VERSION,

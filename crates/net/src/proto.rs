@@ -33,8 +33,10 @@ use galloper_dfs::BlockKey;
 
 /// Protocol revision stamped into [`NodeVitals`]. Bumped when the wire
 /// format gains messages or extensions; peers use it for display and
-/// compatibility diagnostics, never for dispatch.
-pub const PROTO_VERSION: u32 = 2;
+/// compatibility diagnostics, never for dispatch. Version 3 added the
+/// chunked-transfer messages (`PutStart`/`PutChunk`/`PutCommit`,
+/// `GetStart`/`GetChunk`), lifting the one-frame 64 MiB object cap.
+pub const PROTO_VERSION: u32 = 3;
 
 /// A request's operation context, carried across the wire so the
 /// server's spans join the client's trace tree (ids are
@@ -257,6 +259,48 @@ pub enum Request {
     },
     /// Liveness check; answered with [`Response::Ok`].
     Ping,
+    /// Open a chunked upload (the streaming alternative to
+    /// [`Request::PutObject`], required once an object outgrows one
+    /// frame). Answered with [`Response::PutBegun`] carrying the
+    /// transfer id every subsequent chunk names.
+    PutStart {
+        /// Object name.
+        name: String,
+        /// Total object length the client intends to send; the commit
+        /// verifies the chunks added up to exactly this.
+        object_len: u64,
+    },
+    /// One slice of an open upload. `seq` starts at 0 and increments by
+    /// one per chunk; a gap or replay aborts the transfer with a
+    /// [`ErrorKind::Protocol`] error. Answered with [`Response::Ok`].
+    PutChunk {
+        /// Transfer id from [`Response::PutBegun`].
+        id: u64,
+        /// 0-based chunk sequence number.
+        seq: u64,
+        /// The slice's bytes (any size that fits a frame).
+        bytes: Vec<u8>,
+    },
+    /// Seal an open upload, publishing the object to readers. Answered
+    /// with [`Response::Ok`].
+    PutCommit {
+        /// Transfer id from [`Response::PutBegun`].
+        id: u64,
+    },
+    /// Open a chunked download. Answered with [`Response::GetBegun`]
+    /// (length + server-chosen chunk size); the client then pulls
+    /// chunks one [`Request::GetChunk`] at a time, preserving the
+    /// one-outstanding-request discipline of the half-duplex `Conn`.
+    GetStart {
+        /// Object name.
+        name: String,
+    },
+    /// Pull the next chunk of an open download. Answered with
+    /// [`Response::Chunk`]; `eof` on the final one closes the transfer.
+    GetChunk {
+        /// Transfer id from [`Response::GetBegun`].
+        id: u64,
+    },
 }
 
 /// A response frame.
@@ -298,6 +342,31 @@ pub enum Response {
         /// Human-readable detail (never required for dispatch).
         message: String,
     },
+    /// A chunked upload is open ([`Request::PutStart`] accepted).
+    PutBegun {
+        /// Transfer id for this connection's upload.
+        id: u64,
+    },
+    /// A chunked download is open ([`Request::GetStart`] accepted).
+    GetBegun {
+        /// Transfer id for this connection's download.
+        id: u64,
+        /// Total object length the transfer will deliver.
+        object_len: u64,
+        /// Server-chosen chunk size: every [`Response::Chunk`] except
+        /// the last carries exactly this many bytes.
+        chunk_bytes: u64,
+    },
+    /// One slice of an open download.
+    Chunk {
+        /// The transfer it belongs to.
+        id: u64,
+        /// Whether this is the final chunk (the transfer is closed
+        /// after it; an empty object sends one empty `eof` chunk).
+        eof: bool,
+        /// The slice's bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 // Tag bytes. Requests live below 0x80, responses above — a misdirected
@@ -312,6 +381,11 @@ const T_STATS: u8 = 0x07;
 const T_PUT_OBJECT: u8 = 0x10;
 const T_GET_OBJECT: u8 = 0x11;
 const T_PING: u8 = 0x12;
+const T_PUT_START: u8 = 0x13;
+const T_PUT_CHUNK: u8 = 0x14;
+const T_PUT_COMMIT: u8 = 0x15;
+const T_GET_START: u8 = 0x16;
+const T_GET_CHUNK: u8 = 0x17;
 const T_OK: u8 = 0x81;
 const T_BLOB: u8 = 0x82;
 const T_BLOCK: u8 = 0x83;
@@ -321,6 +395,9 @@ const T_DELETED: u8 = 0x86;
 const T_KEYS: u8 = 0x87;
 const T_HEALTH: u8 = 0x88;
 const T_STATS_R: u8 = 0x89;
+const T_PUT_BEGUN: u8 = 0x8A;
+const T_GET_BEGUN: u8 = 0x8B;
+const T_CHUNK: u8 = 0x8C;
 const T_ERR: u8 = 0x90;
 
 /// Trailing-extension marker: a [`TraceContext`] (16 bytes) follows.
@@ -458,6 +535,11 @@ impl Request {
             Request::PutObject { .. } => "put_object",
             Request::GetObject { .. } => "get_object",
             Request::Ping => "ping",
+            Request::PutStart { .. } => "put_start",
+            Request::PutChunk { .. } => "put_chunk",
+            Request::PutCommit { .. } => "put_commit",
+            Request::GetStart { .. } => "get_start",
+            Request::GetChunk { .. } => "get_chunk",
         }
     }
 
@@ -515,6 +597,34 @@ impl Request {
                 w.out
             }
             Request::Ping => Writer::new(T_PING).out,
+            Request::PutStart { name, object_len } => {
+                let mut w = Writer::new(T_PUT_START);
+                w.bytes(name.as_bytes());
+                w.u64(*object_len);
+                w.out
+            }
+            Request::PutChunk { id, seq, bytes } => {
+                let mut w = Writer::new(T_PUT_CHUNK);
+                w.u64(*id);
+                w.u64(*seq);
+                w.bytes(bytes);
+                w.out
+            }
+            Request::PutCommit { id } => {
+                let mut w = Writer::new(T_PUT_COMMIT);
+                w.u64(*id);
+                w.out
+            }
+            Request::GetStart { name } => {
+                let mut w = Writer::new(T_GET_START);
+                w.bytes(name.as_bytes());
+                w.out
+            }
+            Request::GetChunk { id } => {
+                let mut w = Writer::new(T_GET_CHUNK);
+                w.u64(*id);
+                w.out
+            }
         }
     }
 
@@ -564,6 +674,24 @@ impl Request {
                 name: r.string("get-object name")?,
             },
             T_PING => Request::Ping,
+            T_PUT_START => Request::PutStart {
+                name: r.string("put-start name")?,
+                object_len: r.u64("put-start length")?,
+            },
+            T_PUT_CHUNK => Request::PutChunk {
+                id: r.u64("put-chunk id")?,
+                seq: r.u64("put-chunk seq")?,
+                bytes: r.bytes("put-chunk bytes")?,
+            },
+            T_PUT_COMMIT => Request::PutCommit {
+                id: r.u64("put-commit id")?,
+            },
+            T_GET_START => Request::GetStart {
+                name: r.string("get-start name")?,
+            },
+            T_GET_CHUNK => Request::GetChunk {
+                id: r.u64("get-chunk id")?,
+            },
             t if t >= 0x80 => return Err(ProtocolError::Unexpected("response tag in request")),
             t => return Err(ProtocolError::UnknownTag(t)),
         };
@@ -634,6 +762,29 @@ impl Response {
                 w.bytes(message.as_bytes());
                 w.out
             }
+            Response::PutBegun { id } => {
+                let mut w = Writer::new(T_PUT_BEGUN);
+                w.u64(*id);
+                w.out
+            }
+            Response::GetBegun {
+                id,
+                object_len,
+                chunk_bytes,
+            } => {
+                let mut w = Writer::new(T_GET_BEGUN);
+                w.u64(*id);
+                w.u64(*object_len);
+                w.u64(*chunk_bytes);
+                w.out
+            }
+            Response::Chunk { id, eof, bytes } => {
+                let mut w = Writer::new(T_CHUNK);
+                w.u64(*id);
+                w.u8(u8::from(*eof));
+                w.bytes(bytes);
+                w.out
+            }
         }
     }
 
@@ -686,6 +837,19 @@ impl Response {
             T_ERR => Response::Err {
                 kind: ErrorKind::from_code(r.u16("error kind")?),
                 message: r.string("error message")?,
+            },
+            T_PUT_BEGUN => Response::PutBegun {
+                id: r.u64("put-begun id")?,
+            },
+            T_GET_BEGUN => Response::GetBegun {
+                id: r.u64("get-begun id")?,
+                object_len: r.u64("get-begun length")?,
+                chunk_bytes: r.u64("get-begun chunk size")?,
+            },
+            T_CHUNK => Response::Chunk {
+                id: r.u64("chunk id")?,
+                eof: r.u8("chunk eof flag")? != 0,
+                bytes: r.bytes("chunk bytes")?,
             },
             t if t < 0x80 => return Err(ProtocolError::Unexpected("request tag in response")),
             t => return Err(ProtocolError::UnknownTag(t)),
@@ -782,6 +946,85 @@ mod tests {
         let doc = br#"{"role":"daemon"}"#.to_vec();
         let resp = Response::Stats(doc.clone());
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn chunked_transfer_messages_roundtrip() {
+        let reqs = [
+            Request::PutStart {
+                name: "big/object".into(),
+                object_len: (200u64 << 20) + 17,
+            },
+            Request::PutChunk {
+                id: 7,
+                seq: 3,
+                bytes: vec![0xAB; 1000],
+            },
+            Request::PutCommit { id: 7 },
+            Request::GetStart {
+                name: "big/object".into(),
+            },
+            Request::GetChunk { id: 9 },
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req, "{req:?}");
+            // Trace contexts ride the new messages like any other.
+            let ctx = TraceContext { op: 5, span: 6 };
+            let framed = req.encode_with_ctx(Some(ctx));
+            let (got, got_ctx) = Request::decode_with_ctx(&framed).unwrap();
+            assert_eq!(got, req);
+            assert_eq!(got_ctx, Some(ctx));
+        }
+        let resps = [
+            Response::PutBegun { id: 7 },
+            Response::GetBegun {
+                id: 9,
+                object_len: (200u64 << 20) + 17,
+                chunk_bytes: 4 << 20,
+            },
+            Response::Chunk {
+                id: 9,
+                eof: true,
+                bytes: vec![1, 2, 3],
+            },
+            Response::Chunk {
+                id: 9,
+                eof: false,
+                bytes: Vec::new(),
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_chunked_messages_are_malformed() {
+        let framed = Request::PutChunk {
+            id: 1,
+            seq: 2,
+            bytes: vec![9; 64],
+        }
+        .encode();
+        for cut in [1, 8, 16, 20, framed.len() - 1] {
+            assert!(
+                matches!(
+                    Request::decode(&framed[..cut]),
+                    Err(ProtocolError::Malformed(_))
+                ),
+                "cut={cut}"
+            );
+        }
+        let framed = Response::GetBegun {
+            id: 1,
+            object_len: 2,
+            chunk_bytes: 3,
+        }
+        .encode();
+        assert!(Response::decode(&framed[..framed.len() - 1]).is_err());
+        let mut long = framed;
+        long.push(0);
+        assert!(Response::decode(&long).is_err());
     }
 
     #[test]

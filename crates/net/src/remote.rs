@@ -97,7 +97,10 @@ impl RemoteStore {
             }
         };
         match conn.call(req) {
-            Ok(resp) => {
+            // A connection that errored mid-frame may have unread
+            // response bytes in flight; recycling it would hand the
+            // next caller a desynced stream. Only clean conns pool.
+            Ok(resp) if !conn.is_poisoned() => {
                 let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
                 if pool.len() < POOL_CAP {
                     pool.push((conn, Instant::now()));
@@ -105,8 +108,14 @@ impl RemoteStore {
                 }
                 Ok(resp)
             }
+            Ok(resp) => Ok(resp),
             Err(e) => Err(self.unreachable(e)),
         }
+    }
+
+    /// Idle connections currently parked in the pool (test hook).
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Pops the freshest idle connection, first discarding any that

@@ -8,7 +8,9 @@ use galloper_codes::{build_code, CodeSpec};
 use galloper_dfs::{BlockGet, BlockKey, BlockStore, Dfs, MemStore};
 use galloper_net::{
     Conn, Daemon, DaemonHandle, ErrorKind, Gateway, GatewayHandle, RemoteStore, Request, Response,
+    WHOLE_OBJECT_MAX,
 };
+use galloper_obs::global;
 
 /// Short client timeout so daemon-kill tests fail fast, not in 5s.
 const TIMEOUT: Duration = Duration::from_millis(2000);
@@ -30,10 +32,14 @@ fn spawn_daemons(n: usize) -> (Vec<DaemonHandle>, Vec<RemoteStore>) {
 }
 
 fn spawn_cluster(n: usize) -> (Vec<DaemonHandle>, GatewayHandle, Conn) {
+    spawn_cluster_with(n, &CodeSpec::rs(2, 1, 1024))
+}
+
+fn spawn_cluster_with(n: usize, spec: &CodeSpec) -> (Vec<DaemonHandle>, GatewayHandle, Conn) {
     let (daemons, stores) = spawn_daemons(n);
     // rs(2,1): 3 blocks per group, tolerates any single loss — the
     // smallest cluster that survives a daemon kill.
-    let code = build_code(&CodeSpec::rs(2, 1, 1024)).expect("code");
+    let code = build_code(spec).expect("code");
     let dfs = Dfs::with_stores(stores, code);
     let gateway = Gateway::spawn(listener(), dfs, 64).expect("gateway");
     let conn = Conn::connect(&gateway.addr().to_string(), TIMEOUT).expect("connect");
@@ -198,6 +204,189 @@ fn concurrent_clients_read_consistently() {
     for r in readers {
         r.join().expect("reader");
     }
+}
+
+/// The tentpole e2e: objects straddling the old one-frame cap
+/// round-trip byte-exactly over the chunked plane, the gateway's
+/// buffering stays bounded by the coding-group window (not object
+/// size), and the old whole-frame GET gets a clean typed refusal
+/// instead of a doomed oversize frame.
+#[test]
+fn chunked_transfer_roundtrips_objects_straddling_the_frame_cap() {
+    // A wide stripe keeps group counts sane for 100-MiB-scale objects:
+    // message_len = 2 * 1 MiB per coding group.
+    let (_daemons, _gateway, mut conn) = spawn_cluster_with(3, &CodeSpec::rs(2, 1, 1 << 20));
+    let bytes_in = global().counter("net.gateway.stream.bytes_in");
+    let bytes_out = global().counter("net.gateway.stream.bytes_out");
+    let (in_before, out_before) = (bytes_in.get(), bytes_out.get());
+
+    // The old cap, straddled from both sides, plus a ragged ~160 MiB
+    // object that is nowhere near a group boundary.
+    let sizes = [
+        (64 << 20) - 1,
+        64 << 20,
+        (64 << 20) + 1,
+        160 * (1 << 20) + 12_345,
+    ];
+    let mut total = 0u64;
+    for (i, &n) in sizes.iter().enumerate() {
+        assert!(n > WHOLE_OBJECT_MAX, "size {n} must take the chunked path");
+        let name = format!("big/{i}");
+        let bytes = payload(n, 0xB16 + i as u64);
+        assert_eq!(
+            conn.put_object(&name, &bytes).expect("chunked put"),
+            Response::Ok
+        );
+        // An old-style whole-frame GET of an oversize object is a
+        // typed OutOfRange refusal — and the connection stays usable.
+        match conn
+            .call(&Request::GetObject { name: name.clone() })
+            .expect("whole-frame get")
+        {
+            Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::OutOfRange),
+            other => panic!("expected oversize refusal, got {other:?}"),
+        }
+        match conn.get_object(&name).expect("chunked get") {
+            Response::Blob(read) => {
+                assert!(read == bytes, "byte mismatch for {n}-byte object");
+            }
+            other => panic!("expected blob, got {other:?}"),
+        }
+        total += n as u64;
+    }
+
+    // Every byte of every object crossed the chunked plane, twice.
+    assert!(bytes_in.get() - in_before >= total, "bytes_in undercounts");
+    assert!(
+        bytes_out.get() - out_before >= total,
+        "bytes_out undercounts"
+    );
+    // All transfers closed out.
+    assert_eq!(global().gauge("net.gateway.stream.inflight").get(), 0);
+    // Bounded memory: the encode pipeline's pool high-water stays a
+    // coding-group window, far below the smallest object streamed.
+    let peak = global().gauge("stream.pool.resident_peak_bytes").get();
+    assert!(
+        peak > 0 && peak < 64 << 20,
+        "gateway pool peak {peak} bytes is not bounded by the group window"
+    );
+}
+
+/// Compat: a client that only speaks the historical whole-frame
+/// protocol — raw frames, no extensions — still round-trips small
+/// objects unchanged against the chunked-capable gateway.
+#[test]
+fn old_whole_frame_clients_still_roundtrip_small_objects() {
+    use std::io::{Read, Write};
+    let (_daemons, gateway, _conn) = spawn_cluster(3);
+    let mut raw = std::net::TcpStream::connect(gateway.addr()).expect("connect");
+    raw.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+    let bytes = payload(30_000, 0x01d);
+    let exchange = |raw: &mut std::net::TcpStream, req: &Request| -> Response {
+        let frame = req.encode();
+        raw.write_all(&(frame.len() as u32).to_le_bytes())
+            .expect("header");
+        raw.write_all(&frame).expect("payload");
+        let mut header = [0u8; 4];
+        raw.read_exact(&mut header).expect("response header");
+        let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+        raw.read_exact(&mut payload).expect("response payload");
+        Response::decode(&payload).expect("decodable response")
+    };
+    assert_eq!(
+        exchange(
+            &mut raw,
+            &Request::PutObject {
+                name: "legacy".into(),
+                bytes: bytes.clone(),
+            }
+        ),
+        Response::Ok
+    );
+    match exchange(
+        &mut raw,
+        &Request::GetObject {
+            name: "legacy".into(),
+        },
+    ) {
+        Response::Blob(read) => assert_eq!(read, bytes),
+        other => panic!("expected blob, got {other:?}"),
+    }
+}
+
+/// A connection that dies mid-frame must be poisoned and never
+/// recycled into the `RemoteStore` pool: the next caller would read
+/// the tail of the interrupted response as its own.
+#[test]
+fn truncated_frame_poisons_the_connection_and_skips_the_pool() {
+    use std::io::{Read, Write};
+    let listener = listener();
+    let addr = listener.local_addr().expect("addr").to_string();
+    // A frame-speaking fake daemon: answers the first request with a
+    // well-formed block, then the second with a *truncated* frame —
+    // a header promising 100 bytes followed by 10 and a hangup.
+    let server = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        let read_request = |sock: &mut std::net::TcpStream| {
+            let mut header = [0u8; 4];
+            sock.read_exact(&mut header).expect("request header");
+            let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+            sock.read_exact(&mut payload).expect("request payload");
+        };
+        read_request(&mut sock);
+        let frame = Response::Block(vec![7u8; 16]).encode();
+        sock.write_all(&(frame.len() as u32).to_le_bytes())
+            .expect("header");
+        sock.write_all(&frame).expect("payload");
+        read_request(&mut sock);
+        sock.write_all(&100u32.to_le_bytes()).expect("bad header");
+        sock.write_all(&[0u8; 10]).expect("short payload");
+        // Drop: the client is now mid-frame on a dead socket.
+    });
+
+    let store = RemoteStore::new(addr).with_timeout(TIMEOUT);
+    let key = BlockKey::new(1, 0, 0);
+    match store.get_block(key).expect("first get") {
+        BlockGet::Ok(read) => assert_eq!(read, vec![7u8; 16]),
+        other => panic!("expected bytes, got {other:?}"),
+    }
+    assert_eq!(store.pooled(), 1, "healthy connection must be pooled");
+    let err = store.get_block(key);
+    assert!(
+        matches!(err, Err(galloper_dfs::StoreError::Unreachable(_))),
+        "truncated frame must surface as unreachable, got {err:?}"
+    );
+    assert_eq!(store.pooled(), 0, "poisoned connection must not be pooled");
+    server.join().expect("fake daemon");
+}
+
+/// Direct poisoning semantics on `Conn`: after a mid-frame transport
+/// error, further requests are refused locally instead of writing into
+/// a desynced stream.
+#[test]
+fn poisoned_conn_refuses_further_requests() {
+    use std::io::{Read, Write};
+    let listener = listener();
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        let mut header = [0u8; 4];
+        sock.read_exact(&mut header).expect("request header");
+        let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+        sock.read_exact(&mut payload).expect("request payload");
+        sock.write_all(&100u32.to_le_bytes()).expect("bad header");
+        sock.write_all(&[0u8; 10]).expect("short payload");
+    });
+    let mut conn = Conn::connect(&addr, TIMEOUT).expect("connect");
+    assert!(!conn.is_poisoned());
+    assert!(conn.call(&Request::Ping).is_err(), "truncated frame");
+    assert!(conn.is_poisoned());
+    let refused = conn.call(&Request::Ping);
+    assert!(
+        refused.is_err(),
+        "poisoned conn must refuse, got {refused:?}"
+    );
+    server.join().expect("fake server");
 }
 
 #[test]

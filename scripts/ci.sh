@@ -76,7 +76,7 @@ cleanup_serve() {
   kill "$SERVE_PID" 2>/dev/null || true
   awk '/^GALLOPER_DAEMON_PID /{print $3}' "$SERVE_LOG" 2>/dev/null \
     | xargs -r kill -9 2>/dev/null || true
-  rm -rf "$SERVE_TMP" "$BENCH_TMP"
+  rm -rf "$SERVE_TMP" "$BENCH_TMP" ${BIG_DIR:+"$BIG_DIR"}
 }
 trap cleanup_serve EXIT
 for _ in $(seq 1 100); do
@@ -89,6 +89,21 @@ head -c 300000 /dev/urandom >"$SERVE_TMP/obj.bin"
 ./target/release/galloper net-put "$GATEWAY" smoke "$SERVE_TMP/obj.bin"
 ./target/release/galloper net-get "$GATEWAY" smoke "$SERVE_TMP/back.bin"
 cmp "$SERVE_TMP/obj.bin" "$SERVE_TMP/back.bin"
+
+# Chunked-transfer smoke: a ragged ~160 MiB object — far past the old
+# one-frame 64 MiB cap — must stream through the same live cluster
+# byte-exact. Scratch files live on tmpfs when available so disk
+# throughput can't dominate the gate.
+echo "==> chunked transfer smoke (160 MiB object through the gateway)"
+BIG_DIR="$SERVE_TMP"
+if [ -d /dev/shm ] && [ -w /dev/shm ]; then
+  BIG_DIR="$(mktemp -d /dev/shm/galloper-big.XXXXXX)"
+fi
+head -c $((160 * 1024 * 1024 + 12345)) /dev/urandom >"$BIG_DIR/big.bin"
+./target/release/galloper net-put "$GATEWAY" bigobj "$BIG_DIR/big.bin"
+./target/release/galloper net-get "$GATEWAY" bigobj "$BIG_DIR/big-back.bin"
+cmp "$BIG_DIR/big.bin" "$BIG_DIR/big-back.bin"
+rm -f "$BIG_DIR/big-back.bin"
 
 # Short loadgen pass against the healthy cluster (writes need every
 # daemon; only reads survive a loss), gated like every other bench:
@@ -108,11 +123,15 @@ echo "==> stat gate (scraper sees 3/3 daemons, then 2/3 after kill)"
 ./target/release/galloper stat "$GATEWAY" --json --require-healthy \
   | grep -q '"daemons_reachable":3'
 
-# Machine loss mid-service: the degraded read must stay byte-exact.
+# Machine loss mid-service: the degraded read must stay byte-exact —
+# on the whole-frame path and on the chunked path alike.
 KILLED="$(awk '/^GALLOPER_DAEMON_PID 1 /{print $3}' "$SERVE_LOG")"
 kill -9 "$KILLED"
 ./target/release/galloper net-get "$GATEWAY" smoke "$SERVE_TMP/degraded.bin"
 cmp "$SERVE_TMP/obj.bin" "$SERVE_TMP/degraded.bin"
+./target/release/galloper net-get "$GATEWAY" bigobj "$BIG_DIR/big-degraded.bin"
+cmp "$BIG_DIR/big.bin" "$BIG_DIR/big-degraded.bin"
+rm -f "$BIG_DIR/big.bin" "$BIG_DIR/big-degraded.bin"
 
 # Observability gate, degraded side: within a few scrape intervals the
 # cluster view must report the killed daemon unreachable (2/3) without
